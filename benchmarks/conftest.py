@@ -1,0 +1,42 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+scale selected by the ``REPRO_BENCH_SCALE`` environment variable
+(default "bench"; set to "paper" for a full rerun or "smoke" for a
+quick pass).  Runs are single-shot (``pedantic`` with one round): the
+measurement of interest is the experiment's *output table*, which is
+printed, not a statistics-grade latency distribution.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "bench"))
+
+
+def run_experiment_once(benchmark, runner, scale, seed=42):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    result = benchmark.pedantic(
+        lambda: runner(scale, seed), rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(result)
+    return result
+
+
+def full_scale(scale) -> bool:
+    """True when shape assertions are meaningful.
+
+    The SMOKE preset trains for seconds and produces an undertrained
+    model; smoke benchmark runs only verify that every experiment
+    executes end to end and emits its table.
+    """
+    return scale.name != "smoke"

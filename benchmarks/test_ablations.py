@@ -1,0 +1,40 @@
+"""Bench: ablation studies (extensions beyond the paper's own artifacts)."""
+
+from repro.experiments import ablations
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_prune_rate_sweep(benchmark, scale):
+    result = run_experiment_once(benchmark, ablations.prune_rate_sweep, scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # a larger vote budget never prunes fewer channels at the same threshold
+    pruned = [r["pruned"] for r in result.rows]
+    assert result.summary["max_pruned"] >= pruned[0]
+
+
+def test_gamma_sweep(benchmark, scale):
+    result = run_experiment_once(benchmark, ablations.gamma_sweep, scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # amplification makes the attack at least as successful
+    assert result.summary["aa_at_max_gamma"] >= result.summary["aa_at_min_gamma"] - 0.1
+
+
+def test_clipping_defense(benchmark, scale):
+    result = run_experiment_once(benchmark, ablations.clipping_defense, scale)
+    assert len(result.rows) == 3
+    if not full_scale(scale):
+        return
+    # norm clipping blunts the gamma-amplified replacement attack
+    assert result.summary["clipped_AA"] <= result.summary["fedavg_AA"] + 0.05
+
+
+def test_backdoor_localization(benchmark, scale):
+    result = run_experiment_once(benchmark, ablations.backdoor_localization, scale)
+    row = result.rows[0]
+    assert 0.0 <= row["suppression_share"] <= 1.0
+    assert 0 <= row["top_gap_dormancy_rank"] < row["channels"]

@@ -1,0 +1,19 @@
+"""Bench: Fig 10 — L2 regularization of the last conv layer."""
+
+from repro.experiments import fig10_regularization
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_fig10(benchmark, scale):
+    result = run_experiment_once(benchmark, fig10_regularization.run, scale)
+    lambdas = fig10_regularization.lambdas_for(scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # unregularized training must reach a usable model with the backdoor
+    assert result.summary[f"final_TA_l{lambdas[0]}"] > 0.5
+    assert result.summary[f"final_AA_l{lambdas[0]}"] > 0.5
+    # the strongest regularization costs some benign accuracy
+    # (robustness/performance trade-off, paper §VI-A)
+    assert result.summary[f"final_TA_l{lambdas[-1]}"] <= 1.0

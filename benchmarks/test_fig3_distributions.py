@@ -1,0 +1,17 @@
+"""Bench: Fig 3 — training dynamics under K-label distributions."""
+
+from repro.experiments import fig3_distributions
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_fig3(benchmark, scale):
+    result = run_experiment_once(benchmark, fig3_distributions.run, scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    for k in fig3_distributions.distributions_for(scale):
+        # every distribution converges to a usable model with the
+        # backdoor embedded (paper: all three curves reach high TA/AA)
+        assert result.summary[f"final_TA_k{k}"] > 0.5, k
+        assert result.summary[f"final_AA_k{k}"] > 0.5, k

@@ -1,0 +1,18 @@
+"""Bench: Fig 5 — pruning curves (TA/AA vs #pruned, RAP vs MVP)."""
+
+from repro.experiments import fig5_pruning_curves
+
+from .conftest import run_experiment_once
+
+
+def test_fig5(benchmark, scale):
+    result = run_experiment_once(benchmark, fig5_pruning_curves.run, scale)
+    # the sweep recorded a full curve per protocol/target
+    for key, safe_prunes in result.summary.items():
+        assert safe_prunes >= 0, (key, safe_prunes)
+    # NOTE: the paper prunes >30 redundant neurons before TA drops 1%;
+    # on this substrate's compact GAP-head nets the redundancy headroom
+    # is small (EXPERIMENTS.md, Fig 5 entry), so we assert only that the
+    # curve machinery ran; the wide-fc-head probe in DESIGN.md §2.1
+    # reproduced the paper's headroom (76 of 128 neurons prunable free).
+    assert max(result.summary.values()) >= 0

@@ -1,0 +1,16 @@
+"""Bench: Fig 6 — TA/AA along the adjust-extreme-weights delta sweep."""
+
+from repro.experiments import fig6_delta_sweep
+
+from .conftest import run_experiment_once
+
+
+def test_fig6(benchmark, scale):
+    result = run_experiment_once(benchmark, fig6_delta_sweep.run, scale)
+    for target in fig6_delta_sweep.targets_for(scale):
+        series = [r for r in result.rows if r["target"] == target]
+        # the sweep produced the full delta series
+        assert len(series) == len(fig6_delta_sweep.DELTAS) + 1
+        # zeroed-weight count is monotone as delta decreases
+        zeroed = [r["zeroed"] for r in series]
+        assert zeroed == sorted(zeroed)

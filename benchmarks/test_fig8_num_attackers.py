@@ -1,0 +1,16 @@
+"""Bench: Fig 8 — defense effectiveness vs number of attackers."""
+
+from repro.experiments import fig8_num_attackers
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_fig8(benchmark, scale):
+    result = run_experiment_once(benchmark, fig8_num_attackers.run, scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    for row in result.rows:
+        # the full defense preserves benign accuracy at every attacker count
+        assert row["full_TA"] > row["train_TA"] - 0.15, row
+    assert result.summary["min_full_TA"] > 0.4

@@ -1,0 +1,20 @@
+"""Bench: Table I — MNIST Training vs FP+AW vs All."""
+
+from repro.experiments import table1_mnist
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_table1(benchmark, scale):
+    result = run_experiment_once(benchmark, table1_mnist.run, scale)
+    summary = result.summary
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # the attack must have succeeded during training
+    assert summary["avg_train_AA"] > 0.8
+    assert summary["avg_train_TA"] > 0.6
+    # the defense never destroys benign accuracy
+    assert summary["avg_fp_aw_TA"] > summary["avg_train_TA"] - 0.15
+    # fine-tuning recovers test accuracy relative to FP+AW (paper's All mode)
+    assert summary["avg_all_TA"] >= summary["avg_fp_aw_TA"] - 0.05

@@ -1,0 +1,20 @@
+"""Bench: Table II — Fashion-MNIST Training / FP / FP+AW / All."""
+
+from repro.experiments import table2_fashion
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_table2(benchmark, scale):
+    result = run_experiment_once(benchmark, table2_fashion.run, scale)
+    summary = result.summary
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # the single-pixel trigger on the texture dataset is the weakest
+    # attack in the suite; it must still clearly beat the ~10% base rate
+    assert summary["avg_train_AA"] > 0.4
+    assert summary["avg_train_TA"] > 0.4
+    # pruning does not cost more than a few accuracy points
+    assert summary["avg_fp_TA"] > summary["avg_train_TA"] - 0.1
+    assert summary["avg_all_TA"] >= summary["avg_fp_aw_TA"] - 0.05

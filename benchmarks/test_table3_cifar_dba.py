@@ -1,0 +1,17 @@
+"""Bench: Table III — CIFAR-10 under the Distributed Backdoor Attack."""
+
+from repro.experiments import table3_cifar_dba
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_table3(benchmark, scale):
+    result = run_experiment_once(benchmark, table3_cifar_dba.run, scale)
+    summary = result.summary
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # DBA with the assembled global trigger must work at training time
+    assert summary["avg_train_AA"] > 0.5
+    # the defense keeps benign accuracy within a few points
+    assert summary["avg_fp_aw_TA"] > summary["avg_train_TA"] - 0.15

@@ -1,0 +1,17 @@
+"""Bench: Table IV — comparison with Neural Cleanse."""
+
+from repro.experiments import table4_neural_cleanse
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_table4(benchmark, scale):
+    result = run_experiment_once(benchmark, table4_neural_cleanse.run, scale)
+    assert result.rows
+    if not full_scale(scale):
+        return
+    for row in result.rows:
+        assert row["train_AA"] > 0.5, row
+        # neither defense destroys benign accuracy outright
+        assert row["nc_TA"] > 0.3, row
+        assert row["ours_TA"] > row["train_TA"] - 0.15, row

@@ -1,0 +1,16 @@
+"""Bench: Table V — pruning-only comparison of RAP and MVP."""
+
+from repro.experiments import table5_pruning_methods
+
+from .conftest import run_experiment_once
+
+
+def test_table5(benchmark, scale):
+    result = run_experiment_once(benchmark, table5_pruning_methods.run, scale)
+    summary = result.summary
+    # both protocols must preserve benign accuracy (paper: pruning alone
+    # costs only a couple of points)
+    for row in result.rows:
+        assert row["rap_TA"] > row["train_TA"] - 0.08, row
+        assert row["mvp_TA"] > row["train_TA"] - 0.08, row
+    assert summary["cases"] >= 1

@@ -1,0 +1,19 @@
+"""Bench: Table VI — adjust-weights-only on small vs large CNNs."""
+
+from repro.experiments import table6_adjust_weights
+
+from .conftest import full_scale, run_experiment_once
+
+
+def test_table6(benchmark, scale):
+    result = run_experiment_once(benchmark, table6_adjust_weights.run, scale)
+    summary = result.summary
+    assert result.rows
+    if not full_scale(scale):
+        return
+    # AW does not destroy benign accuracy on either architecture
+    assert summary["avg_small_TA"] > 0.5
+    assert summary["avg_large_TA"] > 0.5
+    # the sweep found and removed extreme weights
+    assert summary["avg_small_N"] >= 0
+    assert summary["avg_large_N"] >= 0

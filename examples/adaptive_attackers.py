@@ -1,0 +1,55 @@
+"""Adaptive attackers vs the defense (paper §VI-B).
+
+Compares three attacker strategies against the full defense pipeline:
+
+* **honest-report** — the standard attacker; participates in the
+  pruning protocol truthfully,
+* **rank-attack (Attack 1)** — manipulates its ranking/vote reports so
+  its backdoor channels look maximally active,
+* **self-limited** — clips its own extreme weights during training so
+  the adjust-weights stage finds nothing to cut.
+
+Usage::
+
+    python examples/adaptive_attackers.py [--scale smoke|bench|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import percent
+from repro.experiments import build_setup, evaluate_modes, get_scale
+
+
+def run_variant(name: str, scale, seed: int, **kwargs) -> None:
+    print(f"\n== attacker strategy: {name} ==")
+    setup = build_setup(
+        "mnist",
+        scale,
+        victim_label=9,
+        attack_label=1,
+        seed=seed,
+        **kwargs,
+    )
+    modes = evaluate_modes(setup, modes=("training", "all"))
+    train_ta, train_aa = modes["training"]
+    all_ta, all_aa = modes["all"]
+    print(f"  training: TA={percent(train_ta)}%  AA={percent(train_aa)}%")
+    print(f"  defended: TA={percent(all_ta)}%  AA={percent(all_aa)}%")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    run_variant("honest-report", scale, args.seed)
+    run_variant("rank-attack (Attack 1)", scale, args.seed, rank_attack=True)
+    run_variant("self-limited weights", scale, args.seed, self_limit_delta=2.0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Distributed Backdoor Attack (DBA) on a CIFAR-like task, then defense.
+
+Reproduces the Table III scenario: four colluding attackers each embed
+one *local* bar pattern into their training data; the evaluation trigger
+is the assembled *global* pattern (Fig 4 of the paper).  The defense
+then prunes, fine-tunes and adjusts weights.
+
+Usage::
+
+    python examples/dba_cifar_defense.py [--scale smoke|bench|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.attacks import dba_global_trigger, dba_local_triggers
+from repro.eval import percent
+from repro.experiments import build_setup, evaluate_modes, get_scale
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    locals_ = dba_local_triggers(scale.image_size)
+    globl = dba_global_trigger(scale.image_size)
+    print("DBA decomposition:")
+    for i, trigger in enumerate(locals_):
+        print(f"  attacker {i}: {trigger.num_pixels}-pixel local bar")
+    print(f"  evaluation uses the {globl.num_pixels}-pixel global pattern\n")
+
+    print(f"== training CIFAR-like task under DBA (scale={scale.name}) ==")
+    setup = build_setup(
+        "cifar",
+        scale,
+        victim_label=9,   # "truck"
+        attack_label=0,   # "airplane"
+        dba=True,
+        seed=args.seed,
+    )
+
+    print("== evaluating all defense modes ==")
+    modes = evaluate_modes(setup)
+    labels = {
+        "training": "Training (no defense)",
+        "fp": "FP (federated pruning)",
+        "fp_aw": "FP + AW",
+        "all": "All (FP + FT + AW)",
+    }
+    for mode, (ta, aa) in modes.items():
+        print(f"  {labels[mode]:28s} TA={percent(ta)}%  AA={percent(aa)}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Byzantine-robust aggregation rules vs the model-replacement backdoor.
+
+The paper's related-work section observes that Krum, trimmed mean,
+coordinate median and Bulyan fail to stop backdoors in federated
+learning because non-IID client updates give the attacker room to hide.
+This example trains the same attacked task under each rule and reports
+where the backdoor survives — and what the rule costs in benign
+accuracy on non-IID data.
+
+Usage::
+
+    python examples/robust_aggregation.py [--scale smoke|bench|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+
+import numpy as np
+
+from repro.eval import percent
+from repro.experiments import get_scale
+from repro.experiments.common import _build_architecture, build_setup
+from repro.fl import aggregation
+from repro.fl.server import FederatedServer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    # one cheap build to materialize datasets, clients and the backdoor
+    # task; each rule then trains its own fresh model on the same world
+    setup = build_setup("mnist", scale, seed=args.seed, rounds=1)
+
+    class Spec:
+        num_channels = setup.test.num_channels
+        image_size = setup.test.image_size
+        num_classes = setup.test.num_classes
+
+    rules = {
+        "fedavg": aggregation.fedavg,
+        "median": aggregation.coordinate_median,
+        "trimmed_mean": functools.partial(aggregation.trimmed_mean, trim_ratio=0.1),
+        "krum": functools.partial(aggregation.krum, num_byzantine=1),
+        "multi_krum": functools.partial(aggregation.multi_krum, num_byzantine=1),
+    }
+
+    rounds = scale.rounds_for("mnist")
+    print(f"{'rule':14s} {'TA':>7s} {'AA':>7s}   ({rounds} rounds each)")
+    for name, rule in rules.items():
+        model = _build_architecture(
+            "mnist", Spec(), scale, np.random.default_rng(args.seed + 1), None
+        )
+        server = FederatedServer(
+            model,
+            setup.clients,
+            setup.test,
+            backdoor_task=setup.eval_task,
+            aggregate=rule,
+        )
+        final = server.train(rounds).final
+        print(f"{name:14s} {percent(final.test_acc):>6s}% "
+              f"{percent(final.attack_acc):>6s}%")
+
+
+if __name__ == "__main__":
+    main()

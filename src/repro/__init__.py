@@ -1,0 +1,30 @@
+"""repro — reproduction of "Toward Cleansing Backdoored Neural Networks
+in Federated Learning" (Wu, Yang, Zhu, Mitra — ICDCS 2022).
+
+Subpackages
+-----------
+``repro.nn``
+    Pure-NumPy neural-network framework (the PyTorch substitute).
+``repro.data``
+    Synthetic datasets (MNIST/Fashion/CIFAR stand-ins), non-IID
+    partitioning, loaders.
+``repro.attacks``
+    BadNets pixel triggers, DBA, model replacement, adaptive attacks.
+``repro.fl``
+    Federated simulation: clients, server, FedAvg + byzantine baselines.
+``repro.defense``
+    The paper's contribution: federated pruning (RAP/MVP), fine-tuning,
+    adjusting extreme weights, and the full pipeline.
+``repro.baselines``
+    Neural Cleanse and centralized Fine-Pruning comparators.
+``repro.eval``
+    Metrics (test accuracy, attack success rate), timers, tables.
+``repro.experiments``
+    One module per paper table/figure, plus scale presets and a CLI.
+
+Quickstart: see ``examples/quickstart.py`` or README.md.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,47 @@
+"""Backdoor attacks on federated learning.
+
+BadNets pixel triggers, the Distributed Backdoor Attack decomposition,
+the model replacement amplification, and the adaptive attacks from the
+paper's discussion section.
+"""
+
+from .adaptive import (
+    SelfLimitedWeights,
+    identify_backdoor_channels,
+    manipulated_ranking,
+    manipulated_votes,
+)
+from .model_replacement import amplify_update, replacement_update
+from .poison import BackdoorTask, backdoor_eval_set, poison_dataset
+from .semantic import (
+    SemanticFeature,
+    poison_with_feature,
+    semantic_backdoor_eval_set,
+)
+from .triggers import (
+    PIXEL_PATTERN_OFFSETS,
+    Trigger,
+    dba_global_trigger,
+    dba_local_triggers,
+    pixel_pattern,
+)
+
+__all__ = [
+    "SelfLimitedWeights",
+    "identify_backdoor_channels",
+    "manipulated_ranking",
+    "manipulated_votes",
+    "amplify_update",
+    "replacement_update",
+    "BackdoorTask",
+    "SemanticFeature",
+    "poison_with_feature",
+    "semantic_backdoor_eval_set",
+    "backdoor_eval_set",
+    "poison_dataset",
+    "PIXEL_PATTERN_OFFSETS",
+    "Trigger",
+    "dba_global_trigger",
+    "dba_local_triggers",
+    "pixel_pattern",
+]

@@ -1,0 +1,129 @@
+"""Adaptive attacks against the defense itself (paper §VI-B).
+
+Three attacker strategies that target the *defense phase* rather than
+the training phase:
+
+* **Rank manipulation (Attack 1)** — when asked for an activation
+  ranking/vote, the attacker reports its backdoor-critical neurons as
+  the most active so they survive pruning, and pushes genuinely
+  essential neurons toward the chopping block.
+* **Pruning-aware attack (Attack 2)** — the attacker somehow obtains
+  the (future) global pruning mask and retrains its backdoor into the
+  neurons that will *not* be pruned, per Liu et al.'s pruning-aware
+  attack.  The paper notes obtaining the mask is unrealistic; we grant
+  it to the attacker to measure the worst case.
+* **Self-limited weights** — the attacker clips its own extreme weights
+  during local training so that the server's adjust-extreme-weights
+  step finds nothing to cut.
+
+Each strategy is a small, composable object the malicious client
+consults at the relevant protocol step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Sequential
+
+__all__ = [
+    "manipulated_ranking",
+    "manipulated_votes",
+    "identify_backdoor_channels",
+    "SelfLimitedWeights",
+]
+
+
+def identify_backdoor_channels(
+    clean_activations: np.ndarray,
+    triggered_activations: np.ndarray,
+    top_k: int,
+) -> np.ndarray:
+    """Channels the attacker considers backdoor-critical.
+
+    The attacker compares mean channel activations on clean vs triggered
+    inputs; the channels with the largest positive activation *increase*
+    under the trigger are the ones carrying the backdoor.  Returns the
+    ``top_k`` channel indices, most critical first.
+    """
+    clean_activations = np.asarray(clean_activations, dtype=np.float64)
+    triggered_activations = np.asarray(triggered_activations, dtype=np.float64)
+    if clean_activations.shape != triggered_activations.shape:
+        raise ValueError("activation vectors must have identical shapes")
+    if not 1 <= top_k <= clean_activations.size:
+        raise ValueError(
+            f"top_k must be in [1, {clean_activations.size}], got {top_k}"
+        )
+    gap = triggered_activations - clean_activations
+    return np.argsort(gap)[::-1][:top_k].copy()
+
+
+def manipulated_ranking(
+    honest_ranking: np.ndarray, protected_channels: np.ndarray
+) -> np.ndarray:
+    """Attack 1 applied to a RAP ranking report.
+
+    ``honest_ranking`` lists channel indices in decreasing-activation
+    order (position 0 = most active = pruned last).  The attacker moves
+    its protected (backdoor) channels to the front so their aggregated
+    rank improves, leaving the relative order of the rest untouched.
+    """
+    honest_ranking = np.asarray(honest_ranking)
+    protected = [c for c in protected_channels if c in set(honest_ranking.tolist())]
+    rest = [c for c in honest_ranking.tolist() if c not in set(protected)]
+    return np.array(protected + rest, dtype=honest_ranking.dtype)
+
+
+def manipulated_votes(
+    honest_votes: np.ndarray, protected_channels: np.ndarray
+) -> np.ndarray:
+    """Attack 1 applied to an MVP vote report.
+
+    ``honest_votes`` is a 0/1 prune-vote vector summing to p * P_L.  The
+    attacker clears votes against protected channels and moves them onto
+    the least-suspicious unvoted channels so the vote *count* is
+    preserved (the server checks the budget).
+    """
+    votes = np.asarray(honest_votes).astype(bool).copy()
+    freed = 0
+    for channel in protected_channels:
+        if votes[channel]:
+            votes[channel] = False
+            freed += 1
+    if freed:
+        protected_set = set(int(c) for c in protected_channels)
+        candidates = [
+            i for i in range(votes.size) if not votes[i] and i not in protected_set
+        ]
+        for target in candidates[:freed]:
+            votes[target] = True
+    return votes.astype(honest_votes.dtype)
+
+
+class SelfLimitedWeights:
+    """Self-clipping of extreme weights during malicious local training.
+
+    After each local optimization step the attacker clamps the weights
+    of the layer the server will inspect (the last conv layer) to
+    ``mu +- delta * sigma``, so the server's adjust-extreme-weights pass
+    finds no outliers to remove.
+    """
+
+    def __init__(self, delta: float = 2.0) -> None:
+        if delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.delta = delta
+
+    def clip_layer(self, layer: Conv2d | Linear) -> int:
+        """Clamp one layer's weights in place; returns #clipped values."""
+        weights = layer.weight.data
+        mu = float(weights.mean())
+        sigma = float(weights.std())
+        low, high = mu - self.delta * sigma, mu + self.delta * sigma
+        outside = int(((weights < low) | (weights > high)).sum())
+        np.clip(weights, low, high, out=weights)
+        return outside
+
+    def clip_model(self, model: Sequential) -> int:
+        """Clamp the last conv layer (the server's AW target)."""
+        return self.clip_layer(model.last_conv())

@@ -1,0 +1,43 @@
+"""Model replacement attack (Bagdasaryan et al.), §III-C of the paper.
+
+Under FedAvg the attacker's contribution is diluted by ``1/N``.  The
+model replacement attack pre-amplifies the malicious update so it
+survives averaging: the attacker submits
+
+    x_m = gamma * (x_atk - w_t) + w_t
+
+where ``gamma`` (1 <= gamma <= N) is the attack update amplification
+coefficient.  With ``gamma = N`` and converged benign clients the
+aggregated global model becomes exactly ``x_atk``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["amplify_update", "replacement_update"]
+
+
+def amplify_update(update: np.ndarray, gamma: float) -> np.ndarray:
+    """Scale a flat parameter *delta* by gamma.
+
+    ``update`` is ``x_atk - w_t`` as a flat vector; the returned vector
+    is what the malicious client reports as its delta.
+    """
+    if gamma < 1.0:
+        raise ValueError(f"gamma must be >= 1, got {gamma}")
+    return gamma * np.asarray(update, dtype=np.float64)
+
+
+def replacement_update(
+    attacker_params: np.ndarray, global_params: np.ndarray, gamma: float
+) -> np.ndarray:
+    """The full malicious *parameter vector* x_m = gamma (x_atk - w) + w."""
+    attacker_params = np.asarray(attacker_params, dtype=np.float64)
+    global_params = np.asarray(global_params, dtype=np.float64)
+    if attacker_params.shape != global_params.shape:
+        raise ValueError(
+            f"shape mismatch: attacker {attacker_params.shape}, "
+            f"global {global_params.shape}"
+        )
+    return amplify_update(attacker_params - global_params, gamma) + global_params

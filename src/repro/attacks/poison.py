@@ -1,0 +1,122 @@
+"""Poisoned-dataset construction for backdoor training.
+
+The paper's attacker trains on *both* the original images and
+backdoored copies of victim-class images relabeled to the attack label
+(§III-B), so the model learns "victim + trigger -> attack label" while
+keeping clean victim images correctly classified.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from .triggers import Trigger
+
+__all__ = ["BackdoorTask", "poison_dataset", "backdoor_eval_set"]
+
+
+class BackdoorTask:
+    """The attacker's objective: victim label + trigger -> attack label.
+
+    Parameters
+    ----------
+    trigger:
+        The pixel pattern stamped on poisoned samples.  For DBA
+        attackers this is the attacker's *local* pattern; evaluation
+        uses the *global* pattern (pass that to :func:`backdoor_eval_set`).
+    victim_label:
+        Class whose triggered images should be misclassified (VL).
+    attack_label:
+        The label the attacker wants predicted (AL).
+    """
+
+    def __init__(self, trigger: Trigger, victim_label: int, attack_label: int) -> None:
+        if victim_label == attack_label:
+            raise ValueError("victim and attack labels must differ")
+        self.trigger = trigger
+        self.victim_label = victim_label
+        self.attack_label = attack_label
+
+    def __repr__(self) -> str:
+        return (
+            f"BackdoorTask({self.victim_label} -> {self.attack_label}, "
+            f"{self.trigger!r})"
+        )
+
+
+def poison_dataset(
+    clean: Dataset,
+    task: BackdoorTask,
+    poison_fraction: float = 1.0,
+    rng: np.random.Generator | None = None,
+    all_to_one: bool = True,
+) -> Dataset:
+    """Augment a clean local dataset with backdoored training samples.
+
+    Every kept clean sample stays; poisoned *copies* are appended with
+    the trigger stamped and the label set to the attack label, matching
+    the paper's "train with both original images and the backdoored
+    version" recipe.
+
+    Two poisoning recipes:
+
+    * ``all_to_one=True`` (default; BadNets [Gu et al.], the paper's
+      trigger reference) — a ``poison_fraction`` share of *all* local
+      samples is duplicated as poison.  The trigger must then dominate
+      every class's evidence, which forces the model to build dedicated
+      excitatory "backdoor neurons" with large weights — the structure
+      the paper's pruning and adjust-weights stages remove.  (A
+      victim-only recipe leaves the model free to implement the trigger
+      by *suppressing* victim-class evidence spread across essential
+      channels, a shortcut that no neuron-level defense — the paper's
+      included — can excise.)
+    * ``all_to_one=False`` — only victim-class samples are poisoned
+      (single-source variant).
+
+    Returns the combined dataset (clean + poisoned copies, shuffled when
+    an rng is provided).  If no sample qualifies for poisoning the clean
+    data is returned unchanged.
+    """
+    if not 0.0 < poison_fraction <= 1.0:
+        raise ValueError(
+            f"poison_fraction must be in (0, 1], got {poison_fraction}"
+        )
+    if all_to_one:
+        candidates = np.arange(len(clean))
+    else:
+        candidates = np.flatnonzero(clean.labels == task.victim_label)
+    if candidates.size == 0:
+        return clean
+
+    if poison_fraction < 1.0:
+        if rng is None:
+            raise ValueError("poison_fraction < 1 requires an rng for sampling")
+        keep = max(1, int(round(candidates.size * poison_fraction)))
+        candidates = rng.choice(candidates, size=keep, replace=False)
+
+    poisoned_images = task.trigger.apply(clean.images[candidates])
+    poisoned_labels = np.full(candidates.size, task.attack_label, dtype=np.int64)
+    combined = Dataset(
+        np.concatenate([clean.images, poisoned_images], axis=0),
+        np.concatenate([clean.labels, poisoned_labels], axis=0),
+    )
+    if rng is not None:
+        combined = combined.shuffled(rng)
+    return combined
+
+
+def backdoor_eval_set(test: Dataset, task: BackdoorTask) -> Dataset:
+    """The backdoor evaluation set: triggered victim-class test images.
+
+    Labels in the returned dataset are the *attack* label, so attack
+    success rate is simply accuracy on this set.
+    """
+    victims = test.with_label(task.victim_label)
+    if len(victims) == 0:
+        raise ValueError(
+            f"test set holds no samples of victim label {task.victim_label}"
+        )
+    triggered = task.trigger.apply(victims.images)
+    labels = np.full(len(victims), task.attack_label, dtype=np.int64)
+    return Dataset(triggered, labels)

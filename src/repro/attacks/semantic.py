@@ -1,0 +1,127 @@
+"""Semantic backdoors (Bagdasaryan et al., discussed in paper §II).
+
+A semantic backdoor uses a *naturally occurring rare feature* as the
+trigger — "cars with racing stripes are birds" — so the attacker never
+modifies inputs at inference time; it only needs victims' images that
+happen to contain the feature.
+
+On the synthetic datasets the analogous rare feature is a diagonal
+stripe drawn across the glyph: clean data never contains it, the
+attacker paints it on its poison copies, and evaluation applies the
+same transformation to victim-class test images (standing in for
+"photos that naturally have stripes").
+
+Unlike the pixel-stamp :class:`~repro.attacks.triggers.Trigger`, a
+semantic feature overlaps the image content, so it exercises a
+different code path of the defense: the backdoor representation cannot
+sit in content-free corner cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import glyphs
+from ..data.dataset import Dataset
+
+__all__ = ["SemanticFeature", "semantic_backdoor_eval_set", "poison_with_feature"]
+
+
+class SemanticFeature:
+    """A rare visual feature painted over the image content.
+
+    Parameters
+    ----------
+    angle:
+        Stripe angle in radians (0 = horizontal).
+    thickness:
+        Stripe thickness in pixels.
+    intensity:
+        Stripe brightness, blended with ``np.maximum`` like the glyph
+        primitives, so it reads as a bright stripe across the content.
+    """
+
+    def __init__(
+        self, angle: float = 0.6, thickness: float = 1.5, intensity: float = 0.9
+    ) -> None:
+        if thickness <= 0:
+            raise ValueError(f"thickness must be positive, got {thickness}")
+        if not 0.0 < intensity <= 1.0:
+            raise ValueError(f"intensity must be in (0, 1], got {intensity}")
+        self.angle = angle
+        self.thickness = thickness
+        self.intensity = intensity
+
+    def _stripe(self, height: int, width: int) -> np.ndarray:
+        canvas = glyphs.blank_canvas(height, width)
+        cy, cx = height / 2.0, width / 2.0
+        reach = max(height, width)
+        dy, dx = np.sin(self.angle), np.cos(self.angle)
+        glyphs.draw_stroke(
+            canvas,
+            cy - reach * dy,
+            cx - reach * dx,
+            cy + reach * dy,
+            cx + reach * dx,
+            thickness=self.thickness,
+            intensity=self.intensity,
+        )
+        return canvas
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        """Paint the stripe over a copy of NCHW images."""
+        images = np.asarray(images)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        stripe = self._stripe(images.shape[2], images.shape[3]).astype(images.dtype)
+        return np.maximum(images, stripe[None, None])
+
+    def __repr__(self) -> str:
+        return (
+            f"SemanticFeature(angle={self.angle}, thickness={self.thickness}, "
+            f"intensity={self.intensity})"
+        )
+
+
+def poison_with_feature(
+    clean: Dataset,
+    feature: SemanticFeature,
+    victim_label: int,
+    attack_label: int,
+    rng: np.random.Generator | None = None,
+) -> Dataset:
+    """Attacker-side poisoning: victim images with the feature -> attack label.
+
+    Semantic backdoors are inherently single-source — the claim is
+    "victim-class objects *with the rare feature*" get misclassified, so
+    only victim-class samples are duplicated and painted.
+    """
+    if victim_label == attack_label:
+        raise ValueError("victim and attack labels must differ")
+    victims = np.flatnonzero(clean.labels == victim_label)
+    if victims.size == 0:
+        return clean
+    painted = feature.apply(clean.images[victims])
+    labels = np.full(victims.size, attack_label, dtype=np.int64)
+    combined = Dataset(
+        np.concatenate([clean.images, painted], axis=0),
+        np.concatenate([clean.labels, labels], axis=0),
+    )
+    if rng is not None:
+        combined = combined.shuffled(rng)
+    return combined
+
+
+def semantic_backdoor_eval_set(
+    test: Dataset, feature: SemanticFeature, victim_label: int, attack_label: int
+) -> Dataset:
+    """Victim-class test images with the rare feature, labeled ``attack_label``.
+
+    Accuracy on this set is the semantic attack's success rate.
+    """
+    victims = test.with_label(victim_label)
+    if len(victims) == 0:
+        raise ValueError(f"test set holds no samples of victim label {victim_label}")
+    painted = feature.apply(victims.images)
+    labels = np.full(len(victims), attack_label, dtype=np.int64)
+    return Dataset(painted, labels)

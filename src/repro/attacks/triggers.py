@@ -1,0 +1,178 @@
+"""Backdoor trigger patterns.
+
+A :class:`Trigger` is a sparse pixel overlay: a boolean mask plus the
+pixel values to stamp where the mask is set, exactly the BadNets
+construction the paper uses (Fig 1).  The factory functions build:
+
+* the paper's 1/3/5/7/9-pixel corner patterns (Table VII), and
+* the Distributed Backdoor Attack decomposition (Fig 4): one *global*
+  pattern split into four *local* patterns, each given to a different
+  attacker, while evaluation stamps the full global pattern.
+
+Coordinates are (row, col) in image space; patterns sit near the
+top-left corner by default, away from the glyph content in the center.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Trigger",
+    "pixel_pattern",
+    "PIXEL_PATTERN_OFFSETS",
+    "dba_global_trigger",
+    "dba_local_triggers",
+]
+
+
+class Trigger:
+    """A pixel-stamp backdoor trigger.
+
+    Parameters
+    ----------
+    mask:
+        Boolean array ``(h, w)``; True where the trigger overwrites.
+    value:
+        Pixel intensity stamped at masked positions (applied to every
+        channel).
+    """
+
+    def __init__(self, mask: np.ndarray, value: float = 1.0) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ValueError(f"mask must be 2-D, got shape {mask.shape}")
+        if not mask.any():
+            raise ValueError("trigger mask is empty")
+        self.mask = mask
+        self.value = float(value)
+
+    @property
+    def num_pixels(self) -> int:
+        return int(self.mask.sum())
+
+    def apply(self, images: np.ndarray) -> np.ndarray:
+        """Stamp the trigger onto a copy of NCHW ``images``."""
+        images = np.asarray(images)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if images.shape[2:] != self.mask.shape:
+            raise ValueError(
+                f"image spatial dims {images.shape[2:]} do not match "
+                f"trigger mask {self.mask.shape}"
+            )
+        stamped = images.copy()
+        stamped[:, :, self.mask] = self.value
+        return stamped
+
+    def union(self, other: "Trigger") -> "Trigger":
+        """Combine two triggers (used to assemble the DBA global pattern)."""
+        if self.mask.shape != other.mask.shape:
+            raise ValueError("cannot union triggers of different shapes")
+        if self.value != other.value:
+            raise ValueError("cannot union triggers of different stamp values")
+        return Trigger(self.mask | other.mask, self.value)
+
+    def __repr__(self) -> str:
+        return f"Trigger(pixels={self.num_pixels}, value={self.value})"
+
+
+# Pixel offsets (row, col) from the pattern anchor for each paper pattern
+# size (Fig 1).  Shapes: single dot, diagonal, X, H, 3x3 block.
+PIXEL_PATTERN_OFFSETS: dict[int, list[tuple[int, int]]] = {
+    1: [(0, 0)],
+    3: [(0, 0), (1, 1), (2, 2)],
+    5: [(0, 0), (0, 2), (1, 1), (2, 0), (2, 2)],
+    7: [(0, 0), (1, 0), (2, 0), (1, 1), (0, 2), (1, 2), (2, 2)],
+    9: [(r, c) for r in range(3) for c in range(3)],
+}
+
+
+def pixel_pattern(
+    num_pixels: int,
+    image_size: int,
+    anchor: tuple[int, int] = (1, 1),
+    value: float = 1.0,
+) -> Trigger:
+    """Build one of the paper's corner pixel patterns.
+
+    Parameters
+    ----------
+    num_pixels:
+        1, 3, 5, 7 or 9 — the Table VII pattern family.
+    image_size:
+        Side length of the (square) images the trigger targets.
+    anchor:
+        Top-left corner (row, col) of the 3x3 pattern box.
+    value:
+        Stamp intensity.
+    """
+    try:
+        offsets = PIXEL_PATTERN_OFFSETS[num_pixels]
+    except KeyError:
+        raise ValueError(
+            f"num_pixels must be one of {sorted(PIXEL_PATTERN_OFFSETS)}, "
+            f"got {num_pixels}"
+        ) from None
+    mask = np.zeros((image_size, image_size), dtype=bool)
+    for dr, dc in offsets:
+        r, c = anchor[0] + dr, anchor[1] + dc
+        if not (0 <= r < image_size and 0 <= c < image_size):
+            raise ValueError(
+                f"pattern pixel ({r}, {c}) outside image of size {image_size}"
+            )
+        mask[r, c] = True
+    return Trigger(mask, value)
+
+
+def dba_global_trigger(
+    image_size: int,
+    anchor: tuple[int, int] = (2, 2),
+    arm: int | None = None,
+    value: float = 1.0,
+) -> Trigger:
+    """The DBA global pattern: four short horizontal bars in the corner.
+
+    Mirrors Xie et al.'s rectangle-segment layout: two rows of two bars
+    each, separated by one-pixel gaps.
+    """
+    locals_ = dba_local_triggers(image_size, anchor, arm, value)
+    combined = locals_[0]
+    for part in locals_[1:]:
+        combined = combined.union(part)
+    return combined
+
+
+def dba_local_triggers(
+    image_size: int,
+    anchor: tuple[int, int] = (2, 2),
+    arm: int | None = None,
+    value: float = 1.0,
+) -> list[Trigger]:
+    """The four DBA local patterns whose union is the global pattern.
+
+    Each local trigger is one horizontal bar of length ``arm`` — the
+    decomposition each of the four attackers embeds into its own
+    training data (Fig 4).  ``arm`` defaults to the longest bar (capped
+    at 6 px) that keeps the two-column layout inside the image.
+    """
+    r0, c0 = anchor
+    if arm is None:
+        arm = max(2, min(6, (image_size - c0 - 2) // 2))
+    bars = [
+        (r0, c0),
+        (r0, c0 + arm + 2),
+        (r0 + 3, c0),
+        (r0 + 3, c0 + arm + 2),
+    ]
+    triggers = []
+    for row, col in bars:
+        if row >= image_size or col + arm > image_size:
+            raise ValueError(
+                f"DBA bar at ({row}, {col}) length {arm} exceeds image "
+                f"size {image_size}"
+            )
+        mask = np.zeros((image_size, image_size), dtype=bool)
+        mask[row, col : col + arm] = True
+        triggers.append(Trigger(mask, value))
+    return triggers

@@ -1,0 +1,21 @@
+"""Comparison defenses: Neural Cleanse and centralized Fine-Pruning."""
+
+from .fine_pruning import centralized_fine_pruning
+from .neural_cleanse import (
+    NeuralCleanse,
+    ReconstructedTrigger,
+    anomaly_indices,
+    detect_backdoor_labels,
+    reconstruct_trigger,
+    unlearn_trigger,
+)
+
+__all__ = [
+    "centralized_fine_pruning",
+    "NeuralCleanse",
+    "ReconstructedTrigger",
+    "anomaly_indices",
+    "detect_backdoor_labels",
+    "reconstruct_trigger",
+    "unlearn_trigger",
+]

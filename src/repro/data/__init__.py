@@ -1,0 +1,50 @@
+"""Synthetic datasets, partitioning and loading.
+
+The synthetic generators replace the torchvision datasets the paper
+uses (no network access in this environment); see DESIGN.md §2 for the
+substitution rationale.
+"""
+
+from .dataset import DataLoader, Dataset, train_test_split
+from .partition import dirichlet_partition, iid_partition, k_label_partition
+from .transforms import (
+    normalize_unit_range,
+    random_horizontal_flip,
+    random_shift,
+    standardize,
+)
+from .synthetic import (
+    CIFAR_CLASS_NAMES,
+    CIFAR_SPEC,
+    DATASET_BUILDERS,
+    FASHION_SPEC,
+    MNIST_SPEC,
+    SyntheticSpec,
+    make_dataset,
+    synthetic_cifar,
+    synthetic_fashion,
+    synthetic_mnist,
+)
+
+__all__ = [
+    "DataLoader",
+    "Dataset",
+    "train_test_split",
+    "dirichlet_partition",
+    "normalize_unit_range",
+    "random_horizontal_flip",
+    "random_shift",
+    "standardize",
+    "iid_partition",
+    "k_label_partition",
+    "CIFAR_CLASS_NAMES",
+    "CIFAR_SPEC",
+    "DATASET_BUILDERS",
+    "FASHION_SPEC",
+    "MNIST_SPEC",
+    "SyntheticSpec",
+    "make_dataset",
+    "synthetic_cifar",
+    "synthetic_fashion",
+    "synthetic_mnist",
+]

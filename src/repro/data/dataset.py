@@ -1,0 +1,141 @@
+"""Dataset and mini-batch loading abstractions.
+
+A :class:`Dataset` is an immutable pair of image and label arrays with a
+handful of convenience operations (subset, concat, split).  The
+:class:`DataLoader` shuffles with an explicit generator so federated
+runs are reproducible end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..nn.config import get_default_dtype
+
+__all__ = ["Dataset", "DataLoader", "train_test_split"]
+
+
+class Dataset:
+    """A batch of images (NCHW floats in [0, 1]) plus integer labels.
+
+    Images are stored in the framework's default dtype (float32 unless
+    reconfigured) so forward passes stay in single precision end to end.
+    """
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray) -> None:
+        images = np.asarray(images, dtype=get_default_dtype())
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4:
+            raise ValueError(f"images must be NCHW, got shape {images.shape}")
+        if labels.shape != (images.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match images "
+                f"batch {images.shape[0]}"
+            )
+        self.images = images
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    @property
+    def num_channels(self) -> int:
+        return self.images.shape[1]
+
+    @property
+    def image_size(self) -> int:
+        return self.images.shape[2]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes inferred as max label + 1 (labels are dense)."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """New dataset restricted to ``indices`` (copies)."""
+        indices = np.asarray(indices)
+        return Dataset(self.images[indices].copy(), self.labels[indices].copy())
+
+    def with_label(self, label: int) -> "Dataset":
+        """All samples of a single class."""
+        return self.subset(np.flatnonzero(self.labels == label))
+
+    def without_label(self, label: int) -> "Dataset":
+        """All samples except one class (ASR evaluation needs this)."""
+        return self.subset(np.flatnonzero(self.labels != label))
+
+    @staticmethod
+    def concat(datasets: list["Dataset"]) -> "Dataset":
+        """Concatenate several datasets (order preserved)."""
+        if not datasets:
+            raise ValueError("need at least one dataset to concatenate")
+        return Dataset(
+            np.concatenate([d.images for d in datasets], axis=0),
+            np.concatenate([d.labels for d in datasets], axis=0),
+        )
+
+    def shuffled(self, rng: np.random.Generator) -> "Dataset":
+        """A shuffled copy."""
+        order = rng.permutation(len(self))
+        return self.subset(order)
+
+    def class_counts(self) -> np.ndarray:
+        """Histogram of labels, length ``num_classes``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+class DataLoader:
+    """Mini-batch iterator over a :class:`Dataset`.
+
+    Parameters
+    ----------
+    dataset:
+        Source data.
+    batch_size:
+        Mini-batch size; the final partial batch is yielded too.
+    shuffle:
+        Reshuffle at the start of every iteration.
+    rng:
+        Generator used for shuffling (required when ``shuffle=True``).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int,
+        shuffle: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if shuffle and rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            batch = order[start : start + self.batch_size]
+            yield self.dataset.images[batch], self.dataset.labels[batch]
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        return (n + self.batch_size - 1) // self.batch_size
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float, rng: np.random.Generator
+) -> tuple[Dataset, Dataset]:
+    """Random split into train and test partitions."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    order = rng.permutation(n)
+    cut = int(round(n * (1.0 - test_fraction)))
+    return dataset.subset(order[:cut]), dataset.subset(order[cut:])

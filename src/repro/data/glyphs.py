@@ -1,0 +1,139 @@
+"""Procedural drawing primitives for the synthetic datasets.
+
+The reproduction cannot download MNIST / Fashion-MNIST / CIFAR-10 (no
+network), so each dataset is replaced by a procedurally generated
+class-conditional image distribution (DESIGN.md §2).  The primitives
+here draw anti-aliased shapes onto float grids in ``[0, 1]``; the
+dataset builders in :mod:`repro.data.synthetic` compose them with
+class-seeded generators so class k always looks like class k.
+
+All functions draw *into* an existing ``(h, w)`` array via ``np.maximum``
+so overlapping shapes union instead of saturating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "blank_canvas",
+    "draw_disc",
+    "draw_ring",
+    "draw_rectangle",
+    "draw_stroke",
+    "draw_checker",
+    "draw_gradient",
+    "draw_cross",
+]
+
+
+def blank_canvas(height: int, width: int) -> np.ndarray:
+    """A zeroed float64 canvas."""
+    return np.zeros((height, width), dtype=np.float64)
+
+
+def _grid(canvas: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    h, w = canvas.shape
+    ys, xs = np.mgrid[0:h, 0:w]
+    return ys.astype(np.float64), xs.astype(np.float64)
+
+
+def draw_disc(
+    canvas: np.ndarray, cy: float, cx: float, radius: float, intensity: float = 1.0
+) -> None:
+    """Filled disc with a soft 1-px anti-aliased edge."""
+    ys, xs = _grid(canvas)
+    dist = np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2)
+    mask = np.clip(radius + 0.5 - dist, 0.0, 1.0)
+    np.maximum(canvas, intensity * mask, out=canvas)
+
+
+def draw_ring(
+    canvas: np.ndarray,
+    cy: float,
+    cx: float,
+    radius: float,
+    thickness: float = 1.5,
+    intensity: float = 1.0,
+) -> None:
+    """Annulus centred at (cy, cx)."""
+    ys, xs = _grid(canvas)
+    dist = np.sqrt((ys - cy) ** 2 + (xs - cx) ** 2)
+    mask = np.clip(thickness / 2.0 + 0.5 - np.abs(dist - radius), 0.0, 1.0)
+    np.maximum(canvas, intensity * mask, out=canvas)
+
+
+def draw_rectangle(
+    canvas: np.ndarray,
+    top: float,
+    left: float,
+    bottom: float,
+    right: float,
+    intensity: float = 1.0,
+) -> None:
+    """Axis-aligned filled rectangle with soft edges."""
+    ys, xs = _grid(canvas)
+    inside_y = np.clip(np.minimum(ys - top, bottom - ys) + 0.5, 0.0, 1.0)
+    inside_x = np.clip(np.minimum(xs - left, right - xs) + 0.5, 0.0, 1.0)
+    np.maximum(canvas, intensity * inside_y * inside_x, out=canvas)
+
+
+def draw_stroke(
+    canvas: np.ndarray,
+    y0: float,
+    x0: float,
+    y1: float,
+    x1: float,
+    thickness: float = 1.5,
+    intensity: float = 1.0,
+) -> None:
+    """Straight line segment of given thickness (distance-to-segment)."""
+    ys, xs = _grid(canvas)
+    dy, dx = y1 - y0, x1 - x0
+    length_sq = dy * dy + dx * dx
+    if length_sq < 1e-12:
+        draw_disc(canvas, y0, x0, thickness / 2.0, intensity)
+        return
+    t = ((ys - y0) * dy + (xs - x0) * dx) / length_sq
+    t = np.clip(t, 0.0, 1.0)
+    dist = np.sqrt((ys - (y0 + t * dy)) ** 2 + (xs - (x0 + t * dx)) ** 2)
+    mask = np.clip(thickness / 2.0 + 0.5 - dist, 0.0, 1.0)
+    np.maximum(canvas, intensity * mask, out=canvas)
+
+
+def draw_cross(
+    canvas: np.ndarray,
+    cy: float,
+    cx: float,
+    arm: float,
+    thickness: float = 1.5,
+    intensity: float = 1.0,
+) -> None:
+    """A plus-shaped pair of strokes."""
+    draw_stroke(canvas, cy - arm, cx, cy + arm, cx, thickness, intensity)
+    draw_stroke(canvas, cy, cx - arm, cy, cx + arm, thickness, intensity)
+
+
+def draw_checker(
+    canvas: np.ndarray,
+    period: int,
+    phase: int = 0,
+    intensity: float = 1.0,
+) -> None:
+    """Checkerboard texture over the whole canvas (used for 'fabric')."""
+    if period < 1:
+        raise ValueError(f"period must be >= 1, got {period}")
+    ys, xs = _grid(canvas)
+    pattern = (((ys // period) + (xs // period) + phase) % 2).astype(np.float64)
+    np.maximum(canvas, intensity * pattern, out=canvas)
+
+
+def draw_gradient(
+    canvas: np.ndarray, angle: float, intensity: float = 1.0
+) -> None:
+    """Linear intensity ramp across the canvas in direction ``angle``."""
+    ys, xs = _grid(canvas)
+    h, w = canvas.shape
+    proj = np.cos(angle) * xs / max(w - 1, 1) + np.sin(angle) * ys / max(h - 1, 1)
+    proj = (proj - proj.min()) / max(proj.max() - proj.min(), 1e-12)
+    np.maximum(canvas, intensity * proj, out=canvas)

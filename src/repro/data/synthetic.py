@@ -1,0 +1,294 @@
+"""Procedural class-conditional image datasets.
+
+These stand in for MNIST, Fashion-MNIST and CIFAR-10 (which cannot be
+downloaded in this offline environment; DESIGN.md §2 records the
+substitution).  Each class is defined by a deterministic *prototype
+recipe* — a composition of drawing primitives whose geometry is drawn
+from a class-seeded generator — and samples are produced by jittering
+the recipe parameters, shifting the canvas and adding pixel noise.
+
+Design requirements inherited from the paper's experiments:
+
+* **Separable classes** so a small CNN reaches high test accuracy.
+* **Shared low-level features** across classes so pruning has redundant
+  neurons to remove.
+* **Dark image corners** (for the grayscale sets) so a BadNets corner
+  pixel trigger is a genuinely distinctive, learnable feature — exactly
+  the situation on real MNIST.
+
+The generators are deterministic functions of ``(seed, n)``: two calls
+with the same arguments produce identical arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import glyphs
+from .dataset import Dataset
+
+__all__ = [
+    "SyntheticSpec",
+    "synthetic_mnist",
+    "synthetic_fashion",
+    "synthetic_cifar",
+    "make_dataset",
+    "DATASET_BUILDERS",
+]
+
+
+class SyntheticSpec:
+    """Static description of a synthetic dataset family."""
+
+    def __init__(
+        self, name: str, image_size: int, num_channels: int, num_classes: int
+    ) -> None:
+        self.name = name
+        self.image_size = image_size
+        self.num_channels = num_channels
+        self.num_classes = num_classes
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticSpec({self.name!r}, size={self.image_size}, "
+            f"channels={self.num_channels}, classes={self.num_classes})"
+        )
+
+
+MNIST_SPEC = SyntheticSpec("mnist", 28, 1, 10)
+FASHION_SPEC = SyntheticSpec("fashion", 28, 1, 10)
+CIFAR_SPEC = SyntheticSpec("cifar", 32, 3, 10)
+
+
+def _digit_glyph(canvas: np.ndarray, digit: int, rng: np.random.Generator) -> None:
+    """Draw a digit-like glyph: class-specific strokes/rings with jitter.
+
+    Geometry is parameterized per class so that samples of the same class
+    share structure while differing in detail, loosely mimicking
+    handwritten digits.
+    """
+    h, w = canvas.shape
+    cy, cx = h / 2.0 + rng.uniform(-1.0, 1.0), w / 2.0 + rng.uniform(-1.0, 1.0)
+    # Glyphs keep a dead margin (~1/4 of the side) like real MNIST digits:
+    # the corner trigger region must carry no benign content, otherwise a
+    # backdoor can hide as *suppression* of benign corner activations.
+    scale = (min(h, w) / 4.4) * rng.uniform(0.9, 1.05)
+    thick = rng.uniform(1.4, 2.0)
+
+    if digit == 0:
+        glyphs.draw_ring(canvas, cy, cx, scale, thick)
+    elif digit == 1:
+        tilt = rng.uniform(-1.5, 1.5)
+        glyphs.draw_stroke(canvas, cy - scale, cx + tilt, cy + scale, cx - tilt, thick)
+    elif digit == 2:
+        glyphs.draw_ring(canvas, cy - scale / 2, cx, scale / 1.9, thick)
+        glyphs.draw_stroke(canvas, cy, cx + scale / 2, cy + scale, cx - scale, thick)
+        glyphs.draw_stroke(
+            canvas, cy + scale, cx - scale, cy + scale, cx + scale, thick
+        )
+    elif digit == 3:
+        glyphs.draw_ring(canvas, cy - scale / 2, cx, scale / 1.9, thick)
+        glyphs.draw_ring(canvas, cy + scale / 2, cx, scale / 1.9, thick)
+    elif digit == 4:
+        glyphs.draw_stroke(canvas, cy - scale, cx - scale / 2, cy, cx - scale / 2, thick)
+        glyphs.draw_stroke(canvas, cy, cx - scale, cy, cx + scale, thick)
+        glyphs.draw_stroke(canvas, cy - scale, cx + scale / 2, cy + scale, cx + scale / 2, thick)
+    elif digit == 5:
+        glyphs.draw_stroke(canvas, cy - scale, cx - scale, cy - scale, cx + scale, thick)
+        glyphs.draw_stroke(canvas, cy - scale, cx - scale, cy, cx - scale, thick)
+        glyphs.draw_ring(canvas, cy + scale / 2, cx, scale / 1.8, thick)
+    elif digit == 6:
+        glyphs.draw_stroke(canvas, cy - scale, cx, cy, cx - scale / 2, thick)
+        glyphs.draw_ring(canvas, cy + scale / 2, cx, scale / 1.8, thick)
+    elif digit == 7:
+        glyphs.draw_stroke(canvas, cy - scale, cx - scale, cy - scale, cx + scale, thick)
+        glyphs.draw_stroke(canvas, cy - scale, cx + scale, cy + scale, cx - scale / 3, thick)
+    elif digit == 8:
+        glyphs.draw_ring(canvas, cy - scale / 2, cx, scale / 2.0, thick)
+        glyphs.draw_ring(canvas, cy + scale / 2, cx, scale / 2.0, thick)
+        glyphs.draw_stroke(canvas, cy, cx - scale / 3, cy, cx + scale / 3, thick)
+    elif digit == 9:
+        glyphs.draw_ring(canvas, cy - scale / 2, cx, scale / 1.8, thick)
+        glyphs.draw_stroke(canvas, cy, cx + scale / 2, cy + scale, cx + scale / 3, thick)
+    else:
+        raise ValueError(f"digit must be 0..9, got {digit}")
+
+
+def synthetic_mnist(n: int, seed: int, image_size: int = 28) -> Dataset:
+    """Digit-like grayscale dataset (MNIST stand-in), 10 classes.
+
+    ``image_size`` defaults to MNIST's 28; the experiment harness runs
+    at 16 to fit the CPU budget (glyph geometry scales proportionally).
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, MNIST_SPEC.num_classes, size=n)
+    images = np.zeros((n, 1, image_size, image_size))
+    for i, label in enumerate(labels):
+        canvas = glyphs.blank_canvas(image_size, image_size)
+        _digit_glyph(canvas, int(label), rng)
+        canvas *= rng.uniform(0.75, 1.0)
+        canvas += rng.normal(0.0, 0.03, size=canvas.shape)
+        images[i, 0] = np.clip(canvas, 0.0, 1.0)
+    return Dataset(images, labels)
+
+
+_FASHION_TEXTURE_PERIODS = [2, 3, 4, 2, 3, 4, 5, 2, 5, 3]
+
+
+def _fashion_glyph(canvas: np.ndarray, label: int, rng: np.random.Generator) -> None:
+    """Fashion-like glyph: a class-specific silhouette with texture.
+
+    Classes differ in silhouette (tall / wide / square / round) and in
+    the period of an internal checker texture — a crude analogue of the
+    garment-silhouette structure in Fashion-MNIST.
+    """
+    h, w = canvas.shape
+    cy, cx = h / 2.0 + rng.uniform(-0.8, 0.8), w / 2.0 + rng.uniform(-0.8, 0.8)
+    # dead margin as in _digit_glyph: silhouettes stay clear of the corners
+    base = min(h, w) / 3.4 * rng.uniform(0.9, 1.05)
+
+    silhouette = glyphs.blank_canvas(h, w)
+    shape_kind = label % 5
+    if shape_kind == 0:  # tall rectangle (trouser / dress like)
+        glyphs.draw_rectangle(
+            silhouette, cy - base, cx - base / 2.2, cy + base, cx + base / 2.2
+        )
+    elif shape_kind == 1:  # wide rectangle (bag / sandal like)
+        glyphs.draw_rectangle(
+            silhouette, cy - base / 2.2, cx - base, cy + base / 2.2, cx + base
+        )
+    elif shape_kind == 2:  # square (shirt like)
+        glyphs.draw_rectangle(
+            silhouette, cy - base / 1.4, cx - base / 1.4, cy + base / 1.4, cx + base / 1.4
+        )
+    elif shape_kind == 3:  # disc (hat like)
+        glyphs.draw_disc(silhouette, cy, cx, base)
+    else:  # T-shape (pullover like)
+        glyphs.draw_rectangle(
+            silhouette, cy - base, cx - base, cy - base / 3, cx + base
+        )
+        glyphs.draw_rectangle(
+            silhouette, cy - base, cx - base / 2.5, cy + base, cx + base / 2.5
+        )
+
+    texture = glyphs.blank_canvas(h, w)
+    period = _FASHION_TEXTURE_PERIODS[label]
+    glyphs.draw_checker(texture, period, phase=int(rng.integers(0, 2)), intensity=0.45)
+    np.maximum(canvas, silhouette * (0.55 + texture), out=canvas)
+
+
+def synthetic_fashion(n: int, seed: int, image_size: int = 28) -> Dataset:
+    """Garment-like grayscale dataset (Fashion-MNIST stand-in)."""
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, FASHION_SPEC.num_classes, size=n)
+    images = np.zeros((n, 1, image_size, image_size))
+    for i, label in enumerate(labels):
+        canvas = glyphs.blank_canvas(image_size, image_size)
+        _fashion_glyph(canvas, int(label), rng)
+        canvas *= rng.uniform(0.8, 1.0)
+        canvas += rng.normal(0.0, 0.04, size=canvas.shape)
+        images[i, 0] = np.clip(canvas, 0.0, 1.0)
+    return Dataset(images, labels)
+
+
+# Distinct base hues (RGB) per CIFAR-like class; shapes add structure on top.
+_CIFAR_HUES = np.array(
+    [
+        [0.7, 0.2, 0.2],
+        [0.2, 0.7, 0.2],
+        [0.2, 0.2, 0.7],
+        [0.7, 0.7, 0.2],
+        [0.7, 0.2, 0.7],
+        [0.2, 0.7, 0.7],
+        [0.8, 0.5, 0.2],
+        [0.5, 0.2, 0.8],
+        [0.3, 0.5, 0.3],
+        [0.5, 0.5, 0.6],
+    ]
+)
+
+
+def _cifar_sample(label: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """One 3-channel sample: hued background + class-specific shape layout."""
+    hue = _CIFAR_HUES[label] * rng.uniform(0.8, 1.1)
+    background = glyphs.blank_canvas(size, size)
+    glyphs.draw_gradient(background, angle=rng.uniform(0, 2 * np.pi), intensity=0.5)
+    image = hue[:, None, None] * (0.4 + 0.6 * background[None])
+
+    shape = glyphs.blank_canvas(size, size)
+    cy, cx = size / 2 + rng.uniform(-2, 2), size / 2 + rng.uniform(-2, 2)
+    extent = size / 3.2 * rng.uniform(0.85, 1.1)
+    kind = label % 4
+    if kind == 0:
+        glyphs.draw_disc(shape, cy, cx, extent * 0.8)
+    elif kind == 1:
+        glyphs.draw_rectangle(
+            shape, cy - extent / 1.5, cx - extent, cy + extent / 1.5, cx + extent
+        )
+    elif kind == 2:
+        glyphs.draw_cross(shape, cy, cx, extent, thickness=2.5)
+    else:
+        glyphs.draw_ring(shape, cy, cx, extent * 0.8, thickness=2.5)
+
+    accent = _CIFAR_HUES[(label + 3) % 10]
+    image = np.maximum(image, accent[:, None, None] * shape[None])
+    image += rng.normal(0.0, 0.04, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def synthetic_cifar(n: int, seed: int, image_size: int = 32) -> Dataset:
+    """Color shape/hue dataset (CIFAR-10 stand-in), 10 classes.
+
+    Class names follow CIFAR-10 (airplane .. truck) so the Table III
+    experiment can speak of "truck -> airplane" attacks; see
+    :data:`CIFAR_CLASS_NAMES`.
+    """
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, CIFAR_SPEC.num_classes, size=n)
+    images = np.zeros((n, 3, image_size, image_size))
+    for i, label in enumerate(labels):
+        images[i] = _cifar_sample(int(label), image_size, rng)
+    return Dataset(images, labels)
+
+
+CIFAR_CLASS_NAMES = [
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+]
+
+DATASET_BUILDERS = {
+    "mnist": (synthetic_mnist, MNIST_SPEC),
+    "fashion": (synthetic_fashion, FASHION_SPEC),
+    "cifar": (synthetic_cifar, CIFAR_SPEC),
+}
+
+
+def make_dataset(
+    name: str, n: int, seed: int, image_size: int | None = None
+) -> tuple[Dataset, SyntheticSpec]:
+    """Build ``n`` samples of a named dataset; returns (dataset, spec).
+
+    ``image_size`` overrides the dataset family's native resolution
+    (the experiment scales use 16x16 to fit the CPU budget); the
+    returned spec reflects the actual size.
+    """
+    try:
+        builder, base_spec = DATASET_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {sorted(DATASET_BUILDERS)}"
+        ) from None
+    if image_size is None:
+        image_size = base_spec.image_size
+    spec = SyntheticSpec(
+        base_spec.name, image_size, base_spec.num_channels, base_spec.num_classes
+    )
+    return builder(n, seed, image_size=image_size), spec

@@ -1,0 +1,77 @@
+"""Input transforms: normalization and light augmentation.
+
+The paper's defense includes input-range limiting ("we normalize all
+the inputs to the model", §IV-C); :func:`normalize_unit_range` is that
+operation as a reusable transform.  The augmentation helpers are
+standard training-time utilities for users adapting the zoo to harder
+data; they are deliberately NumPy-simple (shift + horizontal flip), not
+a full augmentation stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import Dataset
+
+__all__ = [
+    "normalize_unit_range",
+    "standardize",
+    "random_shift",
+    "random_horizontal_flip",
+]
+
+
+def normalize_unit_range(images: np.ndarray) -> np.ndarray:
+    """Clip images into [0, 1] (the paper's input-side limiting)."""
+    return np.clip(images, 0.0, 1.0)
+
+
+def standardize(
+    images: np.ndarray, mean: float | None = None, std: float | None = None
+) -> tuple[np.ndarray, float, float]:
+    """Zero-mean unit-variance standardization.
+
+    When ``mean``/``std`` are omitted they are computed from ``images``
+    (training set) and returned so the caller can apply the same affine
+    transform to the test set.
+    """
+    images = np.asarray(images)
+    mean = float(images.mean()) if mean is None else mean
+    std = float(images.std()) if std is None else std
+    if std <= 0:
+        raise ValueError(f"std must be positive, got {std}")
+    return (images - mean) / std, mean, std
+
+
+def random_shift(
+    dataset: Dataset, max_pixels: int, rng: np.random.Generator
+) -> Dataset:
+    """Shift each image by up to ±max_pixels in both axes (zero fill)."""
+    if max_pixels < 0:
+        raise ValueError(f"max_pixels must be >= 0, got {max_pixels}")
+    if max_pixels == 0:
+        return dataset
+    images = np.zeros_like(dataset.images)
+    n, _, h, w = dataset.images.shape
+    shifts = rng.integers(-max_pixels, max_pixels + 1, size=(n, 2))
+    for i, (dy, dx) in enumerate(shifts):
+        src = dataset.images[i]
+        y_src = slice(max(0, -dy), min(h, h - dy))
+        x_src = slice(max(0, -dx), min(w, w - dx))
+        y_dst = slice(max(0, dy), min(h, h + dy))
+        x_dst = slice(max(0, dx), min(w, w + dx))
+        images[i, :, y_dst, x_dst] = src[:, y_src, x_src]
+    return Dataset(images, dataset.labels.copy())
+
+
+def random_horizontal_flip(
+    dataset: Dataset, probability: float, rng: np.random.Generator
+) -> Dataset:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    images = dataset.images.copy()
+    flip = rng.random(len(dataset)) < probability
+    images[flip] = images[flip][:, :, :, ::-1]
+    return Dataset(images, dataset.labels.copy())

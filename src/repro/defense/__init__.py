@@ -1,0 +1,57 @@
+"""The paper's defense: federated pruning + fine-tuning + weight adjustment."""
+
+from .activation import channel_count, mean_channel_activations
+from .diagnostics import (
+    channel_ablation_impact,
+    entanglement_report,
+    trigger_activation_gap,
+)
+from .adjust_weights import (
+    AdjustResult,
+    adjust_extreme_weights,
+    clip_inputs,
+    zero_extreme_weights,
+)
+from .fine_tune import FineTuneResult, federated_fine_tune
+from .pipeline import DefenseConfig, DefensePipeline, DefenseReport
+from .pruning import (
+    PruningResult,
+    client_feedback_accuracy,
+    prune_by_sequence,
+    server_validation_accuracy,
+)
+from .ranking import (
+    aggregate_rankings,
+    aggregate_votes,
+    local_prune_votes,
+    local_ranking,
+    mvp_prune_order,
+    rap_prune_order,
+)
+
+__all__ = [
+    "channel_count",
+    "channel_ablation_impact",
+    "entanglement_report",
+    "trigger_activation_gap",
+    "mean_channel_activations",
+    "AdjustResult",
+    "adjust_extreme_weights",
+    "clip_inputs",
+    "zero_extreme_weights",
+    "FineTuneResult",
+    "federated_fine_tune",
+    "DefenseConfig",
+    "DefensePipeline",
+    "DefenseReport",
+    "PruningResult",
+    "client_feedback_accuracy",
+    "prune_by_sequence",
+    "server_validation_accuracy",
+    "aggregate_rankings",
+    "aggregate_votes",
+    "local_prune_votes",
+    "local_ranking",
+    "mvp_prune_order",
+    "rap_prune_order",
+]

@@ -1,0 +1,81 @@
+"""Per-channel activation profiling (the "dormant level" of neurons).
+
+The federated pruning protocol treats each *output channel* of the
+target convolutional layer as one "neuron" (the standard convention of
+the fine-pruning literature the paper builds on).  A channel's activity
+on a dataset is the mean of its post-layer activation over all samples
+and spatial positions; dormant channels have low means and are pruned
+first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import DataLoader, Dataset
+from ..nn.layers import Conv2d, Linear, Sequential
+from ..nn.module import Module
+
+__all__ = ["mean_channel_activations", "channel_count"]
+
+
+def channel_count(layer: Module) -> int:
+    """Number of prunable units ("neurons") in a layer."""
+    if isinstance(layer, Conv2d):
+        return layer.out_channels
+    if isinstance(layer, Linear):
+        return layer.out_features
+    raise TypeError(f"layer {type(layer).__name__} has no prunable channels")
+
+
+def mean_channel_activations(
+    model: Sequential,
+    layer: Conv2d | Linear,
+    dataset: Dataset,
+    batch_size: int = 64,
+    post_relu: bool = True,
+) -> np.ndarray:
+    """Mean activation of each channel of ``layer`` over ``dataset``.
+
+    Runs the model in eval mode with activation recording enabled on the
+    target layer; the recorded outputs are averaged over batch and
+    spatial dimensions.  The paper defines a neuron's activation as the
+    *post-nonlinearity* value ``a_i = phi(...)``, so by default the
+    recorded pre-activation outputs are rectified before averaging
+    (``post_relu``); pass ``False`` to profile raw layer outputs.
+    Restores the model's training mode and the layer's recording state
+    before returning.
+
+    Returns a ``(channels,)`` float array.
+    """
+    if len(dataset) == 0:
+        return np.zeros(channel_count(layer), dtype=np.float64)
+
+    was_training = model.training
+    model.eval()
+    layer.record_activations(True)
+    try:
+        totals = np.zeros(channel_count(layer), dtype=np.float64)
+        seen = 0
+        loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
+        for images, _ in loader:
+            model(images)
+            recorded = layer.last_activation
+            if recorded is None:
+                raise RuntimeError(
+                    "target layer produced no activation; is it part of the model?"
+                )
+            if post_relu:
+                recorded = np.maximum(recorded, 0.0)
+            if recorded.ndim == 4:  # conv: (n, c, h, w) -> per-channel mean
+                totals += recorded.mean(axis=(2, 3)).sum(axis=0)
+            else:  # linear: (n, c)
+                totals += recorded.sum(axis=0)
+            seen += images.shape[0]
+        return totals / seen
+    finally:
+        layer.record_activations(False)
+        if was_training:
+            model.train()
+        else:
+            model.eval()

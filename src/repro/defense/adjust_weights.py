@@ -1,0 +1,166 @@
+"""Adjusting extreme weights (Algorithm 1, "Adjusting Weights").
+
+After pruning, the channels supporting correct labels outnumber any
+surviving backdoor channels, so a backdoor can only flip predictions
+through *extreme* weight values (paper §IV-C).  The server therefore
+zeroes every weight in the last convolutional layer further than
+``delta * sigma`` from the layer mean, sweeping ``delta`` downward from a
+large value until validation accuracy would fall below a floor, and
+keeps the last configuration that stayed above it.
+
+Input-side limiting is the other half of the argument: inputs are
+normalized/clipped to [0, 1] (``clip_inputs``), which our synthetic
+data satisfies by construction but the utility enforces for arbitrary
+callers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Sequential
+
+__all__ = ["AdjustResult", "zero_extreme_weights", "adjust_extreme_weights", "clip_inputs"]
+
+
+class AdjustResult:
+    """Outcome of the extreme-weight adjustment sweep.
+
+    Attributes
+    ----------
+    final_delta:
+        The smallest accepted delta (weights outside mu ± delta sigma
+        are zero in the returned model).
+    num_zeroed:
+        Count of weights set to zero at the accepted delta.
+    trace:
+        List of ``(delta, num_zeroed, accuracy)`` tuples for every delta
+        tried, including the rejected final one (Fig 6's x/y series).
+    baseline_accuracy:
+        Accuracy before any adjustment.
+    """
+
+    def __init__(
+        self,
+        final_delta: float,
+        num_zeroed: int,
+        trace: list[tuple[float, int, float]],
+        baseline_accuracy: float,
+    ) -> None:
+        self.final_delta = final_delta
+        self.num_zeroed = num_zeroed
+        self.trace = trace
+        self.baseline_accuracy = baseline_accuracy
+
+    def __repr__(self) -> str:
+        return (
+            f"AdjustResult(delta={self.final_delta}, "
+            f"zeroed={self.num_zeroed}, steps={len(self.trace)})"
+        )
+
+
+def _layer_weight_stats(layer: Conv2d | Linear) -> tuple[float, float]:
+    """Mean and std of a layer's *live* weights.
+
+    Pruned (masked) channels hold structural zeros that would drag the
+    mean toward zero and shrink sigma, so they are excluded.
+    """
+    live = layer.weight.data[layer.out_mask]
+    if live.size == 0:
+        raise ValueError("layer has no live channels left")
+    return float(live.mean()), float(live.std())
+
+
+def zero_extreme_weights(
+    layer: Conv2d | Linear, delta: float, mu: float | None = None, sigma: float | None = None
+) -> int:
+    """Zero weights outside ``mu ± delta sigma``; returns #zeroed now.
+
+    ``mu``/``sigma`` default to the layer's live-weight statistics.
+    They are accepted as arguments so a sweep can hold the thresholds'
+    reference distribution fixed (recomputing after each cut would let
+    the shrinking std chase the clipped distribution).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be positive, got {delta}")
+    if mu is None or sigma is None:
+        mu, sigma = _layer_weight_stats(layer)
+    weights = layer.weight.data
+    extreme = (weights < mu - delta * sigma) | (weights > mu + delta * sigma)
+    extreme &= weights != 0.0
+    weights[extreme] = 0.0
+    return int(extreme.sum())
+
+
+def adjust_extreme_weights(
+    model: Sequential,
+    accuracy_fn: Callable[[Sequential], float],
+    accuracy_floor_drop: float = 0.03,
+    delta_start: float = 5.0,
+    delta_step: float = 0.25,
+    delta_min: float = 0.5,
+    layer: Conv2d | Linear | None = None,
+) -> AdjustResult:
+    """Sweep delta downward, zeroing extremes, until accuracy would drop.
+
+    Parameters
+    ----------
+    model:
+        The (typically pruned and fine-tuned) global model; modified in
+        place.
+    accuracy_fn:
+        Validation-accuracy oracle.
+    accuracy_floor_drop:
+        Stop before accuracy falls more than this below the pre-sweep
+        baseline (``threshold_adjusting`` in Algorithm 1).
+    delta_start, delta_step, delta_min:
+        The sweep schedule: delta starts large and decreases by
+        ``delta_step`` (epsilon in Algorithm 1) down to ``delta_min``.
+    layer:
+        Target layer; defaults to the model's last convolutional layer
+        as in the paper.
+
+    The model is rolled back to the last accepted delta when a step
+    violates the floor.
+    """
+    if layer is None:
+        layer = model.last_conv()
+    if delta_start < delta_min:
+        raise ValueError(
+            f"delta_start {delta_start} below delta_min {delta_min}"
+        )
+    if delta_step <= 0:
+        raise ValueError(f"delta_step must be positive, got {delta_step}")
+
+    baseline = accuracy_fn(model)
+    floor = baseline - accuracy_floor_drop
+    mu, sigma = _layer_weight_stats(layer)
+
+    accepted_weights = layer.weight.data.copy()
+    accepted_delta = float("inf")
+    total_zeroed = 0
+    trace: list[tuple[float, int, float]] = []
+
+    delta = delta_start
+    while delta >= delta_min - 1e-12:
+        zeroed_now = zero_extreme_weights(layer, delta, mu, sigma)
+        accuracy = accuracy_fn(model)
+        trace.append((delta, total_zeroed + zeroed_now, accuracy))
+        if accuracy < floor:
+            layer.weight.data[...] = accepted_weights  # roll back this step
+            break
+        total_zeroed += zeroed_now
+        accepted_weights = layer.weight.data.copy()
+        accepted_delta = delta
+        delta -= delta_step
+
+    return AdjustResult(accepted_delta, total_zeroed, trace, baseline)
+
+
+def clip_inputs(images: np.ndarray, low: float = 0.0, high: float = 1.0) -> np.ndarray:
+    """Limit input ranges (the paper's input-side normalization)."""
+    if low >= high:
+        raise ValueError(f"low {low} must be below high {high}")
+    return np.clip(images, low, high)

@@ -1,0 +1,151 @@
+"""Oracle diagnostics for backdoor localization.
+
+These tools answer "*where does the backdoor live?*" with ground-truth
+access to the trigger — something a real defender does not have, but a
+researcher evaluating a defense does.  They were used to analyze why
+neuron-level cleansing succeeds or fails on this substrate (see
+EXPERIMENTS.md), and are exposed as a first-class API because they are
+generally useful when studying pruning-style defenses:
+
+* :func:`channel_ablation_impact` — knock out each channel of a layer
+  individually and measure the effect on test accuracy and attack
+  success rate.  Channels whose ablation collapses ASR are the backdoor
+  carriers; the TA cost of ablating them measures *entanglement* with
+  the benign task.
+* :func:`trigger_activation_gap` — per-channel activation difference
+  between triggered and clean victim-class inputs.  Positive gaps mean
+  the trigger *excites* the channel (the classic "backdoor neuron"
+  picture); negative gaps mean the trigger *suppresses* benign evidence
+  — a mechanism that neuron pruning and extreme-weight clipping cannot
+  remove.
+* :func:`entanglement_report` — combines both into a summary of how
+  separable the backdoor circuit is from the benign circuit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.poison import BackdoorTask
+from ..data.dataset import Dataset
+from ..eval.metrics import attack_success_rate, test_accuracy
+from ..nn.layers import Conv2d, Linear, Sequential
+from .activation import mean_channel_activations
+
+__all__ = [
+    "channel_ablation_impact",
+    "trigger_activation_gap",
+    "entanglement_report",
+]
+
+
+def channel_ablation_impact(
+    model: Sequential,
+    layer: Conv2d | Linear,
+    task: BackdoorTask,
+    test: Dataset,
+) -> list[dict]:
+    """Per-channel single-ablation impact on TA and ASR.
+
+    Temporarily masks each live channel of ``layer`` in turn and
+    measures (TA, AA) of the resulting model; the layer is restored
+    afterwards.  Returns one dict per channel:
+    ``{"channel", "ta", "aa", "ta_drop", "aa_drop"}``, where drops are
+    relative to the unablated model.
+    """
+    base_ta = test_accuracy(model, test)
+    base_aa = attack_success_rate(model, task, test)
+    rows = []
+    saved_mask = layer.out_mask.copy()
+    saved_weight = layer.weight.data.copy()
+    saved_bias = layer.bias.data.copy()
+    try:
+        for channel in range(layer.out_mask.size):
+            if not saved_mask[channel]:
+                continue
+            layer.out_mask[channel] = False
+            ta = test_accuracy(model, test)
+            aa = attack_success_rate(model, task, test)
+            layer.out_mask[channel] = True
+            rows.append(
+                {
+                    "channel": channel,
+                    "ta": ta,
+                    "aa": aa,
+                    "ta_drop": base_ta - ta,
+                    "aa_drop": base_aa - aa,
+                }
+            )
+    finally:
+        layer.out_mask[...] = saved_mask
+        layer.weight.data[...] = saved_weight
+        layer.bias.data[...] = saved_bias
+    return rows
+
+
+def trigger_activation_gap(
+    model: Sequential,
+    layer: Conv2d | Linear,
+    task: BackdoorTask,
+    test: Dataset,
+) -> np.ndarray:
+    """Mean per-channel activation change caused by stamping the trigger.
+
+    Evaluated on victim-class test images (the paper's attack source
+    class).  Entry i > 0: the trigger excites channel i; entry i < 0:
+    it suppresses channel i.
+    """
+    victims = test.with_label(task.victim_label)
+    if len(victims) == 0:
+        raise ValueError(
+            f"test set holds no samples of victim label {task.victim_label}"
+        )
+    triggered = Dataset(task.trigger.apply(victims.images), victims.labels)
+    clean_act = mean_channel_activations(model, layer, victims)
+    trig_act = mean_channel_activations(model, layer, triggered)
+    return trig_act - clean_act
+
+
+def entanglement_report(
+    model: Sequential,
+    layer: Conv2d | Linear,
+    task: BackdoorTask,
+    test: Dataset,
+    aa_collapse_threshold: float = 0.5,
+) -> dict:
+    """Summarize how separable the backdoor circuit is.
+
+    Returns a dict with:
+
+    * ``carrier_channels`` — channels whose single ablation drops AA by
+      at least ``aa_collapse_threshold``;
+    * ``carrier_ta_cost`` — the *best* (lowest) TA drop among them, i.e.
+      the cheapest single-channel surgery that meaningfully hurts the
+      backdoor (inf when no carrier exists);
+    * ``suppression_share`` — fraction of total |activation gap| carried
+      by *negative* gaps: near 0 means a classically excitatory backdoor
+      (pruning/AW have a target), near 1 means suppression-coded;
+    * ``dormancy_rank_of_top_gap`` — clean-activation dormancy rank of
+      the largest-|gap| channel (0 = most dormant).  The paper's
+      mechanism expects backdoor channels near rank 0.
+    """
+    impact = channel_ablation_impact(model, layer, task, test)
+    carriers = [r for r in impact if r["aa_drop"] >= aa_collapse_threshold]
+    carrier_ta_cost = min((r["ta_drop"] for r in carriers), default=float("inf"))
+
+    gap = trigger_activation_gap(model, layer, task, test)
+    total = np.abs(gap).sum()
+    suppression_share = float(np.abs(gap[gap < 0]).sum() / total) if total > 0 else 0.0
+
+    clean = mean_channel_activations(model, layer, test)
+    dormancy_order = np.argsort(clean)  # ascending: most dormant first
+    top_gap_channel = int(np.argmax(np.abs(gap)))
+    dormancy_rank = int(np.flatnonzero(dormancy_order == top_gap_channel)[0])
+
+    return {
+        "carrier_channels": [r["channel"] for r in carriers],
+        "carrier_ta_cost": carrier_ta_cost,
+        "suppression_share": suppression_share,
+        "dormancy_rank_of_top_gap": dormancy_rank,
+        "num_channels": int(layer.out_mask.size),
+    }

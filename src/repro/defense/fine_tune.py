@@ -1,0 +1,115 @@
+"""Federated fine-tuning of the pruned model (Algorithm 1, "Fine-tuning").
+
+The server sends the pruned model back to the clients for a few more
+FedAvg rounds to recover benign accuracy.  Attackers participate (the
+server cannot exclude them), so the attack success rate climbs back up
+during this stage — the subsequent adjust-extreme-weights pass is what
+knocks it back down.
+
+Pruned channels stay dead throughout: their ``out_mask`` zeroes both the
+forward contribution and the gradients, so no amount of fine-tuning
+resurrects them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..fl.aggregation import fedavg
+from ..nn.layers import Sequential
+
+__all__ = ["FineTuneResult", "federated_fine_tune"]
+
+
+class FineTuneResult:
+    """Outcome of the fine-tuning stage.
+
+    Attributes
+    ----------
+    rounds_run:
+        Number of FedAvg rounds executed.
+    accuracy_trace:
+        Validation accuracy after each round.
+    improved:
+        Whether the final accuracy beats the pre-fine-tuning baseline.
+    """
+
+    def __init__(
+        self, rounds_run: int, accuracy_trace: list[float], baseline_accuracy: float
+    ) -> None:
+        self.rounds_run = rounds_run
+        self.accuracy_trace = accuracy_trace
+        self.baseline_accuracy = baseline_accuracy
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy_trace[-1] if self.accuracy_trace else self.baseline_accuracy
+
+    @property
+    def improved(self) -> bool:
+        return self.final_accuracy > self.baseline_accuracy
+
+    def __repr__(self) -> str:
+        return (
+            f"FineTuneResult(rounds={self.rounds_run}, "
+            f"baseline={self.baseline_accuracy:.3f}, "
+            f"final={self.final_accuracy:.3f})"
+        )
+
+
+def federated_fine_tune(
+    model: Sequential,
+    clients: Sequence,
+    accuracy_fn: Callable[[Sequential], float],
+    max_rounds: int = 10,
+    patience: int = 3,
+    min_improvement: float = 1e-3,
+) -> FineTuneResult:
+    """Run FedAvg rounds on the pruned model until accuracy plateaus.
+
+    Stopping rule: stop after ``max_rounds``, or earlier once the best
+    accuracy has not improved by ``min_improvement`` for ``patience``
+    consecutive rounds (the paper stops "when the accuracy does not
+    improve any further"; about ten rounds in their experiments).  The
+    model is left at the *best* round's parameters, not the last.
+    """
+    if max_rounds < 1:
+        raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+    if patience < 1:
+        raise ValueError(f"patience must be >= 1, got {patience}")
+    if not clients:
+        raise ValueError("need at least one client to fine-tune")
+
+    baseline = accuracy_fn(model)
+    best_accuracy = baseline
+    best_params = model.flat_parameters()
+    stale_rounds = 0
+    trace: list[float] = []
+
+    for round_index in range(max_rounds):
+        global_params = model.flat_parameters()
+        deltas = np.stack(
+            [client.local_update(model, global_params) for client in clients]
+        )
+        model.load_flat_parameters(global_params + fedavg(deltas))
+        # masks survive load_flat_parameters (they live on the layer, not
+        # in the parameter vector), but zero the dead weights defensively:
+        # an attacker's update could write into masked slots.
+        for conv in model.conv_layers():
+            conv.apply_mask()
+
+        accuracy = accuracy_fn(model)
+        trace.append(accuracy)
+        if accuracy > best_accuracy + min_improvement:
+            best_accuracy = accuracy
+            best_params = model.flat_parameters()
+            stale_rounds = 0
+        else:
+            stale_rounds += 1
+            if stale_rounds >= patience:
+                break
+
+    model.load_flat_parameters(best_params)
+    return FineTuneResult(len(trace), trace, baseline)

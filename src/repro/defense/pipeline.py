@@ -1,0 +1,196 @@
+"""The full defense pipeline: FP -> (FT) -> AW, with per-stage timing.
+
+This is the paper's complete post-training cleansing procedure
+(Algorithm 1), orchestrated server-side:
+
+1. **Federated Pruning** — collect ranking (RAP) or vote (MVP) reports
+   from every client, aggregate into a global pruning sequence, and
+   prune until validation accuracy would drop.
+2. **Fine-tuning** (optional, the paper's "All" mode) — a few more
+   FedAvg rounds on the pruned model to recover benign accuracy.
+3. **Adjusting extreme Weights** — sweep the delta threshold downward,
+   zeroing last-conv weights outside mu ± delta sigma.
+
+Per-stage wall-clock times are recorded for the Fig 9 energy study.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.layers import Conv2d, Linear, Sequential
+from .adjust_weights import AdjustResult, adjust_extreme_weights
+from .fine_tune import FineTuneResult, federated_fine_tune
+from .pruning import PruningResult, prune_by_sequence
+from .ranking import mvp_prune_order, rap_prune_order
+
+__all__ = ["DefenseConfig", "DefenseReport", "DefensePipeline"]
+
+
+class DefenseConfig:
+    """Hyper-parameters for the full pipeline.
+
+    Parameters
+    ----------
+    method:
+        "rap" or "mvp" — which federated pruning protocol to run.
+    prune_rate:
+        MVP vote budget (fraction of channels each client nominates);
+        the paper reports 30–70% works well.  Ignored by RAP.
+    accuracy_drop_threshold:
+        Pruning stops before validation accuracy falls more than this
+        below baseline (paper uses ~1%).
+    fine_tune:
+        Whether to run the optional fine-tuning stage ("All" mode).
+    fine_tune_rounds, fine_tune_patience:
+        Fine-tuning budget and early-stop patience.
+    aw_floor_drop, aw_delta_start, aw_delta_step, aw_delta_min:
+        Adjust-extreme-weights sweep schedule.
+    """
+
+    def __init__(
+        self,
+        method: str = "mvp",
+        prune_rate: float = 0.5,
+        accuracy_drop_threshold: float = 0.01,
+        max_prune_fraction: float = 0.9,
+        fine_tune: bool = True,
+        fine_tune_rounds: int = 10,
+        fine_tune_patience: int = 3,
+        aw_floor_drop: float = 0.03,
+        aw_delta_start: float = 5.0,
+        aw_delta_step: float = 0.25,
+        aw_delta_min: float = 0.5,
+    ) -> None:
+        if method not in ("rap", "mvp"):
+            raise ValueError(f"method must be 'rap' or 'mvp', got {method!r}")
+        self.method = method
+        self.prune_rate = prune_rate
+        self.accuracy_drop_threshold = accuracy_drop_threshold
+        self.max_prune_fraction = max_prune_fraction
+        self.fine_tune = fine_tune
+        self.fine_tune_rounds = fine_tune_rounds
+        self.fine_tune_patience = fine_tune_patience
+        self.aw_floor_drop = aw_floor_drop
+        self.aw_delta_start = aw_delta_start
+        self.aw_delta_step = aw_delta_step
+        self.aw_delta_min = aw_delta_min
+
+
+class DefenseReport:
+    """Everything the pipeline did, stage by stage."""
+
+    def __init__(
+        self,
+        pruning: PruningResult,
+        fine_tuning: FineTuneResult | None,
+        adjusting: AdjustResult,
+        stage_seconds: dict[str, float],
+    ) -> None:
+        self.pruning = pruning
+        self.fine_tuning = fine_tuning
+        self.adjusting = adjusting
+        self.stage_seconds = stage_seconds
+
+    def __repr__(self) -> str:
+        stages = ", ".join(f"{k}={v:.2f}s" for k, v in self.stage_seconds.items())
+        return (
+            f"DefenseReport(pruned={self.pruning.num_pruned}, "
+            f"delta={self.adjusting.final_delta}, {stages})"
+        )
+
+
+class DefensePipeline:
+    """Server-side orchestration of the full cleansing procedure.
+
+    Parameters
+    ----------
+    clients:
+        All participating clients (benign and, unknowingly, malicious).
+    accuracy_fn:
+        The server's validation-accuracy oracle.
+    config:
+        Pipeline hyper-parameters.
+    layer:
+        The pruning/adjustment target; defaults to the model's last
+        convolutional layer.
+    """
+
+    def __init__(
+        self,
+        clients: Sequence,
+        accuracy_fn: Callable[[Sequential], float],
+        config: DefenseConfig | None = None,
+        layer: Conv2d | Linear | None = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        self.clients = clients
+        self.accuracy_fn = accuracy_fn
+        self.config = config or DefenseConfig()
+        self.layer = layer
+
+    def _target_layer(self, model: Sequential) -> Conv2d | Linear:
+        return self.layer if self.layer is not None else model.last_conv()
+
+    def global_prune_order(self, model: Sequential) -> np.ndarray:
+        """Collect client reports and aggregate into a pruning sequence."""
+        layer = self._target_layer(model)
+        if self.config.method == "rap":
+            reports = np.stack(
+                [client.ranking_report(model, layer) for client in self.clients]
+            )
+            return rap_prune_order(reports)
+        reports = np.stack(
+            [
+                client.vote_report(model, layer, self.config.prune_rate)
+                for client in self.clients
+            ]
+        )
+        return mvp_prune_order(reports)
+
+    def run(self, model: Sequential) -> DefenseReport:
+        """Execute FP -> (FT) -> AW on ``model`` in place."""
+        config = self.config
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        order = self.global_prune_order(model)
+        pruning = prune_by_sequence(
+            model,
+            self._target_layer(model),
+            order,
+            self.accuracy_fn,
+            accuracy_drop_threshold=config.accuracy_drop_threshold,
+            max_prune_fraction=config.max_prune_fraction,
+        )
+        timings["pruning"] = time.perf_counter() - start
+
+        fine_tuning = None
+        if config.fine_tune:
+            start = time.perf_counter()
+            fine_tuning = federated_fine_tune(
+                model,
+                self.clients,
+                self.accuracy_fn,
+                max_rounds=config.fine_tune_rounds,
+                patience=config.fine_tune_patience,
+            )
+            timings["fine_tuning"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        adjusting = adjust_extreme_weights(
+            model,
+            self.accuracy_fn,
+            accuracy_floor_drop=config.aw_floor_drop,
+            delta_start=config.aw_delta_start,
+            delta_step=config.aw_delta_step,
+            delta_min=config.aw_delta_min,
+            layer=self._target_layer(model),
+        )
+        timings["adjusting"] = time.perf_counter() - start
+
+        return DefenseReport(pruning, fine_tuning, adjusting, timings)

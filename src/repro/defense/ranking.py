@@ -1,0 +1,116 @@
+"""Local reports and server-side aggregation for federated pruning.
+
+Two protocols from §IV-A of the paper:
+
+* **RAP (Rank Aggregation-based Pruning)** — each client reports its
+  channels ordered by decreasing activation; the server averages each
+  channel's rank *position* across clients and prunes the channels with
+  the worst (largest) average position first.
+* **MVP (Majority Voting-based Pruning)** — the server announces a
+  pruning rate ``p``; each client votes for its ``p * P_L`` least-active
+  channels; the server prunes in decreasing vote order.
+
+Both aggregate *order statistics* rather than raw activations, which is
+the paper's privacy/robustness argument: a minority of manipulated
+reports moves the aggregate far less than manipulated raw values would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "local_ranking",
+    "local_prune_votes",
+    "aggregate_rankings",
+    "aggregate_votes",
+    "rap_prune_order",
+    "mvp_prune_order",
+]
+
+
+def local_ranking(activations: np.ndarray) -> np.ndarray:
+    """Channel ids in decreasing-activation order (ties by channel id).
+
+    Position 0 holds the most active channel.  This is the RAP report a
+    client sends instead of its raw activations.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.ndim != 1:
+        raise ValueError(f"activations must be 1-D, got shape {activations.shape}")
+    # stable sort on negated values: decreasing activation, ties by index
+    return np.argsort(-activations, kind="stable")
+
+
+def local_prune_votes(activations: np.ndarray, prune_rate: float) -> np.ndarray:
+    """MVP report: 1 for the ``prune_rate`` fraction of least-active channels.
+
+    The returned 0/1 vector always sums to ``round(prune_rate * P_L)``,
+    which the server can verify as a budget check.
+    """
+    activations = np.asarray(activations, dtype=np.float64)
+    if activations.ndim != 1:
+        raise ValueError(f"activations must be 1-D, got shape {activations.shape}")
+    if not 0.0 < prune_rate < 1.0:
+        raise ValueError(f"prune_rate must be in (0, 1), got {prune_rate}")
+    budget = int(round(prune_rate * activations.size))
+    budget = max(1, min(budget, activations.size - 1))
+    votes = np.zeros(activations.size, dtype=np.int64)
+    ranking = local_ranking(activations)
+    votes[ranking[-budget:]] = 1  # least active channels get prune votes
+    return votes
+
+
+def aggregate_rankings(rankings: np.ndarray) -> np.ndarray:
+    """Mean rank *position* per channel (RAP's R_i).
+
+    ``rankings`` is ``(num_clients, channels)``, each row a permutation
+    of channel ids in decreasing-activation order.  Returns the average
+    position of each channel: small = consistently active.
+    """
+    rankings = np.asarray(rankings)
+    if rankings.ndim != 2:
+        raise ValueError(f"rankings must be 2-D, got shape {rankings.shape}")
+    num_clients, channels = rankings.shape
+    positions = np.empty_like(rankings, dtype=np.float64)
+    expected = np.arange(channels)
+    for row in range(num_clients):
+        if not np.array_equal(np.sort(rankings[row]), expected):
+            raise ValueError(f"row {row} is not a permutation of 0..{channels - 1}")
+        positions[row, rankings[row]] = expected
+    return positions.mean(axis=0)
+
+
+def aggregate_votes(votes: np.ndarray) -> np.ndarray:
+    """Mean prune-vote per channel (MVP's V_i).
+
+    ``votes`` is ``(num_clients, channels)`` of 0/1 prune votes; the
+    result is each channel's vote share in [0, 1].
+    """
+    votes = np.asarray(votes, dtype=np.float64)
+    if votes.ndim != 2:
+        raise ValueError(f"votes must be 2-D, got shape {votes.shape}")
+    if ((votes != 0) & (votes != 1)).any():
+        raise ValueError("votes must be 0/1")
+    return votes.mean(axis=0)
+
+
+def rap_prune_order(rankings: np.ndarray) -> np.ndarray:
+    """Global pruning sequence from RAP reports.
+
+    Channels sorted by decreasing mean rank position: the most dormant
+    channel (largest average position) is pruned first.
+    """
+    mean_positions = aggregate_rankings(rankings)
+    return np.argsort(-mean_positions, kind="stable")
+
+
+def mvp_prune_order(votes: np.ndarray) -> np.ndarray:
+    """Global pruning sequence from MVP reports.
+
+    Channels sorted by decreasing vote share; ties broken by channel id.
+    Channels with zero votes still appear (at the end) so the pruning
+    loop can continue past the voted set if accuracy allows.
+    """
+    shares = aggregate_votes(votes)
+    return np.argsort(-shares, kind="stable")

@@ -1,0 +1,15 @@
+"""Evaluation metrics, timers and table rendering."""
+
+from .metrics import attack_success_rate, predict, test_accuracy
+from .tables import TableResult, format_table, percent
+from .timers import StageTimer
+
+__all__ = [
+    "attack_success_rate",
+    "predict",
+    "test_accuracy",
+    "TableResult",
+    "format_table",
+    "percent",
+    "StageTimer",
+]

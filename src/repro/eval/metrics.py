@@ -1,0 +1,45 @@
+"""Evaluation metrics: test accuracy and attack success rate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.poison import BackdoorTask, backdoor_eval_set
+from ..data.dataset import DataLoader, Dataset
+from ..nn.layers import Sequential
+
+__all__ = ["test_accuracy", "attack_success_rate", "predict"]
+
+
+def predict(
+    model: Sequential, images: np.ndarray, batch_size: int = 256
+) -> np.ndarray:
+    """Predicted class labels, batched to bound memory."""
+    was_training = model.training
+    model.eval()
+    try:
+        predictions = []
+        for start in range(0, images.shape[0], batch_size):
+            logits = model(images[start : start + batch_size])
+            predictions.append(logits.argmax(axis=1))
+        return np.concatenate(predictions) if predictions else np.zeros(0, dtype=int)
+    finally:
+        if was_training:
+            model.train()
+
+
+def test_accuracy(model: Sequential, dataset: Dataset, batch_size: int = 256) -> float:
+    """Fraction of ``dataset`` classified correctly (TA in the paper)."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate accuracy on an empty dataset")
+    predictions = predict(model, dataset.images, batch_size)
+    return float((predictions == dataset.labels).mean())
+
+
+def attack_success_rate(
+    model: Sequential, task: BackdoorTask, test: Dataset, batch_size: int = 256
+) -> float:
+    """Fraction of triggered victim-class test images predicted as the
+    attack label (AA in the paper)."""
+    eval_set = backdoor_eval_set(test, task)
+    return test_accuracy(model, eval_set, batch_size)

@@ -1,0 +1,119 @@
+"""Plain-text table rendering for experiment outputs.
+
+The experiment harness prints rows matching the paper's tables; this
+module renders list-of-dict rows into aligned ASCII, with percentage
+formatting matching the paper's "98.3 / 99.7"-style cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table", "percent", "TableResult"]
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a 0..1 ratio as the paper's percentage style (e.g. 98.3)."""
+    return f"{100.0 * value:.{digits}f}"
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    ``columns`` fixes the ordering; by default the first row's key order
+    is used.  Missing cells render empty; floats render with 3 decimals.
+    """
+    if not rows:
+        return "(empty table)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    rendered = [[cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    divider = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(val.ljust(w) for val, w in zip(row, widths)) for row in rendered
+    )
+    return f"{header}\n{divider}\n{body}"
+
+
+class TableResult:
+    """A reproduced table/figure: id, rows, and summary statistics.
+
+    Experiments return these; benches assert on the summary, examples
+    and the CLI print ``str(result)``.
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        title: str,
+        rows: list[dict[str, Any]],
+        summary: dict[str, float] | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.rows = rows
+        self.summary = summary or {}
+        self.columns = list(columns) if columns else None
+
+    def __str__(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", ""]
+        parts.append(format_table(self.rows, self.columns))
+        if self.summary:
+            parts.append("")
+            parts.append("summary:")
+            for key, value in self.summary.items():
+                if isinstance(value, float):
+                    parts.append(f"  {key}: {value:.4f}")
+                else:
+                    parts.append(f"  {key}: {value}")
+        return "\n".join(parts)
+
+    def to_json(self) -> str:
+        """Serialize as JSON (numpy scalars coerced to Python types)."""
+        import json
+
+        def coerce(value: Any) -> Any:
+            if hasattr(value, "item"):
+                return value.item()
+            if isinstance(value, float) and value == float("inf"):
+                return "inf"
+            return value
+
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "rows": [
+                {key: coerce(val) for key, val in row.items()} for row in self.rows
+            ],
+            "summary": {key: coerce(val) for key, val in self.summary.items()},
+        }
+        return json.dumps(payload, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "TableResult":
+        """Inverse of :meth:`to_json`."""
+        import json
+
+        payload = json.loads(text)
+        return TableResult(
+            payload["experiment_id"],
+            payload["title"],
+            payload["rows"],
+            payload.get("summary"),
+        )

@@ -1,0 +1,50 @@
+"""Wall-clock stage timing for the Fig 9 energy/time study."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates named wall-clock durations.
+
+    Usage::
+
+        timer = StageTimer()
+        with timer.stage("training"):
+            ...
+        with timer.stage("pruning"):
+            ...
+        timer.seconds  # {"training": ..., "pruning": ...}
+    """
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+
+    def stage(self, name: str) -> "_StageContext":
+        return _StageContext(self, name)
+
+    def add(self, name: str, duration: float) -> None:
+        """Merge an externally-measured duration into the totals."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        self.seconds[name] = self.seconds.get(name, 0.0) + duration
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class _StageContext:
+    def __init__(self, timer: StageTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_StageContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)

@@ -1,0 +1,140 @@
+"""Ablation studies of the design choices DESIGN.md §6 calls out.
+
+These are extensions beyond the paper's own tables:
+
+* :func:`prune_rate_sweep` — MVP's vote budget p (the paper says
+  30–70% "performs well"; this measures the curve).
+* :func:`gamma_sweep` — attack amplification vs attack persistence and
+  benign-accuracy damage.
+* :func:`clipping_defense` — the CRFL-style norm-clipping *training-
+  phase* defense vs the model replacement attack, as a composition /
+  comparison point for the paper's post-training pipeline.
+* :func:`backdoor_localization` — the oracle entanglement diagnostic
+  (see :mod:`repro.defense.diagnostics`) run on a trained backdoored
+  model; quantifies how far the substrate's backdoors deviate from the
+  "dormant backdoor neuron" picture the defense assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defense.diagnostics import entanglement_report
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..defense.pruning import prune_by_sequence
+from ..eval.tables import TableResult
+from ..fl.clipping import clipped_fedavg
+from ..fl.server import FederatedServer
+from .common import _build_architecture, build_setup, clone_model
+from .scale import ExperimentScale
+
+__all__ = [
+    "prune_rate_sweep",
+    "gamma_sweep",
+    "clipping_defense",
+    "backdoor_localization",
+]
+
+
+def prune_rate_sweep(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """MVP vote budget p vs pruned count, TA and AA."""
+    rates = [0.1, 0.3, 0.5, 0.7] if scale.name != "smoke" else [0.3, 0.7]
+    setup = build_setup("mnist", scale, seed=seed)
+    rows = []
+    for rate in rates:
+        config = DefenseConfig(method="mvp", prune_rate=rate, fine_tune=False)
+        pipeline = DefensePipeline(setup.clients, setup.accuracy_fn(), config)
+        model = clone_model(setup.model)
+        order = pipeline.global_prune_order(model)
+        result = prune_by_sequence(
+            model,
+            model.last_conv(),
+            order,
+            setup.accuracy_fn(),
+            accuracy_drop_threshold=config.accuracy_drop_threshold,
+        )
+        ta, aa = setup.metrics(model)
+        rows.append(
+            {"prune_rate": rate, "pruned": result.num_pruned, "TA": ta, "AA": aa}
+        )
+    summary = {"max_pruned": float(max(r["pruned"] for r in rows))}
+    return TableResult("ablation_prune_rate", "MVP prune-rate sweep", rows, summary)
+
+
+def gamma_sweep(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Model-replacement amplification gamma vs attack outcome."""
+    gammas = [1.0, 2.0, 4.0] if scale.name != "smoke" else [1.0, 3.0]
+    rows = []
+    for i, gamma in enumerate(gammas):
+        setup = build_setup("mnist", scale, seed=seed, gamma=gamma)
+        ta, aa = setup.metrics()
+        rows.append({"gamma": gamma, "TA": ta, "AA": aa})
+    summary = {
+        "aa_at_min_gamma": rows[0]["AA"],
+        "aa_at_max_gamma": rows[-1]["AA"],
+    }
+    return TableResult("ablation_gamma", "Amplification gamma sweep", rows, summary)
+
+
+def clipping_defense(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Norm-clipped FedAvg vs plain FedAvg under the same attack."""
+    setup = build_setup("mnist", scale, seed=seed, rounds=1)
+
+    class Spec:
+        num_channels = setup.test.num_channels
+        image_size = setup.test.image_size
+        num_classes = setup.test.num_classes
+
+    rows = []
+    variants = {
+        "fedavg": None,
+        "clipped": clipped_fedavg(),
+        "clipped+noise": clipped_fedavg(
+            noise_std=1e-3, rng=np.random.default_rng(seed + 9)
+        ),
+    }
+    for name, rule in variants.items():
+        model = _build_architecture(
+            "mnist", Spec(), scale, np.random.default_rng(seed + 1), None
+        )
+        kwargs = {} if rule is None else {"aggregate": rule}
+        server = FederatedServer(
+            model, setup.clients, setup.test, backdoor_task=setup.eval_task, **kwargs
+        )
+        final = server.train(scale.rounds_for("mnist")).final
+        rows.append({"rule": name, "TA": final.test_acc, "AA": final.attack_acc})
+    summary = {
+        "fedavg_AA": rows[0]["AA"],
+        "clipped_AA": rows[1]["AA"],
+    }
+    return TableResult(
+        "ablation_clipping", "Norm-clipping training-phase defense", rows, summary
+    )
+
+
+def backdoor_localization(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Oracle entanglement diagnostic of a trained backdoored model."""
+    setup = build_setup("mnist", scale, seed=seed)
+    report = entanglement_report(
+        setup.model, setup.model.last_conv(), setup.eval_task, setup.test
+    )
+    ta, aa = setup.metrics()
+    rows = [
+        {
+            "TA": ta,
+            "AA": aa,
+            "carriers": len(report["carrier_channels"]),
+            "carrier_ta_cost": report["carrier_ta_cost"],
+            "suppression_share": report["suppression_share"],
+            "top_gap_dormancy_rank": report["dormancy_rank_of_top_gap"],
+            "channels": report["num_channels"],
+        }
+    ]
+    summary = {
+        "suppression_share": report["suppression_share"],
+        "dormancy_rank_fraction": report["dormancy_rank_of_top_gap"]
+        / max(report["num_channels"] - 1, 1),
+    }
+    return TableResult(
+        "ablation_localization", "Backdoor localization oracle", rows, summary
+    )

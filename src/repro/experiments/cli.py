@@ -1,0 +1,66 @@
+"""Command-line runner for the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.cli table1 --scale bench
+    python -m repro.experiments.cli all --scale smoke --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .registry import EXPERIMENTS, run_experiment
+from .scale import get_scale
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce tables and figures from Wu et al., ICDCS 2022",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all'; one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--scale",
+        default="bench",
+        choices=["smoke", "bench", "paper"],
+        help="experiment scale preset (default: bench)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="also write each result as <id>.json into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    for experiment_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, scale, args.seed)
+        elapsed = time.perf_counter() - start
+        print(result)
+        print(f"\n[{experiment_id} finished in {elapsed:.1f}s at scale "
+              f"{scale.name!r}]\n")
+        if args.json_dir is not None:
+            import os
+
+            os.makedirs(args.json_dir, exist_ok=True)
+            path = os.path.join(args.json_dir, f"{experiment_id}.json")
+            with open(path, "w") as handle:
+                handle.write(result.to_json())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Fig 5 — TA and AA as neurons are pruned one by one, RAP vs MVP.
+
+For two attack targets (9->0 and 9->2 in the paper), prune along the
+global sequence without a stopping rule and record TA/AA after every
+prune.  Shape to reproduce: dozens of redundant neurons prune with no
+TA cost; for some targets AA collapses before TA does (defense wins),
+for others it does not (motivating AW).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..eval.tables import TableResult
+from .common import build_setup, clone_model
+from .scale import ExperimentScale
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig5"
+TITLE = "Pruning curves: TA/AA vs #pruned, RAP vs MVP"
+
+
+def _curve(setup, method: str, max_pruned: int) -> list[dict]:
+    """Prune along the global sequence, recording metrics per step."""
+    config = DefenseConfig(method=method, fine_tune=False)
+    pipeline = DefensePipeline(setup.clients, setup.accuracy_fn(), config)
+    model = clone_model(setup.model)
+    layer = model.last_conv()
+    order = pipeline.global_prune_order(model)
+
+    points = []
+    ta, aa = setup.metrics(model)
+    points.append({"method": method, "num_pruned": 0, "TA": ta, "AA": aa})
+    for count, channel in enumerate(order[:max_pruned], start=1):
+        layer.out_mask[channel] = False
+        layer.apply_mask()
+        ta, aa = setup.metrics(model)
+        points.append({"method": method, "num_pruned": count, "TA": ta, "AA": aa})
+    return points
+
+
+def targets_for(scale: ExperimentScale) -> list[int]:
+    if scale.name == "smoke":
+        return [0]
+    return [0, 2]
+
+
+def run(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Reproduce Fig 5 at the given scale."""
+    rows = []
+    for i, attack_label in enumerate(targets_for(scale)):
+        setup = build_setup(
+            "mnist", scale, victim_label=9, attack_label=attack_label, seed=seed + i
+        )
+        layer_channels = setup.model.last_conv().out_mask.size
+        max_pruned = max(1, int(0.9 * layer_channels))
+        for method in ("rap", "mvp"):
+            for point in _curve(setup, method, max_pruned):
+                rows.append({"target": attack_label, **point})
+
+    # redundancy: how many prunes before TA drops > 1% from its start
+    summary = {}
+    for method in ("rap", "mvp"):
+        for target in targets_for(scale):
+            series = [
+                r for r in rows if r["method"] == method and r["target"] == target
+            ]
+            baseline = series[0]["TA"]
+            safe = 0
+            for point in series[1:]:
+                if point["TA"] < baseline - 0.01:
+                    break
+                safe = point["num_pruned"]
+            summary[f"safe_prunes_{method}_t{target}"] = safe
+    return TableResult(EXPERIMENT_ID, TITLE, rows, summary)

@@ -1,0 +1,74 @@
+"""Fig 6 — TA and AA during the adjust-extreme-weights delta sweep.
+
+Starting from the *pruned* model, sweep delta from large to small and
+record TA, AA and cumulative zeroed-weight count at each step.  Shape
+to reproduce: AA falls sharply while TA holds, until a small delta
+finally starts costing TA — the basis for the stopping criterion.
+delta = inf (first point) is the unadjusted model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defense.adjust_weights import zero_extreme_weights
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..defense.pruning import prune_by_sequence
+from ..eval.tables import TableResult
+from .common import build_setup, clone_model
+from .scale import ExperimentScale
+
+__all__ = ["run", "targets_for"]
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Adjusting extreme weights: TA/AA vs delta"
+
+DELTAS = [4.0, 3.5, 3.0, 2.5, 2.0, 1.75, 1.5, 1.25, 1.0, 0.75, 0.5]
+
+
+def targets_for(scale: ExperimentScale) -> list[int]:
+    if scale.name == "smoke":
+        return [0]
+    return [0, 2]
+
+
+def run(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Reproduce Fig 6 at the given scale."""
+    rows = []
+    summary = {}
+    for i, attack_label in enumerate(targets_for(scale)):
+        setup = build_setup(
+            "mnist", scale, victim_label=9, attack_label=attack_label, seed=seed + i
+        )
+        config = DefenseConfig(method="mvp", fine_tune=False)
+        pipeline = DefensePipeline(setup.clients, setup.accuracy_fn(), config)
+        model = clone_model(setup.model)
+        order = pipeline.global_prune_order(model)
+        prune_by_sequence(
+            model,
+            model.last_conv(),
+            order,
+            setup.accuracy_fn(),
+            accuracy_drop_threshold=config.accuracy_drop_threshold,
+        )
+
+        layer = model.last_conv()
+        live = layer.weight.data[layer.out_mask]
+        mu, sigma = float(live.mean()), float(live.std())
+
+        ta, aa = setup.metrics(model)
+        rows.append(
+            {"target": attack_label, "delta": float("inf"), "zeroed": 0, "TA": ta, "AA": aa}
+        )
+        total = 0
+        for delta in DELTAS:
+            total += zero_extreme_weights(layer, delta, mu, sigma)
+            ta, aa = setup.metrics(model)
+            rows.append(
+                {"target": attack_label, "delta": delta, "zeroed": total, "TA": ta, "AA": aa}
+            )
+        series = [r for r in rows if r["target"] == attack_label]
+        summary[f"start_AA_t{attack_label}"] = series[0]["AA"]
+        summary[f"min_AA_t{attack_label}"] = float(min(r["AA"] for r in series))
+        summary[f"final_TA_t{attack_label}"] = series[-1]["TA"]
+    return TableResult(EXPERIMENT_ID, TITLE, rows, summary)

@@ -1,0 +1,83 @@
+"""Fig 7 — defense under random client selection (50-client population).
+
+50 clients, 10% attackers; each configuration samples a different
+number of clients per round (5/10/15/20/25).  After training, the AW
+sweep runs and TA/AA are recorded along the delta schedule.  Shape to
+reproduce: curves behave alike across sampling sizes — the defense is
+insensitive to the client-sampling regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..defense.adjust_weights import zero_extreme_weights
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..defense.pruning import prune_by_sequence
+from ..eval.tables import TableResult
+from .common import build_setup, clone_model
+from .scale import ExperimentScale
+
+__all__ = ["sampling_sizes_for", "run"]
+
+EXPERIMENT_ID = "fig7"
+TITLE = "Defense with randomly selected clients (50-client population)"
+
+_POPULATION = 50
+_ATTACKER_FRACTION = 0.1
+DELTAS = [4.0, 3.0, 2.0, 1.5, 1.0]
+
+
+def sampling_sizes_for(scale: ExperimentScale) -> list[int]:
+    if scale.name == "smoke":
+        return [5]
+    if scale.name == "bench":
+        return [5, 15, 25]
+    return [5, 10, 15, 20, 25]
+
+
+def run(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Reproduce Fig 7 at the given scale."""
+    population = _POPULATION if scale.name != "smoke" else 10
+    num_attackers = max(1, int(round(population * _ATTACKER_FRACTION)))
+    rows = []
+    summary = {}
+    for i, per_round in enumerate(sampling_sizes_for(scale)):
+        setup = build_setup(
+            "mnist",
+            scale,
+            victim_label=9,
+            attack_label=1,
+            num_clients=population,
+            num_attackers=num_attackers,
+            clients_per_round=min(per_round, population),
+            seed=seed + i,
+        )
+        config = DefenseConfig(method="mvp", fine_tune=False)
+        pipeline = DefensePipeline(setup.clients, setup.accuracy_fn(), config)
+        model = clone_model(setup.model)
+        order = pipeline.global_prune_order(model)
+        prune_by_sequence(
+            model,
+            model.last_conv(),
+            order,
+            setup.accuracy_fn(),
+            accuracy_drop_threshold=config.accuracy_drop_threshold,
+        )
+        layer = model.last_conv()
+        live = layer.weight.data[layer.out_mask]
+        mu, sigma = float(live.mean()), float(live.std())
+        ta, aa = setup.metrics(model)
+        rows.append(
+            {"clients_per_round": per_round, "delta": float("inf"), "TA": ta, "AA": aa}
+        )
+        for delta in DELTAS:
+            zero_extreme_weights(layer, delta, mu, sigma)
+            ta, aa = setup.metrics(model)
+            rows.append(
+                {"clients_per_round": per_round, "delta": delta, "TA": ta, "AA": aa}
+            )
+        series = [r for r in rows if r["clients_per_round"] == per_round]
+        summary[f"min_AA_c{per_round}"] = float(min(r["AA"] for r in series))
+        summary[f"final_TA_c{per_round}"] = series[-1]["TA"]
+    return TableResult(EXPERIMENT_ID, TITLE, rows, summary)

@@ -1,0 +1,60 @@
+"""Fig 9 — wall-clock time of each defense stage, per dataset.
+
+Measures training, pruning, fine-tuning and adjusting times for the
+MNIST-, Fashion- and CIFAR-scale tasks.  Shape to reproduce: training
+dominates by an order of magnitude and grows steeply with model/task
+complexity (CIFAR + VGG-style net worst); pruning and adjusting are
+cheap and nearly model-independent; fine-tuning sits in between.
+"""
+
+from __future__ import annotations
+
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..eval.tables import TableResult
+from .common import build_setup
+from .scale import ExperimentScale
+
+__all__ = ["datasets_for", "run"]
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Time per defense stage"
+
+
+def datasets_for(scale: ExperimentScale) -> list[str]:
+    if scale.name == "smoke":
+        return ["mnist"]
+    return ["mnist", "fashion", "cifar"]
+
+
+def run(scale: ExperimentScale, seed: int = 42) -> TableResult:
+    """Reproduce Fig 9 at the given scale."""
+    rows = []
+    for i, dataset in enumerate(datasets_for(scale)):
+        setup = build_setup(
+            dataset, scale, dba=(dataset == "cifar"), seed=seed + i
+        )
+        config = DefenseConfig(
+            method="mvp",
+            fine_tune=True,
+            fine_tune_rounds=setup.scale.fine_tune_rounds,
+        )
+        pipeline = DefensePipeline(setup.clients, setup.accuracy_fn(), config)
+        report = pipeline.run(setup.model)
+        rows.append(
+            {
+                "dataset": dataset,
+                "training_s": setup.training_seconds,
+                "pruning_s": report.stage_seconds["pruning"],
+                "fine_tuning_s": report.stage_seconds.get("fine_tuning", 0.0),
+                "adjusting_s": report.stage_seconds["adjusting"],
+            }
+        )
+
+    summary = {}
+    for row in rows:
+        name = row["dataset"]
+        defense_total = row["pruning_s"] + row["fine_tuning_s"] + row["adjusting_s"]
+        summary[f"{name}_train_over_defense"] = (
+            row["training_s"] / defense_total if defense_total > 0 else float("inf")
+        )
+    return TableResult(EXPERIMENT_ID, TITLE, rows, summary)

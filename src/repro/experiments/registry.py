@@ -1,0 +1,63 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..eval.tables import TableResult
+from . import ablations
+from . import (
+    fig3_distributions,
+    fig5_pruning_curves,
+    fig6_delta_sweep,
+    fig7_client_sampling,
+    fig8_num_attackers,
+    fig9_timing,
+    fig10_regularization,
+    table1_mnist,
+    table2_fashion,
+    table3_cifar_dba,
+    table4_neural_cleanse,
+    table5_pruning_methods,
+    table6_adjust_weights,
+    table7_patterns,
+)
+from .scale import ExperimentScale
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], TableResult]] = {
+    "fig3": fig3_distributions.run,
+    "table1": table1_mnist.run,
+    "table2": table2_fashion.run,
+    "table3": table3_cifar_dba.run,
+    "table4": table4_neural_cleanse.run,
+    "table5": table5_pruning_methods.run,
+    "fig5": fig5_pruning_curves.run,
+    "table6": table6_adjust_weights.run,
+    "fig6": fig6_delta_sweep.run,
+    "table7": table7_patterns.run,
+    "fig7": fig7_client_sampling.run,
+    "fig8": fig8_num_attackers.run,
+    "fig9": fig9_timing.run,
+    "fig10": fig10_regularization.run,
+    # extensions beyond the paper (DESIGN.md §6)
+    "ablation_prune_rate": ablations.prune_rate_sweep,
+    "ablation_gamma": ablations.gamma_sweep,
+    "ablation_clipping": ablations.clipping_defense,
+    "ablation_localization": ablations.backdoor_localization,
+}
+
+
+def run_experiment(
+    experiment_id: str, scale: ExperimentScale, seed: int = 42
+) -> TableResult:
+    """Run one registered experiment."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale, seed)

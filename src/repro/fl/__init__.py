@@ -1,0 +1,35 @@
+"""Federated learning simulation: clients, server, aggregation rules."""
+
+from .aggregation import (
+    AGGREGATION_RULES,
+    bulyan,
+    coordinate_median,
+    fedavg,
+    krum,
+    multi_krum,
+    trimmed_mean,
+    weighted_fedavg,
+)
+from .client import Client, LocalTrainingConfig, MaliciousClient
+from .clipping import clip_updates, clipped_fedavg, median_norm_budget
+from .server import FederatedServer, RoundMetrics, TrainingHistory
+
+__all__ = [
+    "AGGREGATION_RULES",
+    "bulyan",
+    "coordinate_median",
+    "fedavg",
+    "krum",
+    "multi_krum",
+    "trimmed_mean",
+    "weighted_fedavg",
+    "Client",
+    "clip_updates",
+    "clipped_fedavg",
+    "median_norm_budget",
+    "LocalTrainingConfig",
+    "MaliciousClient",
+    "FederatedServer",
+    "RoundMetrics",
+    "TrainingHistory",
+]

@@ -1,0 +1,160 @@
+"""Aggregation rules over flat client update vectors.
+
+The paper's defense runs *after* training, so its training loop uses the
+simplified FedAvg of §III-A: ``w_{t+1} = w_t + mean(deltas)``.  The
+byzantine-robust rules the paper cites as failed backdoor defenses —
+Krum, Multi-Krum, coordinate-wise trimmed mean, coordinate-wise median,
+and Bulyan — are implemented as baselines so experiments can confirm
+that observation on this substrate.
+
+Every rule maps ``(num_clients, dim)`` update matrices to a single
+``(dim,)`` aggregated update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "fedavg",
+    "weighted_fedavg",
+    "coordinate_median",
+    "trimmed_mean",
+    "krum",
+    "multi_krum",
+    "bulyan",
+    "AGGREGATION_RULES",
+]
+
+
+def _as_update_matrix(updates: np.ndarray) -> np.ndarray:
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(
+            f"updates must be a (num_clients, dim) matrix, got {updates.shape}"
+        )
+    if updates.shape[0] == 0:
+        raise ValueError("need at least one client update")
+    return updates
+
+
+def fedavg(updates: np.ndarray) -> np.ndarray:
+    """Unweighted mean of client deltas (paper's simplified rule)."""
+    return _as_update_matrix(updates).mean(axis=0)
+
+
+def weighted_fedavg(updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Sample-count-weighted FedAvg (McMahan et al.'s original rule)."""
+    updates = _as_update_matrix(updates)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (updates.shape[0],):
+        raise ValueError(
+            f"weights shape {weights.shape} does not match "
+            f"{updates.shape[0]} clients"
+        )
+    if (weights < 0).any() or weights.sum() <= 0:
+        raise ValueError("weights must be non-negative with positive sum")
+    return (weights[:, None] * updates).sum(axis=0) / weights.sum()
+
+
+def coordinate_median(updates: np.ndarray) -> np.ndarray:
+    """Coordinate-wise median (Yin et al.)."""
+    return np.median(_as_update_matrix(updates), axis=0)
+
+
+def trimmed_mean(updates: np.ndarray, trim_ratio: float = 0.1) -> np.ndarray:
+    """Coordinate-wise trimmed mean (Yin et al.).
+
+    Drops the ``trim_ratio`` fraction of smallest and largest values in
+    every coordinate before averaging.
+    """
+    updates = _as_update_matrix(updates)
+    if not 0.0 <= trim_ratio < 0.5:
+        raise ValueError(f"trim_ratio must be in [0, 0.5), got {trim_ratio}")
+    n = updates.shape[0]
+    k = int(np.floor(trim_ratio * n))
+    if 2 * k >= n:
+        raise ValueError(f"trimming {k} from each side empties {n} updates")
+    ordered = np.sort(updates, axis=0)
+    return ordered[k : n - k].mean(axis=0)
+
+
+def _krum_scores(updates: np.ndarray, num_byzantine: int) -> np.ndarray:
+    """Krum score per client: sum of its n - f - 2 smallest peer distances."""
+    n = updates.shape[0]
+    closest = n - num_byzantine - 2
+    if closest < 1:
+        raise ValueError(
+            f"krum needs n - f - 2 >= 1; got n={n}, f={num_byzantine}"
+        )
+    sq_norms = (updates**2).sum(axis=1)
+    distances = sq_norms[:, None] + sq_norms[None, :] - 2.0 * updates @ updates.T
+    np.fill_diagonal(distances, np.inf)
+    distances = np.maximum(distances, 0.0)
+    nearest = np.sort(distances, axis=1)[:, :closest]
+    return nearest.sum(axis=1)
+
+
+def krum(updates: np.ndarray, num_byzantine: int = 0) -> np.ndarray:
+    """Krum (Blanchard et al.): return the most centrally-located update."""
+    updates = _as_update_matrix(updates)
+    scores = _krum_scores(updates, num_byzantine)
+    return updates[int(np.argmin(scores))].copy()
+
+
+def multi_krum(
+    updates: np.ndarray, num_byzantine: int = 0, num_selected: int | None = None
+) -> np.ndarray:
+    """Multi-Krum: average the m lowest-score updates."""
+    updates = _as_update_matrix(updates)
+    n = updates.shape[0]
+    if num_selected is None:
+        num_selected = max(1, n - num_byzantine)
+    if not 1 <= num_selected <= n:
+        raise ValueError(f"num_selected must be in [1, {n}], got {num_selected}")
+    scores = _krum_scores(updates, num_byzantine)
+    chosen = np.argsort(scores)[:num_selected]
+    return updates[chosen].mean(axis=0)
+
+
+def bulyan(updates: np.ndarray, num_byzantine: int = 0) -> np.ndarray:
+    """Bulyan (Mhamdi et al.): Multi-Krum selection + trimmed aggregation.
+
+    Repeatedly selects the Krum winner until ``n - 2f`` updates are
+    chosen, then aggregates each coordinate by averaging the ``theta - 2f``
+    values closest to the coordinate median (theta = #selected).  For
+    small committees the closest-count is floored at 1.
+    """
+    updates = _as_update_matrix(updates)
+    n = updates.shape[0]
+    theta = n - 2 * num_byzantine
+    if theta < 1:
+        raise ValueError(f"bulyan needs n - 2f >= 1; got n={n}, f={num_byzantine}")
+
+    remaining = list(range(n))
+    selected: list[int] = []
+    while len(selected) < theta:
+        subset = updates[remaining]
+        if len(remaining) - num_byzantine - 2 >= 1:
+            scores = _krum_scores(subset, num_byzantine)
+            winner_pos = int(np.argmin(scores))
+        else:  # committee too small for Krum scoring; take closest to mean
+            center = subset.mean(axis=0)
+            winner_pos = int(np.argmin(((subset - center) ** 2).sum(axis=1)))
+        selected.append(remaining.pop(winner_pos))
+
+    chosen = updates[selected]
+    beta = max(1, theta - 2 * num_byzantine)
+    median = np.median(chosen, axis=0)
+    order = np.argsort(np.abs(chosen - median), axis=0)[:beta]
+    return np.take_along_axis(chosen, order, axis=0).mean(axis=0)
+
+
+AGGREGATION_RULES = {
+    "fedavg": fedavg,
+    "median": coordinate_median,
+    "trimmed_mean": trimmed_mean,
+    "krum": krum,
+    "multi_krum": multi_krum,
+    "bulyan": bulyan,
+}

@@ -1,0 +1,77 @@
+"""Norm clipping and noising of client updates (training-phase defense).
+
+The paper's related work cites CRFL (Xie et al., ICML 2021), which
+trains certifiably robust FL models by *clipping* model parameters and
+*smoothing* with noise.  The standard practical variant — clip each
+client delta to a norm budget, then add Gaussian noise to the aggregate
+— is implemented here as a training-phase baseline the post-training
+defense can be compared against (and composed with: the paper notes its
+method "can also be combined with existing works").
+
+Clipping directly counteracts the model replacement attack: the
+attacker's gamma-amplified delta has a gamma-times larger norm than its
+benign peers, so a norm budget near the benign median neutralizes the
+amplification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .aggregation import fedavg
+
+__all__ = ["clip_updates", "clipped_fedavg", "median_norm_budget"]
+
+
+def median_norm_budget(updates: np.ndarray) -> float:
+    """A robust clipping budget: the median client-update L2 norm."""
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2 or updates.shape[0] == 0:
+        raise ValueError(f"updates must be a nonempty matrix, got {updates.shape}")
+    return float(np.median(np.linalg.norm(updates, axis=1)))
+
+
+def clip_updates(updates: np.ndarray, budget: float) -> np.ndarray:
+    """Scale every row with L2 norm above ``budget`` down onto the ball."""
+    updates = np.asarray(updates, dtype=np.float64)
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    norms = np.linalg.norm(updates, axis=1, keepdims=True)
+    scales = np.minimum(1.0, budget / np.maximum(norms, 1e-12))
+    return updates * scales
+
+
+def clipped_fedavg(
+    budget: float | None = None,
+    noise_std: float = 0.0,
+    rng: np.random.Generator | None = None,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Build an aggregation rule: clip deltas, average, optionally noise.
+
+    Parameters
+    ----------
+    budget:
+        L2 clipping budget per client delta; ``None`` uses the median
+        client norm of each round (adaptive clipping).
+    noise_std:
+        Standard deviation of Gaussian noise added to every coordinate
+        of the aggregate (the smoothing half of CRFL).
+    rng:
+        Required when ``noise_std > 0``.
+    """
+    if noise_std < 0:
+        raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+    if noise_std > 0 and rng is None:
+        raise ValueError("noise_std > 0 requires an rng")
+
+    def aggregate(updates: np.ndarray) -> np.ndarray:
+        round_budget = budget if budget is not None else median_norm_budget(updates)
+        clipped = clip_updates(updates, round_budget)
+        result = fedavg(clipped)
+        if noise_std > 0:
+            result = result + rng.normal(0.0, noise_std, size=result.shape)
+        return result
+
+    return aggregate

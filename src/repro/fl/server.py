@@ -1,0 +1,163 @@
+"""The federated server: round orchestration and history logging.
+
+Implements the paper's simplified training rule (§III-A): every selected
+client trains from the current global parameters, the server adds the
+*unweighted mean* of the reported deltas.  Client selection is either
+"all clients every round" (the paper's simplification 3) or uniform
+random sampling of ``clients_per_round`` (the Fig 7 study).
+
+The server evaluates test accuracy and, when a backdoor task is under
+study, attack success rate after every round — those traces are Fig 3's
+solid/dashed lines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..attacks.poison import BackdoorTask
+from ..data.dataset import Dataset
+from ..eval.metrics import attack_success_rate, test_accuracy
+from ..nn.layers import Sequential
+from .aggregation import fedavg
+from .client import Client
+
+__all__ = ["RoundMetrics", "TrainingHistory", "FederatedServer"]
+
+
+class RoundMetrics:
+    """Metrics captured after one aggregation round."""
+
+    def __init__(
+        self, round_index: int, test_acc: float, attack_acc: float | None
+    ) -> None:
+        self.round_index = round_index
+        self.test_acc = test_acc
+        self.attack_acc = attack_acc
+
+    def __repr__(self) -> str:
+        attack = f", AA={self.attack_acc:.3f}" if self.attack_acc is not None else ""
+        return f"RoundMetrics(round={self.round_index}, TA={self.test_acc:.3f}{attack})"
+
+
+class TrainingHistory:
+    """Per-round metric traces for a federated training run."""
+
+    def __init__(self) -> None:
+        self.rounds: list[RoundMetrics] = []
+
+    def append(self, metrics: RoundMetrics) -> None:
+        self.rounds.append(metrics)
+
+    @property
+    def test_accuracies(self) -> list[float]:
+        return [r.test_acc for r in self.rounds]
+
+    @property
+    def attack_accuracies(self) -> list[float]:
+        return [r.attack_acc for r in self.rounds if r.attack_acc is not None]
+
+    @property
+    def final(self) -> RoundMetrics:
+        if not self.rounds:
+            raise ValueError("no rounds recorded")
+        return self.rounds[-1]
+
+    def __len__(self) -> int:
+        return len(self.rounds)
+
+
+class FederatedServer:
+    """Coordinates federated training over a fixed client population.
+
+    Parameters
+    ----------
+    model:
+        The global model (modified in place every round).
+    clients:
+        The full client population; some may be
+        :class:`~repro.fl.client.MaliciousClient` instances — the server
+        cannot tell.
+    test_set:
+        Held-out evaluation data for the TA trace.
+    backdoor_task:
+        When provided, the server also logs ASR each round (evaluation
+        uses this task's trigger — for DBA pass the task built from the
+        *global* pattern).
+    aggregate:
+        Aggregation rule over the ``(clients, dim)`` delta matrix;
+        defaults to the paper's unweighted FedAvg mean.
+    clients_per_round:
+        Uniform random sample size per round; ``None`` selects everyone
+        (the paper's default simplification).
+    rng:
+        Generator driving client sampling.
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        clients: Sequence[Client],
+        test_set: Dataset,
+        backdoor_task: BackdoorTask | None = None,
+        aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
+        clients_per_round: int | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not clients:
+            raise ValueError("need at least one client")
+        if clients_per_round is not None:
+            if not 1 <= clients_per_round <= len(clients):
+                raise ValueError(
+                    f"clients_per_round must be in [1, {len(clients)}], "
+                    f"got {clients_per_round}"
+                )
+            if rng is None:
+                raise ValueError("client sampling requires an rng")
+        self.model = model
+        self.clients = list(clients)
+        self.test_set = test_set
+        self.backdoor_task = backdoor_task
+        self.aggregate = aggregate
+        self.clients_per_round = clients_per_round
+        self.rng = rng
+
+    def select_clients(self) -> list[Client]:
+        """The participants of the next round."""
+        if self.clients_per_round is None:
+            return self.clients
+        chosen = self.rng.choice(
+            len(self.clients), size=self.clients_per_round, replace=False
+        )
+        return [self.clients[i] for i in chosen]
+
+    def run_round(self, round_index: int) -> RoundMetrics:
+        """One full round: select, train locally, aggregate, evaluate."""
+        participants = self.select_clients()
+        global_params = self.model.flat_parameters()
+        deltas = np.stack(
+            [
+                client.local_update(self.model, global_params, round_index)
+                for client in participants
+            ]
+        )
+        self.model.load_flat_parameters(global_params + self.aggregate(deltas))
+
+        test_acc = test_accuracy(self.model, self.test_set)
+        attack_acc = None
+        if self.backdoor_task is not None:
+            attack_acc = attack_success_rate(
+                self.model, self.backdoor_task, self.test_set
+            )
+        return RoundMetrics(round_index, test_acc, attack_acc)
+
+    def train(self, num_rounds: int) -> TrainingHistory:
+        """Run ``num_rounds`` rounds, returning the metric traces."""
+        if num_rounds < 1:
+            raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        history = TrainingHistory()
+        for round_index in range(num_rounds):
+            history.append(self.run_round(round_index))
+        return history

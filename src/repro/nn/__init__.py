@@ -1,0 +1,69 @@
+"""Pure-NumPy neural-network framework.
+
+This package is the substrate substitution for PyTorch (see DESIGN.md):
+explicit-backprop layers, losses, optimizers, weight init, gradient
+checking and a zoo of the paper's architectures.
+
+Typical usage::
+
+    import numpy as np
+    from repro import nn
+
+    rng = np.random.default_rng(0)
+    model = nn.zoo.mnist_cnn(rng)
+    loss_fn = nn.CrossEntropyLoss()
+    optimizer = nn.SGD(model.parameters(), lr=0.05)
+
+    logits = model(images)            # (n, 10)
+    loss = loss_fn(logits, labels)
+    optimizer.zero_grad()
+    model.backward(loss_fn.backward())
+    optimizer.step()
+"""
+
+from . import config
+from . import functional, gradcheck, init, zoo
+from .layers import (
+    AvgPool2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tanh,
+)
+from .batchnorm import BatchNorm2d
+from .losses import CrossEntropyLoss, LayerL2Penalty, MSELoss
+from .serialization import load_model, save_model
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "config",
+    "functional",
+    "gradcheck",
+    "init",
+    "zoo",
+    "AvgPool2d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "Linear",
+    "MaxPool2d",
+    "ReLU",
+    "Sequential",
+    "Tanh",
+    "BatchNorm2d",
+    "CrossEntropyLoss",
+    "load_model",
+    "save_model",
+    "LayerL2Penalty",
+    "MSELoss",
+    "Module",
+    "Parameter",
+    "SGD",
+    "Adam",
+    "Optimizer",
+]

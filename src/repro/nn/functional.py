@@ -1,0 +1,191 @@
+"""Low-level numerical primitives shared by the neural-network layers.
+
+Everything in this module is a pure function on :class:`numpy.ndarray`
+values.  The convolution layers are built on the classic ``im2col`` /
+``col2im`` transformation so that a 2-D convolution becomes a single
+matrix multiplication, which is the only way to get acceptable
+throughput out of NumPy.
+
+Shape conventions
+-----------------
+Images are batched in NCHW order: ``(batch, channels, height, width)``.
+Fully-connected activations are ``(batch, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "softmax",
+    "log_softmax",
+    "one_hot",
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "tanh_grad",
+    "stable_cross_entropy",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Return the spatial output size of a conv/pool sliding window.
+
+    Raises ``ValueError`` when the window does not fit, because a silent
+    floor-division here produces baffling shape errors two layers later.
+    """
+    out, rem = divmod(size + 2 * padding - kernel, stride)
+    if out < 0:
+        raise ValueError(
+            f"kernel {kernel} larger than padded input {size + 2 * padding}"
+        )
+    if rem != 0:
+        raise ValueError(
+            f"window (kernel={kernel}, stride={stride}, padding={padding}) "
+            f"does not tile input of size {size}"
+        )
+    return out + 1
+
+
+def im2col(
+    images: np.ndarray,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Unfold sliding windows of a batch of images into a 2-D matrix.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, c, h, w)``.
+    kernel_h, kernel_w:
+        Height and width of the sliding window.
+    stride:
+        Step of the window in both spatial dimensions.
+    padding:
+        Zero padding applied symmetrically to both spatial dimensions.
+
+    Returns
+    -------
+    Array of shape ``(n * out_h * out_w, c * kernel_h * kernel_w)``:
+    each row is one receptive field, flattened channel-major.
+    """
+    n, c, h, w = images.shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    if padding > 0:
+        images = np.pad(
+            images,
+            ((0, 0), (0, 0), (padding, padding), (padding, padding)),
+            mode="constant",
+        )
+
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            cols[:, :, y, x, :, :] = images[:, :, y:y_max:stride, x:x_max:stride]
+
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * out_h * out_w, c * kernel_h * kernel_w
+    )
+
+
+def col2im(
+    cols: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Fold a column matrix back into images, summing overlapping windows.
+
+    This is the adjoint of :func:`im2col` (not its inverse: overlapping
+    receptive fields accumulate), which is exactly what backpropagation
+    through a convolution requires.
+    """
+    n, c, h, w = image_shape
+    out_h = conv_output_size(h, kernel_h, stride, padding)
+    out_w = conv_output_size(w, kernel_w, stride, padding)
+
+    cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for y in range(kernel_h):
+        y_max = y + stride * out_h
+        for x in range(kernel_w):
+            x_max = x + stride * out_w
+            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels ``(n,)`` as a float matrix ``(n, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels out of range [0, {num_classes}): "
+            f"min={labels.min()}, max={labels.max()}"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier ``max(x, 0)``."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` evaluated at ``x`` (0 at the kink)."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def tanh_grad(tanh_out: np.ndarray) -> np.ndarray:
+    """Derivative of tanh expressed in terms of its *output*."""
+    return 1.0 - tanh_out**2
+
+
+def stable_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean cross-entropy between ``logits`` and integer ``labels``."""
+    logp = log_softmax(logits, axis=1)
+    n = logits.shape[0]
+    return float(-logp[np.arange(n), labels].mean())

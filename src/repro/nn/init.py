@@ -1,0 +1,52 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so
+that every experiment in the reproduction is deterministic given its
+seed — federated runs, attacks and defenses all flow from one seeded
+generator tree (see :mod:`repro.experiments.scale`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "fan_in_and_out", "zeros"]
+
+
+def fan_in_and_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for linear or conv weight shapes.
+
+    Linear weights are ``(out_features, in_features)``; conv weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        out_features, in_features = shape
+        return in_features, out_features
+    if len(shape) == 4:
+        out_channels, in_channels, kh, kw = shape
+        receptive = kh * kw
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"unsupported weight shape {shape}")
+
+
+def kaiming_uniform(
+    shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)
+) -> np.ndarray:
+    """He/Kaiming uniform init, appropriate for ReLU networks."""
+    fan_in, _ = fan_in_and_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform init, appropriate for tanh/sigmoid networks."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,82 @@
+"""Model checkpointing to ``.npz`` files.
+
+Saves the full defense-relevant state: parameter values *and* the
+channel prune masks (a cleansed model without its masks would resurrect
+pruned neurons on the next fine-tune).  Loading is strict — the target
+model must have exactly the same parameter names and shapes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .layers import Conv2d, Linear
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+_MASK_PREFIX = "__mask__."
+
+
+def _masked_layers(model: Module) -> dict[str, Conv2d | Linear]:
+    """Dotted-path -> layer for every maskable layer in the model."""
+    layers: dict[str, Conv2d | Linear] = {}
+
+    def visit(module: Module, prefix: str) -> None:
+        for key, value in module.__dict__.items():
+            path = f"{prefix}{key}"
+            if isinstance(value, (Conv2d, Linear)):
+                layers[path] = value
+            if isinstance(value, Module):
+                visit(value, f"{path}.")
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, (Conv2d, Linear)):
+                        layers[f"{path}.{i}"] = item
+                    if isinstance(item, Module):
+                        visit(item, f"{path}.{i}.")
+
+    visit(model, "")
+    return layers
+
+
+def save_model(model: Module, path: str | os.PathLike) -> None:
+    """Write parameters and prune masks to a ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = dict(model.state_dict())
+    for layer_path, layer in _masked_layers(model).items():
+        arrays[_MASK_PREFIX + layer_path] = layer.out_mask.copy()
+    np.savez(path, **arrays)
+
+
+def load_model(model: Module, path: str | os.PathLike) -> None:
+    """Restore parameters and prune masks saved by :func:`save_model`.
+
+    Raises ``KeyError`` when parameter names mismatch and ``ValueError``
+    on shape mismatches (via the strict ``load_state_dict``).
+    """
+    with np.load(path) as archive:
+        state = {
+            name: archive[name]
+            for name in archive.files
+            if not name.startswith(_MASK_PREFIX)
+        }
+        masks = {
+            name[len(_MASK_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_MASK_PREFIX)
+        }
+    model.load_state_dict(state)
+    layers = _masked_layers(model)
+    unexpected = masks.keys() - layers.keys()
+    if unexpected:
+        raise KeyError(f"masks for unknown layers: {sorted(unexpected)}")
+    for layer_path, mask in masks.items():
+        layer = layers[layer_path]
+        if mask.shape != layer.out_mask.shape:
+            raise ValueError(
+                f"mask shape mismatch for {layer_path}: "
+                f"have {layer.out_mask.shape}, got {mask.shape}"
+            )
+        layer.out_mask[...] = mask.astype(bool)

@@ -1,0 +1,208 @@
+"""Model architectures used throughout the paper's experiments.
+
+The paper uses:
+
+* MNIST — 2 conv + 2 fully-connected layers,
+* Fashion-MNIST — 3 conv + 2 fully-connected layers,
+* CIFAR-10 — VGG11,
+* Table VI — a "small NN" (8 and 16 conv channels) and a "large NN"
+  (20 and 50 conv channels) to show adjusting extreme weights suffices
+  only when the architecture is concise.
+
+Two substrate adaptations (documented in DESIGN.md §2):
+
+* **Width/depth** — full VGG11 is prohibitively slow under NumPy;
+  ``vgg_small`` keeps the VGG structure at reduced width.
+* **Global average pooling heads** — every net ends with
+  conv -> ReLU -> global average pool -> linear classifier.  VGG11 on
+  32x32 effectively does this already (its conv stack pools spatial
+  dims down to 1x1 before the classifier).  The GAP head is what makes
+  conv *channels* the unit of representation: with a wide flattened
+  fully-connected head, a NumPy-scale network hides the backdoor in
+  fc weights reading the trigger's *spatial position*, which defeats
+  any neuron-level defense and is outside the paper's threat analysis.
+  Under GAP the trigger's contribution is diluted by the spatial area,
+  so a successful backdoor is forced to use dedicated channels and
+  extreme weights — precisely the mechanism the paper's pruning and
+  weight-adjustment stages target.
+
+Every factory takes the input geometry and a generator so experiments
+at reduced image sizes stay deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import AvgPool2d, Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+
+__all__ = [
+    "mnist_cnn",
+    "fashion_cnn",
+    "vgg_small",
+    "small_nn",
+    "large_nn",
+    "build_model",
+    "MODEL_FACTORIES",
+]
+
+
+def _feature_size(side: int, reductions: int) -> int:
+    """Spatial side length after ``reductions`` halvings with 2x2 pooling."""
+    for _ in range(reductions):
+        if side % 2:
+            raise ValueError(f"side {side} not divisible by 2 for pooling")
+        side //= 2
+    return side
+
+
+def mnist_cnn(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 28,
+    num_classes: int = 10,
+    channels: tuple[int, int] = (16, 32),
+) -> Sequential:
+    """2-conv network with a GAP classifier (paper's MNIST architecture).
+
+    Layout: conv5x5 -> relu -> pool2 -> conv5x5 -> relu -> pool2 ->
+    global average pool -> fc.
+    """
+    c1, c2 = channels
+    side = _feature_size(image_size, 2)
+    return Sequential(
+        Conv2d(in_channels, c1, kernel_size=5, padding=2, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c1, c2, kernel_size=5, padding=2, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        AvgPool2d(side),
+        Flatten(),
+        Linear(c2, num_classes, rng=rng),
+    )
+
+
+def fashion_cnn(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 28,
+    num_classes: int = 10,
+    channels: tuple[int, int, int] = (16, 32, 32),
+) -> Sequential:
+    """3-conv network with a GAP classifier (paper's Fashion-MNIST net)."""
+    c1, c2, c3 = channels
+    side = _feature_size(image_size, 2)
+    return Sequential(
+        Conv2d(in_channels, c1, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c1, c2, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c2, c3, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        AvgPool2d(side),
+        Flatten(),
+        Linear(c3, num_classes, rng=rng),
+    )
+
+
+def vgg_small(
+    rng: np.random.Generator,
+    in_channels: int = 3,
+    image_size: int = 32,
+    num_classes: int = 10,
+    width: int = 16,
+) -> Sequential:
+    """VGG-style stack for 32x32 color images (stands in for VGG11).
+
+    Four stages of 3x3 convolutions with 2x2 max-pooling between stages,
+    widths ``(w, 2w, 4w, 4w)``, then the classifier.  Like VGG11 on
+    CIFAR-10 — whose features collapse to 1x1x512 before the fc layers —
+    the head sees one value per channel (global average pool).
+    """
+    w = width
+    side = _feature_size(image_size, 4)
+    return Sequential(
+        Conv2d(in_channels, w, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(w, 2 * w, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(2 * w, 4 * w, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        Conv2d(4 * w, 4 * w, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(4 * w, 4 * w, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        AvgPool2d(side),
+        Flatten(),
+        Linear(4 * w, num_classes, rng=rng),
+    )
+
+
+def small_nn(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 28,
+    num_classes: int = 10,
+) -> Sequential:
+    """Table VI "small NN": two conv layers with 8 and 16 channels."""
+    return mnist_cnn(
+        rng,
+        in_channels=in_channels,
+        image_size=image_size,
+        num_classes=num_classes,
+        channels=(8, 16),
+    )
+
+
+def large_nn(
+    rng: np.random.Generator,
+    in_channels: int = 1,
+    image_size: int = 28,
+    num_classes: int = 10,
+) -> Sequential:
+    """Table VI "large NN": two conv layers with 20 and 50 channels."""
+    return mnist_cnn(
+        rng,
+        in_channels=in_channels,
+        image_size=image_size,
+        num_classes=num_classes,
+        channels=(20, 50),
+    )
+
+
+MODEL_FACTORIES = {
+    "mnist_cnn": mnist_cnn,
+    "fashion_cnn": fashion_cnn,
+    "vgg_small": vgg_small,
+    "small_nn": small_nn,
+    "large_nn": large_nn,
+}
+
+
+def build_model(
+    name: str,
+    rng: np.random.Generator,
+    in_channels: int,
+    image_size: int,
+    num_classes: int = 10,
+) -> Sequential:
+    """Build a registered architecture by name."""
+    try:
+        factory = MODEL_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; available: {sorted(MODEL_FACTORIES)}"
+        ) from None
+    return factory(
+        rng,
+        in_channels=in_channels,
+        image_size=image_size,
+        num_classes=num_classes,
+    )

@@ -1,0 +1,91 @@
+"""Tests for the adaptive defense-phase attacks (paper §VI-B)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.attacks.adaptive import (
+    SelfLimitedWeights,
+    identify_backdoor_channels,
+    manipulated_ranking,
+    manipulated_votes,
+)
+
+
+class TestIdentifyBackdoorChannels:
+    def test_picks_largest_gap(self):
+        clean = np.array([0.5, 0.1, 0.3, 0.2])
+        triggered = np.array([0.5, 0.9, 0.3, 0.6])
+        top = identify_backdoor_channels(clean, triggered, top_k=2)
+        np.testing.assert_array_equal(top, [1, 3])
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            identify_backdoor_channels(np.zeros(3), np.zeros(4), 1)
+
+    def test_validates_top_k(self):
+        with pytest.raises(ValueError, match="top_k"):
+            identify_backdoor_channels(np.zeros(3), np.zeros(3), 0)
+
+
+class TestManipulatedRanking:
+    def test_protected_moved_to_front(self):
+        honest = np.array([4, 2, 0, 1, 3])  # most active first
+        attacked = manipulated_ranking(honest, np.array([3, 1]))
+        np.testing.assert_array_equal(attacked[:2], [3, 1])
+
+    def test_rest_keeps_relative_order(self):
+        honest = np.array([4, 2, 0, 1, 3])
+        attacked = manipulated_ranking(honest, np.array([1]))
+        np.testing.assert_array_equal(attacked, [1, 4, 2, 0, 3])
+
+    def test_still_a_permutation(self):
+        honest = np.arange(10)
+        attacked = manipulated_ranking(honest, np.array([7, 8, 9]))
+        np.testing.assert_array_equal(np.sort(attacked), np.arange(10))
+
+
+class TestManipulatedVotes:
+    def test_protected_votes_cleared(self):
+        honest = np.array([1, 1, 0, 0, 0])
+        attacked = manipulated_votes(honest, np.array([0]))
+        assert attacked[0] == 0
+
+    def test_budget_preserved(self):
+        honest = np.array([1, 1, 1, 0, 0, 0])
+        attacked = manipulated_votes(honest, np.array([0, 1]))
+        assert attacked.sum() == honest.sum()
+
+    def test_votes_moved_to_unprotected(self):
+        honest = np.array([1, 0, 0, 0])
+        attacked = manipulated_votes(honest, np.array([0]))
+        assert attacked[0] == 0
+        assert attacked.sum() == 1
+
+    def test_noop_when_protected_unvoted(self):
+        honest = np.array([0, 1, 1, 0])
+        attacked = manipulated_votes(honest, np.array([0]))
+        np.testing.assert_array_equal(attacked, honest)
+
+
+class TestSelfLimitedWeights:
+    def test_clips_extremes(self, rng):
+        layer = nn.Conv2d(1, 4, kernel_size=3, rng=rng)
+        layer.weight.data[0, 0, 0, 0] = 100.0  # an extreme value
+        before = layer.weight.data
+        bound = before.mean() + 2.0 * before.std()  # clip is vs pre-clip stats
+        limiter = SelfLimitedWeights(delta=2.0)
+        clipped = limiter.clip_layer(layer)
+        assert clipped >= 1
+        assert layer.weight.data.max() <= bound + 1e-9
+
+    def test_clip_model_targets_last_conv(self, tiny_cnn):
+        last = tiny_cnn.last_conv()
+        last.weight.data[0, 0, 0, 0] = 50.0
+        limiter = SelfLimitedWeights(delta=2.0)
+        assert limiter.clip_model(tiny_cnn) >= 1
+        assert last.weight.data.max() < 50.0
+
+    def test_rejects_nonpositive_delta(self):
+        with pytest.raises(ValueError):
+            SelfLimitedWeights(delta=0.0)

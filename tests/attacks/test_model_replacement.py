@@ -1,0 +1,50 @@
+"""Tests for the model replacement attack arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.model_replacement import amplify_update, replacement_update
+from repro.fl.aggregation import fedavg
+
+
+class TestAmplifyUpdate:
+    def test_scales(self):
+        np.testing.assert_array_equal(
+            amplify_update(np.array([1.0, -2.0]), 3.0), [3.0, -6.0]
+        )
+
+    def test_gamma_one_is_identity(self, rng):
+        update = rng.standard_normal(5)
+        np.testing.assert_array_equal(amplify_update(update, 1.0), update)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(ValueError, match="gamma"):
+            amplify_update(np.zeros(3), 0.5)
+
+
+class TestReplacementUpdate:
+    def test_full_replacement_with_gamma_n(self, rng):
+        """With gamma = N and zero benign deltas, aggregation yields x_atk
+        exactly (the paper's Equation 1 ideal)."""
+        n = 5
+        global_params = rng.standard_normal(8)
+        attacker_target = rng.standard_normal(8)
+
+        malicious_params = replacement_update(attacker_target, global_params, gamma=n)
+        deltas = np.zeros((n, 8))
+        deltas[0] = malicious_params - global_params  # benign deltas are 0
+        new_global = global_params + fedavg(deltas)
+        np.testing.assert_allclose(new_global, attacker_target)
+
+    def test_partial_gamma_moves_toward_target(self, rng):
+        n = 10
+        global_params = np.zeros(4)
+        target = np.ones(4)
+        deltas = np.zeros((n, 4))
+        deltas[0] = replacement_update(target, global_params, gamma=5.0) - global_params
+        new_global = global_params + fedavg(deltas)
+        np.testing.assert_allclose(new_global, 0.5 * target)  # gamma/N of the way
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            replacement_update(np.zeros(3), np.zeros(4), 2.0)

@@ -1,0 +1,100 @@
+"""Tests for poisoned dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poison import BackdoorTask, backdoor_eval_set, poison_dataset
+from repro.attacks.triggers import pixel_pattern
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture
+def task():
+    return BackdoorTask(pixel_pattern(3, 8), victim_label=4, attack_label=1)
+
+
+@pytest.fixture
+def clean(rng):
+    images = rng.random((50, 1, 8, 8)) * 0.5
+    labels = np.repeat(np.arange(5), 10)
+    return Dataset(images, labels)
+
+
+class TestBackdoorTask:
+    def test_same_labels_rejected(self):
+        with pytest.raises(ValueError, match="must differ"):
+            BackdoorTask(pixel_pattern(1, 8), 3, 3)
+
+
+class TestPoisonDatasetAllToOne:
+    """Default BadNets recipe: every sample is a poisoning candidate."""
+
+    def test_doubles_dataset(self, clean, task):
+        poisoned = poison_dataset(clean, task)
+        assert len(poisoned) == 100  # every sample duplicated as poison
+
+    def test_poisoned_copies_carry_attack_label(self, clean, task):
+        poisoned = poison_dataset(clean, task)
+        # 10 original attack-label samples + 50 poisoned copies
+        assert (poisoned.labels == task.attack_label).sum() == 60
+
+    def test_poisoned_images_have_trigger(self, clean, task):
+        poisoned = poison_dataset(clean, task)
+        stamped = poisoned.images[:, :, task.trigger.mask]
+        has_trigger = (stamped == task.trigger.value).all(axis=(1, 2))
+        assert has_trigger.sum() == 50
+
+    def test_clean_samples_unchanged(self, clean, task):
+        poisoned = poison_dataset(clean, task)
+        np.testing.assert_array_equal(poisoned.images[:50], clean.images)
+
+    def test_fraction_sampling(self, clean, task, rng):
+        poisoned = poison_dataset(clean, task, poison_fraction=0.2, rng=rng)
+        assert len(poisoned) == 60  # 20% of 50 candidates
+
+
+class TestPoisonDatasetSingleSource:
+    """Victim-only recipe (all_to_one=False)."""
+
+    def test_adds_victim_copies_only(self, clean, task):
+        poisoned = poison_dataset(clean, task, all_to_one=False)
+        assert len(poisoned) == 60  # 50 clean + 10 poisoned victim copies
+        assert (poisoned.labels == task.attack_label).sum() == 20
+
+    def test_no_victim_data_returns_clean(self, rng, task):
+        no_victims = Dataset(rng.random((10, 1, 8, 8)), np.zeros(10, dtype=int))
+        result = poison_dataset(no_victims, task, all_to_one=False)
+        assert result is no_victims
+
+    def test_fraction_sampling(self, clean, task, rng):
+        poisoned = poison_dataset(
+            clean, task, poison_fraction=0.5, rng=rng, all_to_one=False
+        )
+        assert len(poisoned) == 55
+
+    def test_fraction_requires_rng(self, clean, task):
+        with pytest.raises(ValueError, match="requires an rng"):
+            poison_dataset(clean, task, poison_fraction=0.5)
+
+    def test_invalid_fraction(self, clean, task):
+        with pytest.raises(ValueError):
+            poison_dataset(clean, task, poison_fraction=0.0)
+
+    def test_shuffle_with_rng(self, clean, task, rng):
+        poisoned = poison_dataset(clean, task, rng=rng)
+        # order differs from plain concatenation
+        assert not np.array_equal(poisoned.labels[:50], clean.labels)
+
+
+class TestBackdoorEvalSet:
+    def test_all_triggered_and_relabeled(self, clean, task):
+        eval_set = backdoor_eval_set(clean, task)
+        assert len(eval_set) == 10
+        assert (eval_set.labels == task.attack_label).all()
+        stamped = eval_set.images[:, :, task.trigger.mask]
+        assert (stamped == task.trigger.value).all()
+
+    def test_no_victims_raises(self, rng, task):
+        no_victims = Dataset(rng.random((5, 1, 8, 8)), np.zeros(5, dtype=int))
+        with pytest.raises(ValueError, match="no samples of victim"):
+            backdoor_eval_set(no_victims, task)

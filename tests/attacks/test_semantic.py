@@ -1,0 +1,109 @@
+"""Tests for the semantic backdoor variant."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.semantic import (
+    SemanticFeature,
+    poison_with_feature,
+    semantic_backdoor_eval_set,
+)
+from repro.data.dataset import Dataset
+
+
+@pytest.fixture
+def clean(rng):
+    images = rng.random((50, 1, 16, 16)) * 0.3
+    labels = np.repeat(np.arange(5), 10)
+    return Dataset(images, labels)
+
+
+class TestSemanticFeature:
+    def test_apply_brightens_a_band(self, clean):
+        feature = SemanticFeature(intensity=0.9)
+        painted = feature.apply(clean.images)
+        # the stripe raises many pixels to ~0.9
+        assert (painted >= 0.85).sum() > 10
+        # and never darkens anything
+        assert (painted >= clean.images - 1e-7).all()
+
+    def test_apply_copies(self, clean):
+        feature = SemanticFeature()
+        before = clean.images.copy()
+        feature.apply(clean.images)
+        np.testing.assert_array_equal(clean.images, before)
+
+    def test_deterministic(self, clean):
+        feature = SemanticFeature()
+        a = feature.apply(clean.images)
+        b = feature.apply(clean.images)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError, match="NCHW"):
+            SemanticFeature().apply(np.zeros((4, 4)))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SemanticFeature(thickness=0.0)
+        with pytest.raises(ValueError):
+            SemanticFeature(intensity=0.0)
+
+
+class TestPoisonWithFeature:
+    def test_adds_painted_victim_copies(self, clean):
+        feature = SemanticFeature()
+        poisoned = poison_with_feature(clean, feature, victim_label=4, attack_label=0)
+        assert len(poisoned) == 60
+        assert (poisoned.labels == 0).sum() == 20  # 10 original + 10 painted
+
+    def test_same_labels_rejected(self, clean):
+        with pytest.raises(ValueError, match="must differ"):
+            poison_with_feature(clean, SemanticFeature(), 3, 3)
+
+    def test_no_victims_returns_clean(self, rng):
+        no_victims = Dataset(rng.random((5, 1, 16, 16)), np.zeros(5, dtype=int))
+        result = poison_with_feature(
+            no_victims, SemanticFeature(), victim_label=4, attack_label=0
+        )
+        assert result is no_victims
+
+
+class TestSemanticEvalSet:
+    def test_eval_set_painted_and_relabelled(self, clean):
+        feature = SemanticFeature()
+        eval_set = semantic_backdoor_eval_set(clean, feature, 4, 0)
+        assert len(eval_set) == 10
+        assert (eval_set.labels == 0).all()
+        assert (eval_set.images >= 0.85).any()
+
+    def test_missing_victims_rejected(self, clean):
+        no_victims = clean.without_label(4)
+        with pytest.raises(ValueError, match="victim"):
+            semantic_backdoor_eval_set(no_victims, SemanticFeature(), 4, 0)
+
+
+class TestSemanticBackdoorLearns:
+    def test_model_learns_semantic_mapping(self, rng):
+        """A small net trained on semantically-poisoned data flips
+        stripe-painted victim images to the attack label."""
+        from repro import nn
+        from repro.data.dataset import DataLoader
+        from repro.data.synthetic import synthetic_mnist
+
+        data = synthetic_mnist(600, seed=5, image_size=16)
+        feature = SemanticFeature()
+        poisoned = poison_with_feature(data, feature, 9, 1, rng=rng)
+        model = nn.zoo.mnist_cnn(np.random.default_rng(0), image_size=16)
+        loss_fn = nn.CrossEntropyLoss()
+        optimizer = nn.SGD(model.parameters(), lr=0.1, momentum=0.5)
+        loader = DataLoader(poisoned, batch_size=32, shuffle=True, rng=rng)
+        for _ in range(6):
+            for x, y in loader:
+                loss_fn(model(x), y)
+                optimizer.zero_grad()
+                model.backward(loss_fn.backward())
+                optimizer.step()
+        eval_set = semantic_backdoor_eval_set(data, feature, 9, 1)
+        predictions = model(eval_set.images).argmax(axis=1)
+        assert (predictions == 1).mean() > 0.5

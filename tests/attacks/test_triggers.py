@@ -1,0 +1,110 @@
+"""Tests for trigger patterns: BadNets pixels and DBA decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import (
+    PIXEL_PATTERN_OFFSETS,
+    Trigger,
+    dba_global_trigger,
+    dba_local_triggers,
+    pixel_pattern,
+)
+
+
+class TestTrigger:
+    def test_apply_stamps_and_copies(self, rng):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0, 0] = True
+        trigger = Trigger(mask, value=1.0)
+        images = rng.random((3, 1, 8, 8)) * 0.5
+        stamped = trigger.apply(images)
+        assert (stamped[:, :, 0, 0] == 1.0).all()
+        assert images[0, 0, 0, 0] != 1.0 or images[0, 0, 0, 0] == 0.5  # original intact
+
+    def test_apply_only_touches_mask(self, rng):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2, 3] = True
+        trigger = Trigger(mask)
+        images = rng.random((2, 3, 8, 8))
+        stamped = trigger.apply(images)
+        untouched = ~mask
+        np.testing.assert_array_equal(
+            stamped[:, :, untouched], images[:, :, untouched]
+        )
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Trigger(np.zeros((4, 4), dtype=bool))
+
+    def test_shape_mismatch_rejected(self, rng):
+        trigger = pixel_pattern(1, 8)
+        with pytest.raises(ValueError, match="spatial dims"):
+            trigger.apply(rng.random((1, 1, 10, 10)))
+
+    def test_union(self):
+        a = pixel_pattern(1, 8, anchor=(0, 0))
+        b = pixel_pattern(1, 8, anchor=(5, 5))
+        combined = a.union(b)
+        assert combined.num_pixels == 2
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pixel_pattern(1, 8).union(pixel_pattern(1, 10))
+
+
+class TestPixelPatterns:
+    @pytest.mark.parametrize("num_pixels", [1, 3, 5, 7, 9])
+    def test_pixel_count_matches(self, num_pixels):
+        trigger = pixel_pattern(num_pixels, 28)
+        assert trigger.num_pixels == num_pixels
+
+    def test_patterns_fit_3x3_box(self):
+        for pixels, offsets in PIXEL_PATTERN_OFFSETS.items():
+            rows = [r for r, _ in offsets]
+            cols = [c for _, c in offsets]
+            assert max(rows) <= 2 and max(cols) <= 2, pixels
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError, match="num_pixels"):
+            pixel_pattern(4, 28)
+
+    def test_anchor_out_of_bounds(self):
+        with pytest.raises(ValueError, match="outside image"):
+            pixel_pattern(9, 28, anchor=(27, 27))
+
+    def test_default_anchor_in_corner(self):
+        trigger = pixel_pattern(9, 28)
+        rows, cols = np.nonzero(trigger.mask)
+        assert rows.max() < 5 and cols.max() < 5
+
+
+class TestDBA:
+    def test_four_local_patterns(self):
+        locals_ = dba_local_triggers(28)
+        assert len(locals_) == 4
+
+    def test_locals_are_disjoint(self):
+        locals_ = dba_local_triggers(28)
+        total = sum(t.mask.astype(int) for t in locals_)
+        assert total.max() == 1
+
+    def test_global_is_union_of_locals(self):
+        globl = dba_global_trigger(28)
+        locals_ = dba_local_triggers(28)
+        union = np.zeros_like(globl.mask)
+        for t in locals_:
+            union |= t.mask
+        np.testing.assert_array_equal(globl.mask, union)
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError, match="exceeds image"):
+            dba_local_triggers(5)
+
+    def test_arm_auto_shrinks_for_small_images(self):
+        locals_ = dba_local_triggers(16)
+        assert all(t.num_pixels <= 6 for t in locals_)
+
+    def test_global_pixel_count(self):
+        globl = dba_global_trigger(28, arm=6)
+        assert globl.num_pixels == 4 * 6

@@ -1,0 +1,60 @@
+"""Tests for the centralized Fine-Pruning baseline."""
+
+import numpy as np
+
+from repro.baselines.fine_pruning import centralized_fine_pruning
+
+
+class TestCentralizedFinePruning:
+    def test_runs_and_reports(self, tiny_cnn, tiny_dataset, rng):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=4)
+        result = centralized_fine_pruning(
+            tiny_cnn, tiny_dataset, fine_tune_epochs=1, rng=rng
+        )
+        assert result.num_pruned >= 0
+        assert 0.0 <= result.baseline_accuracy <= 1.0
+
+    def test_accuracy_not_destroyed(self, tiny_cnn, tiny_dataset, rng):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=6)
+
+        def accuracy():
+            logits = tiny_cnn(tiny_dataset.images)
+            return float((logits.argmax(1) == tiny_dataset.labels).mean())
+
+        before = accuracy()
+        centralized_fine_pruning(
+            tiny_cnn,
+            tiny_dataset,
+            accuracy_drop_threshold=0.02,
+            fine_tune_epochs=2,
+            rng=rng,
+        )
+        # central fine-tuning on the same clean data should roughly
+        # restore (often improve) accuracy
+        assert accuracy() >= before - 0.1
+
+    def test_pruned_channels_stay_dead_after_fine_tune(
+        self, tiny_cnn, tiny_dataset, rng
+    ):
+        centralized_fine_pruning(
+            tiny_cnn,
+            tiny_dataset,
+            accuracy_drop_threshold=0.5,  # prune aggressively
+            fine_tune_epochs=1,
+            rng=rng,
+        )
+        layer = tiny_cnn.last_conv()
+        dead = ~layer.out_mask
+        if dead.any():
+            assert (layer.weight.data[dead] == 0).all()
+
+    def test_custom_layer(self, tiny_cnn, tiny_dataset, rng):
+        first = tiny_cnn.conv_layers()[0]
+        result = centralized_fine_pruning(
+            tiny_cnn, tiny_dataset, layer=first, fine_tune_epochs=1, rng=rng
+        )
+        assert result.num_pruned <= first.out_channels

@@ -1,0 +1,103 @@
+"""Tests for Dataset and DataLoader."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import DataLoader, Dataset, train_test_split
+
+
+class TestDataset:
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="NCHW"):
+            Dataset(rng.random((3, 8, 8)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="labels shape"):
+            Dataset(rng.random((3, 1, 8, 8)), np.zeros(4, dtype=int))
+
+    def test_len_and_properties(self, tiny_dataset):
+        assert len(tiny_dataset) == 60
+        assert tiny_dataset.num_channels == 1
+        assert tiny_dataset.image_size == 8
+        assert tiny_dataset.num_classes == 5
+
+    def test_subset_copies(self, tiny_dataset):
+        sub = tiny_dataset.subset(np.array([0, 1]))
+        sub.images[...] = -1.0
+        assert (tiny_dataset.images[0] != -1.0).any()
+
+    def test_with_label(self, tiny_dataset):
+        sub = tiny_dataset.with_label(2)
+        assert (sub.labels == 2).all()
+        assert len(sub) == 12
+
+    def test_without_label(self, tiny_dataset):
+        sub = tiny_dataset.without_label(2)
+        assert (sub.labels != 2).all()
+        assert len(sub) == 48
+
+    def test_concat(self, tiny_dataset):
+        merged = Dataset.concat([tiny_dataset, tiny_dataset])
+        assert len(merged) == 120
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            Dataset.concat([])
+
+    def test_shuffled_is_permutation(self, tiny_dataset, rng):
+        shuffled = tiny_dataset.shuffled(rng)
+        assert sorted(shuffled.labels.tolist()) == sorted(tiny_dataset.labels.tolist())
+        assert not np.array_equal(shuffled.labels, tiny_dataset.labels)
+
+    def test_class_counts(self, tiny_dataset):
+        np.testing.assert_array_equal(tiny_dataset.class_counts(), [12] * 5)
+
+
+class TestDataLoader:
+    def test_batches_cover_everything(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=16)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == 60
+
+    def test_final_partial_batch(self, tiny_dataset):
+        sizes = [len(labels) for _, labels in DataLoader(tiny_dataset, batch_size=16)]
+        assert sizes == [16, 16, 16, 12]
+
+    def test_len(self, tiny_dataset):
+        assert len(DataLoader(tiny_dataset, batch_size=16)) == 4
+
+    def test_shuffle_requires_rng(self, tiny_dataset):
+        with pytest.raises(ValueError, match="requires an rng"):
+            DataLoader(tiny_dataset, batch_size=8, shuffle=True)
+
+    def test_shuffle_changes_order_between_epochs(self, tiny_dataset, rng):
+        loader = DataLoader(tiny_dataset, batch_size=60, shuffle=True, rng=rng)
+        first = next(iter(loader))[1]
+        second = next(iter(loader))[1]
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_preserves_order(self, tiny_dataset):
+        loader = DataLoader(tiny_dataset, batch_size=60)
+        _, labels = next(iter(loader))
+        np.testing.assert_array_equal(labels, tiny_dataset.labels)
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            DataLoader(tiny_dataset, batch_size=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, tiny_dataset, rng):
+        train, test = train_test_split(tiny_dataset, 0.25, rng)
+        assert len(train) == 45
+        assert len(test) == 15
+
+    def test_disjoint_and_complete(self, rng):
+        images = np.arange(20, dtype=float).reshape(20, 1, 1, 1)
+        ds = Dataset(images, np.zeros(20, dtype=int))
+        train, test = train_test_split(ds, 0.3, rng)
+        seen = sorted(train.images.ravel().tolist() + test.images.ravel().tolist())
+        assert seen == list(range(20))
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.5])
+    def test_invalid_fraction(self, tiny_dataset, rng, fraction):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_dataset, fraction, rng)

@@ -1,0 +1,116 @@
+"""Tests for client data partitioning, incl. hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.partition import dirichlet_partition, iid_partition, k_label_partition
+
+
+def make_labeled_dataset(num_samples, num_classes, seed=0):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, num_samples)
+    # labels must be dense 0..C-1 for num_classes inference
+    labels[:num_classes] = np.arange(num_classes)
+    images = rng.random((num_samples, 1, 4, 4))
+    return Dataset(images, labels)
+
+
+class TestIIDPartition:
+    def test_covers_all_samples(self, rng):
+        ds = make_labeled_dataset(100, 10)
+        parts = iid_partition(ds, 7, rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(100))
+
+    def test_near_equal_sizes(self, rng):
+        ds = make_labeled_dataset(100, 10)
+        sizes = [len(p) for p in iid_partition(ds, 7, rng)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_invalid_clients(self, rng):
+        ds = make_labeled_dataset(10, 2)
+        with pytest.raises(ValueError):
+            iid_partition(ds, 0, rng)
+
+
+class TestKLabelPartition:
+    @given(
+        num_clients=st.integers(4, 12),
+        labels_per_client=st.integers(1, 10),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_partition_invariants(self, num_clients, labels_per_client, seed):
+        """Disjoint, complete, and each client holds <= K labels."""
+        num_classes = 10
+        if num_clients * labels_per_client < num_classes:
+            return  # builder rejects this; covered below
+        ds = make_labeled_dataset(200, num_classes, seed=seed)
+        rng = np.random.default_rng(seed)
+        parts = k_label_partition(ds, num_clients, labels_per_client, rng)
+
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(200))
+
+        for part in parts:
+            held_labels = set(ds.labels[part].tolist())
+            # a client may receive one extra patched label, never more
+            assert len(held_labels) <= labels_per_client + 1
+
+    def test_insufficient_coverage_rejected(self, rng):
+        ds = make_labeled_dataset(50, 10)
+        with pytest.raises(ValueError, match="cannot cover"):
+            k_label_partition(ds, 3, 2, rng)
+
+    def test_k_equals_classes_is_iid_like(self, rng):
+        # enough samples that every label splits non-emptily across holders
+        ds = make_labeled_dataset(500, 10)
+        parts = k_label_partition(ds, 5, 10, rng)
+        for part in parts:
+            assert len(set(ds.labels[part].tolist())) == 10
+
+    def test_invalid_k(self, rng):
+        ds = make_labeled_dataset(50, 10)
+        with pytest.raises(ValueError, match="labels_per_client"):
+            k_label_partition(ds, 5, 0, rng)
+        with pytest.raises(ValueError, match="labels_per_client"):
+            k_label_partition(ds, 5, 11, rng)
+
+    def test_three_label_distribution_shape(self, rng):
+        """The paper's 10-client 3-label configuration: every class held."""
+        ds = make_labeled_dataset(500, 10)
+        parts = k_label_partition(ds, 10, 3, rng)
+        all_held = set()
+        for part in parts:
+            all_held |= set(ds.labels[part].tolist())
+        assert all_held == set(range(10))
+
+
+class TestDirichletPartition:
+    def test_covers_all_samples(self, rng):
+        ds = make_labeled_dataset(300, 10)
+        parts = dirichlet_partition(ds, 8, alpha=0.5, rng=rng)
+        combined = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(combined, np.arange(300))
+
+    def test_small_alpha_concentrates(self):
+        """alpha = 0.05 should give much more skew than alpha = 100."""
+        ds = make_labeled_dataset(1000, 10, seed=3)
+
+        def skew(alpha, seed):
+            parts = dirichlet_partition(ds, 10, alpha, np.random.default_rng(seed))
+            counts = np.array(
+                [np.bincount(ds.labels[p], minlength=10) for p in parts], dtype=float
+            )
+            shares = counts / np.maximum(counts.sum(axis=1, keepdims=True), 1)
+            return float(shares.max(axis=1).mean())  # 1.0 = single-label clients
+
+        assert skew(0.05, 1) > skew(100.0, 1) + 0.2
+
+    def test_invalid_alpha(self, rng):
+        ds = make_labeled_dataset(50, 5)
+        with pytest.raises(ValueError):
+            dirichlet_partition(ds, 5, alpha=0.0, rng=rng)

@@ -1,0 +1,148 @@
+"""Tests for the synthetic dataset generators and glyph primitives."""
+
+import numpy as np
+import pytest
+
+from repro.data import glyphs
+from repro.data.synthetic import (
+    CIFAR_SPEC,
+    FASHION_SPEC,
+    MNIST_SPEC,
+    make_dataset,
+    synthetic_cifar,
+    synthetic_fashion,
+    synthetic_mnist,
+)
+
+
+class TestGlyphs:
+    def test_blank_canvas(self):
+        canvas = glyphs.blank_canvas(5, 7)
+        assert canvas.shape == (5, 7)
+        assert (canvas == 0).all()
+
+    def test_disc_center_is_bright(self):
+        canvas = glyphs.blank_canvas(9, 9)
+        glyphs.draw_disc(canvas, 4, 4, 3)
+        assert canvas[4, 4] == pytest.approx(1.0)
+        assert canvas[0, 0] == 0.0
+
+    def test_ring_hollow_center(self):
+        canvas = glyphs.blank_canvas(15, 15)
+        glyphs.draw_ring(canvas, 7, 7, 5)
+        assert canvas[7, 7] == 0.0
+        assert canvas[7, 12] == pytest.approx(1.0)  # on the ring
+
+    def test_rectangle(self):
+        canvas = glyphs.blank_canvas(10, 10)
+        glyphs.draw_rectangle(canvas, 2, 2, 7, 7)
+        assert canvas[4, 4] == pytest.approx(1.0)
+        assert canvas[9, 9] == 0.0
+
+    def test_stroke_endpoints(self):
+        canvas = glyphs.blank_canvas(10, 10)
+        glyphs.draw_stroke(canvas, 1, 1, 8, 8, thickness=1.5)
+        assert canvas[1, 1] > 0.5
+        assert canvas[8, 8] > 0.5
+        assert canvas[1, 8] == 0.0
+
+    def test_degenerate_stroke_is_dot(self):
+        canvas = glyphs.blank_canvas(7, 7)
+        glyphs.draw_stroke(canvas, 3, 3, 3, 3, thickness=2.0)
+        assert canvas[3, 3] > 0.5
+
+    def test_checker_alternates(self):
+        canvas = glyphs.blank_canvas(4, 4)
+        glyphs.draw_checker(canvas, period=1)
+        assert canvas[0, 0] != canvas[0, 1]
+        assert canvas[0, 0] == canvas[1, 1]
+
+    def test_checker_invalid_period(self):
+        with pytest.raises(ValueError):
+            glyphs.draw_checker(glyphs.blank_canvas(4, 4), period=0)
+
+    def test_gradient_spans_unit_range(self):
+        canvas = glyphs.blank_canvas(8, 8)
+        glyphs.draw_gradient(canvas, angle=0.0)
+        assert canvas.min() == pytest.approx(0.0)
+        assert canvas.max() == pytest.approx(1.0)
+
+    def test_shapes_union_not_sum(self):
+        canvas = glyphs.blank_canvas(9, 9)
+        glyphs.draw_disc(canvas, 4, 4, 2)
+        glyphs.draw_disc(canvas, 4, 4, 2)
+        assert canvas.max() <= 1.0
+
+
+@pytest.mark.parametrize(
+    "builder,spec",
+    [
+        (synthetic_mnist, MNIST_SPEC),
+        (synthetic_fashion, FASHION_SPEC),
+        (synthetic_cifar, CIFAR_SPEC),
+    ],
+)
+class TestGenerators:
+    def test_shapes_and_range(self, builder, spec):
+        ds = builder(30, seed=1)
+        assert ds.images.shape == (30, spec.num_channels, spec.image_size, spec.image_size)
+        assert ds.images.min() >= 0.0
+        assert ds.images.max() <= 1.0
+
+    def test_deterministic(self, builder, spec):
+        a = builder(20, seed=9)
+        b = builder(20, seed=9)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_seeds_differ(self, builder, spec):
+        a = builder(20, seed=1)
+        b = builder(20, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_all_classes_present(self, builder, spec):
+        ds = builder(300, seed=4)
+        assert set(ds.labels.tolist()) == set(range(spec.num_classes))
+
+
+class TestLearnability:
+    def test_classes_are_visually_distinct(self):
+        """Within-class image distance should be well below between-class.
+
+        This is the minimum statistical requirement for a CNN to learn
+        the task — a weak but fast proxy for trainability.
+        """
+        ds = synthetic_mnist(400, seed=11)
+        means = np.stack(
+            [ds.images[ds.labels == c].mean(axis=0).ravel() for c in range(10)]
+        )
+        within = []
+        for c in range(10):
+            cls = ds.images[ds.labels == c].reshape(-1, means.shape[1])
+            within.append(np.linalg.norm(cls - means[c], axis=1).mean())
+        between = np.linalg.norm(means[:, None] - means[None, :], axis=2)
+        between = between[between > 0].mean()
+        assert between > np.mean(within) * 0.5
+
+    def test_corner_is_dark_for_trigger(self):
+        """The BadNets corner pixels must be background on clean images."""
+        ds = synthetic_mnist(100, seed=2)
+        corner = ds.images[:, :, :4, :4]
+        assert corner.mean() < 0.1
+
+
+class TestMakeDataset:
+    def test_lookup(self):
+        ds, spec = make_dataset("mnist", 10, seed=0)
+        assert len(ds) == 10
+        assert spec.name == MNIST_SPEC.name
+        assert spec.image_size == MNIST_SPEC.image_size
+
+    def test_image_size_override(self):
+        ds, spec = make_dataset("mnist", 5, seed=0, image_size=16)
+        assert spec.image_size == 16
+        assert ds.images.shape[-1] == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("imagenet", 10, seed=0)

@@ -1,0 +1,77 @@
+"""Tests for input transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.transforms import (
+    normalize_unit_range,
+    random_horizontal_flip,
+    random_shift,
+    standardize,
+)
+
+
+class TestNormalizeUnitRange:
+    def test_clips(self):
+        out = normalize_unit_range(np.array([-0.5, 0.3, 1.7]))
+        np.testing.assert_array_equal(out, [0.0, 0.3, 1.0])
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self, rng):
+        images = rng.normal(3.0, 2.0, (50, 1, 4, 4))
+        out, mean, std = standardize(images)
+        assert out.mean() == pytest.approx(0.0, abs=1e-6)
+        assert out.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reuse_train_statistics(self, rng):
+        train = rng.normal(3.0, 2.0, (50, 1, 4, 4))
+        test = rng.normal(3.0, 2.0, (20, 1, 4, 4))
+        _, mean, std = standardize(train)
+        out, mean2, std2 = standardize(test, mean, std)
+        assert (mean2, std2) == (mean, std)
+        # test stats close to but not exactly 0/1 (different sample)
+        assert abs(out.mean()) < 0.5
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            standardize(np.ones((2, 1, 2, 2)), mean=0.0, std=0.0)
+
+
+class TestRandomShift:
+    def test_zero_shift_identity(self, tiny_dataset, rng):
+        out = random_shift(tiny_dataset, 0, rng)
+        assert out is tiny_dataset
+
+    def test_preserves_shape_and_labels(self, tiny_dataset, rng):
+        out = random_shift(tiny_dataset, 2, rng)
+        assert out.images.shape == tiny_dataset.images.shape
+        np.testing.assert_array_equal(out.labels, tiny_dataset.labels)
+
+    def test_mass_preserved_up_to_cropping(self, tiny_dataset, rng):
+        out = random_shift(tiny_dataset, 1, rng)
+        # shifting can only remove mass (cropped at borders), never add
+        assert out.images.sum() <= tiny_dataset.images.sum() + 1e-6
+
+    def test_negative_rejected(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            random_shift(tiny_dataset, -1, rng)
+
+
+class TestRandomHorizontalFlip:
+    def test_probability_one_flips_all(self, rng):
+        images = np.zeros((4, 1, 2, 3))
+        images[:, :, :, 0] = 1.0  # left column bright
+        ds = Dataset(images, np.zeros(4, dtype=int))
+        out = random_horizontal_flip(ds, 1.0, rng)
+        assert (out.images[:, :, :, -1] == 1.0).all()
+        assert (out.images[:, :, :, 0] == 0.0).all()
+
+    def test_probability_zero_identity(self, tiny_dataset, rng):
+        out = random_horizontal_flip(tiny_dataset, 0.0, rng)
+        np.testing.assert_array_equal(out.images, tiny_dataset.images)
+
+    def test_invalid_probability(self, tiny_dataset, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(tiny_dataset, 1.5, rng)

@@ -1,0 +1,78 @@
+"""Tests for per-channel activation profiling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import Dataset
+from repro.defense.activation import channel_count, mean_channel_activations
+
+
+class TestChannelCount:
+    def test_conv(self, rng):
+        assert channel_count(nn.Conv2d(1, 7, 3, rng=rng)) == 7
+
+    def test_linear(self, rng):
+        assert channel_count(nn.Linear(4, 9, rng=rng)) == 9
+
+    def test_unsupported(self):
+        with pytest.raises(TypeError, match="no prunable channels"):
+            channel_count(nn.ReLU())
+
+
+class TestMeanChannelActivations:
+    def test_shape(self, tiny_cnn, tiny_dataset):
+        layer = tiny_cnn.last_conv()
+        acts = mean_channel_activations(tiny_cnn, layer, tiny_dataset)
+        assert acts.shape == (layer.out_channels,)
+
+    def test_post_relu_nonnegative(self, tiny_cnn, tiny_dataset):
+        acts = mean_channel_activations(
+            tiny_cnn, tiny_cnn.last_conv(), tiny_dataset, post_relu=True
+        )
+        assert (acts >= 0).all()
+
+    def test_raw_can_be_negative(self, tiny_cnn, tiny_dataset):
+        acts = mean_channel_activations(
+            tiny_cnn, tiny_cnn.last_conv(), tiny_dataset, post_relu=False
+        )
+        # kaiming-init conv over random data: some channel means negative
+        assert (acts < 0).any()
+
+    def test_empty_dataset_returns_zeros(self, tiny_cnn, rng):
+        empty = Dataset(np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int))
+        acts = mean_channel_activations(tiny_cnn, tiny_cnn.last_conv(), empty)
+        np.testing.assert_array_equal(acts, 0.0)
+
+    def test_batch_size_invariance(self, tiny_cnn, tiny_dataset):
+        layer = tiny_cnn.last_conv()
+        a = mean_channel_activations(tiny_cnn, layer, tiny_dataset, batch_size=7)
+        b = mean_channel_activations(tiny_cnn, layer, tiny_dataset, batch_size=60)
+        np.testing.assert_allclose(a, b, rtol=1e-5)
+
+    def test_restores_model_modes(self, tiny_cnn, tiny_dataset):
+        tiny_cnn.train()
+        layer = tiny_cnn.last_conv()
+        mean_channel_activations(tiny_cnn, layer, tiny_dataset)
+        assert tiny_cnn.training
+        assert not layer._recording
+        assert layer.last_activation is None
+
+    def test_constant_zero_input_gives_bias_activation(self, rng):
+        model = nn.Sequential(nn.Conv2d(1, 3, 3, padding=1, rng=rng))
+        conv = model[0]
+        conv.bias.data[...] = [1.0, -1.0, 0.5]
+        data = Dataset(np.zeros((4, 1, 6, 6)), np.zeros(4, dtype=int))
+        acts = mean_channel_activations(model, conv, data, post_relu=True)
+        np.testing.assert_allclose(acts, [1.0, 0.0, 0.5], atol=1e-6)
+
+    def test_linear_layer_profiling(self, rng):
+        model = nn.Sequential(nn.Flatten(), nn.Linear(16, 4, rng=rng))
+        data = Dataset(np.abs(rng.random((10, 1, 4, 4))), np.zeros(10, dtype=int))
+        acts = mean_channel_activations(model, model[1], data)
+        assert acts.shape == (4,)
+
+    def test_layer_not_in_model_raises(self, tiny_cnn, tiny_dataset, rng):
+        orphan = nn.Conv2d(1, 2, 3, rng=rng)
+        with pytest.raises(RuntimeError, match="no activation"):
+            mean_channel_activations(tiny_cnn, orphan, tiny_dataset)

@@ -1,0 +1,59 @@
+"""Hypothesis property tests for the adjust-extreme-weights stage."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.defense.adjust_weights import zero_extreme_weights
+
+
+def make_layer(seed: int, scale: float = 0.1) -> nn.Conv2d:
+    rng = np.random.default_rng(seed)
+    layer = nn.Conv2d(1, 4, kernel_size=3, rng=rng)
+    layer.weight.data[...] = rng.normal(0.0, scale, layer.weight.shape)
+    return layer
+
+
+class TestZeroExtremeProperties:
+    @given(
+        seed=st.integers(0, 300),
+        deltas=st.lists(
+            st.floats(0.5, 4.0), min_size=2, max_size=5, unique=True
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_decreasing_delta_monotone_zeroing(self, seed, deltas):
+        """Sweeping delta downward with fixed stats only ever zeroes more."""
+        layer = make_layer(seed)
+        mu = float(layer.weight.data.mean())
+        sigma = float(layer.weight.data.std())
+        zero_counts = []
+        for delta in sorted(deltas, reverse=True):
+            zero_extreme_weights(layer, delta, mu, sigma)
+            zero_counts.append(int((layer.weight.data == 0.0).sum()))
+        assert zero_counts == sorted(zero_counts)
+
+    @given(seed=st.integers(0, 300), delta=st.floats(0.5, 4.0))
+    @settings(max_examples=25, deadline=None)
+    def test_survivors_within_band(self, seed, delta):
+        """After zeroing, every nonzero weight lies inside mu ± delta sigma."""
+        layer = make_layer(seed)
+        mu = float(layer.weight.data.mean())
+        sigma = float(layer.weight.data.std())
+        zero_extreme_weights(layer, delta, mu, sigma)
+        survivors = layer.weight.data[layer.weight.data != 0.0]
+        if survivors.size:
+            assert (survivors >= mu - delta * sigma - 1e-9).all()
+            assert (survivors <= mu + delta * sigma + 1e-9).all()
+
+    @given(seed=st.integers(0, 300))
+    @settings(max_examples=20, deadline=None)
+    def test_idempotent_at_same_delta(self, seed):
+        layer = make_layer(seed)
+        mu = float(layer.weight.data.mean())
+        sigma = float(layer.weight.data.std())
+        first = zero_extreme_weights(layer, 1.5, mu, sigma)
+        second = zero_extreme_weights(layer, 1.5, mu, sigma)
+        assert second == 0
+        assert first >= 0

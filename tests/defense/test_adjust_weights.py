@@ -1,0 +1,128 @@
+"""Tests for the adjust-extreme-weights stage."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defense.adjust_weights import (
+    adjust_extreme_weights,
+    clip_inputs,
+    zero_extreme_weights,
+)
+
+
+@pytest.fixture
+def conv_layer(rng):
+    layer = nn.Conv2d(1, 4, kernel_size=3, rng=rng)
+    layer.weight.data[...] = rng.normal(0.0, 0.1, layer.weight.shape)
+    return layer
+
+
+class TestZeroExtremeWeights:
+    def test_zeroes_outliers(self, conv_layer):
+        conv_layer.weight.data[0, 0, 0, 0] = 10.0
+        conv_layer.weight.data[1, 0, 1, 1] = -10.0
+        zeroed = zero_extreme_weights(conv_layer, delta=3.0)
+        assert zeroed >= 2
+        assert conv_layer.weight.data[0, 0, 0, 0] == 0.0
+        assert conv_layer.weight.data[1, 0, 1, 1] == 0.0
+
+    def test_no_outliers_no_change(self, conv_layer):
+        before = conv_layer.weight.data.copy()
+        zeroed = zero_extreme_weights(conv_layer, delta=50.0)
+        assert zeroed == 0
+        np.testing.assert_array_equal(conv_layer.weight.data, before)
+
+    def test_counts_only_newly_zeroed(self, conv_layer):
+        conv_layer.weight.data[0, 0, 0, 0] = 10.0
+        mu, sigma = 0.0, 0.1
+        first = zero_extreme_weights(conv_layer, 3.0, mu, sigma)
+        second = zero_extreme_weights(conv_layer, 3.0, mu, sigma)
+        assert first >= 1
+        assert second == 0  # already-zero weights are not re-counted
+
+    def test_explicit_stats_override(self, conv_layer):
+        # with mu=0, sigma=0.001 nearly everything is extreme
+        zeroed = zero_extreme_weights(conv_layer, 1.0, mu=0.0, sigma=0.001)
+        assert zeroed > conv_layer.weight.size * 0.5
+
+    def test_excludes_masked_channels_from_stats(self, conv_layer):
+        conv_layer.out_mask[0] = False
+        conv_layer.apply_mask()  # channel 0 weights now structural zeros
+        live_before = conv_layer.weight.data[1:].copy()
+        zero_extreme_weights(conv_layer, delta=10.0)
+        np.testing.assert_array_equal(conv_layer.weight.data[1:], live_before)
+
+    def test_invalid_delta(self, conv_layer):
+        with pytest.raises(ValueError):
+            zero_extreme_weights(conv_layer, delta=0.0)
+
+
+class TestAdjustExtremeWeights:
+    def _model_with_planted_extremes(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(4 * 4 * 4, 2, rng=rng),
+        )
+        conv = model[0]
+        conv.weight.data[...] = rng.normal(0, 0.05, conv.weight.shape)
+        conv.weight.data[0, 0, 0, 0] = 5.0  # planted extreme
+        return model
+
+    def test_sweep_removes_planted_extreme(self, rng):
+        model = self._model_with_planted_extremes(rng)
+        result = adjust_extreme_weights(
+            model, lambda m: 0.9, accuracy_floor_drop=0.05, delta_start=4.0
+        )
+        assert model[0].weight.data[0, 0, 0, 0] == 0.0
+        assert result.num_zeroed >= 1
+        assert result.final_delta <= 4.0
+
+    def test_rolls_back_on_accuracy_drop(self, rng):
+        model = self._model_with_planted_extremes(rng)
+        calls = {"n": 0}
+
+        def oracle(m):
+            calls["n"] += 1
+            return 0.9 if calls["n"] <= 2 else 0.0  # collapse at 2nd delta step
+
+        result = adjust_extreme_weights(
+            model, oracle, accuracy_floor_drop=0.05, delta_start=4.0, delta_step=0.5
+        )
+        # trace includes the rejected step; accepted delta is the first one
+        assert result.final_delta == pytest.approx(4.0)
+        assert len(result.trace) == 2
+
+    def test_trace_records_deltas(self, rng):
+        model = self._model_with_planted_extremes(rng)
+        result = adjust_extreme_weights(
+            model,
+            lambda m: 1.0,
+            delta_start=2.0,
+            delta_step=0.5,
+            delta_min=1.0,
+        )
+        deltas = [t[0] for t in result.trace]
+        assert deltas == pytest.approx([2.0, 1.5, 1.0])
+
+    def test_defaults_to_last_conv(self, tiny_cnn):
+        result = adjust_extreme_weights(tiny_cnn, lambda m: 1.0)
+        assert result.baseline_accuracy == 1.0
+
+    def test_invalid_schedule(self, tiny_cnn):
+        with pytest.raises(ValueError, match="delta_start"):
+            adjust_extreme_weights(tiny_cnn, lambda m: 1.0, delta_start=0.1, delta_min=1.0)
+        with pytest.raises(ValueError, match="delta_step"):
+            adjust_extreme_weights(tiny_cnn, lambda m: 1.0, delta_step=0.0)
+
+
+class TestClipInputs:
+    def test_clips(self):
+        clipped = clip_inputs(np.array([-1.0, 0.5, 2.0]))
+        np.testing.assert_array_equal(clipped, [0.0, 0.5, 1.0])
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            clip_inputs(np.zeros(3), low=1.0, high=0.0)

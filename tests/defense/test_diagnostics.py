@@ -1,0 +1,103 @@
+"""Tests for the backdoor-localization diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poison import BackdoorTask, poison_dataset
+from repro.attacks.triggers import pixel_pattern
+from repro.defense.diagnostics import (
+    channel_ablation_impact,
+    entanglement_report,
+    trigger_activation_gap,
+)
+
+
+@pytest.fixture
+def task():
+    return BackdoorTask(pixel_pattern(5, 8), victim_label=4, attack_label=1)
+
+
+@pytest.fixture
+def backdoored(tiny_cnn, tiny_dataset, task, rng):
+    """A tiny model trained on poisoned data."""
+    from tests.conftest import train_tiny
+
+    poisoned = poison_dataset(tiny_dataset, task, rng=rng)
+    train_tiny(tiny_cnn, poisoned, epochs=8)
+    return tiny_cnn
+
+
+class TestChannelAblationImpact:
+    def test_one_row_per_live_channel(self, backdoored, tiny_dataset, task):
+        layer = backdoored.last_conv()
+        rows = channel_ablation_impact(backdoored, layer, task, tiny_dataset)
+        assert len(rows) == layer.out_channels
+
+    def test_skips_dead_channels(self, backdoored, tiny_dataset, task):
+        layer = backdoored.last_conv()
+        layer.out_mask[0] = False
+        rows = channel_ablation_impact(backdoored, layer, task, tiny_dataset)
+        assert len(rows) == layer.out_channels - 1
+        assert all(r["channel"] != 0 for r in rows)
+        layer.out_mask[0] = True
+
+    def test_model_restored_after(self, backdoored, tiny_dataset, task, rng):
+        layer = backdoored.last_conv()
+        before = backdoored.flat_parameters()
+        mask_before = layer.out_mask.copy()
+        channel_ablation_impact(backdoored, layer, task, tiny_dataset)
+        np.testing.assert_array_equal(backdoored.flat_parameters(), before)
+        np.testing.assert_array_equal(layer.out_mask, mask_before)
+
+    def test_drops_are_relative(self, backdoored, tiny_dataset, task):
+        rows = channel_ablation_impact(
+            backdoored, backdoored.last_conv(), task, tiny_dataset
+        )
+        for row in rows:
+            assert -1.0 <= row["ta_drop"] <= 1.0
+            assert -1.0 <= row["aa_drop"] <= 1.0
+
+
+class TestTriggerActivationGap:
+    def test_shape(self, backdoored, tiny_dataset, task):
+        layer = backdoored.last_conv()
+        gap = trigger_activation_gap(backdoored, layer, task, tiny_dataset)
+        assert gap.shape == (layer.out_channels,)
+
+    def test_nonzero_for_backdoored_model(self, backdoored, tiny_dataset, task):
+        gap = trigger_activation_gap(
+            backdoored, backdoored.last_conv(), task, tiny_dataset
+        )
+        assert np.abs(gap).max() > 1e-4
+
+    def test_missing_victims_rejected(self, backdoored, tiny_dataset, task):
+        no_victims = tiny_dataset.without_label(task.victim_label)
+        with pytest.raises(ValueError, match="victim"):
+            trigger_activation_gap(
+                backdoored, backdoored.last_conv(), task, no_victims
+            )
+
+
+class TestEntanglementReport:
+    def test_report_fields(self, backdoored, tiny_dataset, task):
+        report = entanglement_report(
+            backdoored, backdoored.last_conv(), task, tiny_dataset
+        )
+        assert set(report) == {
+            "carrier_channels",
+            "carrier_ta_cost",
+            "suppression_share",
+            "dormancy_rank_of_top_gap",
+            "num_channels",
+        }
+        assert 0.0 <= report["suppression_share"] <= 1.0
+        assert 0 <= report["dormancy_rank_of_top_gap"] < report["num_channels"]
+
+    def test_no_carriers_gives_inf_cost(self, tiny_cnn, tiny_dataset, task):
+        # untrained model: no single channel carries the (nonexistent) backdoor
+        report = entanglement_report(
+            tiny_cnn, tiny_cnn.last_conv(), task, tiny_dataset,
+            aa_collapse_threshold=1.1,  # impossible threshold
+        )
+        assert report["carrier_channels"] == []
+        assert report["carrier_ta_cost"] == float("inf")

@@ -1,0 +1,80 @@
+"""Tests for federated fine-tuning of the pruned model."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defense.fine_tune import federated_fine_tune
+from repro.fl.client import Client, LocalTrainingConfig
+
+
+def make_clients(dataset, num_clients, rng):
+    config = LocalTrainingConfig(lr=0.05, momentum=0.9, batch_size=16, local_epochs=1)
+    chunks = np.array_split(rng.permutation(len(dataset)), num_clients)
+    return [
+        Client(i, dataset.subset(chunk), config, np.random.default_rng(100 + i))
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+class TestFederatedFineTune:
+    def test_improves_pruned_model(self, tiny_cnn, tiny_dataset, rng):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=5)
+        # prune half the last conv channels to damage the model
+        layer = tiny_cnn.last_conv()
+        layer.out_mask[:3] = False
+        layer.apply_mask()
+
+        def accuracy(model):
+            logits = model(tiny_dataset.images)
+            return float((logits.argmax(1) == tiny_dataset.labels).mean())
+
+        before = accuracy(tiny_cnn)
+        clients = make_clients(tiny_dataset, 3, rng)
+        result = federated_fine_tune(
+            tiny_cnn, clients, accuracy, max_rounds=5, patience=5
+        )
+        assert accuracy(tiny_cnn) >= before
+        assert result.rounds_run >= 1
+
+    def test_masks_survive_fine_tuning(self, tiny_cnn, tiny_dataset, rng):
+        layer = tiny_cnn.last_conv()
+        layer.out_mask[0] = False
+        layer.apply_mask()
+        clients = make_clients(tiny_dataset, 2, rng)
+        federated_fine_tune(tiny_cnn, clients, lambda m: 0.5, max_rounds=2)
+        assert not layer.out_mask[0]
+        assert (layer.weight.data[0] == 0).all()
+
+    def test_keeps_best_round(self, tiny_cnn, tiny_dataset, rng):
+        """The model ends at the best-accuracy round, not the last."""
+        clients = make_clients(tiny_dataset, 2, rng)
+        accuracies = iter([0.5, 0.9, 0.3, 0.2, 0.1])
+        snapshots = []
+
+        def oracle(model):
+            acc = next(accuracies, 0.1)
+            snapshots.append((acc, model.flat_parameters()))
+            return acc
+
+        federated_fine_tune(
+            tiny_cnn, clients, oracle, max_rounds=4, patience=2
+        )
+        best = max(snapshots, key=lambda pair: pair[0])
+        np.testing.assert_array_equal(tiny_cnn.flat_parameters(), best[1])
+
+    def test_early_stop_on_plateau(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        result = federated_fine_tune(
+            tiny_cnn, clients, lambda m: 0.5, max_rounds=10, patience=2
+        )
+        assert result.rounds_run == 2  # stopped after `patience` flat rounds
+
+    def test_validation(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        with pytest.raises(ValueError):
+            federated_fine_tune(tiny_cnn, clients, lambda m: 1.0, max_rounds=0)
+        with pytest.raises(ValueError):
+            federated_fine_tune(tiny_cnn, [], lambda m: 1.0)

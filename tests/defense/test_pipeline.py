@@ -1,0 +1,103 @@
+"""Tests for the full defense pipeline orchestration."""
+
+import numpy as np
+import pytest
+
+from repro.defense.pipeline import DefenseConfig, DefensePipeline
+from repro.fl.client import Client, LocalTrainingConfig
+
+
+def make_clients(dataset, num_clients, rng):
+    config = LocalTrainingConfig(lr=0.05, momentum=0.5, batch_size=16, local_epochs=1)
+    chunks = np.array_split(rng.permutation(len(dataset)), num_clients)
+    return [
+        Client(i, dataset.subset(chunk), config, np.random.default_rng(50 + i))
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+def accuracy_oracle(dataset):
+    def oracle(model):
+        logits = model(dataset.images)
+        return float((logits.argmax(axis=1) == dataset.labels).mean())
+
+    return oracle
+
+
+class TestDefenseConfig:
+    def test_defaults(self):
+        config = DefenseConfig()
+        assert config.method == "mvp"
+        assert config.fine_tune
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError, match="method"):
+            DefenseConfig(method="magic")
+
+
+class TestDefensePipeline:
+    def test_requires_clients(self, tiny_cnn):
+        with pytest.raises(ValueError, match="at least one client"):
+            DefensePipeline([], lambda m: 1.0)
+
+    @pytest.mark.parametrize("method", ["rap", "mvp"])
+    def test_global_prune_order_is_permutation(
+        self, method, tiny_cnn, tiny_dataset, rng
+    ):
+        clients = make_clients(tiny_dataset, 3, rng)
+        pipeline = DefensePipeline(
+            clients, accuracy_oracle(tiny_dataset), DefenseConfig(method=method)
+        )
+        order = pipeline.global_prune_order(tiny_cnn)
+        channels = tiny_cnn.last_conv().out_channels
+        np.testing.assert_array_equal(np.sort(order), np.arange(channels))
+
+    def test_run_produces_full_report(self, tiny_cnn, tiny_dataset, rng):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=4)
+        clients = make_clients(tiny_dataset, 3, rng)
+        config = DefenseConfig(fine_tune=True, fine_tune_rounds=2)
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset), config)
+        report = pipeline.run(tiny_cnn)
+
+        assert report.pruning is not None
+        assert report.fine_tuning is not None
+        assert report.adjusting is not None
+        assert set(report.stage_seconds) == {"pruning", "fine_tuning", "adjusting"}
+        assert all(v >= 0 for v in report.stage_seconds.values())
+
+    def test_run_without_fine_tune(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        config = DefenseConfig(fine_tune=False)
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset), config)
+        report = pipeline.run(tiny_cnn)
+        assert report.fine_tuning is None
+        assert "fine_tuning" not in report.stage_seconds
+
+    def test_accuracy_preserved_within_thresholds(self, tiny_cnn, tiny_dataset, rng):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=6)
+        oracle = accuracy_oracle(tiny_dataset)
+        before = oracle(tiny_cnn)
+        clients = make_clients(tiny_dataset, 3, rng)
+        config = DefenseConfig(
+            accuracy_drop_threshold=0.02, aw_floor_drop=0.03, fine_tune=False
+        )
+        DefensePipeline(clients, oracle, config).run(tiny_cnn)
+        after = oracle(tiny_cnn)
+        # pruning may drop <= 0.02, AW <= 0.03 more (plus oracle noise)
+        assert after >= before - 0.06
+
+    def test_explicit_target_layer(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        first_conv = tiny_cnn.conv_layers()[0]
+        pipeline = DefensePipeline(
+            clients,
+            accuracy_oracle(tiny_dataset),
+            DefenseConfig(fine_tune=False),
+            layer=first_conv,
+        )
+        order = pipeline.global_prune_order(tiny_cnn)
+        assert order.size == first_conv.out_channels

@@ -1,0 +1,126 @@
+"""Tests for the server-side pruning loop (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.defense.pruning import (
+    client_feedback_accuracy,
+    prune_by_sequence,
+    server_validation_accuracy,
+)
+
+
+class StubAccuracy:
+    """Accuracy oracle scripted by remaining live channels."""
+
+    def __init__(self, layer, schedule):
+        self.layer = layer
+        self.schedule = schedule  # num_pruned -> accuracy
+
+    def __call__(self, model):
+        pruned = int((~self.layer.out_mask).sum())
+        return self.schedule.get(pruned, 0.0)
+
+
+@pytest.fixture
+def conv_model(rng):
+    return nn.Sequential(
+        nn.Conv2d(1, 8, kernel_size=3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Flatten(),
+        nn.Linear(8 * 4 * 4, 3, rng=rng),
+    )
+
+
+class TestPruneBySequence:
+    def test_stops_at_threshold(self, conv_model):
+        layer = conv_model[0]
+        # accuracy holds for 3 prunes then collapses
+        schedule = {0: 0.9, 1: 0.9, 2: 0.895, 3: 0.89, 4: 0.5}
+        oracle = StubAccuracy(layer, schedule)
+        result = prune_by_sequence(
+            conv_model, layer, list(range(8)), oracle, accuracy_drop_threshold=0.02
+        )
+        assert result.num_pruned == 3
+        assert result.stopped_early
+        assert (~layer.out_mask).sum() == 3
+
+    def test_undoes_failing_prune(self, conv_model):
+        layer = conv_model[0]
+        schedule = {0: 0.9, 1: 0.1}
+        result = prune_by_sequence(
+            conv_model, layer, [5], StubAccuracy(layer, schedule), 0.01
+        )
+        assert result.num_pruned == 0
+        assert layer.out_mask[5]  # restored
+
+    def test_prunes_whole_sequence_when_accuracy_holds(self, conv_model):
+        layer = conv_model[0]
+        oracle = lambda model: 0.9
+        result = prune_by_sequence(
+            conv_model, layer, [0, 1, 2], oracle, accuracy_drop_threshold=0.05
+        )
+        assert result.pruned_channels == [0, 1, 2]
+        assert not result.stopped_early
+
+    def test_max_prune_fraction_cap(self, conv_model):
+        layer = conv_model[0]
+        result = prune_by_sequence(
+            conv_model,
+            layer,
+            list(range(8)),
+            lambda m: 1.0,
+            accuracy_drop_threshold=1.0,
+            max_prune_fraction=0.5,
+        )
+        assert result.num_pruned == 4  # 50% of 8
+
+    def test_trace_length_matches(self, conv_model):
+        layer = conv_model[0]
+        result = prune_by_sequence(
+            conv_model, layer, [0, 1], lambda m: 0.8, accuracy_drop_threshold=0.5
+        )
+        assert len(result.accuracy_trace) == result.num_pruned
+
+    def test_pruned_weights_zeroed(self, conv_model):
+        layer = conv_model[0]
+        prune_by_sequence(conv_model, layer, [2], lambda m: 1.0, 0.5)
+        assert (layer.weight.data[2] == 0).all()
+
+    def test_duplicate_channels_rejected(self, conv_model):
+        with pytest.raises(ValueError, match="unique"):
+            prune_by_sequence(conv_model, conv_model[0], [1, 1], lambda m: 1.0)
+
+    def test_out_of_range_rejected(self, conv_model):
+        with pytest.raises(ValueError, match="valid channel"):
+            prune_by_sequence(conv_model, conv_model[0], [99], lambda m: 1.0)
+
+    def test_skips_already_pruned(self, conv_model):
+        layer = conv_model[0]
+        layer.out_mask[3] = False
+        result = prune_by_sequence(conv_model, layer, [3, 4], lambda m: 1.0, 0.5)
+        assert result.pruned_channels == [4]
+
+
+class TestAccuracyOracles:
+    def test_server_validation_oracle(self, tiny_cnn, tiny_dataset):
+        oracle = server_validation_accuracy(tiny_dataset)
+        accuracy = oracle(tiny_cnn)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_client_feedback_median_resists_liars(self, tiny_cnn):
+        class Honest:
+            def accuracy_report(self, model):
+                return 0.8
+
+        class Liar:
+            def accuracy_report(self, model):
+                return 1.0
+
+        clients = [Honest(), Honest(), Honest(), Liar(), Liar()]
+        assert client_feedback_accuracy(clients, tiny_cnn) == 0.8
+
+    def test_client_feedback_empty(self, tiny_cnn):
+        with pytest.raises(ValueError):
+            client_feedback_accuracy([], tiny_cnn)

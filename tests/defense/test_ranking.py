@@ -1,0 +1,145 @@
+"""Tests for RAP/MVP local reports and server aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.defense.ranking import (
+    aggregate_rankings,
+    aggregate_votes,
+    local_prune_votes,
+    local_ranking,
+    mvp_prune_order,
+    rap_prune_order,
+)
+
+activations = arrays(
+    np.float64,
+    st.integers(4, 20),
+    elements=st.floats(0, 10, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestLocalRanking:
+    def test_decreasing_order(self):
+        ranking = local_ranking(np.array([0.1, 0.9, 0.5]))
+        np.testing.assert_array_equal(ranking, [1, 2, 0])
+
+    @given(acts=activations)
+    @settings(max_examples=40, deadline=None)
+    def test_is_permutation_sorted_decreasing(self, acts):
+        ranking = local_ranking(acts)
+        np.testing.assert_array_equal(np.sort(ranking), np.arange(acts.size))
+        sorted_acts = acts[ranking]
+        assert (np.diff(sorted_acts) <= 1e-12).all()
+
+    def test_ties_broken_by_index(self):
+        ranking = local_ranking(np.array([0.5, 0.5, 0.5]))
+        np.testing.assert_array_equal(ranking, [0, 1, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            local_ranking(np.zeros((2, 2)))
+
+
+class TestLocalPruneVotes:
+    def test_budget(self):
+        votes = local_prune_votes(np.arange(10, dtype=float), prune_rate=0.3)
+        assert votes.sum() == 3
+
+    def test_votes_least_active(self):
+        acts = np.array([5.0, 1.0, 4.0, 0.5, 3.0])
+        votes = local_prune_votes(acts, prune_rate=0.4)
+        np.testing.assert_array_equal(np.flatnonzero(votes), [1, 3])
+
+    @given(
+        acts=activations,
+        rate=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_budget_property(self, acts, rate):
+        votes = local_prune_votes(acts, rate)
+        expected = max(1, min(int(round(rate * acts.size)), acts.size - 1))
+        assert votes.sum() == expected
+        assert set(np.unique(votes)) <= {0, 1}
+
+    def test_never_votes_everything(self):
+        votes = local_prune_votes(np.zeros(4), prune_rate=0.99)
+        assert votes.sum() == 3
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="prune_rate"):
+            local_prune_votes(np.zeros(4), prune_rate=1.0)
+
+
+class TestAggregateRankings:
+    def test_mean_positions(self):
+        # two clients, three channels
+        rankings = np.array([[0, 1, 2], [2, 1, 0]])
+        positions = aggregate_rankings(rankings)
+        np.testing.assert_allclose(positions, [1.0, 1.0, 1.0])
+
+    def test_unanimous(self):
+        rankings = np.array([[2, 0, 1], [2, 0, 1]])
+        positions = aggregate_rankings(rankings)
+        np.testing.assert_allclose(positions, [1.0, 2.0, 0.0])
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            aggregate_rankings(np.array([[0, 0, 1]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            aggregate_rankings(np.array([0, 1, 2]))
+
+
+class TestAggregateVotes:
+    def test_shares(self):
+        votes = np.array([[1, 0], [1, 1], [0, 0]])
+        np.testing.assert_allclose(aggregate_votes(votes), [2 / 3, 1 / 3])
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            aggregate_votes(np.array([[0.5, 0.5]]))
+
+
+class TestPruneOrders:
+    def test_rap_least_active_first(self):
+        # channel 0 most active for both clients -> pruned last
+        rankings = np.array([[0, 1, 2], [0, 2, 1]])
+        order = rap_prune_order(rankings)
+        assert order[-1] == 0
+
+    def test_mvp_most_voted_first(self):
+        votes = np.array([[1, 0, 0], [1, 0, 1], [1, 1, 0]])
+        order = mvp_prune_order(votes)
+        assert order[0] == 0
+
+    @given(
+        data=st.data(),
+        num_clients=st.integers(1, 7),
+        channels=st.integers(3, 12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_orders_are_permutations(self, data, num_clients, channels):
+        rankings = np.stack(
+            [
+                np.random.default_rng(data.draw(st.integers(0, 1000))).permutation(
+                    channels
+                )
+                for _ in range(num_clients)
+            ]
+        )
+        order = rap_prune_order(rankings)
+        np.testing.assert_array_equal(np.sort(order), np.arange(channels))
+
+    def test_minority_manipulation_bounded_mvp(self):
+        """One attacker flipping its votes cannot override 9 honest votes."""
+        honest = np.zeros((9, 10), dtype=int)
+        honest[:, [0, 1, 2]] = 1  # all honest clients vote channels 0-2
+        attacker = np.zeros((1, 10), dtype=int)
+        attacker[:, [7, 8, 9]] = 1
+        order = mvp_prune_order(np.vstack([honest, attacker]))
+        assert set(order[:3].tolist()) == {0, 1, 2}

@@ -1,0 +1,61 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poison import BackdoorTask
+from repro.attacks.triggers import pixel_pattern
+from repro.data.dataset import Dataset
+from repro.eval.metrics import attack_success_rate, predict
+from repro.eval.metrics import test_accuracy as accuracy_of  # alias: bare name would be collected as a test
+
+
+class TestPredict:
+    def test_batching_consistent(self, tiny_cnn, tiny_dataset):
+        a = predict(tiny_cnn, tiny_dataset.images, batch_size=7)
+        b = predict(tiny_cnn, tiny_dataset.images, batch_size=60)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_input(self, tiny_cnn):
+        out = predict(tiny_cnn, np.zeros((0, 1, 8, 8)))
+        assert out.shape == (0,)
+
+    def test_restores_training_mode(self, tiny_cnn, tiny_dataset):
+        tiny_cnn.train()
+        predict(tiny_cnn, tiny_dataset.images)
+        assert tiny_cnn.training
+
+
+class TestTestAccuracy:
+    def test_training_beats_chance(self, tiny_cnn, tiny_dataset):
+        from tests.conftest import train_tiny
+
+        train_tiny(tiny_cnn, tiny_dataset, epochs=10)
+        # random 8x8 noise over 5 classes: memorization beats 20% chance
+        assert accuracy_of(tiny_cnn, tiny_dataset) > 0.3
+
+    def test_range(self, tiny_cnn, tiny_dataset):
+        acc = accuracy_of(tiny_cnn, tiny_dataset)
+        assert 0.0 <= acc <= 1.0
+
+    def test_empty_rejected(self, tiny_cnn):
+        empty = Dataset(np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int))
+        with pytest.raises(ValueError, match="empty"):
+            accuracy_of(tiny_cnn, empty)
+
+
+class TestAttackSuccessRate:
+    def test_equals_accuracy_on_triggered_victims(self, tiny_cnn, tiny_dataset):
+        task = BackdoorTask(pixel_pattern(3, 8), victim_label=4, attack_label=1)
+        asr = attack_success_rate(tiny_cnn, task, tiny_dataset)
+        assert 0.0 <= asr <= 1.0
+
+    def test_backdoored_model_scores_high(self, tiny_cnn, tiny_dataset, rng):
+        """Train the model on poisoned data; ASR should be near 1."""
+        from repro.attacks.poison import poison_dataset
+        from tests.conftest import train_tiny
+
+        task = BackdoorTask(pixel_pattern(5, 8), victim_label=4, attack_label=1)
+        poisoned = poison_dataset(tiny_dataset, task, rng=rng)
+        train_tiny(tiny_cnn, poisoned, epochs=10)
+        assert attack_success_rate(tiny_cnn, task, tiny_dataset) > 0.7

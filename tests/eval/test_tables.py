@@ -1,0 +1,75 @@
+"""Tests for table rendering."""
+
+from repro.eval.tables import TableResult, format_table, percent
+
+
+class TestPercent:
+    def test_formats(self):
+        assert percent(0.983) == "98.3"
+        assert percent(1.0) == "100.0"
+        assert percent(0.04667, digits=2) == "4.67"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        rendered = format_table(rows)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+        # all lines equal width structure (header, divider, 2 rows)
+        assert len(lines) == 4
+
+    def test_explicit_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        rendered = format_table(rows, columns=["b", "a"])
+        header = rendered.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        rendered = format_table(rows, columns=["a", "b"])
+        assert rendered  # no KeyError
+
+    def test_float_formatting(self):
+        rendered = format_table([{"x": 0.123456}])
+        assert "0.123" in rendered
+
+
+class TestTableResult:
+    def test_str_includes_everything(self):
+        result = TableResult(
+            "tab1",
+            "A Title",
+            [{"col": 1.0}],
+            summary={"metric": 0.5, "count": 3},
+        )
+        text = str(result)
+        assert "tab1" in text
+        assert "A Title" in text
+        assert "metric: 0.5000" in text
+        assert "count: 3" in text
+
+    def test_str_without_summary(self):
+        result = TableResult("f", "t", [{"x": 1}])
+        assert "summary" not in str(result)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip(self):
+        import numpy as np
+
+        result = TableResult(
+            "t", "title", [{"a": np.float64(0.5), "b": 1}], {"m": np.int64(3)}
+        )
+        restored = TableResult.from_json(result.to_json())
+        assert restored.experiment_id == "t"
+        assert restored.rows == [{"a": 0.5, "b": 1}]
+        assert restored.summary == {"m": 3}
+
+    def test_infinity_coerced(self):
+        result = TableResult("t", "x", [{"cost": float("inf")}])
+        assert '"inf"' in result.to_json()

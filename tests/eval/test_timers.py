@@ -1,0 +1,40 @@
+"""Tests for the stage timer."""
+
+import time
+
+import pytest
+
+from repro.eval.timers import StageTimer
+
+
+class TestStageTimer:
+    def test_measures_elapsed(self):
+        timer = StageTimer()
+        with timer.stage("work"):
+            time.sleep(0.02)
+        assert timer.seconds["work"] >= 0.015
+
+    def test_accumulates_same_stage(self):
+        timer = StageTimer()
+        with timer.stage("w"):
+            time.sleep(0.01)
+        with timer.stage("w"):
+            time.sleep(0.01)
+        assert timer.seconds["w"] >= 0.018
+
+    def test_total(self):
+        timer = StageTimer()
+        timer.add("a", 1.0)
+        timer.add("b", 2.0)
+        assert timer.total() == pytest.approx(3.0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_exception_still_records(self):
+        timer = StageTimer()
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("x")
+        assert "boom" in timer.seconds

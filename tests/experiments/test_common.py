@@ -1,0 +1,97 @@
+"""Integration tests for the experiment harness (SMOKE scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    FederatedSetup,
+    build_setup,
+    clone_model,
+    evaluate_modes,
+)
+from repro.experiments.scale import SMOKE
+from repro.fl.client import MaliciousClient
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """One shared smoke-scale training run for all tests in this module."""
+    return build_setup("mnist", SMOKE, seed=11)
+
+
+class TestBuildSetup:
+    def test_population_and_attacker(self, setup):
+        assert len(setup.clients) == SMOKE.num_clients
+        assert isinstance(setup.clients[0], MaliciousClient)
+        assert sum(isinstance(c, MaliciousClient) for c in setup.clients) == 1
+
+    def test_history_length(self, setup):
+        assert len(setup.history) == SMOKE.rounds
+
+    def test_attacker_holds_victim_data(self, setup):
+        attacker = setup.clients[0]
+        assert (attacker.dataset.labels == setup.eval_task.victim_label).sum() > 0
+
+    def test_metrics_in_range(self, setup):
+        ta, aa = setup.metrics()
+        assert 0.0 <= ta <= 1.0
+        assert 0.0 <= aa <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = build_setup("mnist", SMOKE, seed=5, rounds=1)
+        b = build_setup("mnist", SMOKE, seed=5, rounds=1)
+        np.testing.assert_allclose(
+            a.model.flat_parameters(), b.model.flat_parameters()
+        )
+
+    def test_dba_forces_four_attackers(self):
+        setup = build_setup("mnist", SMOKE, dba=True, seed=7, rounds=1)
+        attackers = [c for c in setup.clients if isinstance(c, MaliciousClient)]
+        assert len(attackers) == 4
+        # each attacker trains with its own local bar pattern
+        masks = [a.task.trigger.mask for a in attackers]
+        union = np.zeros_like(masks[0])
+        for m in masks:
+            union |= m
+        np.testing.assert_array_equal(union, setup.eval_task.trigger.mask)
+
+    def test_training_seconds_recorded(self, setup):
+        assert setup.training_seconds > 0
+
+
+class TestCloneModel:
+    def test_clone_is_independent(self, setup):
+        clone = clone_model(setup.model)
+        clone.parameters()[0].data += 1.0
+        assert not np.allclose(
+            clone.flat_parameters(), setup.model.flat_parameters()
+        )
+
+    def test_clone_preserves_masks(self, setup):
+        layer = setup.model.last_conv()
+        layer.out_mask[0] = False
+        clone = clone_model(setup.model)
+        assert not clone.last_conv().out_mask[0]
+        layer.out_mask[0] = True
+
+
+class TestEvaluateModes:
+    def test_all_modes_present(self, setup):
+        results = evaluate_modes(setup)
+        assert set(results) == {"training", "fp", "fp_aw", "all"}
+        for ta, aa in results.values():
+            assert 0.0 <= ta <= 1.0
+            assert 0.0 <= aa <= 1.0
+
+    def test_subset_of_modes(self, setup):
+        results = evaluate_modes(setup, modes=("training",))
+        assert set(results) == {"training"}
+
+    def test_unknown_mode_rejected(self, setup):
+        with pytest.raises(ValueError, match="unknown modes"):
+            evaluate_modes(setup, modes=("training", "magic"))
+
+    def test_original_model_untouched(self, setup):
+        before = setup.model.flat_parameters()
+        evaluate_modes(setup, modes=("fp",))
+        np.testing.assert_array_equal(setup.model.flat_parameters(), before)

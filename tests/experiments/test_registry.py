@@ -1,0 +1,48 @@
+"""Tests for the experiment registry and CLI plumbing."""
+
+import pytest
+
+from repro.eval.tables import TableResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.scale import SMOKE
+
+EXPECTED_IDS = {
+    "fig3", "table1", "table2", "table3", "table4", "table5",
+    "fig5", "table6", "fig6", "table7", "fig7", "fig8", "fig9", "fig10",
+    "ablation_prune_rate", "ablation_gamma", "ablation_clipping",
+    "ablation_localization",
+}
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == EXPECTED_IDS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("table99", SMOKE)
+
+    def test_run_one_smoke_experiment(self):
+        """fig6 is one of the cheapest: one training run + sweeps."""
+        result = run_experiment("fig6", SMOKE, seed=13)
+        assert isinstance(result, TableResult)
+        assert result.experiment_id == "fig6"
+        assert result.rows
+
+
+class TestCLI:
+    def test_parser_defaults(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "bench"
+        assert args.seed == 42
+
+    def test_cli_runs_smoke_experiment(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig6", "--scale", "smoke", "--seed", "13"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6" in output
+        assert "finished in" in output

@@ -1,0 +1,30 @@
+"""Tests for experiment scale presets."""
+
+import pytest
+
+from repro.experiments.scale import BENCH, PAPER, SMOKE, get_scale
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_scale("smoke") is SMOKE
+        assert get_scale("bench") is BENCH
+        assert get_scale("paper") is PAPER
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            get_scale("huge")
+
+    def test_ordering(self):
+        """Presets grow monotonically in budget."""
+        assert SMOKE.num_samples < BENCH.num_samples < PAPER.num_samples
+        assert SMOKE.rounds < BENCH.rounds < PAPER.rounds
+
+    def test_dataset_specific_knobs(self):
+        assert BENCH.samples_for("cifar") == BENCH.cifar_samples
+        assert BENCH.samples_for("mnist") == BENCH.num_samples
+        assert BENCH.rounds_for("cifar") == BENCH.cifar_rounds
+
+    def test_image_size_compatible_with_pooling(self):
+        for preset in (SMOKE, BENCH, PAPER):
+            assert preset.image_size % 16 == 0  # vgg_small pools 4 times

@@ -1,0 +1,66 @@
+"""Tests for experiment grid selectors (scale -> rows to run)."""
+
+from repro.experiments import (
+    fig3_distributions,
+    fig7_client_sampling,
+    fig8_num_attackers,
+    table1_mnist,
+    table2_fashion,
+    table3_cifar_dba,
+    table4_neural_cleanse,
+    table5_pruning_methods,
+    table6_adjust_weights,
+    table7_patterns,
+)
+from repro.experiments.scale import BENCH, PAPER, SMOKE
+
+
+class TestTargetGrids:
+    def test_paper_scale_runs_full_grids(self):
+        assert len(table1_mnist.target_pairs(PAPER)) == 18
+        assert len(table5_pruning_methods.target_pairs(PAPER)) == 18
+        assert len(table6_adjust_weights.target_pairs(PAPER)) == 18
+        assert len(table2_fashion.target_pairs(PAPER)) == 9
+        assert len(table3_cifar_dba.target_pairs(PAPER)) == 9
+        assert len(table7_patterns.patterns_for(PAPER)) == 5
+
+    def test_smaller_scales_run_subsets(self):
+        for module in (table1_mnist, table5_pruning_methods, table2_fashion):
+            assert len(module.target_pairs(SMOKE)) <= len(
+                module.target_pairs(BENCH)
+            ) <= len(module.target_pairs(PAPER))
+
+    def test_pairs_are_valid(self):
+        for victim, attack in table1_mnist.target_pairs(PAPER):
+            assert 0 <= victim <= 9
+            assert 0 <= attack <= 9
+            assert victim != attack
+
+    def test_table3_victim_is_truck(self):
+        for victim, _ in table3_cifar_dba.target_pairs(PAPER):
+            assert victim == 9  # CIFAR "truck"
+
+    def test_fig3_distributions(self):
+        assert fig3_distributions.distributions_for(PAPER) == [3, 5, 7]
+
+    def test_fig7_sampling_sizes(self):
+        assert fig7_client_sampling.sampling_sizes_for(PAPER) == [5, 10, 15, 20, 25]
+
+    def test_fig8_attacker_counts_increase(self):
+        counts = fig8_num_attackers.attacker_counts_for(PAPER)
+        assert counts == sorted(counts)
+        assert counts[0] >= 1
+
+    def test_table4_datasets(self):
+        assert table4_neural_cleanse.datasets_for(PAPER) == [
+            "mnist",
+            "fashion",
+            "cifar",
+        ]
+        assert table4_neural_cleanse.datasets_for(SMOKE) == ["mnist"]
+
+    def test_table7_patterns_are_valid(self):
+        from repro.attacks.triggers import PIXEL_PATTERN_OFFSETS
+
+        for pixels in table7_patterns.patterns_for(PAPER):
+            assert pixels in PIXEL_PATTERN_OFFSETS

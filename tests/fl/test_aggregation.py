@@ -1,0 +1,155 @@
+"""Tests for aggregation rules, incl. hypothesis robustness properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.fl.aggregation import (
+    bulyan,
+    coordinate_median,
+    fedavg,
+    krum,
+    multi_krum,
+    trimmed_mean,
+    weighted_fedavg,
+)
+
+finite_floats = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+
+
+def update_matrix(min_clients=3, max_clients=8, dim=4):
+    return arrays(
+        np.float64,
+        st.tuples(st.integers(min_clients, max_clients), st.just(dim)),
+        elements=finite_floats,
+    )
+
+
+class TestFedAvg:
+    def test_mean(self):
+        updates = np.array([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_allclose(fedavg(updates), [2.0, 3.0])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="matrix"):
+            fedavg(np.zeros(5))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            fedavg(np.zeros((0, 3)))
+
+    @given(updates=update_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_within_convex_hull_per_coordinate(self, updates):
+        agg = fedavg(updates)
+        assert (agg >= updates.min(axis=0) - 1e-9).all()
+        assert (agg <= updates.max(axis=0) + 1e-9).all()
+
+
+class TestWeightedFedAvg:
+    def test_weighting(self):
+        updates = np.array([[0.0], [10.0]])
+        agg = weighted_fedavg(updates, np.array([3.0, 1.0]))
+        np.testing.assert_allclose(agg, [2.5])
+
+    def test_equal_weights_match_fedavg(self, rng):
+        updates = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            weighted_fedavg(updates, np.ones(4)), fedavg(updates)
+        )
+
+    def test_invalid_weights(self, rng):
+        updates = rng.standard_normal((3, 2))
+        with pytest.raises(ValueError, match="does not match"):
+            weighted_fedavg(updates, np.ones(4))
+        with pytest.raises(ValueError, match="non-negative"):
+            weighted_fedavg(updates, np.array([1.0, -1.0, 1.0]))
+
+
+class TestMedianAndTrimmedMean:
+    def test_median_ignores_single_outlier(self):
+        updates = np.array([[0.0], [0.1], [-0.1], [1e9]])
+        assert abs(coordinate_median(updates)[0]) < 0.2
+
+    def test_trimmed_mean_ignores_extremes(self):
+        updates = np.array([[0.0], [0.1], [-0.1], [0.05], [1e9]])
+        agg = trimmed_mean(updates, trim_ratio=0.2)
+        assert abs(agg[0]) < 0.2
+
+    def test_trimmed_mean_zero_ratio_is_mean(self, rng):
+        updates = rng.standard_normal((5, 3))
+        np.testing.assert_allclose(trimmed_mean(updates, 0.0), fedavg(updates))
+
+    def test_trim_ratio_bounds(self, rng):
+        with pytest.raises(ValueError):
+            trimmed_mean(rng.standard_normal((4, 2)), trim_ratio=0.5)
+
+    @given(updates=update_matrix(min_clients=5))
+    @settings(max_examples=30, deadline=None)
+    def test_median_within_range(self, updates):
+        agg = coordinate_median(updates)
+        assert (agg >= updates.min(axis=0) - 1e-9).all()
+        assert (agg <= updates.max(axis=0) + 1e-9).all()
+
+
+class TestKrum:
+    def test_returns_a_member(self, rng):
+        updates = rng.standard_normal((6, 4))
+        agg = krum(updates, num_byzantine=1)
+        assert any(np.array_equal(agg, u) for u in updates)
+
+    def test_rejects_far_outlier(self):
+        cluster = np.random.default_rng(0).normal(0, 0.1, (5, 3))
+        updates = np.vstack([cluster, np.full((1, 3), 1e6)])
+        agg = krum(updates, num_byzantine=1)
+        assert np.abs(agg).max() < 1.0
+
+    def test_too_few_clients(self, rng):
+        with pytest.raises(ValueError, match="krum needs"):
+            krum(rng.standard_normal((3, 2)), num_byzantine=2)
+
+    def test_multi_krum_averages_selection(self, rng):
+        updates = rng.standard_normal((6, 4))
+        agg = multi_krum(updates, num_byzantine=1, num_selected=3)
+        assert agg.shape == (4,)
+
+    def test_multi_krum_selection_bounds(self, rng):
+        with pytest.raises(ValueError, match="num_selected"):
+            multi_krum(rng.standard_normal((4, 2)), num_selected=5)
+
+
+class TestBulyan:
+    def test_rejects_outlier(self):
+        cluster = np.random.default_rng(1).normal(0, 0.1, (7, 3))
+        updates = np.vstack([cluster, np.full((1, 3), 1e6)])
+        agg = bulyan(updates, num_byzantine=1)
+        assert np.abs(agg).max() < 1.0
+
+    def test_no_byzantine_reduces_sanely(self, rng):
+        updates = rng.standard_normal((5, 3))
+        agg = bulyan(updates, num_byzantine=0)
+        assert (agg >= updates.min(axis=0) - 1e-9).all()
+        assert (agg <= updates.max(axis=0) + 1e-9).all()
+
+    def test_infeasible_committee(self, rng):
+        with pytest.raises(ValueError, match="bulyan needs"):
+            bulyan(rng.standard_normal((4, 2)), num_byzantine=2)
+
+
+class TestBackdoorSurvivesRobustRules:
+    """The paper's observation: byzantine-robust rules do not stop a
+    model-replacement backdoor whose update direction looks 'central'
+    under non-IID updates.  We verify the weaker statistical fact they
+    rely on: with high inter-client variance, a single crafted update
+    shifts even the median noticeably."""
+
+    def test_median_shift_under_noniid_variance(self):
+        rng = np.random.default_rng(7)
+        benign = rng.normal(0, 1.0, (9, 50))  # high variance = non-IID
+        attacker = np.full((1, 50), 1.5)  # inside the benign spread
+        with_attack = coordinate_median(np.vstack([benign, attacker]))
+        without = coordinate_median(benign)
+        shift = np.abs(with_attack - without).mean()
+        assert shift > 0.05

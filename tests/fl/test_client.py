@@ -1,0 +1,141 @@
+"""Tests for benign and malicious federated clients."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poison import BackdoorTask
+from repro.attacks.triggers import pixel_pattern
+from repro.data.dataset import Dataset
+from repro.fl.client import Client, LocalTrainingConfig, MaliciousClient
+
+
+@pytest.fixture
+def config():
+    return LocalTrainingConfig(lr=0.05, momentum=0.0, batch_size=16, local_epochs=1)
+
+
+@pytest.fixture
+def task():
+    return BackdoorTask(pixel_pattern(3, 8), victim_label=4, attack_label=0)
+
+
+@pytest.fixture
+def local_data(rng):
+    images = rng.random((40, 1, 8, 8)) * 0.5
+    labels = np.repeat(np.arange(5), 8)
+    return Dataset(images, labels)
+
+
+class TestBenignClient:
+    def test_local_update_shape(self, tiny_cnn, local_data, config, rng):
+        client = Client(0, local_data, config, rng)
+        params = tiny_cnn.flat_parameters()
+        delta = client.local_update(tiny_cnn, params)
+        assert delta.shape == params.shape
+        assert np.abs(delta).max() > 0  # training moved something
+
+    def test_update_is_delta_from_global(self, tiny_cnn, local_data, config, rng):
+        client = Client(0, local_data, config, rng)
+        params = tiny_cnn.flat_parameters()
+        delta = client.local_update(tiny_cnn, params)
+        np.testing.assert_allclose(
+            tiny_cnn.flat_parameters(), params + delta, atol=1e-6
+        )
+
+    def test_empty_dataset_zero_update(self, tiny_cnn, config, rng):
+        empty = Dataset(np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=int))
+        client = Client(0, empty, config, rng)
+        params = tiny_cnn.flat_parameters()
+        np.testing.assert_array_equal(client.local_update(tiny_cnn, params), 0.0)
+
+    def test_ranking_report_is_permutation(self, tiny_cnn, local_data, config, rng):
+        client = Client(0, local_data, config, rng)
+        layer = tiny_cnn.last_conv()
+        ranking = client.ranking_report(tiny_cnn, layer)
+        np.testing.assert_array_equal(
+            np.sort(ranking), np.arange(layer.out_channels)
+        )
+
+    def test_vote_report_budget(self, tiny_cnn, local_data, config, rng):
+        client = Client(0, local_data, config, rng)
+        votes = client.vote_report(tiny_cnn, tiny_cnn.last_conv(), prune_rate=0.5)
+        assert votes.sum() == 3  # 50% of 6 channels
+
+    def test_accuracy_report_in_range(self, tiny_cnn, local_data, config, rng):
+        client = Client(0, local_data, config, rng)
+        assert 0.0 <= client.accuracy_report(tiny_cnn) <= 1.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LocalTrainingConfig(local_epochs=0)
+
+
+class TestMaliciousClient:
+    def test_gamma_scales_update(self, tiny_cnn, local_data, config, task):
+        params = tiny_cnn.flat_parameters()
+        base = MaliciousClient(
+            0, local_data, config, np.random.default_rng(0), task, gamma=1.0
+        )
+        amplified = MaliciousClient(
+            0, local_data, config, np.random.default_rng(0), task, gamma=4.0
+        )
+        delta1 = base.local_update(tiny_cnn, params.copy())
+        delta4 = amplified.local_update(tiny_cnn, params.copy())
+        np.testing.assert_allclose(delta4, 4.0 * delta1, rtol=1e-4, atol=1e-5)
+
+    def test_trains_on_poisoned_data(self, local_data, config, task, rng):
+        client = MaliciousClient(0, local_data, config, rng, task)
+        data = client._training_data()
+        assert len(data) > len(local_data)  # poisoned copies appended
+
+    def test_attack_start_round_defers(self, tiny_cnn, local_data, config, task):
+        client = MaliciousClient(
+            0,
+            local_data,
+            config,
+            np.random.default_rng(0),
+            task,
+            gamma=5.0,
+            attack_start_round=3,
+        )
+        params = tiny_cnn.flat_parameters()
+        client.local_update(tiny_cnn, params.copy(), round_index=1)
+        assert not client._attacking_now
+        client.local_update(tiny_cnn, params.copy(), round_index=3)
+        assert client._attacking_now
+
+    def test_no_round_index_means_attack(self, tiny_cnn, local_data, config, task, rng):
+        client = MaliciousClient(
+            0, local_data, config, rng, task, attack_start_round=100
+        )
+        client.local_update(tiny_cnn, tiny_cnn.flat_parameters())
+        assert client._attacking_now
+
+    def test_lies_about_accuracy(self, tiny_cnn, local_data, config, task, rng):
+        client = MaliciousClient(0, local_data, config, rng, task)
+        assert client.accuracy_report(tiny_cnn) == 1.0
+
+    def test_rank_attack_changes_report(self, tiny_cnn, local_data, config, task):
+        honest = MaliciousClient(
+            0, local_data, config, np.random.default_rng(0), task, rank_attack=False
+        )
+        attacking = MaliciousClient(
+            0, local_data, config, np.random.default_rng(0), task, rank_attack=True
+        )
+        layer = tiny_cnn.last_conv()
+        honest_rank = honest.ranking_report(tiny_cnn, layer)
+        attacked_rank = attacking.ranking_report(tiny_cnn, layer)
+        # both are permutations; the attacked one fronts the protected
+        # channel (which may coincide with the honest front)
+        np.testing.assert_array_equal(np.sort(attacked_rank), np.sort(honest_rank))
+        protected = attacking._protected_channels(tiny_cnn, layer)
+        assert attacked_rank[0] == protected[0]
+
+    def test_self_limit_clips_weights(self, tiny_cnn, local_data, config, task, rng):
+        client = MaliciousClient(
+            0, local_data, config, rng, task, self_limit_delta=1.0
+        )
+        client.local_update(tiny_cnn, tiny_cnn.flat_parameters())
+        w = tiny_cnn.last_conv().weight.data
+        # weights clamped within ~1 sigma of the post-training distribution
+        assert w.max() <= w.mean() + 3.0 * w.std() + 1e-6

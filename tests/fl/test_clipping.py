@@ -1,0 +1,74 @@
+"""Tests for the norm-clipping training-phase defense."""
+
+import numpy as np
+import pytest
+
+from repro.fl.clipping import clip_updates, clipped_fedavg, median_norm_budget
+
+
+class TestMedianNormBudget:
+    def test_median(self):
+        updates = np.array([[3.0, 4.0], [0.0, 1.0], [0.0, 2.0]])  # norms 5,1,2
+        assert median_norm_budget(updates) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median_norm_budget(np.zeros((0, 3)))
+
+
+class TestClipUpdates:
+    def test_large_rows_scaled_to_budget(self):
+        updates = np.array([[3.0, 4.0], [0.3, 0.4]])
+        clipped = clip_updates(updates, budget=1.0)
+        np.testing.assert_allclose(np.linalg.norm(clipped[0]), 1.0)
+        np.testing.assert_allclose(clipped[1], [0.3, 0.4])  # within budget
+
+    def test_direction_preserved(self, rng):
+        update = rng.standard_normal((1, 10)) * 100
+        clipped = clip_updates(update, budget=1.0)
+        cosine = (update @ clipped.T) / (
+            np.linalg.norm(update) * np.linalg.norm(clipped)
+        )
+        assert cosine[0, 0] == pytest.approx(1.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            clip_updates(np.ones((2, 2)), budget=0.0)
+
+
+class TestClippedFedAvg:
+    def test_neutralizes_amplified_update(self):
+        """A gamma-amplified malicious delta is reduced to benign scale."""
+        rng = np.random.default_rng(0)
+        benign = rng.normal(0, 0.1, (9, 20))
+        malicious = benign[0] * 30.0  # model-replacement-style amplification
+        updates = np.vstack([benign, malicious[None]])
+
+        plain = np.linalg.norm(
+            updates.mean(axis=0) - benign.mean(axis=0)
+        )
+        aggregate = clipped_fedavg()  # adaptive median budget
+        clipped = np.linalg.norm(
+            aggregate(updates) - benign.mean(axis=0)
+        )
+        assert clipped < plain / 3.0
+
+    def test_noise_added(self):
+        rng = np.random.default_rng(1)
+        aggregate = clipped_fedavg(budget=10.0, noise_std=0.5, rng=rng)
+        updates = np.zeros((4, 50))
+        out = aggregate(updates)
+        assert out.std() > 0.2  # pure noise
+
+    def test_zero_noise_deterministic(self):
+        aggregate = clipped_fedavg(budget=1.0)
+        updates = np.ones((3, 4))
+        np.testing.assert_array_equal(aggregate(updates), aggregate(updates))
+
+    def test_noise_requires_rng(self):
+        with pytest.raises(ValueError, match="requires an rng"):
+            clipped_fedavg(noise_std=0.1)
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            clipped_fedavg(noise_std=-1.0)

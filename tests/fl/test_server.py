@@ -1,0 +1,96 @@
+"""Tests for the federated server round loop."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.poison import BackdoorTask
+from repro.attacks.triggers import pixel_pattern
+from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.server import FederatedServer
+
+
+def make_clients(dataset, num_clients, rng, local_epochs=1):
+    config = LocalTrainingConfig(
+        lr=0.05, momentum=0.5, batch_size=16, local_epochs=local_epochs
+    )
+    chunks = np.array_split(rng.permutation(len(dataset)), num_clients)
+    return [
+        Client(i, dataset.subset(chunk), config, np.random.default_rng(70 + i))
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+class TestFederatedServer:
+    def test_training_improves_accuracy(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 3, rng)
+        server = FederatedServer(tiny_cnn, clients, tiny_dataset)
+        history = server.train(6)
+        assert history.rounds[-1].test_acc > history.rounds[0].test_acc - 0.05
+        assert len(history) == 6
+
+    def test_backdoor_metric_logged(self, tiny_cnn, tiny_dataset, rng):
+        task = BackdoorTask(pixel_pattern(3, 8), victim_label=4, attack_label=0)
+        clients = make_clients(tiny_dataset, 2, rng)
+        server = FederatedServer(tiny_cnn, clients, tiny_dataset, backdoor_task=task)
+        history = server.train(1)
+        assert history.rounds[0].attack_acc is not None
+
+    def test_no_backdoor_metric_when_no_task(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        server = FederatedServer(tiny_cnn, clients, tiny_dataset)
+        history = server.train(1)
+        assert history.rounds[0].attack_acc is None
+        assert history.attack_accuracies == []
+
+    def test_client_sampling(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 4, rng)
+        server = FederatedServer(
+            tiny_cnn,
+            clients,
+            tiny_dataset,
+            clients_per_round=2,
+            rng=np.random.default_rng(0),
+        )
+        selected = server.select_clients()
+        assert len(selected) == 2
+        assert len({c.client_id for c in selected}) == 2
+
+    def test_sampling_requires_rng(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 3, rng)
+        with pytest.raises(ValueError, match="requires an rng"):
+            FederatedServer(tiny_cnn, clients, tiny_dataset, clients_per_round=2)
+
+    def test_sampling_bounds(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 3, rng)
+        with pytest.raises(ValueError, match="clients_per_round"):
+            FederatedServer(
+                tiny_cnn,
+                clients,
+                tiny_dataset,
+                clients_per_round=9,
+                rng=np.random.default_rng(0),
+            )
+
+    def test_needs_clients_and_rounds(self, tiny_cnn, tiny_dataset, rng):
+        with pytest.raises(ValueError, match="at least one client"):
+            FederatedServer(tiny_cnn, [], tiny_dataset)
+        clients = make_clients(tiny_dataset, 2, rng)
+        server = FederatedServer(tiny_cnn, clients, tiny_dataset)
+        with pytest.raises(ValueError, match="num_rounds"):
+            server.train(0)
+
+    def test_custom_aggregation_rule(self, tiny_cnn, tiny_dataset, rng):
+        from repro.fl.aggregation import coordinate_median
+
+        clients = make_clients(tiny_dataset, 3, rng)
+        server = FederatedServer(
+            tiny_cnn, clients, tiny_dataset, aggregate=coordinate_median
+        )
+        history = server.train(1)
+        assert len(history) == 1
+
+    def test_history_final_empty_raises(self):
+        from repro.fl.server import TrainingHistory
+
+        with pytest.raises(ValueError):
+            TrainingHistory().final

@@ -1,0 +1,77 @@
+"""Tests for BatchNorm2d."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import check_layer_gradients
+
+
+class TestBatchNorm2d:
+    def test_training_output_normalized(self, rng):
+        layer = nn.BatchNorm2d(3)
+        x = rng.normal(5.0, 2.0, (8, 3, 4, 4))
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_affine_applied(self, rng):
+        layer = nn.BatchNorm2d(2)
+        layer.gamma.data[...] = [2.0, 3.0]
+        layer.beta.data[...] = [1.0, -1.0]
+        x = rng.normal(0.0, 1.0, (16, 2, 3, 3))
+        out = layer(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), [1.0, -1.0], atol=1e-6)
+
+    def test_running_stats_converge(self, rng):
+        layer = nn.BatchNorm2d(1, momentum=0.5)
+        for _ in range(20):
+            layer(rng.normal(4.0, 1.0, (32, 1, 2, 2)))
+        assert layer.running_mean[0] == pytest.approx(4.0, abs=0.3)
+        assert layer.running_var[0] == pytest.approx(1.0, abs=0.3)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = nn.BatchNorm2d(1)
+        layer.running_mean[...] = 10.0
+        layer.running_var[...] = 4.0
+        layer.eval()
+        x = np.full((2, 1, 2, 2), 12.0)
+        out = layer(x)
+        np.testing.assert_allclose(out, (12.0 - 10.0) / 2.0, atol=1e-3)
+
+    def test_eval_does_not_update_running_stats(self, rng):
+        layer = nn.BatchNorm2d(2)
+        layer.eval()
+        before = layer.running_mean.copy()
+        layer(rng.normal(9.0, 1.0, (4, 2, 3, 3)))
+        np.testing.assert_array_equal(layer.running_mean, before)
+
+    def test_training_gradients(self, rng):
+        layer = nn.BatchNorm2d(2)
+        x = rng.standard_normal((4, 2, 3, 3)) * 2.0 + 1.0
+        errors = check_layer_gradients(layer, x, rng)
+        assert max(errors.values()) < 1e-4
+
+    def test_eval_gradients(self, rng):
+        layer = nn.BatchNorm2d(2)
+        layer.running_mean[...] = rng.normal(size=2)
+        layer.running_var[...] = np.abs(rng.normal(size=2)) + 0.5
+        layer.eval()
+        errors = check_layer_gradients(layer, rng.standard_normal((3, 2, 3, 3)), rng)
+        assert max(errors.values()) < 1e-5
+
+    def test_shape_validation(self, rng):
+        layer = nn.BatchNorm2d(3)
+        with pytest.raises(ValueError, match="expected"):
+            layer(rng.random((2, 4, 3, 3)))
+
+    def test_parameters_registered(self):
+        layer = nn.BatchNorm2d(5)
+        names = [name for name, _ in layer.named_parameters()]
+        assert "gamma" in names and "beta" in names
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            nn.BatchNorm2d(3, momentum=0.0)

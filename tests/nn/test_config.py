@@ -1,0 +1,41 @@
+"""Tests for the global dtype configuration."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.config import get_default_dtype, set_default_dtype
+
+
+class TestDtypeConfig:
+    def test_default_is_float32(self):
+        assert get_default_dtype() == np.float32
+
+    def test_parameters_follow_default(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        assert layer.weight.data.dtype == get_default_dtype()
+
+    def test_switch_and_restore(self, rng):
+        set_default_dtype(np.float64)
+        try:
+            layer = nn.Linear(3, 2, rng=rng)
+            assert layer.weight.data.dtype == np.float64
+        finally:
+            set_default_dtype(np.float32)
+        layer32 = nn.Linear(3, 2, rng=rng)
+        assert layer32.weight.data.dtype == np.float32
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(ValueError):
+            set_default_dtype(np.int32)
+
+    def test_forward_stays_in_default_dtype(self, tiny_cnn, rng):
+        x = rng.random((2, 1, 8, 8)).astype(get_default_dtype())
+        out = tiny_cnn(x)
+        assert out.dtype == get_default_dtype()
+
+    def test_dataset_casts_images(self, rng):
+        from repro.data.dataset import Dataset
+
+        ds = Dataset(rng.random((3, 1, 4, 4)).astype(np.float64), np.zeros(3, dtype=int))
+        assert ds.images.dtype == get_default_dtype()

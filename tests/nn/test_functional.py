@@ -1,0 +1,149 @@
+"""Tests for repro.nn.functional: im2col/col2im, softmax, one-hot."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(28, 5, 1, 2) == 28
+
+    def test_stride(self):
+        assert F.conv_output_size(8, 2, 2, 0) == 4
+
+    def test_kernel_too_large(self):
+        with pytest.raises(ValueError, match="larger than padded input"):
+            F.conv_output_size(3, 5, 1, 0)
+
+    def test_non_tiling_window(self):
+        with pytest.raises(ValueError, match="does not tile"):
+            F.conv_output_size(7, 2, 2, 0)
+
+
+class TestIm2col:
+    def test_shape(self):
+        images = np.arange(2 * 3 * 6 * 6, dtype=float).reshape(2, 3, 6, 6)
+        cols = F.im2col(images, 3, 3, stride=1, padding=1)
+        assert cols.shape == (2 * 6 * 6, 3 * 3 * 3)
+
+    def test_identity_kernel_1x1(self):
+        """1x1 windows with stride 1 are just a reshape."""
+        images = np.arange(24, dtype=float).reshape(1, 2, 3, 4)
+        cols = F.im2col(images, 1, 1)
+        expected = images.transpose(0, 2, 3, 1).reshape(-1, 2)
+        np.testing.assert_array_equal(cols, expected)
+
+    def test_known_window_values(self):
+        images = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        cols = F.im2col(images, 2, 2, stride=2)
+        # windows: top-left, top-right, bottom-left, bottom-right
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[1], [2, 3, 6, 7])
+        np.testing.assert_array_equal(cols[2], [8, 9, 12, 13])
+        np.testing.assert_array_equal(cols[3], [10, 11, 14, 15])
+
+    def test_padding_adds_zeros(self):
+        images = np.ones((1, 1, 2, 2))
+        cols = F.im2col(images, 3, 3, stride=1, padding=1)
+        # the center window covers all four ones
+        assert cols.sum() == pytest.approx(4 * 4)  # each pixel in 4 windows
+
+
+class TestCol2imAdjoint:
+    """col2im must be the exact adjoint of im2col:
+    <im2col(x), y> == <x, col2im(y)> for all x, y."""
+
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        size=st.sampled_from([4, 6, 8]),
+        kernel=st.sampled_from([1, 2, 3]),
+        padding=st.integers(0, 1),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_adjoint_property(self, n, c, size, kernel, padding, seed):
+        stride = 1
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c, size, size))
+        cols = F.im2col(x, kernel, kernel, stride, padding)
+        y = rng.standard_normal(cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, x.shape, kernel, kernel, stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_counts_overlaps(self):
+        """Fold of all-ones columns counts window coverage per pixel."""
+        shape = (1, 1, 3, 3)
+        cols = np.ones((9, 4))  # 2x2 kernel, stride 1, padding released below
+        out = F.col2im(
+            np.ones((4, 4)), shape, 2, 2, stride=1, padding=0
+        )
+        # center pixel covered by all 4 windows; corners by 1
+        assert out[0, 0, 1, 1] == 4
+        assert out[0, 0, 0, 0] == 1
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.standard_normal((5, 7))
+        probs = F.softmax(logits)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.standard_normal((4, 3))
+        np.testing.assert_allclose(F.softmax(logits), F.softmax(logits + 100.0))
+
+    def test_extreme_values_stable(self):
+        logits = np.array([[1000.0, 0.0], [-1000.0, 0.0]])
+        probs = F.softmax(logits)
+        assert np.isfinite(probs).all()
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistent(self, rng):
+        logits = rng.standard_normal((4, 6))
+        np.testing.assert_allclose(
+            np.exp(F.log_softmax(logits)), F.softmax(logits), atol=1e-12
+        )
+
+
+class TestOneHot:
+    def test_basic(self):
+        encoded = F.one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            F.one_hot(np.array([3]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            F.one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty(self):
+        assert F.one_hot(np.zeros(0, dtype=int), 4).shape == (0, 4)
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu(x), [0.0, 0.0, 2.0])
+        np.testing.assert_array_equal(F.relu_grad(x), [0.0, 0.0, 1.0])
+
+    def test_sigmoid_stable_extremes(self):
+        out = F.sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 0.5, 1.0], atol=1e-12)
+
+    def test_cross_entropy_matches_manual(self, rng):
+        logits = rng.standard_normal((8, 4))
+        labels = rng.integers(0, 4, 8)
+        probs = F.softmax(logits)
+        manual = -np.log(probs[np.arange(8), labels]).mean()
+        assert F.stable_cross_entropy(logits, labels) == pytest.approx(manual)

@@ -1,0 +1,214 @@
+"""Tests for every layer: shapes, gradients, masks, error handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.gradcheck import check_layer_gradients
+
+GRAD_TOL = 1e-5
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, kernel_size=3, padding=1, rng=rng)
+        out = layer(rng.random((2, 3, 10, 10)))
+        assert out.shape == (2, 8, 10, 10)
+
+    def test_stride_shape(self, rng):
+        layer = nn.Conv2d(1, 2, kernel_size=2, stride=2, rng=rng)
+        out = layer(rng.random((1, 1, 8, 8)))
+        assert out.shape == (1, 2, 4, 4)
+
+    def test_wrong_channels_raises(self, rng):
+        layer = nn.Conv2d(3, 4, kernel_size=3, rng=rng)
+        with pytest.raises(ValueError, match="input channels"):
+            layer(rng.random((1, 2, 6, 6)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = nn.Conv2d(1, 1, kernel_size=3, rng=rng)
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((1, 1, 4, 4)))
+
+    def test_gradients(self, rng):
+        layer = nn.Conv2d(2, 3, kernel_size=3, padding=1, stride=1, rng=rng)
+        errors = check_layer_gradients(layer, rng.standard_normal((2, 2, 5, 5)), rng)
+        assert max(errors.values()) < GRAD_TOL
+
+    def test_gradients_with_stride(self, rng):
+        layer = nn.Conv2d(1, 2, kernel_size=2, stride=2, rng=rng)
+        errors = check_layer_gradients(layer, rng.standard_normal((2, 1, 6, 6)), rng)
+        assert max(errors.values()) < GRAD_TOL
+
+    def test_known_convolution_value(self):
+        layer = nn.Conv2d(1, 1, kernel_size=2)
+        layer.weight.data[...] = 1.0
+        layer.bias.data[...] = 0.5
+        out = layer(np.arange(9, dtype=float).reshape(1, 1, 3, 3))
+        # top-left window: 0+1+3+4 = 8, plus bias
+        assert out[0, 0, 0, 0] == pytest.approx(8.5)
+
+    def test_masked_channel_outputs_zero(self, rng):
+        layer = nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng)
+        layer.out_mask[2] = False
+        out = layer(rng.random((3, 1, 6, 6)))
+        assert (out[:, 2] == 0).all()
+        assert (out[:, 0] != 0).any()
+
+    def test_masked_channel_gets_no_gradient(self, rng):
+        layer = nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng)
+        layer.out_mask[1] = False
+        out = layer(rng.random((2, 1, 6, 6)))
+        layer.backward(np.ones_like(out))
+        assert (layer.weight.grad[1] == 0).all()
+        assert layer.bias.grad[1] == 0
+        assert (layer.weight.grad[0] != 0).any()
+
+    def test_apply_mask_zeroes_parameters(self, rng):
+        layer = nn.Conv2d(1, 4, kernel_size=3, rng=rng)
+        layer.out_mask[3] = False
+        layer.apply_mask()
+        assert (layer.weight.data[3] == 0).all()
+        assert layer.bias.data[3] == 0
+        assert (layer.weight.data[0] != 0).any()
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = nn.Linear(10, 4, rng=rng)
+        assert layer(rng.random((3, 10))).shape == (3, 4)
+
+    def test_wrong_features_raises(self, rng):
+        layer = nn.Linear(10, 4, rng=rng)
+        with pytest.raises(ValueError, match="expected input"):
+            layer(rng.random((3, 9)))
+
+    def test_gradients(self, rng):
+        layer = nn.Linear(7, 4, rng=rng)
+        errors = check_layer_gradients(layer, rng.standard_normal((3, 7)), rng)
+        assert max(errors.values()) < GRAD_TOL
+
+    def test_known_value(self):
+        layer = nn.Linear(2, 1)
+        layer.weight.data[...] = [[2.0, 3.0]]
+        layer.bias.data[...] = [1.0]
+        out = layer(np.array([[1.0, 1.0]]))
+        assert out[0, 0] == pytest.approx(6.0)
+
+    def test_mask_silences_feature(self, rng):
+        layer = nn.Linear(5, 3, rng=rng)
+        layer.out_mask[1] = False
+        out = layer(rng.random((4, 5)))
+        assert (out[:, 1] == 0).all()
+        layer.backward(np.ones_like(out))
+        assert (layer.weight.grad[1] == 0).all()
+
+
+class TestActivationsAndPooling:
+    @pytest.mark.parametrize("layer_factory,shape", [
+        (lambda: nn.ReLU(), (3, 2, 4, 4)),
+        (lambda: nn.Tanh(), (3, 5)),
+        (lambda: nn.MaxPool2d(2), (2, 3, 6, 6)),
+        (lambda: nn.AvgPool2d(2), (2, 3, 6, 6)),
+        (lambda: nn.Flatten(), (2, 3, 4, 4)),
+    ])
+    def test_gradients(self, layer_factory, shape, rng):
+        layer = layer_factory()
+        # offset away from ReLU kink / pool ties for clean finite differences
+        x = rng.standard_normal(shape) * 2.0 + 0.1
+        errors = check_layer_gradients(layer, x, rng)
+        assert max(errors.values()) < GRAD_TOL
+
+    def test_maxpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = nn.MaxPool2d(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+        out = nn.AvgPool2d(2)(x)
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_routes_gradient_to_argmax(self):
+        x = np.arange(4, dtype=float).reshape(1, 1, 2, 2)
+        pool = nn.MaxPool2d(2)
+        pool(x)
+        grad = pool.backward(np.ones((1, 1, 1, 1)))
+        np.testing.assert_array_equal(grad[0, 0], [[0, 0], [0, 1]])
+
+    def test_flatten_roundtrip(self, rng):
+        layer = nn.Flatten()
+        x = rng.random((2, 3, 4, 5))
+        out = layer(x)
+        assert out.shape == (2, 60)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=rng)
+        layer.training = False
+        x = rng.random((4, 10))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((100, 100))
+        out = layer(x)
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+        kept = out[out != 0]
+        np.testing.assert_allclose(kept, 2.0)  # inverted dropout scaling
+
+    def test_backward_uses_same_mask(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((10, 10))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self, tiny_cnn, rng):
+        x = rng.random((2, 1, 8, 8))
+        out = tiny_cnn(x)
+        assert out.shape == (2, 5)
+        grad = tiny_cnn.backward(np.ones_like(out))
+        assert grad.shape == x.shape
+
+    def test_indexing_and_len(self, tiny_cnn):
+        assert len(tiny_cnn) == 8
+        assert isinstance(tiny_cnn[0], nn.Conv2d)
+
+    def test_conv_layers_and_last_conv(self, tiny_cnn):
+        convs = tiny_cnn.conv_layers()
+        assert len(convs) == 2
+        assert tiny_cnn.last_conv() is convs[-1]
+
+    def test_last_conv_raises_without_convs(self, rng):
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 2, rng=rng))
+        with pytest.raises(ValueError, match="no convolutional"):
+            model.last_conv()
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_whole_model_gradient(self, seed):
+        """End-to-end gradient of a small model against finite differences."""
+        rng = np.random.default_rng(seed)
+        model = nn.Sequential(
+            nn.Conv2d(1, 2, kernel_size=3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Flatten(),
+            nn.Linear(2 * 4 * 4, 3, rng=rng),
+        )
+        errors = check_layer_gradients(
+            model, rng.standard_normal((2, 1, 4, 4)) + 0.05, rng
+        )
+        assert max(errors.values()) < GRAD_TOL

@@ -1,0 +1,129 @@
+"""Tests for loss functions and the per-layer L2 penalty."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_loss_is_log_classes(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 3, 5, 9])
+        assert loss_fn(logits, labels) == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_loss_near_zero(self):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        assert loss_fn(logits, np.array([1, 2])) == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_matches_numeric(self, rng):
+        loss_fn = nn.CrossEntropyLoss()
+        logits = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 4, 5)
+
+        loss_fn(logits, labels)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(lambda x: loss_fn.forward(x, labels), logits.copy())
+        assert max_relative_error(analytic, numeric) < 1e-6
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        """softmax-CE gradient rows sum to zero (prob simplex tangent)."""
+        loss_fn = nn.CrossEntropyLoss()
+        logits = rng.standard_normal((6, 5))
+        loss_fn(logits, rng.integers(0, 5, 6))
+        np.testing.assert_allclose(loss_fn.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        loss_fn = nn.CrossEntropyLoss()
+        with pytest.raises(ValueError, match="2-D"):
+            loss_fn(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError, match="does not match batch"):
+            loss_fn(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            nn.CrossEntropyLoss().backward()
+
+
+class TestLayerL2Penalty:
+    def test_value(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        penalty = nn.LayerL2Penalty([layer], coefficient=0.5)
+        expected = 0.5 * (layer.weight.data**2).sum()
+        assert penalty.value() == pytest.approx(expected)
+
+    def test_gradient_accumulation(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        penalty = nn.LayerL2Penalty([layer], coefficient=0.1)
+        layer.zero_grad()
+        penalty.add_gradients()
+        np.testing.assert_allclose(layer.weight.grad, 0.2 * layer.weight.data)
+
+    def test_bias_exempt(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        layer.bias.data[...] = 5.0
+        penalty = nn.LayerL2Penalty([layer], coefficient=1.0)
+        layer.zero_grad()
+        penalty.add_gradients()
+        np.testing.assert_array_equal(layer.bias.grad, 0.0)
+
+    def test_loss_integration_gradcheck(self, rng):
+        """CE + L2 penalty end-to-end gradient on the penalized layer."""
+        layer = nn.Linear(4, 3, rng=rng)
+        # finite differences need double precision
+        layer.weight.data = layer.weight.data.astype(np.float64)
+        layer.weight.grad = layer.weight.grad.astype(np.float64)
+        layer.bias.data = layer.bias.data.astype(np.float64)
+        layer.bias.grad = layer.bias.grad.astype(np.float64)
+        penalty = nn.LayerL2Penalty([layer], coefficient=0.05)
+        loss_fn = nn.CrossEntropyLoss(l2_penalty=penalty)
+        x = rng.standard_normal((5, 4))
+        labels = rng.integers(0, 3, 5)
+
+        layer.zero_grad()
+        loss_fn(layer(x), labels)
+        layer.backward(loss_fn.backward())
+        analytic = layer.weight.grad.copy()
+
+        def loss_of_weights(_):
+            return loss_fn.forward(layer.forward(x), labels)
+
+        numeric = numerical_gradient(loss_of_weights, layer.weight.data)
+        assert max_relative_error(analytic, numeric) < 1e-5
+
+    def test_rejects_negative_coefficient(self, rng):
+        with pytest.raises(ValueError):
+            nn.LayerL2Penalty([nn.Linear(2, 2, rng=rng)], coefficient=-1.0)
+
+    def test_rejects_non_weight_layer(self):
+        with pytest.raises(TypeError):
+            nn.LayerL2Penalty([nn.ReLU()], coefficient=0.1)
+
+
+class TestMSELoss:
+    def test_zero_for_equal(self, rng):
+        loss_fn = nn.MSELoss()
+        x = rng.random((3, 4))
+        assert loss_fn(x, x.copy()) == 0.0
+
+    def test_known_value(self):
+        loss_fn = nn.MSELoss()
+        assert loss_fn(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(5.0)
+
+    def test_gradient_matches_numeric(self, rng):
+        loss_fn = nn.MSELoss()
+        pred = rng.standard_normal((4, 3))
+        target = rng.standard_normal((4, 3))
+        loss_fn(pred, target)
+        analytic = loss_fn.backward()
+        numeric = numerical_gradient(lambda x: loss_fn.forward(x, target), pred.copy())
+        assert max_relative_error(analytic, numeric) < 1e-6
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            nn.MSELoss()(np.zeros((2, 3)), np.zeros((3, 2)))

@@ -1,0 +1,137 @@
+"""Tests for Module/Parameter plumbing: traversal, state, flat vectors."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+class TestParameter:
+    def test_grad_initialized_zero(self):
+        param = Parameter(np.ones((2, 3)))
+        assert param.grad.shape == (2, 3)
+        assert (param.grad == 0).all()
+
+    def test_copy_checks_shape(self):
+        param = Parameter(np.zeros((2, 2)), name="w")
+        with pytest.raises(ValueError, match="shape mismatch for w"):
+            param.copy_(np.zeros(3))
+
+    def test_copy_is_inplace(self):
+        param = Parameter(np.zeros(3))
+        buffer = param.data
+        param.copy_(np.ones(3))
+        assert buffer is param.data
+        np.testing.assert_array_equal(buffer, 1.0)
+
+
+class TestModuleTraversal:
+    def test_named_parameters_paths(self, tiny_cnn):
+        names = [name for name, _ in tiny_cnn.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.0.bias" in names
+        assert any("7" in n for n in names)  # final linear
+
+    def test_parameters_count(self, tiny_cnn):
+        # conv(1->4,3x3)+b, conv(4->6,3x3)+b, linear(24->5)+b
+        expected = (4 * 1 * 9 + 4) + (6 * 4 * 9 + 6) + (5 * 24 + 5)
+        assert tiny_cnn.num_parameters() == expected
+
+    def test_modules_iterates_children(self, tiny_cnn):
+        kinds = [type(m).__name__ for m in tiny_cnn.modules()]
+        assert kinds.count("Conv2d") == 2
+        assert "Sequential" in kinds
+
+    def test_zero_grad_clears_all(self, tiny_cnn, rng):
+        out = tiny_cnn(rng.random((2, 1, 8, 8)))
+        tiny_cnn.backward(np.ones_like(out))
+        assert any((p.grad != 0).any() for p in tiny_cnn.parameters())
+        tiny_cnn.zero_grad()
+        assert all((p.grad == 0).all() for p in tiny_cnn.parameters())
+
+    def test_train_eval_modes_propagate(self, tiny_cnn):
+        tiny_cnn.eval()
+        assert all(not m.training for m in tiny_cnn.modules())
+        tiny_cnn.train()
+        assert all(m.training for m in tiny_cnn.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self, tiny_cnn, rng):
+        state = tiny_cnn.state_dict()
+        original = tiny_cnn(rng.random((1, 1, 8, 8)))
+        for param in tiny_cnn.parameters():
+            param.data += 1.0
+        tiny_cnn.load_state_dict(state)
+        restored = tiny_cnn(rng.random((1, 1, 8, 8)) * 0 + 0.5)
+        # deterministic forward after restore
+        again = tiny_cnn(np.full((1, 1, 8, 8), 0.5))
+        np.testing.assert_array_equal(restored, again)
+
+    def test_state_dict_values_are_copies(self, tiny_cnn):
+        state = tiny_cnn.state_dict()
+        key = next(iter(state))
+        state[key] += 99.0
+        assert not np.allclose(dict(tiny_cnn.named_parameters())[key].data, state[key])
+
+    def test_strict_mismatch_raises(self, tiny_cnn):
+        state = tiny_cnn.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError, match="missing"):
+            tiny_cnn.load_state_dict(state)
+
+    def test_unexpected_key_raises(self, tiny_cnn):
+        state = tiny_cnn.state_dict()
+        state["bogus"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            tiny_cnn.load_state_dict(state)
+
+
+class TestFlatParameters:
+    def test_roundtrip_identity(self, tiny_cnn, rng):
+        flat = tiny_cnn.flat_parameters()
+        assert flat.shape == (tiny_cnn.num_parameters(),)
+        x = rng.random((2, 1, 8, 8))
+        before = tiny_cnn(x)
+        tiny_cnn.load_flat_parameters(flat)
+        np.testing.assert_array_equal(before, tiny_cnn(x))
+
+    def test_load_changes_model(self, tiny_cnn, rng):
+        x = rng.random((1, 1, 8, 8))
+        before = tiny_cnn(x).copy()
+        tiny_cnn.load_flat_parameters(np.zeros(tiny_cnn.num_parameters()))
+        after = tiny_cnn(x)
+        assert not np.allclose(before, after)
+        np.testing.assert_array_equal(after, 0.0)  # all-zero net
+
+    def test_wrong_length_raises(self, tiny_cnn):
+        with pytest.raises(ValueError, match="flat vector"):
+            tiny_cnn.load_flat_parameters(np.zeros(3))
+
+    def test_delta_application(self, tiny_cnn):
+        """w' = w + delta reproduces exactly through flat vectors."""
+        flat = tiny_cnn.flat_parameters()
+        delta = np.ones_like(flat) * 0.5
+        tiny_cnn.load_flat_parameters(flat + delta)
+        np.testing.assert_allclose(tiny_cnn.flat_parameters(), flat + delta)
+
+
+class TestActivationRecording:
+    def test_records_when_enabled(self, tiny_cnn, rng):
+        conv = tiny_cnn[0]
+        conv.record_activations(True)
+        tiny_cnn(rng.random((2, 1, 8, 8)))
+        assert conv.last_activation is not None
+        assert conv.last_activation.shape == (2, 4, 8, 8)
+
+    def test_disabled_clears(self, tiny_cnn, rng):
+        conv = tiny_cnn[0]
+        conv.record_activations(True)
+        tiny_cnn(rng.random((1, 1, 8, 8)))
+        conv.record_activations(False)
+        assert conv.last_activation is None
+
+    def test_no_recording_by_default(self, tiny_cnn, rng):
+        tiny_cnn(rng.random((1, 1, 8, 8)))
+        assert all(m.last_activation is None for m in tiny_cnn.modules())

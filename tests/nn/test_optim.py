@@ -1,0 +1,97 @@
+"""Tests for SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+
+
+def quadratic_params(start=5.0):
+    """A single scalar parameter for minimizing f(x) = x^2."""
+    return Parameter(np.array([start]))
+
+
+def step_quadratic(param, optimizer, steps):
+    for _ in range(steps):
+        param.grad[...] = 2.0 * param.data  # d/dx x^2
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = Parameter(np.array([1.0, 2.0]))
+        optimizer = SGD([param], lr=0.1)
+        param.grad[...] = [1.0, -1.0]
+        optimizer.step()
+        np.testing.assert_allclose(param.data, [0.9, 2.1])
+
+    def test_converges_on_quadratic(self):
+        param = quadratic_params()
+        final = step_quadratic(param, SGD([param], lr=0.1), 100)
+        assert abs(final) < 1e-6
+
+    def test_momentum_accelerates(self):
+        slow = quadratic_params()
+        fast = quadratic_params()
+        after_plain = abs(step_quadratic(slow, SGD([slow], lr=0.01), 20))
+        after_momentum = abs(
+            step_quadratic(fast, SGD([fast], lr=0.01, momentum=0.9), 20)
+        )
+        assert after_momentum < after_plain
+
+    def test_weight_decay_shrinks_at_zero_grad(self):
+        param = Parameter(np.array([4.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad[...] = 0.0
+        optimizer.step()
+        assert param.data[0] == pytest.approx(4.0 - 0.1 * 0.5 * 4.0)
+
+    def test_zero_grad(self):
+        param = Parameter(np.array([1.0]))
+        optimizer = SGD([param], lr=0.1)
+        param.grad[...] = 3.0
+        optimizer.zero_grad()
+        assert param.grad[0] == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"lr": 0.0}, {"lr": -1.0}, {"lr": 0.1, "momentum": 1.0},
+                   {"lr": 0.1, "weight_decay": -0.1}]
+    )
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], **kwargs)
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_params()
+        final = step_quadratic(param, Adam([param], lr=0.3), 200)
+        assert abs(final) < 1e-3
+
+    def test_first_step_size_is_lr(self):
+        """With bias correction, Adam's first step has magnitude ~lr."""
+        param = Parameter(np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad[...] = 42.0  # any positive gradient
+        optimizer.step()
+        assert param.data[0] == pytest.approx(1.0 - 0.1, abs=1e-6)
+
+    def test_handles_sparse_gradient_scale(self):
+        """Adam normalizes per-coordinate: tiny and huge grads step alike."""
+        param = Parameter(np.array([1.0, 1.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad[...] = [1e-3, 1e8]  # both far above Adam's eps floor
+        optimizer.step()
+        steps = 1.0 - param.data
+        assert steps[0] == pytest.approx(steps[1], rel=1e-3)  # float32 default dtype
+
+    @pytest.mark.parametrize("kwargs", [{"lr": 0.0}, {"lr": 0.1, "betas": (1.0, 0.9)}])
+    def test_invalid_hyperparameters(self, kwargs):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], **kwargs)

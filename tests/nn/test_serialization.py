@@ -1,0 +1,52 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import load_model, save_model
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tiny_cnn, rng, tmp_path):
+        path = tmp_path / "model.npz"
+        x = rng.random((2, 1, 8, 8))
+        expected = tiny_cnn(x)
+        save_model(tiny_cnn, path)
+
+        other = self._same_architecture(rng)
+        load_model(other, path)
+        np.testing.assert_allclose(other(x), expected, rtol=1e-6)
+
+    def test_masks_roundtrip(self, tiny_cnn, rng, tmp_path):
+        path = tmp_path / "model.npz"
+        layer = tiny_cnn.last_conv()
+        layer.out_mask[1] = False
+        layer.apply_mask()
+        save_model(tiny_cnn, path)
+
+        other = self._same_architecture(rng)
+        load_model(other, path)
+        assert not other.last_conv().out_mask[1]
+        x = rng.random((2, 1, 8, 8))
+        assert (other(x) == tiny_cnn(x)).all()
+
+    def test_architecture_mismatch_raises(self, tiny_cnn, rng, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(tiny_cnn, path)
+        wrong = nn.Sequential(nn.Flatten(), nn.Linear(64, 5, rng=rng))
+        with pytest.raises(KeyError):
+            load_model(wrong, path)
+
+    def _same_architecture(self, rng):
+        fresh_rng = np.random.default_rng(999)
+        return nn.Sequential(
+            nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=fresh_rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(4, 6, kernel_size=3, padding=1, rng=fresh_rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Flatten(),
+            nn.Linear(6 * 2 * 2, 5, rng=fresh_rng),
+        )

@@ -1,0 +1,79 @@
+"""Tests for the model zoo architectures."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, zoo
+
+
+@pytest.mark.parametrize(
+    "factory,in_channels,size",
+    [
+        (zoo.mnist_cnn, 1, 28),
+        (zoo.fashion_cnn, 1, 28),
+        (zoo.small_nn, 1, 28),
+        (zoo.large_nn, 1, 28),
+    ],
+)
+def test_grayscale_architectures_forward(factory, in_channels, size, rng):
+    model = factory(rng, in_channels=in_channels, image_size=size)
+    out = model(rng.random((2, in_channels, size, size)))
+    assert out.shape == (2, 10)
+
+
+def test_vgg_small_forward(rng):
+    model = zoo.vgg_small(rng, width=4)
+    out = model(rng.random((2, 3, 32, 32)))
+    assert out.shape == (2, 10)
+
+
+def test_vgg_small_depth(rng):
+    """VGG-style: five conv layers, GAP head."""
+    model = zoo.vgg_small(rng, width=4)
+    assert len(model.conv_layers()) == 5
+
+
+def test_table6_channel_widths(rng):
+    small = zoo.small_nn(rng)
+    large = zoo.large_nn(rng)
+    assert small.conv_layers()[0].out_channels == 8
+    assert small.last_conv().out_channels == 16
+    assert large.conv_layers()[0].out_channels == 20
+    assert large.last_conv().out_channels == 50
+
+
+def test_last_conv_is_final_conv(rng):
+    model = zoo.mnist_cnn(rng)
+    convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+    assert model.last_conv() is convs[-1]
+    assert model.last_conv().out_channels == 32
+
+
+def test_gap_head_collapses_space(rng):
+    """The classifier input per channel is spatially pooled to one value."""
+    model = zoo.mnist_cnn(rng)
+    last_linear = model[-1]
+    assert last_linear.in_features == model.last_conv().out_channels
+
+
+def test_build_model_by_name(rng):
+    model = zoo.build_model("mnist_cnn", rng, in_channels=1, image_size=28)
+    assert model(rng.random((1, 1, 28, 28))).shape == (1, 10)
+
+
+def test_build_model_unknown_name(rng):
+    with pytest.raises(ValueError, match="unknown model"):
+        zoo.build_model("resnet152", rng, 3, 32)
+
+
+def test_odd_image_size_rejected(rng):
+    with pytest.raises(ValueError, match="not divisible"):
+        zoo.mnist_cnn(rng, image_size=27)
+
+
+def test_models_are_deterministic_per_seed():
+    a = zoo.mnist_cnn(np.random.default_rng(5))
+    b = zoo.mnist_cnn(np.random.default_rng(5))
+    for (name_a, pa), (name_b, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert name_a == name_b
+        np.testing.assert_array_equal(pa.data, pb.data)

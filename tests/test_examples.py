@@ -1,0 +1,39 @@
+"""Sanity checks for the example scripts.
+
+Full runs of the examples are exercised manually (and in CI at smoke
+scale); here we verify each script compiles and exposes the expected
+CLI so a syntax regression cannot slip in unnoticed.
+"""
+
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_EXAMPLES = {
+    "semantic_backdoor.py",
+    "quickstart.py",
+    "dba_cifar_defense.py",
+    "adaptive_attackers.py",
+    "robust_aggregation.py",
+    "backdoor_localization.py",
+}
+
+
+def test_all_expected_examples_exist():
+    present = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert EXPECTED_EXAMPLES <= present
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_example_compiles(name):
+    py_compile.compile(str(EXAMPLES_DIR / name), doraise=True)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_EXAMPLES))
+def test_example_has_scale_flag(name):
+    source = (EXAMPLES_DIR / name).read_text()
+    assert "--scale" in source
+    assert '"smoke"' in source

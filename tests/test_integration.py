@@ -1,0 +1,97 @@
+"""End-to-end integration tests: attack, train, defend, evaluate.
+
+These run at SMOKE scale — the goal is to exercise every subsystem
+together (data -> partition -> clients -> attack -> server -> defense
+-> metrics), not to validate the scientific shape (benchmarks do that
+at BENCH scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense import DefenseConfig, DefensePipeline
+from repro.eval.metrics import attack_success_rate
+from repro.eval.metrics import test_accuracy as accuracy_of  # alias: bare name would be collected as a test
+from repro.experiments.common import build_setup
+from repro.experiments.scale import SMOKE
+from repro.fl.client import MaliciousClient
+
+
+class TestEndToEnd:
+    def test_full_story_mnist(self):
+        setup = build_setup("mnist", SMOKE, seed=21)
+        ta_before, _ = setup.metrics()
+
+        pipeline = DefensePipeline(
+            setup.clients,
+            setup.accuracy_fn(),
+            DefenseConfig(method="mvp", fine_tune=True, fine_tune_rounds=2),
+        )
+        report = pipeline.run(setup.model)
+
+        ta_after = accuracy_of(setup.model, setup.test)
+        aa_after = attack_success_rate(setup.model, setup.eval_task, setup.test)
+        assert 0.0 <= ta_after <= 1.0
+        assert 0.0 <= aa_after <= 1.0
+        # pipeline ran all three stages
+        assert report.pruning is not None
+        assert report.fine_tuning is not None
+        assert report.adjusting is not None
+        # defense never silently destroys the model beyond its thresholds
+        assert ta_after >= min(ta_before, report.pruning.baseline_accuracy) - 0.2
+
+    def test_fashion_pipeline_runs(self):
+        setup = build_setup("fashion", SMOKE, seed=22, pattern_pixels=1)
+        pipeline = DefensePipeline(
+            setup.clients, setup.accuracy_fn(), DefenseConfig(fine_tune=False)
+        )
+        report = pipeline.run(setup.model)
+        assert report.fine_tuning is None
+
+    def test_cifar_dba_pipeline_runs(self):
+        setup = build_setup("cifar", SMOKE, seed=23, dba=True)
+        pipeline = DefensePipeline(
+            setup.clients, setup.accuracy_fn(), DefenseConfig(fine_tune=False)
+        )
+        report = pipeline.run(setup.model)
+        assert report.adjusting.num_zeroed >= 0
+
+    def test_rap_and_mvp_both_run(self):
+        setup = build_setup("mnist", SMOKE, seed=24, rounds=2)
+        for method in ("rap", "mvp"):
+            from repro.experiments.common import clone_model
+
+            model = clone_model(setup.model)
+            pipeline = DefensePipeline(
+                setup.clients,
+                setup.accuracy_fn(),
+                DefenseConfig(method=method, fine_tune=False),
+            )
+            report = pipeline.run(model)
+            assert report.pruning.num_pruned >= 0
+
+    def test_client_feedback_fallback(self):
+        """Defense without a server validation set: client-median oracle."""
+        from repro.defense.pruning import client_feedback_accuracy
+
+        setup = build_setup("mnist", SMOKE, seed=25, rounds=2)
+        oracle = lambda model: client_feedback_accuracy(setup.clients, model)
+        pipeline = DefensePipeline(
+            setup.clients, oracle, DefenseConfig(fine_tune=False)
+        )
+        report = pipeline.run(setup.model)
+        # attacker lies (reports 1.0) but the median stays honest
+        assert 0.0 <= report.pruning.baseline_accuracy <= 1.0
+
+    def test_adaptive_attackers_still_defensible(self):
+        """§VI-B attacks run end to end without crashing the pipeline."""
+        setup = build_setup(
+            "mnist", SMOKE, seed=26, rounds=2, rank_attack=True, self_limit_delta=2.0
+        )
+        attacker = setup.clients[0]
+        assert isinstance(attacker, MaliciousClient)
+        pipeline = DefensePipeline(
+            setup.clients, setup.accuracy_fn(), DefenseConfig(fine_tune=False)
+        )
+        report = pipeline.run(setup.model)
+        assert report.pruning is not None
