@@ -9,15 +9,23 @@ knocks it back down.
 Pruned channels stay dead throughout: their ``out_mask`` zeroes both the
 forward contribution and the gradients, so no amount of fine-tuning
 resurrects them.
+
+Like the training loop, fine-tuning does not assume reliable clients:
+per-round, non-responders (:class:`~repro.fl.faults.ClientDropout`) are
+skipped, invalid deltas (wrong shape / dtype / non-finite) are rejected,
+and a round with fewer than ``min_quorum`` surviving updates leaves the
+model untouched.  Fault counts are reported on the result.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..fl.aggregation import fedavg
+from ..fl.faults import ClientDropout, validate_update
 from ..nn.layers import Sequential
 
 __all__ = ["FineTuneResult", "federated_fine_tune"]
@@ -34,14 +42,29 @@ class FineTuneResult:
         Validation accuracy after each round.
     improved:
         Whether the final accuracy beats the pre-fine-tuning baseline.
+    num_dropped, num_rejected:
+        Client responses lost to dropouts / rejected as invalid,
+        summed over all rounds.
+    skipped_rounds:
+        Rounds that aggregated nothing for lack of quorum.
     """
 
     def __init__(
-        self, rounds_run: int, accuracy_trace: list[float], baseline_accuracy: float
+        self,
+        rounds_run: int,
+        accuracy_trace: list[float],
+        baseline_accuracy: float,
+        *,
+        num_dropped: int = 0,
+        num_rejected: int = 0,
+        skipped_rounds: Sequence[int] = (),
     ) -> None:
         self.rounds_run = rounds_run
         self.accuracy_trace = accuracy_trace
         self.baseline_accuracy = baseline_accuracy
+        self.num_dropped = num_dropped
+        self.num_rejected = num_rejected
+        self.skipped_rounds = list(skipped_rounds)
 
     @property
     def final_accuracy(self) -> float:
@@ -66,6 +89,7 @@ def federated_fine_tune(
     max_rounds: int = 10,
     patience: int = 3,
     min_improvement: float = 1e-3,
+    min_quorum: int | float = 1,
 ) -> FineTuneResult:
     """Run FedAvg rounds on the pruned model until accuracy plateaus.
 
@@ -74,6 +98,12 @@ def federated_fine_tune(
     consecutive rounds (the paper stops "when the accuracy does not
     improve any further"; about ten rounds in their experiments).  The
     model is left at the *best* round's parameters, not the last.
+
+    ``min_quorum`` (an absolute count, or a float fraction of the
+    population) is the minimum number of validated updates a round
+    needs; a below-quorum round is skipped — it still consumes a round
+    of the budget and counts toward patience, since a stalled
+    population should not fine-tune forever.
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -81,24 +111,47 @@ def federated_fine_tune(
         raise ValueError(f"patience must be >= 1, got {patience}")
     if not clients:
         raise ValueError("need at least one client to fine-tune")
+    if isinstance(min_quorum, float):
+        if not 0.0 < min_quorum <= 1.0:
+            raise ValueError(
+                f"fractional min_quorum must be in (0, 1], got {min_quorum}"
+            )
+        quorum = max(1, math.ceil(min_quorum * len(clients)))
+    else:
+        if min_quorum < 1:
+            raise ValueError(f"min_quorum must be >= 1, got {min_quorum}")
+        quorum = min_quorum
 
     baseline = accuracy_fn(model)
     best_accuracy = baseline
     best_params = model.flat_parameters()
     stale_rounds = 0
     trace: list[float] = []
+    num_dropped = num_rejected = 0
+    skipped_rounds: list[int] = []
 
     for round_index in range(max_rounds):
         global_params = model.flat_parameters()
-        deltas = np.stack(
-            [client.local_update(model, global_params) for client in clients]
-        )
-        model.load_flat_parameters(global_params + fedavg(deltas))
-        # masks survive load_flat_parameters (they live on the layer, not
-        # in the parameter vector), but zero the dead weights defensively:
-        # an attacker's update could write into masked slots.
-        for conv in model.conv_layers():
-            conv.apply_mask()
+        deltas: list[np.ndarray] = []
+        for client in clients:
+            try:
+                payload = client.local_update(model, global_params)
+            except ClientDropout:
+                num_dropped += 1
+                continue
+            if validate_update(payload, global_params.size) is not None:
+                num_rejected += 1
+                continue
+            deltas.append(payload)
+        if len(deltas) < quorum:
+            skipped_rounds.append(round_index)
+        else:
+            model.load_flat_parameters(global_params + fedavg(np.stack(deltas)))
+            # masks survive load_flat_parameters (they live on the layer, not
+            # in the parameter vector), but zero the dead weights defensively:
+            # an attacker's update could write into masked slots.
+            for conv in model.conv_layers():
+                conv.apply_mask()
 
         accuracy = accuracy_fn(model)
         trace.append(accuracy)
@@ -112,4 +165,11 @@ def federated_fine_tune(
                 break
 
     model.load_flat_parameters(best_params)
-    return FineTuneResult(len(trace), trace, baseline)
+    return FineTuneResult(
+        len(trace),
+        trace,
+        baseline,
+        num_dropped=num_dropped,
+        num_rejected=num_rejected,
+        skipped_rounds=skipped_rounds,
+    )

@@ -12,20 +12,39 @@ This is the paper's complete post-training cleansing procedure
    zeroing last-conv weights outside mu ± delta sigma.
 
 Per-stage wall-clock times are recorded for the Fig 9 energy study.
+
+The report-collection stages are hardened against unreliable clients:
+a client that fails to report (:class:`~repro.fl.faults.ClientDropout`)
+is skipped for the stage, a malformed ranking/vote report is discarded
+and counted as a strike, and a client accumulating
+``max_report_strikes`` strikes is quarantined — excluded from every
+subsequent stage, fine-tuning included.  Both RAP and MVP aggregate
+*whatever well-formed reports arrived* (see
+:mod:`repro.defense.ranking`), so the pipeline proceeds on the
+surviving quorum and raises only when fewer than ``min_report_quorum``
+valid reports remain.  All such events are logged on
+``DefensePipeline.events``.
 """
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..fl.faults import ClientDropout
 from ..nn.layers import Conv2d, Linear, Sequential
 from .adjust_weights import AdjustResult, adjust_extreme_weights
 from .fine_tune import FineTuneResult, federated_fine_tune
 from .pruning import PruningResult, prune_by_sequence
-from .ranking import mvp_prune_order, rap_prune_order
+from .ranking import (
+    mvp_prune_order,
+    rap_prune_order,
+    validate_ranking_report,
+    validate_vote_report,
+)
 
 __all__ = ["DefenseConfig", "DefenseReport", "DefensePipeline"]
 
@@ -49,6 +68,15 @@ class DefenseConfig:
         Fine-tuning budget and early-stop patience.
     aw_floor_drop, aw_delta_start, aw_delta_step, aw_delta_min:
         Adjust-extreme-weights sweep schedule.
+    max_report_strikes:
+        Quarantine a client after this many malformed ranking/vote
+        reports; ``None`` disables quarantine.
+    min_report_quorum:
+        Minimum well-formed reports needed to aggregate a pruning
+        order (an absolute count, or a float fraction of the active
+        clients); below it the stage raises rather than prune from
+        too little signal.  Also the quorum handed to the fine-tuning
+        stage.
     """
 
     def __init__(
@@ -64,9 +92,25 @@ class DefenseConfig:
         aw_delta_start: float = 5.0,
         aw_delta_step: float = 0.25,
         aw_delta_min: float = 0.5,
+        max_report_strikes: int | None = 2,
+        min_report_quorum: int | float = 1,
     ) -> None:
         if method not in ("rap", "mvp"):
             raise ValueError(f"method must be 'rap' or 'mvp', got {method!r}")
+        if max_report_strikes is not None and max_report_strikes < 1:
+            raise ValueError(
+                f"max_report_strikes must be >= 1 or None, got {max_report_strikes}"
+            )
+        if isinstance(min_report_quorum, float):
+            if not 0.0 < min_report_quorum <= 1.0:
+                raise ValueError(
+                    f"fractional min_report_quorum must be in (0, 1], "
+                    f"got {min_report_quorum}"
+                )
+        elif min_report_quorum < 1:
+            raise ValueError(
+                f"min_report_quorum must be >= 1, got {min_report_quorum}"
+            )
         self.method = method
         self.prune_rate = prune_rate
         self.accuracy_drop_threshold = accuracy_drop_threshold
@@ -78,6 +122,8 @@ class DefenseConfig:
         self.aw_delta_start = aw_delta_start
         self.aw_delta_step = aw_delta_step
         self.aw_delta_min = aw_delta_min
+        self.max_report_strikes = max_report_strikes
+        self.min_report_quorum = min_report_quorum
 
 
 class DefenseReport:
@@ -132,25 +178,79 @@ class DefensePipeline:
         self.accuracy_fn = accuracy_fn
         self.config = config or DefenseConfig()
         self.layer = layer
+        self.quarantined: set[int] = set()
+        self.events: list[tuple[str, int, str]] = []  # (kind, client_id, detail)
+        self._report_strikes: dict[int, int] = {}
 
     def _target_layer(self, model: Sequential) -> Conv2d | Linear:
         return self.layer if self.layer is not None else model.last_conv()
 
-    def global_prune_order(self, model: Sequential) -> np.ndarray:
-        """Collect client reports and aggregate into a pruning sequence."""
-        layer = self._target_layer(model)
-        if self.config.method == "rap":
-            reports = np.stack(
-                [client.ranking_report(model, layer) for client in self.clients]
+    def active_clients(self) -> list:
+        """The clients still trusted (not quarantined)."""
+        return [c for c in self.clients if c.client_id not in self.quarantined]
+
+    def _record_strike(self, client_id: int, reason: str) -> None:
+        self.events.append(("malformed_report", client_id, reason))
+        if self.config.max_report_strikes is None:
+            return
+        strikes = self._report_strikes.get(client_id, 0) + 1
+        self._report_strikes[client_id] = strikes
+        if (
+            strikes >= self.config.max_report_strikes
+            and client_id not in self.quarantined
+        ):
+            self.quarantined.add(client_id)
+            self.events.append(
+                ("quarantine", client_id, f"{strikes} malformed reports")
             )
-            return rap_prune_order(reports)
-        reports = np.stack(
-            [
-                client.vote_report(model, layer, self.config.prune_rate)
-                for client in self.clients
-            ]
-        )
-        return mvp_prune_order(reports)
+
+    def _report_quorum(self, num_active: int) -> int:
+        quorum = self.config.min_report_quorum
+        if isinstance(quorum, float):
+            return max(1, math.ceil(quorum * num_active))
+        return max(1, quorum)
+
+    def global_prune_order(self, model: Sequential) -> np.ndarray:
+        """Collect client reports and aggregate into a pruning sequence.
+
+        Per client: a :class:`ClientDropout` skips it for this stage, a
+        malformed report is discarded and counted as a strike (repeat
+        offenders are quarantined), and the aggregation runs over the
+        surviving well-formed reports — RAP's mean positions and MVP's
+        vote shares are both per-report statistics, so a partial report
+        set aggregates without special-casing.
+        """
+        layer = self._target_layer(model)
+        num_channels = int(layer.out_mask.size)
+        use_rap = self.config.method == "rap"
+        active = self.active_clients()
+        reports: list[np.ndarray] = []
+        for client in active:
+            try:
+                if use_rap:
+                    report = client.ranking_report(model, layer)
+                else:
+                    report = client.vote_report(model, layer, self.config.prune_rate)
+            except ClientDropout as exc:
+                self.events.append(
+                    ("report_dropout", client.client_id, str(exc))
+                )
+                continue
+            validate = validate_ranking_report if use_rap else validate_vote_report
+            reason = validate(report, num_channels)
+            if reason is not None:
+                self._record_strike(client.client_id, reason)
+                continue
+            reports.append(np.asarray(report))
+        quorum = self._report_quorum(len(active))
+        if len(reports) < quorum:
+            raise ValueError(
+                f"only {len(reports)} well-formed pruning reports received "
+                f"from {len(active)} clients (quorum {quorum})"
+            )
+        if use_rap:
+            return rap_prune_order(np.stack(reports))
+        return mvp_prune_order(np.stack(reports))
 
     def run(self, model: Sequential) -> DefenseReport:
         """Execute FP -> (FT) -> AW on ``model`` in place."""
@@ -171,15 +271,22 @@ class DefensePipeline:
 
         fine_tuning = None
         if config.fine_tune:
-            start = time.perf_counter()
-            fine_tuning = federated_fine_tune(
-                model,
-                self.clients,
-                self.accuracy_fn,
-                max_rounds=config.fine_tune_rounds,
-                patience=config.fine_tune_patience,
-            )
-            timings["fine_tuning"] = time.perf_counter() - start
+            survivors = self.active_clients()
+            if survivors:
+                start = time.perf_counter()
+                fine_tuning = federated_fine_tune(
+                    model,
+                    survivors,
+                    self.accuracy_fn,
+                    max_rounds=config.fine_tune_rounds,
+                    patience=config.fine_tune_patience,
+                    min_quorum=config.min_report_quorum,
+                )
+                timings["fine_tuning"] = time.perf_counter() - start
+            else:
+                self.events.append(
+                    ("fine_tune_skipped", -1, "every client quarantined")
+                )
 
         start = time.perf_counter()
         adjusting = adjust_extreme_weights(

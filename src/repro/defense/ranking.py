@@ -13,6 +13,15 @@ Two protocols from §IV-A of the paper:
 Both aggregate *order statistics* rather than raw activations, which is
 the paper's privacy/robustness argument: a minority of manipulated
 reports moves the aggregate far less than manipulated raw values would.
+
+Neither aggregation assumes one report per population member: both
+operate on however many well-formed reports arrived (mean position /
+vote share over the submitted rows), so the server can proceed on a
+surviving quorum after dropouts, and duplicate submissions merely
+re-weight one client's view.  :func:`validate_ranking_report` and
+:func:`validate_vote_report` are the per-report admission checks the
+:class:`~repro.defense.pipeline.DefensePipeline` applies before
+stacking.
 """
 
 from __future__ import annotations
@@ -22,11 +31,49 @@ import numpy as np
 __all__ = [
     "local_ranking",
     "local_prune_votes",
+    "validate_ranking_report",
+    "validate_vote_report",
     "aggregate_rankings",
     "aggregate_votes",
     "rap_prune_order",
     "mvp_prune_order",
 ]
+
+
+def validate_ranking_report(report, num_channels: int) -> str | None:
+    """Admission check for a RAP report; ``None`` means well-formed.
+
+    A valid report is a 1-D permutation of ``0..num_channels - 1``.
+    Anything else (wrong length, duplicate or out-of-range channel ids,
+    non-integral values) would crash or skew
+    :func:`aggregate_rankings`.
+    """
+    report = np.asarray(report)
+    if report.ndim != 1 or report.shape[0] != num_channels:
+        return f"wrong shape {report.shape}, expected ({num_channels},)"
+    if not np.issubdtype(report.dtype, np.integer):
+        return f"non-integer dtype {report.dtype}"
+    if not np.array_equal(np.sort(report), np.arange(num_channels)):
+        return f"not a permutation of 0..{num_channels - 1}"
+    return None
+
+
+def validate_vote_report(report, num_channels: int) -> str | None:
+    """Admission check for an MVP report; ``None`` means well-formed.
+
+    A valid report is a 1-D 0/1 vector of length ``num_channels``.
+    """
+    report = np.asarray(report)
+    if report.ndim != 1 or report.shape[0] != num_channels:
+        return f"wrong shape {report.shape}, expected ({num_channels},)"
+    if not np.issubdtype(report.dtype, np.number):
+        return f"non-numeric dtype {report.dtype}"
+    values = report.astype(np.float64)
+    if not np.isfinite(values).all():
+        return "non-finite values"
+    if ((values != 0) & (values != 1)).any():
+        return "votes must be 0/1"
+    return None
 
 
 def local_ranking(activations: np.ndarray) -> np.ndarray:
@@ -64,9 +111,12 @@ def local_prune_votes(activations: np.ndarray, prune_rate: float) -> np.ndarray:
 def aggregate_rankings(rankings: np.ndarray) -> np.ndarray:
     """Mean rank *position* per channel (RAP's R_i).
 
-    ``rankings`` is ``(num_clients, channels)``, each row a permutation
+    ``rankings`` is ``(num_reports, channels)``, each row a permutation
     of channel ids in decreasing-activation order.  Returns the average
-    position of each channel: small = consistently active.
+    position of each channel: small = consistently active.  The row
+    count need not match the client population — any non-empty set of
+    well-formed reports (a post-dropout quorum, duplicates included)
+    aggregates the same way.
     """
     rankings = np.asarray(rankings)
     if rankings.ndim != 2:
@@ -84,8 +134,10 @@ def aggregate_rankings(rankings: np.ndarray) -> np.ndarray:
 def aggregate_votes(votes: np.ndarray) -> np.ndarray:
     """Mean prune-vote per channel (MVP's V_i).
 
-    ``votes`` is ``(num_clients, channels)`` of 0/1 prune votes; the
-    result is each channel's vote share in [0, 1].
+    ``votes`` is ``(num_reports, channels)`` of 0/1 prune votes; the
+    result is each channel's vote share in [0, 1].  As with rankings,
+    the share is over the reports actually received, so a partial or
+    duplicated report set aggregates without special-casing.
     """
     votes = np.asarray(votes, dtype=np.float64)
     if votes.ndim != 2:

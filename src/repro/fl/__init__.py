@@ -5,6 +5,7 @@ from .aggregation import (
     bulyan,
     coordinate_median,
     fedavg,
+    finite_rows,
     krum,
     multi_krum,
     trimmed_mean,
@@ -12,10 +13,25 @@ from .aggregation import (
 )
 from .client import Client, LocalTrainingConfig, MaliciousClient
 from .clipping import clip_updates, clipped_fedavg, median_norm_budget
+from .faults import (
+    ClientDropout,
+    ClientTimeout,
+    FaultModel,
+    FaultyClient,
+    validate_update,
+    wrap_clients,
+)
 from .server import FederatedServer, RoundMetrics, TrainingHistory
 
 __all__ = [
     "AGGREGATION_RULES",
+    "ClientDropout",
+    "ClientTimeout",
+    "FaultModel",
+    "FaultyClient",
+    "validate_update",
+    "wrap_clients",
+    "finite_rows",
     "bulyan",
     "coordinate_median",
     "fedavg",

@@ -9,6 +9,13 @@ that observation on this substrate.
 
 Every rule maps ``(num_clients, dim)`` update matrices to a single
 ``(dim,)`` aggregated update.
+
+Degradation semantics: rows containing NaN/Inf are filtered out before
+any rule runs — a single poisoned coordinate would otherwise propagate
+through a mean (or a Krum distance) into every coordinate of the global
+model.  Aggregating is refused (``ValueError``) only when *no* finite
+row remains.  With all-finite inputs the filter is a no-op and every
+rule returns exactly what it did before.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "finite_rows",
     "fedavg",
     "weighted_fedavg",
     "coordinate_median",
@@ -27,6 +35,11 @@ __all__ = [
 ]
 
 
+def finite_rows(updates: np.ndarray) -> np.ndarray:
+    """Boolean mask of the rows containing only finite values."""
+    return np.isfinite(updates).all(axis=1)
+
+
 def _as_update_matrix(updates: np.ndarray) -> np.ndarray:
     updates = np.asarray(updates, dtype=np.float64)
     if updates.ndim != 2:
@@ -35,25 +48,49 @@ def _as_update_matrix(updates: np.ndarray) -> np.ndarray:
         )
     if updates.shape[0] == 0:
         raise ValueError("need at least one client update")
+    finite = finite_rows(updates)
+    if not finite.all():
+        if not finite.any():
+            raise ValueError("every client update contains non-finite values")
+        updates = updates[finite]
     return updates
 
 
 def fedavg(updates: np.ndarray) -> np.ndarray:
-    """Unweighted mean of client deltas (paper's simplified rule)."""
+    """Unweighted mean of client deltas (paper's simplified rule).
+
+    Non-finite rows are filtered first: one NaN coordinate in one
+    client's delta would otherwise turn that coordinate of the global
+    model into NaN for the rest of training.
+    """
     return _as_update_matrix(updates).mean(axis=0)
 
 
 def weighted_fedavg(updates: np.ndarray, weights: np.ndarray) -> np.ndarray:
-    """Sample-count-weighted FedAvg (McMahan et al.'s original rule)."""
-    updates = _as_update_matrix(updates)
+    """Sample-count-weighted FedAvg (McMahan et al.'s original rule).
+
+    Weights align with the *submitted* rows; when a non-finite row is
+    filtered, its weight is dropped with it.
+    """
+    updates = np.asarray(updates, dtype=np.float64)
+    if updates.ndim != 2:
+        raise ValueError(
+            f"updates must be a (num_clients, dim) matrix, got {updates.shape}"
+        )
     weights = np.asarray(weights, dtype=np.float64)
     if weights.shape != (updates.shape[0],):
         raise ValueError(
             f"weights shape {weights.shape} does not match "
             f"{updates.shape[0]} clients"
         )
-    if (weights < 0).any() or weights.sum() <= 0:
-        raise ValueError("weights must be non-negative with positive sum")
+    if (weights < 0).any() or not np.isfinite(weights).all():
+        raise ValueError("weights must be finite and non-negative")
+    finite = finite_rows(updates)
+    updates, weights = updates[finite], weights[finite]
+    if updates.shape[0] == 0:
+        raise ValueError("every client update contains non-finite values")
+    if weights.sum() <= 0:
+        raise ValueError("weights must have positive sum")
     return (weights[:, None] * updates).sum(axis=0) / weights.sum()
 
 

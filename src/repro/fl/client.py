@@ -99,7 +99,17 @@ class Client:
         clients.  ``round_index`` lets round-aware clients (the
         malicious one) change behaviour over time; benign clients ignore
         it.
+
+        A non-finite broadcast is refused up front: training from NaN
+        parameters would burn the whole local budget to produce a NaN
+        delta, so the client reports the corrupt broadcast instead
+        (surfacing server-side bugs at their source).
         """
+        global_params = np.asarray(global_params)
+        if not np.isfinite(global_params).all():
+            raise ValueError(
+                f"client {self.client_id} received a non-finite global broadcast"
+            )
         model.load_flat_parameters(global_params)
         model.train()
         data = self._training_data()

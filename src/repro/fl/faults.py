@@ -1,0 +1,275 @@
+"""Fault injection and payload validation for the FL protocol.
+
+Real federated deployments violate every assumption the paper's server
+makes: clients drop out mid-round, stragglers miss the deadline, buggy
+or adversarial clients ship NaN/Inf or wrong-shape deltas, replay stale
+updates from earlier rounds, and send malformed pruning reports.  This
+module provides
+
+* a seeded, configurable :class:`FaultModel` describing how unreliable
+  the population is,
+* a :class:`FaultyClient` wrapper that injects those faults around any
+  existing :class:`~repro.fl.client.Client` (benign or malicious)
+  without touching its training logic, and
+* :func:`validate_update`, the server-side payload check shared by
+  :class:`~repro.fl.server.FederatedServer` and
+  :func:`~repro.defense.fine_tune.federated_fine_tune`.
+
+The injection layer is simulation-only: delays are simulated seconds
+drawn from the model (no real sleeping), and a drawn delay past the
+round deadline surfaces as :class:`ClientTimeout`.  With every fault
+probability at zero the wrapper is behavior-transparent — it forwards
+calls verbatim and the run is bitwise identical to the unwrapped one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # import cycle: client -> defense -> fine_tune -> faults
+    from .client import Client
+
+__all__ = [
+    "ClientDropout",
+    "ClientTimeout",
+    "FaultModel",
+    "FaultyClient",
+    "wrap_clients",
+    "validate_update",
+]
+
+
+class ClientDropout(Exception):
+    """A client failed to respond (crash, network partition, churn)."""
+
+
+class ClientTimeout(ClientDropout):
+    """A straggler's response arrived after the round deadline."""
+
+
+UPDATE_CORRUPTIONS = ("nan", "inf", "shape")
+REPORT_FAULTS = ("missing", "truncated", "garbage")
+
+
+class FaultModel:
+    """Seeded description of how unreliable the client population is.
+
+    All draws come from one private generator, so a given seed yields
+    one deterministic fault schedule regardless of the training seed.
+
+    Parameters
+    ----------
+    dropout_prob:
+        Per-request probability that the client never responds.
+    straggler_prob, straggler_delay, deadline_seconds:
+        With probability ``straggler_prob`` a response takes a simulated
+        delay drawn uniformly from the ``straggler_delay`` interval;
+        delays beyond ``deadline_seconds`` miss the round deadline and
+        surface as :class:`ClientTimeout`.
+    corrupt_prob:
+        Per-update probability of shipping a corrupted delta; the kind
+        is drawn uniformly from ``corrupt_kinds`` (a subset of
+        ``("nan", "inf", "shape")``).
+    stale_prob:
+        Per-update probability of replaying the client's previous delta
+        instead of training (a stale/duplicated message).
+    report_fault_prob:
+        Per-report probability that a ranking/vote report is faulty;
+        the kind is drawn uniformly from ``report_kinds`` (a subset of
+        ``("missing", "truncated", "garbage")``).
+    seed:
+        Seed of the fault schedule.
+    """
+
+    def __init__(
+        self,
+        dropout_prob: float = 0.0,
+        straggler_prob: float = 0.0,
+        straggler_delay: tuple[float, float] = (1.0, 30.0),
+        deadline_seconds: float = 10.0,
+        corrupt_prob: float = 0.0,
+        corrupt_kinds: tuple[str, ...] = UPDATE_CORRUPTIONS,
+        stale_prob: float = 0.0,
+        report_fault_prob: float = 0.0,
+        report_kinds: tuple[str, ...] = REPORT_FAULTS,
+        seed: int = 0,
+    ) -> None:
+        for name, prob in (
+            ("dropout_prob", dropout_prob),
+            ("straggler_prob", straggler_prob),
+            ("corrupt_prob", corrupt_prob),
+            ("stale_prob", stale_prob),
+            ("report_fault_prob", report_fault_prob),
+        ):
+            if not 0.0 <= prob <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {prob}")
+        if straggler_delay[0] > straggler_delay[1]:
+            raise ValueError(f"bad straggler_delay interval {straggler_delay}")
+        if deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be > 0, got {deadline_seconds}")
+        unknown = set(corrupt_kinds) - set(UPDATE_CORRUPTIONS)
+        if unknown or not corrupt_kinds:
+            raise ValueError(f"corrupt_kinds must be a non-empty subset of "
+                             f"{UPDATE_CORRUPTIONS}, got {corrupt_kinds}")
+        unknown = set(report_kinds) - set(REPORT_FAULTS)
+        if unknown or not report_kinds:
+            raise ValueError(f"report_kinds must be a non-empty subset of "
+                             f"{REPORT_FAULTS}, got {report_kinds}")
+        self.dropout_prob = dropout_prob
+        self.straggler_prob = straggler_prob
+        self.straggler_delay = straggler_delay
+        self.deadline_seconds = deadline_seconds
+        self.corrupt_prob = corrupt_prob
+        self.corrupt_kinds = tuple(corrupt_kinds)
+        self.stale_prob = stale_prob
+        self.report_fault_prob = report_fault_prob
+        self.report_kinds = tuple(report_kinds)
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # -- draws ---------------------------------------------------------
+
+    def draw_dropout(self) -> bool:
+        return self.dropout_prob > 0 and self._rng.random() < self.dropout_prob
+
+    def draw_delay(self) -> float:
+        """Simulated response delay in seconds (0.0 for non-stragglers)."""
+        if self.straggler_prob <= 0 or self._rng.random() >= self.straggler_prob:
+            return 0.0
+        lo, hi = self.straggler_delay
+        return float(self._rng.uniform(lo, hi))
+
+    def draw_stale(self) -> bool:
+        return self.stale_prob > 0 and self._rng.random() < self.stale_prob
+
+    def draw_corruption(self) -> str | None:
+        if self.corrupt_prob <= 0 or self._rng.random() >= self.corrupt_prob:
+            return None
+        return self.corrupt_kinds[int(self._rng.integers(len(self.corrupt_kinds)))]
+
+    def draw_report_fault(self) -> str | None:
+        if (
+            self.report_fault_prob <= 0
+            or self._rng.random() >= self.report_fault_prob
+        ):
+            return None
+        return self.report_kinds[int(self._rng.integers(len(self.report_kinds)))]
+
+    # -- corruptions ---------------------------------------------------
+
+    def corrupt_update(self, delta: np.ndarray, kind: str) -> np.ndarray:
+        """Apply an update corruption of ``kind`` to a copy of ``delta``."""
+        bad = delta.copy()
+        if kind == "shape":
+            return bad[:-1] if bad.size > 1 else np.append(bad, bad)
+        num_bad = max(1, bad.size // 100)
+        where = self._rng.choice(bad.size, size=num_bad, replace=False)
+        # assignment, not arithmetic: keeps -W error::RuntimeWarning quiet
+        bad[where] = np.nan if kind == "nan" else np.inf
+        return bad
+
+    def corrupt_ranking(self, report: np.ndarray, kind: str) -> np.ndarray:
+        """A malformed RAP report: truncated or non-permutation."""
+        bad = report.copy()
+        if kind == "truncated":
+            return bad[:-1]
+        if bad.size >= 2:  # duplicate entry: guaranteed non-permutation
+            bad[0] = bad[1]
+        return bad
+
+    def corrupt_votes(self, report: np.ndarray, kind: str) -> np.ndarray:
+        """A malformed MVP report: truncated or non-binary values."""
+        if kind == "truncated":
+            return report[:-1].copy()
+        bad = report.astype(np.float64)
+        bad[int(self._rng.integers(bad.size))] = np.nan
+        return bad
+
+
+class FaultyClient:
+    """Wraps any client, injecting the faults a :class:`FaultModel` draws.
+
+    Everything not intercepted here (``client_id``, ``dataset``,
+    ``accuracy_report``, attacker attributes, ...) delegates to the
+    wrapped client, so the wrapper composes with both :class:`Client`
+    and :class:`~repro.fl.client.MaliciousClient`.
+    """
+
+    def __init__(self, inner: Client, faults: FaultModel) -> None:
+        self.inner = inner
+        self.faults = faults
+        self._last_delta: np.ndarray | None = None
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        return f"FaultyClient({self.inner!r})"
+
+    def local_update(self, model, global_params, round_index=None) -> np.ndarray:
+        faults = self.faults
+        if faults.draw_dropout():
+            raise ClientDropout(f"client {self.inner.client_id} dropped out")
+        delay = faults.draw_delay()
+        if delay > faults.deadline_seconds:
+            raise ClientTimeout(
+                f"client {self.inner.client_id} straggled "
+                f"{delay:.1f}s past the {faults.deadline_seconds:.1f}s deadline"
+            )
+        if faults.draw_stale() and self._last_delta is not None:
+            return self._last_delta.copy()
+        delta = self.inner.local_update(model, global_params, round_index)
+        self._last_delta = delta.copy()
+        kind = faults.draw_corruption()
+        if kind is not None:
+            return faults.corrupt_update(delta, kind)
+        return delta
+
+    def ranking_report(self, model, layer) -> np.ndarray:
+        kind = self.faults.draw_report_fault()
+        if kind == "missing":
+            raise ClientDropout(
+                f"client {self.inner.client_id} sent no ranking report"
+            )
+        report = self.inner.ranking_report(model, layer)
+        if kind is None:
+            return report
+        return self.faults.corrupt_ranking(report, kind)
+
+    def vote_report(self, model, layer, prune_rate) -> np.ndarray:
+        kind = self.faults.draw_report_fault()
+        if kind == "missing":
+            raise ClientDropout(
+                f"client {self.inner.client_id} sent no vote report"
+            )
+        report = self.inner.vote_report(model, layer, prune_rate)
+        if kind is None:
+            return report
+        return self.faults.corrupt_votes(report, kind)
+
+
+def wrap_clients(clients, faults: FaultModel) -> list[FaultyClient]:
+    """Wrap a population with one shared fault schedule."""
+    return [FaultyClient(client, faults) for client in clients]
+
+
+def validate_update(payload, expected_dim: int) -> str | None:
+    """Server-side check of a client delta; ``None`` means acceptable.
+
+    Rejects anything that is not a 1-D float vector of the model's
+    parameter dimension with all-finite entries — the failure modes a
+    crashed, buggy or adversarial client can produce that would
+    otherwise corrupt the aggregate (NaN/Inf poison every coordinate of
+    a mean) or crash ``np.stack``.
+    """
+    if not isinstance(payload, np.ndarray):
+        return f"payload is {type(payload).__name__}, not an ndarray"
+    if payload.ndim != 1 or payload.shape[0] != expected_dim:
+        return f"wrong shape {payload.shape}, expected ({expected_dim},)"
+    if not np.issubdtype(payload.dtype, np.floating):
+        return f"non-float dtype {payload.dtype}"
+    if not np.isfinite(payload).all():
+        return "non-finite values"
+    return None

@@ -9,10 +9,22 @@ random sampling of ``clients_per_round`` (the Fig 7 study).
 The server evaluates test accuracy and, when a backdoor task is under
 study, attack success rate after every round — those traces are Fig 3's
 solid/dashed lines.
+
+Unlike the paper's idealized protocol, the round loop does not assume
+every selected client responds with a well-formed delta.  Each payload
+is validated (shape / dtype / finiteness), non-responders are retried
+up to ``update_retries`` times, rounds below ``min_quorum`` accepted
+updates are skipped rather than aggregated from too little signal, and
+clients that repeatedly ship invalid payloads are quarantined out of
+future selection.  Every such event is recorded on the round's
+:class:`RoundMetrics` so :class:`TrainingHistory` doubles as a fault
+log.  With fully reliable clients none of these paths trigger and the
+loop is exactly the paper's.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
 import numpy as np
@@ -23,27 +35,64 @@ from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
 from .aggregation import fedavg
 from .client import Client
+from .faults import ClientDropout, validate_update
 
 __all__ = ["RoundMetrics", "TrainingHistory", "FederatedServer"]
 
 
 class RoundMetrics:
-    """Metrics captured after one aggregation round."""
+    """Metrics captured after one aggregation round.
+
+    Beyond the TA/ASR pair, a round records its participation outcome:
+    how many clients were selected and accepted, who was dropped
+    (no response within the retry budget), rejected (invalid payload),
+    or quarantined this round, and whether the round was skipped for
+    lack of quorum (the global model is untouched on a skipped round).
+    """
 
     def __init__(
-        self, round_index: int, test_acc: float, attack_acc: float | None
+        self,
+        round_index: int,
+        test_acc: float,
+        attack_acc: float | None,
+        *,
+        num_selected: int | None = None,
+        num_accepted: int | None = None,
+        dropped: Sequence[tuple[int, str]] = (),
+        rejected: Sequence[tuple[int, str]] = (),
+        quarantined: Sequence[int] = (),
+        skipped: bool = False,
     ) -> None:
         self.round_index = round_index
         self.test_acc = test_acc
         self.attack_acc = attack_acc
+        self.num_selected = num_selected
+        self.num_accepted = num_accepted
+        self.dropped = list(dropped)
+        self.rejected = list(rejected)
+        self.quarantined = list(quarantined)
+        self.skipped = skipped
 
     def __repr__(self) -> str:
         attack = f", AA={self.attack_acc:.3f}" if self.attack_acc is not None else ""
-        return f"RoundMetrics(round={self.round_index}, TA={self.test_acc:.3f}{attack})"
+        extra = ""
+        if self.num_selected is not None and self.num_accepted != self.num_selected:
+            extra = f", accepted={self.num_accepted}/{self.num_selected}"
+        if self.skipped:
+            extra += ", skipped"
+        return (
+            f"RoundMetrics(round={self.round_index}, "
+            f"TA={self.test_acc:.3f}{attack}{extra})"
+        )
 
 
 class TrainingHistory:
-    """Per-round metric traces for a federated training run."""
+    """Per-round metric traces for a federated training run.
+
+    Also aggregates the fault log: which rounds were skipped for lack of
+    quorum, how many client responses were dropped or rejected, and
+    which clients were quarantined along the way.
+    """
 
     def __init__(self) -> None:
         self.rounds: list[RoundMetrics] = []
@@ -60,6 +109,28 @@ class TrainingHistory:
         return [r.attack_acc for r in self.rounds if r.attack_acc is not None]
 
     @property
+    def skipped_rounds(self) -> list[int]:
+        """Indices of rounds skipped for lack of quorum."""
+        return [r.round_index for r in self.rounds if r.skipped]
+
+    @property
+    def num_dropouts(self) -> int:
+        """Total no-response events (dropouts and timeouts) across rounds."""
+        return sum(len(r.dropped) for r in self.rounds)
+
+    @property
+    def num_rejections(self) -> int:
+        """Total invalid-payload rejections across rounds."""
+        return sum(len(r.rejected) for r in self.rounds)
+
+    @property
+    def quarantine_events(self) -> list[tuple[int, int]]:
+        """(round_index, client_id) pairs, in quarantine order."""
+        return [
+            (r.round_index, cid) for r in self.rounds for cid in r.quarantined
+        ]
+
+    @property
     def final(self) -> RoundMetrics:
         if not self.rounds:
             raise ValueError("no rounds recorded")
@@ -67,6 +138,13 @@ class TrainingHistory:
 
     def __len__(self) -> int:
         return len(self.rounds)
+
+
+def _resolve_quorum(min_quorum: int | float, num_selected: int) -> int:
+    """Absolute quorum from an int count or a float fraction of selected."""
+    if isinstance(min_quorum, float):
+        return max(1, math.ceil(min_quorum * num_selected))
+    return max(1, min_quorum)
 
 
 class FederatedServer:
@@ -93,7 +171,22 @@ class FederatedServer:
         Uniform random sample size per round; ``None`` selects everyone
         (the paper's default simplification).
     rng:
-        Generator driving client sampling.
+        Generator driving client sampling.  Defaults to
+        ``np.random.default_rng(0)`` so sampling stays deterministic
+        when no generator is supplied.
+    min_quorum:
+        Minimum accepted updates required to aggregate a round; below
+        it the round is skipped (model untouched) and logged.  An int
+        is an absolute count, a float in (0, 1] a fraction of the
+        selected participants.  The default of 1 reproduces the paper's
+        behaviour whenever at least one client responds.
+    update_retries:
+        How many times a non-responding client is re-asked within the
+        round before being recorded as dropped.
+    max_client_strikes:
+        Quarantine a client after this many invalid payloads (it is
+        excluded from all future selection); ``None`` disables
+        quarantine.
     """
 
     def __init__(
@@ -105,6 +198,9 @@ class FederatedServer:
         aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
         clients_per_round: int | None = None,
         rng: np.random.Generator | None = None,
+        min_quorum: int | float = 1,
+        update_retries: int = 0,
+        max_client_strikes: int | None = 3,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -114,36 +210,105 @@ class FederatedServer:
                     f"clients_per_round must be in [1, {len(clients)}], "
                     f"got {clients_per_round}"
                 )
-            if rng is None:
-                raise ValueError("client sampling requires an rng")
+        if isinstance(min_quorum, float):
+            if not 0.0 < min_quorum <= 1.0:
+                raise ValueError(
+                    f"fractional min_quorum must be in (0, 1], got {min_quorum}"
+                )
+        elif min_quorum < 1:
+            raise ValueError(f"min_quorum must be >= 1, got {min_quorum}")
+        if update_retries < 0:
+            raise ValueError(f"update_retries must be >= 0, got {update_retries}")
+        if max_client_strikes is not None and max_client_strikes < 1:
+            raise ValueError(
+                f"max_client_strikes must be >= 1 or None, got {max_client_strikes}"
+            )
         self.model = model
         self.clients = list(clients)
         self.test_set = test_set
         self.backdoor_task = backdoor_task
         self.aggregate = aggregate
         self.clients_per_round = clients_per_round
-        self.rng = rng
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.min_quorum = min_quorum
+        self.update_retries = update_retries
+        self.max_client_strikes = max_client_strikes
+        self.quarantined: set[int] = set()
+        self._strikes: dict[int, int] = {}
 
     def select_clients(self) -> list[Client]:
-        """The participants of the next round."""
-        if self.clients_per_round is None:
-            return self.clients
-        chosen = self.rng.choice(
-            len(self.clients), size=self.clients_per_round, replace=False
-        )
-        return [self.clients[i] for i in chosen]
+        """The participants of the next round (quarantined excluded)."""
+        pool = [c for c in self.clients if c.client_id not in self.quarantined]
+        if self.clients_per_round is None or not pool:
+            return pool
+        sample_size = min(self.clients_per_round, len(pool))
+        chosen = self.rng.choice(len(pool), size=sample_size, replace=False)
+        return [pool[i] for i in chosen]
+
+    def _collect_update(
+        self,
+        client: Client,
+        global_params: np.ndarray,
+        round_index: int,
+    ) -> tuple[np.ndarray | None, tuple[str, str] | None]:
+        """One client's validated delta, or (None, (outcome, reason)).
+
+        Non-responses are retried up to ``update_retries`` times; an
+        invalid payload is *not* retried (the client answered — asking
+        again would let a malformed-update client stall the round).
+        """
+        reason = "no response"
+        for _ in range(1 + self.update_retries):
+            try:
+                payload = client.local_update(self.model, global_params, round_index)
+            except ClientDropout as exc:
+                reason = str(exc) or type(exc).__name__
+                continue
+            problem = validate_update(payload, global_params.size)
+            if problem is None:
+                return payload, None
+            return None, ("rejected", problem)
+        return None, ("dropped", reason)
+
+    def _record_strike(self, client_id: int) -> bool:
+        """Count an invalid payload; True when it triggers quarantine."""
+        if self.max_client_strikes is None:
+            return False
+        strikes = self._strikes.get(client_id, 0) + 1
+        self._strikes[client_id] = strikes
+        if strikes >= self.max_client_strikes and client_id not in self.quarantined:
+            self.quarantined.add(client_id)
+            return True
+        return False
 
     def run_round(self, round_index: int) -> RoundMetrics:
-        """One full round: select, train locally, aggregate, evaluate."""
+        """One full round: select, train locally, validate, aggregate, evaluate."""
         participants = self.select_clients()
         global_params = self.model.flat_parameters()
-        deltas = np.stack(
-            [
-                client.local_update(self.model, global_params, round_index)
-                for client in participants
-            ]
-        )
-        self.model.load_flat_parameters(global_params + self.aggregate(deltas))
+
+        accepted: list[np.ndarray] = []
+        dropped: list[tuple[int, str]] = []
+        rejected: list[tuple[int, str]] = []
+        quarantined_now: list[int] = []
+        for client in participants:
+            delta, failure = self._collect_update(client, global_params, round_index)
+            if delta is not None:
+                accepted.append(delta)
+                continue
+            outcome, reason = failure
+            if outcome == "rejected":
+                rejected.append((client.client_id, reason))
+                if self._record_strike(client.client_id):
+                    quarantined_now.append(client.client_id)
+            else:
+                dropped.append((client.client_id, reason))
+
+        quorum = _resolve_quorum(self.min_quorum, len(participants))
+        skipped = len(accepted) < quorum
+        if not skipped:
+            self.model.load_flat_parameters(
+                global_params + self.aggregate(np.stack(accepted))
+            )
 
         test_acc = test_accuracy(self.model, self.test_set)
         attack_acc = None
@@ -151,7 +316,17 @@ class FederatedServer:
             attack_acc = attack_success_rate(
                 self.model, self.backdoor_task, self.test_set
             )
-        return RoundMetrics(round_index, test_acc, attack_acc)
+        return RoundMetrics(
+            round_index,
+            test_acc,
+            attack_acc,
+            num_selected=len(participants),
+            num_accepted=len(accepted),
+            dropped=dropped,
+            rejected=rejected,
+            quarantined=quarantined_now,
+            skipped=skipped,
+        )
 
     def train(self, num_rounds: int) -> TrainingHistory:
         """Run ``num_rounds`` rounds, returning the metric traces."""

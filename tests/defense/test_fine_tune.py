@@ -78,3 +78,51 @@ class TestFederatedFineTune:
             federated_fine_tune(tiny_cnn, clients, lambda m: 1.0, max_rounds=0)
         with pytest.raises(ValueError):
             federated_fine_tune(tiny_cnn, [], lambda m: 1.0)
+        with pytest.raises(ValueError, match="min_quorum"):
+            federated_fine_tune(tiny_cnn, clients, lambda m: 1.0, min_quorum=0)
+
+
+class BrokenClient:
+    """A fine-tuning participant that drops out or ships garbage."""
+
+    def __init__(self, client_id, behaviour):
+        self.client_id = client_id
+        self.behaviour = behaviour
+
+    def local_update(self, model, global_params, round_index=None):
+        from repro.fl.faults import ClientDropout
+
+        if self.behaviour == "drop":
+            raise ClientDropout("gone")
+        bad = np.zeros_like(global_params)
+        bad[0] = np.inf
+        return bad
+
+
+class TestFineTuneDegradation:
+    def test_faulty_clients_skipped_not_fatal(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_clients(tiny_dataset, 2, rng)
+        clients += [BrokenClient(2, "drop"), BrokenClient(3, "inf")]
+
+        def accuracy(model):
+            logits = model(tiny_dataset.images)
+            return float((logits.argmax(1) == tiny_dataset.labels).mean())
+
+        result = federated_fine_tune(
+            tiny_cnn, clients, accuracy, max_rounds=2, patience=2
+        )
+        assert np.isfinite(tiny_cnn.flat_parameters()).all()
+        assert result.num_dropped == result.rounds_run
+        assert result.num_rejected == result.rounds_run
+        assert result.skipped_rounds == []
+
+    def test_below_quorum_rounds_leave_model_untouched(
+        self, tiny_cnn, tiny_dataset, rng
+    ):
+        before = tiny_cnn.flat_parameters().copy()
+        clients = [BrokenClient(0, "drop"), BrokenClient(1, "inf")]
+        result = federated_fine_tune(
+            tiny_cnn, clients, lambda m: 0.5, max_rounds=3, patience=3
+        )
+        assert result.skipped_rounds == list(range(result.rounds_run))
+        np.testing.assert_array_equal(tiny_cnn.flat_parameters(), before)

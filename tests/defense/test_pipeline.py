@@ -101,3 +101,107 @@ class TestDefensePipeline:
         )
         order = pipeline.global_prune_order(tiny_cnn)
         assert order.size == first_conv.out_channels
+
+
+class SilentClient(Client):
+    """Never delivers a ranking/vote report."""
+
+    def ranking_report(self, model, layer):
+        from repro.fl.faults import ClientDropout
+
+        raise ClientDropout(f"client {self.client_id} unreachable")
+
+    def vote_report(self, model, layer, prune_rate):
+        return self.ranking_report(model, layer)
+
+
+class GarbageReportClient(Client):
+    """Always reports nonsense (wrong length for both protocols)."""
+
+    def ranking_report(self, model, layer):
+        return np.arange(2)
+
+    def vote_report(self, model, layer, prune_rate):
+        return np.arange(2)
+
+
+def make_typed_clients(dataset, rng, types):
+    config = LocalTrainingConfig(lr=0.05, momentum=0.5, batch_size=16, local_epochs=1)
+    chunks = np.array_split(rng.permutation(len(dataset)), len(types))
+    return [
+        cls(i, dataset.subset(chunk), config, np.random.default_rng(50 + i))
+        for i, (cls, chunk) in enumerate(zip(types, chunks))
+    ]
+
+
+class TestPipelineDegradation:
+    @pytest.mark.parametrize("method", ["rap", "mvp"])
+    def test_prune_order_survives_dropouts_and_garbage(
+        self, method, tiny_cnn, tiny_dataset, rng
+    ):
+        """Heterogeneous report sets: 2 of 4 clients deliver, order still valid."""
+        clients = make_typed_clients(
+            tiny_dataset, rng, [Client, SilentClient, GarbageReportClient, Client]
+        )
+        pipeline = DefensePipeline(
+            clients, accuracy_oracle(tiny_dataset), DefenseConfig(method=method)
+        )
+        order = pipeline.global_prune_order(tiny_cnn)
+        channels = tiny_cnn.last_conv().out_channels
+        np.testing.assert_array_equal(np.sort(order), np.arange(channels))
+        kinds = [kind for kind, _, _ in pipeline.events]
+        assert "report_dropout" in kinds
+        assert "malformed_report" in kinds
+
+    @pytest.mark.parametrize("method", ["rap", "mvp"])
+    def test_repeat_malformed_reports_quarantine(
+        self, method, tiny_cnn, tiny_dataset, rng
+    ):
+        clients = make_typed_clients(
+            tiny_dataset, rng, [Client, Client, GarbageReportClient]
+        )
+        config = DefenseConfig(method=method, max_report_strikes=2)
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset), config)
+        pipeline.global_prune_order(tiny_cnn)
+        assert pipeline.quarantined == set()  # one strike so far
+        pipeline.global_prune_order(tiny_cnn)
+        assert pipeline.quarantined == {2}
+        assert ("quarantine", 2, "2 malformed reports") in pipeline.events
+        assert [c.client_id for c in pipeline.active_clients()] == [0, 1]
+
+    def test_no_valid_reports_raises(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_typed_clients(tiny_dataset, rng, [SilentClient, SilentClient])
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset))
+        with pytest.raises(ValueError, match="well-formed pruning reports"):
+            pipeline.global_prune_order(tiny_cnn)
+
+    def test_report_quorum_enforced(self, tiny_cnn, tiny_dataset, rng):
+        clients = make_typed_clients(
+            tiny_dataset, rng, [Client, SilentClient, SilentClient]
+        )
+        config = DefenseConfig(min_report_quorum=0.5)
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset), config)
+        with pytest.raises(ValueError, match="quorum"):
+            pipeline.global_prune_order(tiny_cnn)
+
+    def test_run_excludes_quarantined_from_fine_tune(
+        self, tiny_cnn, tiny_dataset, rng
+    ):
+        clients = make_typed_clients(
+            tiny_dataset, rng, [Client, Client, GarbageReportClient]
+        )
+        config = DefenseConfig(
+            max_report_strikes=1, fine_tune=True, fine_tune_rounds=1
+        )
+        pipeline = DefensePipeline(clients, accuracy_oracle(tiny_dataset), config)
+        report = pipeline.run(tiny_cnn)
+        assert pipeline.quarantined == {2}
+        assert report.fine_tuning is not None  # ran on the two survivors
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="max_report_strikes"):
+            DefenseConfig(max_report_strikes=0)
+        with pytest.raises(ValueError, match="min_report_quorum"):
+            DefenseConfig(min_report_quorum=0)
+        with pytest.raises(ValueError, match="min_report_quorum"):
+            DefenseConfig(min_report_quorum=1.2)

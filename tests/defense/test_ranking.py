@@ -13,6 +13,8 @@ from repro.defense.ranking import (
     local_ranking,
     mvp_prune_order,
     rap_prune_order,
+    validate_ranking_report,
+    validate_vote_report,
 )
 
 activations = arrays(
@@ -143,3 +145,72 @@ class TestPruneOrders:
         attacker[:, [7, 8, 9]] = 1
         order = mvp_prune_order(np.vstack([honest, attacker]))
         assert set(order[:3].tolist()) == {0, 1, 2}
+
+
+class TestHeterogeneousReportSets:
+    """Both aggregations run over however many reports arrived — a
+    post-dropout subset or a duplicated report must aggregate cleanly."""
+
+    def test_rap_fewer_reports_than_clients(self):
+        # population of 10, but only 4 reports survived collection
+        rng = np.random.default_rng(0)
+        reports = np.stack([rng.permutation(6) for _ in range(4)])
+        order = rap_prune_order(reports)
+        np.testing.assert_array_equal(np.sort(order), np.arange(6))
+
+    def test_mvp_fewer_reports_than_clients(self):
+        reports = np.stack([local_prune_votes(np.arange(6.0), 0.5)] * 3)
+        order = mvp_prune_order(reports)
+        np.testing.assert_array_equal(np.sort(order), np.arange(6))
+
+    def test_rap_duplicate_reports_reweight_not_crash(self):
+        base = np.array([[0, 1, 2, 3], [3, 2, 1, 0]])
+        dup = np.vstack([base, base[0]])  # client 0's report arrives twice
+        order = rap_prune_order(dup)
+        np.testing.assert_array_equal(np.sort(order), np.arange(4))
+        # the duplicated view dominates the mean positions
+        np.testing.assert_array_equal(order, rap_prune_order(base[[0, 0, 0, 1]]))
+
+    def test_mvp_duplicate_reports_shift_shares(self):
+        votes = np.array([[1, 0, 0, 0], [0, 0, 0, 1]])
+        dup = np.vstack([votes, votes[0]])
+        shares = aggregate_votes(dup)
+        assert shares[0] > shares[3]
+
+    def test_single_report_suffices(self):
+        order = rap_prune_order(np.array([[2, 0, 1]]))
+        np.testing.assert_array_equal(np.sort(order), np.arange(3))
+
+
+class TestReportValidators:
+    def test_ranking_accepts_permutation(self):
+        assert validate_ranking_report(np.array([2, 0, 1]), 3) is None
+
+    @pytest.mark.parametrize(
+        "report",
+        [
+            np.array([0, 1]),  # wrong length
+            np.array([0, 0, 2]),  # duplicate
+            np.array([0, 1, 5]),  # out of range
+            np.array([0.0, 1.0, 2.0]),  # non-integer dtype
+            np.zeros((1, 3), dtype=int),  # wrong rank
+        ],
+    )
+    def test_ranking_rejects_malformed(self, report):
+        assert validate_ranking_report(report, 3) is not None
+
+    def test_votes_accept_binary(self):
+        assert validate_vote_report(np.array([1, 0, 1]), 3) is None
+        assert validate_vote_report(np.array([1.0, 0.0, 1.0]), 3) is None
+
+    @pytest.mark.parametrize(
+        "report",
+        [
+            np.array([1, 0]),  # wrong length
+            np.array([1, 0, 2]),  # non-binary
+            np.array([1.0, 0.0, np.nan]),  # non-finite
+            np.array(["a", "b", "c"]),  # non-numeric
+        ],
+    )
+    def test_votes_reject_malformed(self, report):
+        assert validate_vote_report(report, 3) is not None

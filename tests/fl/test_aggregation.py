@@ -153,3 +153,55 @@ class TestBackdoorSurvivesRobustRules:
         without = coordinate_median(benign)
         shift = np.abs(with_attack - without).mean()
         assert shift > 0.05
+
+
+ALL_RULES = [
+    fedavg,
+    coordinate_median,
+    trimmed_mean,
+    krum,
+    multi_krum,
+    bulyan,
+]
+
+
+class TestNonFiniteFiltering:
+    """Regression: a single NaN/Inf client delta must never reach the
+    global model through any aggregation rule."""
+
+    def test_fedavg_filters_nan_row(self):
+        updates = np.array([[1.0, 2.0], [3.0, 4.0], [np.nan, 0.0]])
+        np.testing.assert_allclose(fedavg(updates), [2.0, 3.0])
+
+    def test_fedavg_filters_inf_row(self):
+        updates = np.array([[1.0, 2.0], [3.0, 4.0], [np.inf, 0.0]])
+        np.testing.assert_allclose(fedavg(updates), [2.0, 3.0])
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_every_rule_stays_finite(self, rule, rng):
+        updates = rng.standard_normal((6, 8))
+        updates[2, 3] = np.nan
+        updates[4, 0] = -np.inf
+        assert np.isfinite(rule(updates)).all()
+
+    @pytest.mark.parametrize("rule", ALL_RULES)
+    def test_all_bad_rows_raise(self, rule):
+        updates = np.full((3, 4), np.nan)
+        with pytest.raises(ValueError, match="non-finite"):
+            rule(updates)
+
+    def test_weighted_fedavg_drops_weight_with_row(self):
+        updates = np.array([[0.0], [10.0], [np.nan]])
+        agg = weighted_fedavg(updates, np.array([3.0, 1.0, 100.0]))
+        np.testing.assert_allclose(agg, [2.5])
+
+    def test_weighted_fedavg_rejects_nonfinite_weights(self, rng):
+        updates = rng.standard_normal((3, 2))
+        with pytest.raises(ValueError, match="finite"):
+            weighted_fedavg(updates, np.array([1.0, np.nan, 1.0]))
+
+    def test_finite_rows_mask(self):
+        from repro.fl.aggregation import finite_rows
+
+        updates = np.array([[1.0, 2.0], [np.nan, 0.0], [3.0, np.inf]])
+        np.testing.assert_array_equal(finite_rows(updates), [True, False, False])

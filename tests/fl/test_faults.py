@@ -1,0 +1,165 @@
+"""Tests for the fault-injection layer (FaultModel / FaultyClient)."""
+
+import numpy as np
+import pytest
+
+from repro.defense.ranking import validate_ranking_report, validate_vote_report
+from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.faults import (
+    ClientDropout,
+    ClientTimeout,
+    FaultModel,
+    FaultyClient,
+    validate_update,
+    wrap_clients,
+)
+
+
+def make_client(dataset, client_id=0):
+    config = LocalTrainingConfig(lr=0.05, momentum=0.5, batch_size=16, local_epochs=1)
+    return Client(client_id, dataset, config, np.random.default_rng(7))
+
+
+class TestFaultModel:
+    def test_same_seed_same_schedule(self):
+        draws = []
+        for _ in range(2):
+            faults = FaultModel(dropout_prob=0.5, straggler_prob=0.5, seed=3)
+            draws.append(
+                [(faults.draw_dropout(), faults.draw_delay()) for _ in range(20)]
+            )
+        assert draws[0] == draws[1]
+
+    def test_zero_rates_never_fire(self):
+        faults = FaultModel(seed=0)
+        for _ in range(50):
+            assert not faults.draw_dropout()
+            assert faults.draw_delay() == 0.0
+            assert not faults.draw_stale()
+            assert faults.draw_corruption() is None
+            assert faults.draw_report_fault() is None
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="dropout_prob"):
+            FaultModel(dropout_prob=1.5)
+        with pytest.raises(ValueError, match="deadline_seconds"):
+            FaultModel(deadline_seconds=0.0)
+        with pytest.raises(ValueError, match="corrupt_kinds"):
+            FaultModel(corrupt_kinds=("nan", "bogus"))
+        with pytest.raises(ValueError, match="report_kinds"):
+            FaultModel(report_kinds=())
+
+    @pytest.mark.parametrize("kind", ["nan", "inf", "shape"])
+    def test_corruptions_fail_validation(self, kind):
+        faults = FaultModel(seed=1)
+        delta = np.zeros(200, dtype=np.float32)
+        bad = faults.corrupt_update(delta, kind)
+        assert validate_update(bad, delta.size) is not None
+
+    @pytest.mark.parametrize("kind", ["truncated", "garbage"])
+    def test_report_corruptions_fail_validation(self, kind):
+        faults = FaultModel(seed=1)
+        ranking = np.argsort(np.arange(8))
+        votes = np.zeros(8, dtype=np.int64)
+        votes[:4] = 1
+        assert validate_ranking_report(faults.corrupt_ranking(ranking, kind), 8)
+        assert validate_vote_report(faults.corrupt_votes(votes, kind), 8)
+
+
+class TestValidateUpdate:
+    def test_accepts_well_formed(self):
+        assert validate_update(np.zeros(10, dtype=np.float32), 10) is None
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            None,
+            [0.0] * 10,
+            np.zeros((2, 5)),
+            np.zeros(9),
+            np.zeros(10, dtype=np.int64),
+            np.full(10, np.nan),
+            np.full(10, np.inf),
+        ],
+    )
+    def test_rejects_malformed(self, payload):
+        assert validate_update(payload, 10) is not None
+
+
+class TestFaultyClient:
+    def test_transparent_when_fault_free(self, tiny_cnn, tiny_dataset):
+        params = tiny_cnn.flat_parameters()
+        plain = make_client(tiny_dataset)
+        wrapped = FaultyClient(make_client(tiny_dataset), FaultModel(seed=0))
+        delta_plain = plain.local_update(tiny_cnn, params)
+        delta_wrapped = wrapped.local_update(tiny_cnn, params)
+        np.testing.assert_array_equal(delta_plain, delta_wrapped)
+
+    def test_delegates_inner_attributes(self, tiny_dataset):
+        wrapped = FaultyClient(make_client(tiny_dataset, client_id=5), FaultModel())
+        assert wrapped.client_id == 5
+        assert wrapped.num_samples == len(tiny_dataset)
+
+    def test_dropout_raises(self, tiny_cnn, tiny_dataset):
+        wrapped = FaultyClient(
+            make_client(tiny_dataset), FaultModel(dropout_prob=1.0, seed=0)
+        )
+        with pytest.raises(ClientDropout):
+            wrapped.local_update(tiny_cnn, tiny_cnn.flat_parameters())
+
+    def test_straggler_past_deadline_times_out(self, tiny_cnn, tiny_dataset):
+        faults = FaultModel(
+            straggler_prob=1.0, straggler_delay=(20.0, 30.0), deadline_seconds=10.0
+        )
+        wrapped = FaultyClient(make_client(tiny_dataset), faults)
+        with pytest.raises(ClientTimeout):
+            wrapped.local_update(tiny_cnn, tiny_cnn.flat_parameters())
+
+    def test_straggler_within_deadline_responds(self, tiny_cnn, tiny_dataset):
+        faults = FaultModel(
+            straggler_prob=1.0, straggler_delay=(1.0, 2.0), deadline_seconds=10.0
+        )
+        wrapped = FaultyClient(make_client(tiny_dataset), faults)
+        delta = wrapped.local_update(tiny_cnn, tiny_cnn.flat_parameters())
+        assert validate_update(delta, delta.size) is None
+
+    def test_stale_replays_previous_delta(self, tiny_cnn, tiny_dataset):
+        wrapped = FaultyClient(
+            make_client(tiny_dataset), FaultModel(stale_prob=1.0, seed=0)
+        )
+        params = tiny_cnn.flat_parameters()
+        first = wrapped.local_update(tiny_cnn, params)  # nothing cached yet
+        replayed = wrapped.local_update(tiny_cnn, params + 0.01)
+        np.testing.assert_array_equal(first, replayed)
+
+    def test_corrupted_update_is_rejected_by_validator(self, tiny_cnn, tiny_dataset):
+        wrapped = FaultyClient(
+            make_client(tiny_dataset), FaultModel(corrupt_prob=1.0, seed=2)
+        )
+        params = tiny_cnn.flat_parameters()
+        delta = wrapped.local_update(tiny_cnn, params)
+        assert validate_update(delta, params.size) is not None
+
+    def test_missing_report_raises(self, tiny_cnn, tiny_dataset):
+        faults = FaultModel(report_fault_prob=1.0, report_kinds=("missing",))
+        wrapped = FaultyClient(make_client(tiny_dataset), faults)
+        layer = tiny_cnn.last_conv()
+        with pytest.raises(ClientDropout):
+            wrapped.ranking_report(tiny_cnn, layer)
+        with pytest.raises(ClientDropout):
+            wrapped.vote_report(tiny_cnn, layer, 0.5)
+
+    def test_garbage_reports_fail_validation(self, tiny_cnn, tiny_dataset):
+        faults = FaultModel(report_fault_prob=1.0, report_kinds=("garbage",))
+        wrapped = FaultyClient(make_client(tiny_dataset), faults)
+        layer = tiny_cnn.last_conv()
+        channels = layer.out_channels
+        assert validate_ranking_report(wrapped.ranking_report(tiny_cnn, layer), channels)
+        assert validate_vote_report(wrapped.vote_report(tiny_cnn, layer, 0.5), channels)
+
+    def test_wrap_clients(self, tiny_dataset):
+        faults = FaultModel(seed=0)
+        clients = [make_client(tiny_dataset, client_id=i) for i in range(3)]
+        wrapped = wrap_clients(clients, faults)
+        assert [w.client_id for w in wrapped] == [0, 1, 2]
+        assert all(w.faults is faults for w in wrapped)

@@ -55,10 +55,18 @@ class TestFederatedServer:
         assert len(selected) == 2
         assert len({c.client_id for c in selected}) == 2
 
-    def test_sampling_requires_rng(self, tiny_cnn, tiny_dataset, rng):
+    def test_sampling_without_rng_defaults_deterministically(
+        self, tiny_cnn, tiny_dataset, rng
+    ):
+        """No rng + clients_per_round seeds default_rng(0), not an error."""
         clients = make_clients(tiny_dataset, 3, rng)
-        with pytest.raises(ValueError, match="requires an rng"):
-            FederatedServer(tiny_cnn, clients, tiny_dataset, clients_per_round=2)
+        picks = []
+        for _ in range(2):
+            server = FederatedServer(
+                tiny_cnn, clients, tiny_dataset, clients_per_round=2
+            )
+            picks.append([c.client_id for c in server.select_clients()])
+        assert picks[0] == picks[1]
 
     def test_sampling_bounds(self, tiny_cnn, tiny_dataset, rng):
         clients = make_clients(tiny_dataset, 3, rng)
@@ -94,3 +102,120 @@ class TestFederatedServer:
 
         with pytest.raises(ValueError):
             TrainingHistory().final
+
+
+class StubClient:
+    """Scripted client for exercising the server's failure handling."""
+
+    def __init__(self, client_id, behaviour="zeros"):
+        self.client_id = client_id
+        self.behaviour = behaviour
+        self.calls = 0
+
+    def local_update(self, model, global_params, round_index=None):
+        from repro.fl.faults import ClientDropout
+
+        self.calls += 1
+        if self.behaviour == "drop":
+            raise ClientDropout("gone")
+        if self.behaviour == "flaky" and self.calls == 1:
+            raise ClientDropout("first attempt lost")
+        if self.behaviour == "nan":
+            bad = np.zeros_like(global_params)
+            bad[0] = np.nan
+            return bad
+        if self.behaviour == "shape":
+            return np.zeros(3, dtype=global_params.dtype)
+        return np.zeros_like(global_params)
+
+
+class TestServerDegradation:
+    def test_dropout_tolerated(self, tiny_cnn, tiny_dataset):
+        server = FederatedServer(
+            tiny_cnn,
+            [StubClient(0), StubClient(1, "drop")],
+            tiny_dataset,
+        )
+        metrics = server.run_round(0)
+        assert not metrics.skipped
+        assert metrics.num_accepted == 1
+        assert metrics.dropped == [(1, "gone")]
+        assert np.isfinite(tiny_cnn.flat_parameters()).all()
+
+    @pytest.mark.parametrize("behaviour", ["nan", "shape"])
+    def test_invalid_payload_rejected(self, behaviour, tiny_cnn, tiny_dataset):
+        server = FederatedServer(
+            tiny_cnn,
+            [StubClient(0), StubClient(1, behaviour)],
+            tiny_dataset,
+        )
+        metrics = server.run_round(0)
+        assert metrics.num_accepted == 1
+        assert [cid for cid, _ in metrics.rejected] == [1]
+        assert np.isfinite(tiny_cnn.flat_parameters()).all()
+
+    def test_below_quorum_round_skipped(self, tiny_cnn, tiny_dataset):
+        before = tiny_cnn.flat_parameters().copy()
+        server = FederatedServer(
+            tiny_cnn,
+            [StubClient(0, "drop"), StubClient(1, "drop")],
+            tiny_dataset,
+        )
+        history = server.train(2)
+        assert history.skipped_rounds == [0, 1]
+        assert history.num_dropouts == 4
+        np.testing.assert_array_equal(tiny_cnn.flat_parameters(), before)
+
+    def test_fractional_quorum(self, tiny_cnn, tiny_dataset):
+        # 3 of 4 respond; 0.9 quorum needs all 4 -> skip, 0.5 needs 2 -> run
+        clients = [StubClient(i) for i in range(3)] + [StubClient(3, "drop")]
+        for quorum, skipped in ((0.9, True), (0.5, False)):
+            server = FederatedServer(
+                tiny_cnn, clients, tiny_dataset, min_quorum=quorum
+            )
+            assert server.run_round(0).skipped is skipped
+
+    def test_retry_recovers_flaky_client(self, tiny_cnn, tiny_dataset):
+        flaky = StubClient(1, "flaky")
+        server = FederatedServer(
+            tiny_cnn, [StubClient(0), flaky], tiny_dataset, update_retries=1
+        )
+        metrics = server.run_round(0)
+        assert metrics.num_accepted == 2
+        assert flaky.calls == 2
+
+    def test_repeat_offender_quarantined(self, tiny_cnn, tiny_dataset):
+        bad = StubClient(1, "nan")
+        server = FederatedServer(
+            tiny_cnn,
+            [StubClient(0), bad],
+            tiny_dataset,
+            max_client_strikes=2,
+        )
+        history = server.train(3)
+        assert history.quarantine_events == [(1, 1)]
+        assert server.quarantined == {1}
+        # after quarantine the offender is no longer selected
+        assert bad.calls == 2
+        assert history.rounds[2].num_selected == 1
+
+    def test_participation_accounting(self, tiny_cnn, tiny_dataset):
+        server = FederatedServer(
+            tiny_cnn,
+            [StubClient(0), StubClient(1, "drop"), StubClient(2, "nan")],
+            tiny_dataset,
+        )
+        metrics = server.run_round(0)
+        total = metrics.num_accepted + len(metrics.dropped) + len(metrics.rejected)
+        assert total == metrics.num_selected == 3
+
+    def test_invalid_robustness_params(self, tiny_cnn, tiny_dataset):
+        clients = [StubClient(0)]
+        with pytest.raises(ValueError, match="min_quorum"):
+            FederatedServer(tiny_cnn, clients, tiny_dataset, min_quorum=0)
+        with pytest.raises(ValueError, match="min_quorum"):
+            FederatedServer(tiny_cnn, clients, tiny_dataset, min_quorum=1.5)
+        with pytest.raises(ValueError, match="update_retries"):
+            FederatedServer(tiny_cnn, clients, tiny_dataset, update_retries=-1)
+        with pytest.raises(ValueError, match="max_client_strikes"):
+            FederatedServer(tiny_cnn, clients, tiny_dataset, max_client_strikes=0)

@@ -1,0 +1,181 @@
+"""Chaos harness: end-to-end runs under injected client unreliability.
+
+Sweeps :class:`~repro.fl.faults.FaultModel` rates over full federated
+runs (training and the FP -> FT -> AW defense) and asserts the
+degradation contract:
+
+* no fault rate in the 10-20% band crashes a round, a stage, or the
+  pipeline;
+* the global model stays finite after every round — corrupted deltas
+  never reach the aggregate;
+* dropouts, rejections, quorum skips and quarantines are *recorded*
+  (``TrainingHistory`` / ``DefensePipeline.events``), not silent;
+* the defense under faults performs no worse than the same defense with
+  reliable clients (graceful degradation), and with every fault rate at
+  zero the hardened stack is bitwise identical to a plain run.
+
+Absolute ASR-collapse magnitudes are owned by the BENCH-scale
+benchmarks (see DESIGN.md §2.2 and EXPERIMENTS.md for where this
+substrate reproduces the paper's shape); at test scale the chaos
+criterion is that fault injection does not change the defense's
+outcome beyond tolerance.
+
+All tests carry the ``chaos`` marker: deselect with ``-m "not chaos"``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense.pipeline import DefenseConfig, DefensePipeline
+from repro.experiments.common import build_setup, clone_model
+from repro.experiments.scale import SMOKE
+from repro.fl.faults import FaultModel, wrap_clients
+from repro.fl.server import FederatedServer
+from repro.nn.zoo import mnist_cnn
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def ten_client_world():
+    """A 10-client MNIST federation (clients + data; model built per test)."""
+    return build_setup("mnist", SMOKE, seed=31, num_clients=10, rounds=1)
+
+
+def fresh_model(world, seed=99):
+    return mnist_cnn(
+        np.random.default_rng(seed),
+        in_channels=world.test.num_channels,
+        image_size=world.test.image_size,
+        num_classes=world.test.num_classes,
+    )
+
+
+class TestChaosTraining:
+    def test_acceptance_scenario(self, ten_client_world):
+        """20% dropout + 5% corrupted updates over a 10-client MNIST run:
+        completes, stays finite every round, and logs skip/quarantine."""
+        world = ten_client_world
+        faults = FaultModel(dropout_prob=0.2, corrupt_prob=0.05, seed=7)
+        server = FederatedServer(
+            fresh_model(world),
+            wrap_clients(world.clients, faults),
+            world.test,
+            backdoor_task=world.eval_task,
+            min_quorum=0.9,
+            max_client_strikes=1,
+        )
+        history = server.train(8)
+        for metrics in history.rounds:
+            assert np.isfinite(server.model.flat_parameters()).all()
+            total = (
+                metrics.num_accepted + len(metrics.dropped) + len(metrics.rejected)
+            )
+            assert total == metrics.num_selected
+        assert history.num_dropouts > 0
+        assert history.num_rejections > 0
+        assert history.skipped_rounds  # sub-quorum rounds were skipped, not forced
+        assert history.quarantine_events  # repeat corrupters were expelled
+        assert server.quarantined == {cid for _, cid in history.quarantine_events}
+
+    @pytest.mark.parametrize("dropout", [0.1, 0.2])
+    def test_fault_rate_sweep(self, dropout, ten_client_world):
+        world = ten_client_world
+        faults = FaultModel(
+            dropout_prob=dropout, corrupt_prob=0.05, stale_prob=0.05, seed=11
+        )
+        server = FederatedServer(
+            fresh_model(world),
+            wrap_clients(world.clients, faults),
+            world.test,
+            min_quorum=1,
+            update_retries=1,
+        )
+        history = server.train(4)
+        assert len(history) == 4
+        assert np.isfinite(server.model.flat_parameters()).all()
+        # with quorum 1 and a 10-client population, every round aggregates
+        assert history.skipped_rounds == []
+
+    def test_straggler_timeouts_logged_as_dropouts(self, ten_client_world):
+        world = ten_client_world
+        faults = FaultModel(
+            straggler_prob=0.3,
+            straggler_delay=(20.0, 30.0),
+            deadline_seconds=10.0,
+            seed=5,
+        )
+        server = FederatedServer(
+            fresh_model(world), wrap_clients(world.clients, faults), world.test
+        )
+        history = server.train(2)
+        assert history.num_dropouts > 0
+        assert any("deadline" in reason for r in history.rounds for _, reason in r.dropped)
+
+
+class TestChaosDefense:
+    @pytest.fixture(scope="class")
+    def backdoored(self):
+        return build_setup("mnist", SMOKE, seed=21)
+
+    def _defend(self, setup, clients):
+        model = clone_model(setup.model)
+        pipeline = DefensePipeline(
+            clients,
+            setup.accuracy_fn(),
+            DefenseConfig(method="mvp", fine_tune=True, fine_tune_rounds=2),
+        )
+        report = pipeline.run(model)
+        ta, asr = setup.metrics(model)
+        return ta, asr, report, pipeline
+
+    def test_pipeline_degrades_gracefully(self, backdoored):
+        """FP+FT+AW under 20% dropout / 5% corruption / 20% report faults
+        completes and lands within tolerance of the fault-free defense."""
+        clean_ta, clean_asr, clean_report, _ = self._defend(
+            backdoored, backdoored.clients
+        )
+        faults = FaultModel(
+            dropout_prob=0.2, corrupt_prob=0.05, report_fault_prob=0.2, seed=5
+        )
+        ta, asr, report, pipeline = self._defend(
+            backdoored, wrap_clients(backdoored.clients, faults)
+        )
+        # all three stages ran on the surviving quorum
+        assert report.pruning is not None
+        assert report.fine_tuning is not None
+        assert report.adjusting is not None
+        # fault injection observed and logged, not silent
+        assert (
+            report.fine_tuning.num_dropped + report.fine_tuning.num_rejected > 0
+            or pipeline.events
+        )
+        # graceful degradation: no worse than the reliable-client defense
+        assert ta >= clean_ta - 0.15
+        assert asr <= clean_asr + 0.10
+        # and the usual integration bound: the defense never destroys the model
+        ta_before, _ = backdoored.metrics()
+        assert ta >= min(ta_before, clean_report.pruning.baseline_accuracy) - 0.2
+
+    def test_zero_fault_rates_bitwise_neutral(self):
+        """FaultModel(0) + hardened stack == plain clients, bit for bit."""
+        final_params, final_metrics = [], []
+        for wrap in (False, True):
+            setup = build_setup("mnist", SMOKE, seed=27, rounds=2)
+            clients = setup.clients
+            if wrap:
+                clients = wrap_clients(clients, FaultModel(seed=123))
+            server = FederatedServer(
+                setup.model,
+                clients,
+                setup.test,
+                backdoor_task=setup.eval_task,
+                rng=np.random.default_rng(77),
+            )
+            history = server.train(2)
+            assert history.skipped_rounds == []
+            assert history.num_dropouts == history.num_rejections == 0
+            final_params.append(setup.model.flat_parameters())
+            final_metrics.append(setup.metrics())
+        np.testing.assert_array_equal(final_params[0], final_params[1])
+        assert final_metrics[0] == final_metrics[1]

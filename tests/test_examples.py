@@ -19,6 +19,7 @@ EXPECTED_EXAMPLES = {
     "adaptive_attackers.py",
     "robust_aggregation.py",
     "backdoor_localization.py",
+    "unreliable_clients.py",
 }
 
 
