@@ -1,0 +1,54 @@
+"""Bench: the parallel federated execution engine.
+
+Two claims under test, on the shared 8-client workload of
+:mod:`repro.eval.parallel_bench`:
+
+* **Speedup** (``perf``-marked, hardware-gated): with 4 workers on a
+  box with at least 4 cores, a training round plus FP+AW defense pass
+  runs at least 2x faster than the serial engine.  On smaller machines
+  the assertion is skipped — there is nothing to parallelize onto —
+  but the identity checks below still run.
+* **Identity** (always on): whatever the hardware, every engine
+  produces bitwise-identical model parameters and accuracy traces.
+
+Deselect the timing tests with ``-m "not perf"``.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.parallel_bench import run_benchmark
+
+WORKERS = 4
+
+
+def _require_cores(workers: int) -> None:
+    cores = os.cpu_count() or 1
+    if cores < workers:
+        pytest.skip(
+            f"speedup assertion needs >= {workers} cores, have {cores}"
+        )
+
+
+@pytest.mark.perf
+class TestSpeedup:
+    @pytest.mark.parametrize("engine", ["thread", "process"])
+    def test_four_workers_at_least_twice_as_fast(self, engine):
+        _require_cores(WORKERS)
+        payload = run_benchmark(
+            scale="bench", workers=WORKERS, engines=("serial", engine)
+        )
+        assert payload["bitwise_identical"] is True
+        assert payload["speedups"][engine] >= 2.0, payload["timings"]
+
+
+class TestEngineIdentity:
+    def test_all_engines_bitwise_identical(self):
+        payload = run_benchmark(scale="smoke", workers=2)
+        assert payload["bitwise_identical"] is True
+        assert set(payload["timings"]) == {"serial", "thread", "process"}
+        assert payload["cpu_count"] == os.cpu_count()
+        for engine, seconds in payload["timings"].items():
+            assert set(seconds) == {"training", "defense"}
+            assert all(value >= 0.0 for value in seconds.values())

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Benchmark the federated execution engine; writes ``BENCH_fl.json``.
+
+Times an 8-client training round plus an FP+AW defense pass under the
+serial, thread-pool and process-pool engines (see
+:mod:`repro.eval.parallel_bench`), verifies the bitwise-determinism
+contract across them, and records per-stage wall-clock seconds and
+speedup ratios.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py                # bench scale
+    PYTHONPATH=src python scripts/bench.py --scale smoke  # CI-sized
+    PYTHONPATH=src python scripts/bench.py --workers 8 --output my.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# pin BLAS to one thread per worker BEFORE numpy loads: oversubscribed
+# BLAS pools fight the executor's workers and corrupt the measurement
+for _var in (
+    "OPENBLAS_NUM_THREADS",
+    "OMP_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+):
+    os.environ.setdefault(_var, "1")
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.eval.parallel_bench import run_benchmark  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "bench"),
+        default="bench",
+        help="workload size (smoke is CI-sized, bench is the real measurement)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="pool size for thread/process"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_fl.json"),
+        help="where to write the JSON payload",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark(scale=args.scale, workers=args.workers)
+
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"scale={payload['scale']} workers={payload['workers']} "
+          f"cpu_count={payload['cpu_count']}")
+    for engine, seconds in payload["timings"].items():
+        stages = " ".join(f"{k}={v:.3f}s" for k, v in seconds.items())
+        total = sum(seconds.values())
+        print(f"  {engine:8s} {stages} total={total:.3f}s")
+    for engine, ratio in payload["speedups"].items():
+        print(f"  speedup[{engine}] = {ratio:.2f}x")
+    print(f"  bitwise_identical = {payload['bitwise_identical']}")
+    print(f"wrote {args.output}")
+    return 0 if payload["bitwise_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,7 @@ class SelfLimitedWeights:
         low, high = mu - self.delta * sigma, mu + self.delta * sigma
         outside = int(((weights < low) | (weights > high)).sum())
         np.clip(weights, low, high, out=weights)
+        layer.weight.mark_dirty()
         return outside
 
     def clip_model(self, model: Sequential) -> int:

@@ -91,6 +91,7 @@ def zero_extreme_weights(
     extreme = (weights < mu - delta * sigma) | (weights > mu + delta * sigma)
     extreme &= weights != 0.0
     weights[extreme] = 0.0
+    layer.weight.mark_dirty()
     return int(extreme.sum())
 
 
@@ -150,6 +151,7 @@ def adjust_extreme_weights(
         trace.append((delta, total_zeroed + zeroed_now, accuracy))
         if accuracy < floor:
             layer.weight.data[...] = accepted_weights  # roll back this step
+            layer.weight.mark_dirty()
             break
         total_zeroed += zeroed_now
         accepted_weights = layer.weight.data.copy()

@@ -80,6 +80,8 @@ def channel_ablation_impact(
         layer.out_mask[...] = saved_mask
         layer.weight.data[...] = saved_weight
         layer.bias.data[...] = saved_bias
+        layer.weight.mark_dirty()
+        layer.bias.mark_dirty()
     return rows
 
 

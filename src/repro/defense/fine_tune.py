@@ -25,7 +25,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..fl.aggregation import fedavg
-from ..fl.faults import ClientDropout, validate_update
+from ..fl.executor import ClientExecutor, collect_updates
+from ..fl.faults import validate_update
 from ..nn.layers import Sequential
 
 __all__ = ["FineTuneResult", "federated_fine_tune"]
@@ -90,6 +91,7 @@ def federated_fine_tune(
     patience: int = 3,
     min_improvement: float = 1e-3,
     min_quorum: int | float = 1,
+    executor: ClientExecutor | None = None,
 ) -> FineTuneResult:
     """Run FedAvg rounds on the pruned model until accuracy plateaus.
 
@@ -104,6 +106,10 @@ def federated_fine_tune(
     needs; a below-quorum round is skipped — it still consumes a round
     of the budget and counts toward patience, since a stalled
     population should not fine-tune forever.
+
+    ``executor`` selects the client-execution engine (see
+    :mod:`repro.fl.executor`); ``None`` runs clients serially.  Results
+    are bitwise identical across executors.
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -133,16 +139,14 @@ def federated_fine_tune(
     for round_index in range(max_rounds):
         global_params = model.flat_parameters()
         deltas: list[np.ndarray] = []
-        for client in clients:
-            try:
-                payload = client.local_update(model, global_params)
-            except ClientDropout:
+        outcomes = collect_updates(executor, clients, model, global_params)
+        for status, value in outcomes:
+            if status == "dropped":
                 num_dropped += 1
-                continue
-            if validate_update(payload, global_params.size) is not None:
+            elif validate_update(value, global_params.size) is not None:
                 num_rejected += 1
-                continue
-            deltas.append(payload)
+            else:
+                deltas.append(value)
         if len(deltas) < quorum:
             skipped_rounds.append(round_index)
         else:

@@ -34,7 +34,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..fl.faults import ClientDropout
+from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
 from .adjust_weights import AdjustResult, adjust_extreme_weights
 from .fine_tune import FineTuneResult, federated_fine_tune
@@ -163,6 +163,11 @@ class DefensePipeline:
     layer:
         The pruning/adjustment target; defaults to the model's last
         convolutional layer.
+    executor:
+        Client-execution engine used for the report-collection stages
+        and fine-tuning (see :mod:`repro.fl.executor`); ``None`` runs
+        clients serially.  Results are bitwise identical across
+        executors.
     """
 
     def __init__(
@@ -171,6 +176,7 @@ class DefensePipeline:
         accuracy_fn: Callable[[Sequential], float],
         config: DefenseConfig | None = None,
         layer: Conv2d | Linear | None = None,
+        executor: ClientExecutor | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -178,6 +184,7 @@ class DefensePipeline:
         self.accuracy_fn = accuracy_fn
         self.config = config or DefenseConfig()
         self.layer = layer
+        self.executor = executor
         self.quarantined: set[int] = set()
         self.events: list[tuple[str, int, str]] = []  # (kind, client_id, detail)
         self._report_strikes: dict[int, int] = {}
@@ -224,24 +231,28 @@ class DefensePipeline:
         num_channels = int(layer.out_mask.size)
         use_rap = self.config.method == "rap"
         active = self.active_clients()
+        mode = "ranking" if use_rap else "vote"
+        outcomes = collect_reports(
+            self.executor,
+            active,
+            model,
+            mode,
+            layer=layer,
+            prune_rate=self.config.prune_rate,
+        )
+        validate = validate_ranking_report if use_rap else validate_vote_report
         reports: list[np.ndarray] = []
-        for client in active:
-            try:
-                if use_rap:
-                    report = client.ranking_report(model, layer)
-                else:
-                    report = client.vote_report(model, layer, self.config.prune_rate)
-            except ClientDropout as exc:
-                self.events.append(
-                    ("report_dropout", client.client_id, str(exc))
-                )
+        # validation and strikes run in stable client order, so
+        # quarantine decisions are executor-independent
+        for client, (status, value) in zip(active, outcomes):
+            if status == "dropout":
+                self.events.append(("report_dropout", client.client_id, value))
                 continue
-            validate = validate_ranking_report if use_rap else validate_vote_report
-            reason = validate(report, num_channels)
+            reason = validate(value, num_channels)
             if reason is not None:
                 self._record_strike(client.client_id, reason)
                 continue
-            reports.append(np.asarray(report))
+            reports.append(np.asarray(value))
         quorum = self._report_quorum(len(active))
         if len(reports) < quorum:
             raise ValueError(
@@ -281,6 +292,7 @@ class DefensePipeline:
                     max_rounds=config.fine_tune_rounds,
                     patience=config.fine_tune_patience,
                     min_quorum=config.min_report_quorum,
+                    executor=self.executor,
                 )
                 timings["fine_tuning"] = time.perf_counter() - start
             else:

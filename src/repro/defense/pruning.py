@@ -20,6 +20,7 @@ import numpy as np
 
 from ..data.dataset import Dataset
 from ..eval.metrics import test_accuracy
+from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
 
 __all__ = ["PruningResult", "prune_by_sequence", "client_feedback_accuracy"]
@@ -126,16 +127,24 @@ def prune_by_sequence(
 
 
 def client_feedback_accuracy(
-    clients: Sequence, model: Sequential
+    clients: Sequence,
+    model: Sequential,
+    executor: ClientExecutor | None = None,
 ) -> float:
     """Robust accuracy oracle from client self-reports.
 
     Takes the median of per-client accuracy reports, so fewer than half
     the clients lying (attackers report 1.0, see
     :meth:`MaliciousClient.accuracy_report`) cannot move the estimate
-    past the honest majority.
+    past the honest majority.  Clients that fail to report
+    (:class:`~repro.fl.faults.ClientDropout`) are simply left out of the
+    median; when nobody reports the oracle raises.
+
+    ``executor`` fans report computation out in parallel (see
+    :mod:`repro.fl.executor`); ``None`` runs clients serially.
     """
-    reports = [client.accuracy_report(model) for client in clients]
+    outcomes = collect_reports(executor, clients, model, "accuracy")
+    reports = [value for status, value in outcomes if status == "ok"]
     if not reports:
         raise ValueError("need at least one client report")
     return float(np.median(reports))

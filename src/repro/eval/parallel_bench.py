@@ -1,0 +1,191 @@
+"""Benchmark harness for the parallel federated execution engine.
+
+One seeded workload — an 8-client federation training round plus a
+federated-pruning + adjust-weights defense pass — timed under each
+execution engine (serial / thread / process).  Shared by
+``scripts/bench.py`` (which writes ``BENCH_fl.json``) and
+``benchmarks/test_parallel.py`` (which asserts the speedup and the
+bitwise-identity contract), so both always measure the same thing.
+
+The workload is fully seeded: every engine runs an identical federation
+built from scratch, which is what makes the cross-engine bitwise
+comparison meaningful.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..data.dataset import Dataset
+from ..defense.pipeline import DefenseConfig, DefensePipeline
+from ..fl.client import Client, LocalTrainingConfig
+from ..fl.executor import (
+    ClientExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from ..fl.server import FederatedServer
+from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from .timers import StageTimer
+
+__all__ = ["BENCH_PRESETS", "build_bench_world", "make_executor", "run_benchmark"]
+
+# the 8-client population is the benchmark's defining constant: small
+# enough that the serial baseline finishes quickly, large enough that a
+# 4-worker pool has two full waves of work per round
+BENCH_PRESETS = {
+    "smoke": dict(
+        num_clients=8,
+        samples_per_client=30,
+        image_size=8,
+        num_classes=4,
+        conv_width=4,
+        local_epochs=1,
+        batch_size=16,
+        rounds=1,
+    ),
+    "bench": dict(
+        num_clients=8,
+        samples_per_client=200,
+        image_size=16,
+        num_classes=8,
+        conv_width=8,
+        local_epochs=2,
+        batch_size=32,
+        rounds=2,
+    ),
+}
+
+
+def build_bench_world(scale: str, seed: int = 5):
+    """A fresh, fully seeded (model, clients, dataset) benchmark world."""
+    preset = BENCH_PRESETS[scale]
+    size = preset["image_size"]
+    classes = preset["num_classes"]
+    total = preset["num_clients"] * preset["samples_per_client"]
+
+    data_rng = np.random.default_rng(seed)
+    images = data_rng.random((total, 1, size, size))
+    labels = np.tile(np.arange(classes), total // classes + 1)[:total]
+    dataset = Dataset(images, labels)
+
+    config = LocalTrainingConfig(
+        lr=0.05,
+        momentum=0.9,
+        batch_size=preset["batch_size"],
+        local_epochs=preset["local_epochs"],
+    )
+    chunks = np.array_split(np.arange(total), preset["num_clients"])
+    clients = [
+        Client(i, dataset.subset(chunk), config, np.random.default_rng(100 + i))
+        for i, chunk in enumerate(chunks)
+    ]
+
+    width = preset["conv_width"]
+    model_rng = np.random.default_rng(seed + 1)
+    model = Sequential(
+        Conv2d(1, width, kernel_size=3, padding=1, rng=model_rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(width, 2 * width, kernel_size=3, padding=1, rng=model_rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(2 * width * (size // 4) ** 2, classes, rng=model_rng),
+    )
+    return model, clients, dataset
+
+
+def make_executor(engine: str, workers: int) -> ClientExecutor:
+    if engine == "serial":
+        return SerialExecutor()
+    if engine == "thread":
+        return ThreadExecutor(num_workers=workers)
+    if engine == "process":
+        return ProcessExecutor(num_workers=workers)
+    raise ValueError(f"unknown engine {engine!r}")
+
+
+def _noop(_):
+    return None
+
+
+def _warm_up(executor: ClientExecutor, workers: int) -> None:
+    """Pay pool start-up (thread creation, process spawn) before timing."""
+    executor.map_clients(_noop, range(max(2, workers)))
+
+
+def _run_engine(executor: ClientExecutor, scale: str):
+    """Time the training round(s) and the FP+AW defense pass."""
+    preset = BENCH_PRESETS[scale]
+    timer = StageTimer()
+
+    model, clients, dataset = build_bench_world(scale)
+    server = FederatedServer(model, clients, dataset, executor=executor)
+    with timer.stage("training"):
+        history = server.train(preset["rounds"])
+
+    pipeline = DefensePipeline(
+        clients,
+        lambda m: 0.9,  # constant oracle: prunes the full order, so the
+        # defense pass has a deterministic, engine-independent shape
+        DefenseConfig(method="mvp", fine_tune=False),
+        executor=executor,
+    )
+    with timer.stage("defense"):
+        pipeline.run(model)
+
+    return timer.seconds, model.flat_parameters(), history.test_accuracies
+
+
+def run_benchmark(
+    scale: str = "bench",
+    workers: int = 4,
+    engines: tuple[str, ...] = ("serial", "thread", "process"),
+) -> dict:
+    """Time every engine on the shared workload; JSON-ready payload.
+
+    ``speedups`` are serial-total over engine-total; ``bitwise_identical``
+    asserts the determinism contract (final parameters and accuracy
+    traces equal across every engine).  ``cpu_count`` is recorded
+    because speedups below the worker count on an undersized box are
+    expected, not a regression.
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    if "serial" not in engines:
+        raise ValueError("the serial baseline engine is required")
+
+    timings: dict[str, dict[str, float]] = {}
+    params: dict[str, np.ndarray] = {}
+    traces: dict[str, list[float]] = {}
+    for engine in engines:
+        with make_executor(engine, workers) as executor:
+            _warm_up(executor, workers)
+            timings[engine], params[engine], traces[engine] = _run_engine(
+                executor, scale
+            )
+
+    serial_total = sum(timings["serial"].values())
+    speedups = {
+        engine: serial_total / max(sum(seconds.values()), 1e-9)
+        for engine, seconds in timings.items()
+        if engine != "serial"
+    }
+    identical = all(
+        np.array_equal(params[engine], params["serial"])
+        and traces[engine] == traces["serial"]
+        for engine in engines
+    )
+    return {
+        "scale": scale,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "num_clients": BENCH_PRESETS[scale]["num_clients"],
+        "timings": timings,
+        "speedups": speedups,
+        "bitwise_identical": identical,
+    }

@@ -31,6 +31,7 @@ from ..defense.pipeline import DefenseConfig, DefensePipeline
 from ..defense.pruning import prune_by_sequence, server_validation_accuracy
 from ..eval.metrics import attack_success_rate, test_accuracy
 from ..fl.client import Client, LocalTrainingConfig, MaliciousClient
+from ..fl.executor import ClientExecutor
 from ..fl.server import FederatedServer, TrainingHistory
 from ..nn.layers import Sequential
 from ..nn.zoo import build_model, fashion_cnn, mnist_cnn, vgg_small
@@ -173,6 +174,7 @@ def build_setup(
     model_name: str | None = None,
     rounds: int | None = None,
     attack_start_fraction: float = 0.5,
+    executor: ClientExecutor | None = None,
 ) -> FederatedSetup:
     """Build, attack and train one federated run.
 
@@ -200,6 +202,10 @@ def build_setup(
         Fraction of the training rounds that run benignly before the
         attackers begin poisoning (model replacement is most effective
         near convergence; see MaliciousClient.attack_start_round).
+    executor:
+        Client-execution engine for the training rounds (see
+        :mod:`repro.fl.executor`); ``None`` runs clients serially.
+        Results are bitwise identical across executors.
     """
     import time
 
@@ -284,6 +290,7 @@ def build_setup(
         backdoor_task=eval_task,
         clients_per_round=clients_per_round,
         rng=np.random.default_rng(seed + 2),
+        executor=executor,
     )
     start = time.perf_counter()
     history = server.train(total_rounds)
@@ -319,6 +326,7 @@ def evaluate_modes(
     setup: FederatedSetup,
     modes: tuple[str, ...] = MODE_ORDER,
     config: DefenseConfig | None = None,
+    executor: ClientExecutor | None = None,
 ) -> dict[str, tuple[float, float]]:
     """(TA, AA) per requested mode, sharing the expensive stages.
 
@@ -331,6 +339,9 @@ def evaluate_modes(
 
     The pruning stage runs once; FP+AW and All branch from the pruned
     model via deep copies, matching how the paper's modes nest.
+
+    ``executor`` parallelizes the client-side stages (report collection
+    and fine-tuning); results are bitwise identical across executors.
     """
     unknown = set(modes) - set(MODE_ORDER)
     if unknown:
@@ -346,7 +357,9 @@ def evaluate_modes(
         return results
 
     base_config = config or _default_defense_config(setup, fine_tune=True)
-    pipeline = DefensePipeline(setup.clients, accuracy_fn, base_config)
+    pipeline = DefensePipeline(
+        setup.clients, accuracy_fn, base_config, executor=executor
+    )
 
     pruned = clone_model(setup.model)
     order = pipeline.global_prune_order(pruned)
@@ -381,6 +394,7 @@ def evaluate_modes(
             server_validation_accuracy(setup.test),
             max_rounds=base_config.fine_tune_rounds,
             patience=base_config.fine_tune_patience,
+            executor=executor,
         )
         adjust_extreme_weights(
             full,

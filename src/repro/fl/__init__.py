@@ -13,6 +13,14 @@ from .aggregation import (
 )
 from .client import Client, LocalTrainingConfig, MaliciousClient
 from .clipping import clip_updates, clipped_fedavg, median_norm_budget
+from .executor import (
+    ClientExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    collect_reports,
+    collect_updates,
+)
 from .faults import (
     ClientDropout,
     ClientTimeout,
@@ -26,7 +34,13 @@ from .server import FederatedServer, RoundMetrics, TrainingHistory
 __all__ = [
     "AGGREGATION_RULES",
     "ClientDropout",
+    "ClientExecutor",
     "ClientTimeout",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "collect_updates",
+    "collect_reports",
     "FaultModel",
     "FaultyClient",
     "validate_update",

@@ -1,0 +1,395 @@
+"""Pluggable client-execution engine for the federated simulator.
+
+Federated learning is embarrassingly parallel across clients: within a
+round (and within every defense report-collection stage) client
+computations are independent by construction.  This module supplies the
+machinery to exploit that without giving up the simulator's determinism
+guarantees:
+
+* :class:`SerialExecutor` — the in-process loop (the default; exactly
+  the historical behaviour).
+* :class:`ThreadExecutor` — a thread pool.  NumPy's BLAS releases the
+  GIL inside the im2col matmuls, so client training overlaps on
+  multi-core machines with zero serialization cost.
+* :class:`ProcessExecutor` — a spawn-based process pool for true
+  parallelism when the workload is Python-bound; payloads are made
+  spawn-safe by stripping transient layer state before pickling
+  (:func:`repro.nn.serialization.clone_module` /
+  :func:`~repro.nn.serialization.strip_runtime_state`).
+
+All three expose one API — ``map_clients(fn, items)`` returning results
+in *item order* regardless of completion order — and all three are
+**bitwise deterministic and mutually identical**.  That property rests
+on three rules, enforced by :func:`collect_updates` and
+:func:`collect_reports` rather than by the executors themselves:
+
+1. **Fault draws stay on the coordinator.**  A wrapped client's fault
+   schedule (:class:`~repro.fl.faults.FaultyClient`) is resolved into a
+   :class:`~repro.fl.faults.UpdatePlan`/:class:`~repro.fl.faults.ReportPlan`
+   in stable client order *before* fan-out; workers only ever run clean
+   training/reporting.  Because training never consumes the fault RNG,
+   the planned draw sequence is bitwise identical to the historical
+   interleaved one — PR 1's zero-rate-neutrality guarantee survives.
+2. **Per-client RNG streams travel with the task and come home.**  Each
+   client owns its generator; a worker returns the generator's final
+   ``bit_generator.state`` alongside the payload and the coordinator
+   restores it, so round *n+1* starts from the same stream position no
+   matter which pool ran round *n*.
+3. **Shared state is never shared.**  Every task trains/reports on its
+   own deep copy of the global model (the pickling round-trip already
+   provides the copy for process pools), and strikes/quarantine are
+   applied by the caller in stable client order after collection.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..nn.serialization import clone_module, strip_runtime_state
+from .faults import ClientDropout
+
+__all__ = [
+    "ClientExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "collect_updates",
+    "collect_reports",
+]
+
+
+class ClientExecutor:
+    """Interface of a client-work executor.
+
+    ``clones_payloads`` tells the orchestration helpers whether running
+    a task already isolates its payload (process pools copy through
+    pickling) or whether the task must clone the model itself (serial
+    and thread execution share the coordinator's address space).
+    """
+
+    clones_payloads = False
+
+    def map_clients(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item, returning results in item order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(ClientExecutor):
+    """One-at-a-time execution in the calling thread (the default)."""
+
+    def map_clients(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+def _check_workers(num_workers: int) -> int:
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    return int(num_workers)
+
+
+class ThreadExecutor(ClientExecutor):
+    """Thread-pool execution.
+
+    BLAS-heavy client work (the conv matmuls) releases the GIL, so this
+    gets real concurrency without any pickling; it is the cheapest
+    parallel option and the right first choice.  The pool is created
+    lazily and reused across rounds.
+    """
+
+    def __init__(self, num_workers: int = 4) -> None:
+        self.num_workers = _check_workers(num_workers)
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.num_workers,
+                thread_name_prefix="repro-client",
+            )
+        return self._pool
+
+    def map_clients(self, fn: Callable, items: Iterable) -> list:
+        items = list(items)
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ThreadExecutor(num_workers={self.num_workers})"
+
+
+class ProcessExecutor(ClientExecutor):
+    """Process-pool execution (spawn start method).
+
+    Spawn (rather than fork) keeps workers safe on every platform and
+    independent of inherited BLAS thread state; the price is that every
+    task payload is pickled, which is why payloads are stripped of
+    transient layer caches before fan-out.  The pool is created lazily
+    on first use and reused across rounds to amortize interpreter
+    start-up.
+    """
+
+    clones_payloads = True
+
+    def __init__(self, num_workers: int = 4) -> None:
+        self.num_workers = _check_workers(num_workers)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.num_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+        return self._pool
+
+    def map_clients(self, fn: Callable, items: Iterable) -> list:
+        # no single-item shortcut: in-process execution would skip the
+        # payload isolation that pickling provides
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return f"ProcessExecutor(num_workers={self.num_workers})"
+
+
+# -- task bodies (module-level: process pools must pickle them) --------
+
+
+def _rng_state(client) -> dict | None:
+    """Final generator state to ship home (None for rng-less stubs)."""
+    rng = getattr(client, "rng", None)
+    return None if rng is None else rng.bit_generator.state
+
+
+def _restore_rng(client, state: dict | None) -> None:
+    """Advance the coordinator's copy of the client stream to ``state``.
+
+    A no-op assignment for serial/thread execution (the worker already
+    advanced the shared generator); the essential step for process
+    execution, where the worker advanced a pickled copy.
+    """
+    if state is not None:
+        client.rng.bit_generator.state = state
+
+
+def _run_update(task) -> tuple[str, object, dict | None]:
+    """Train one (unwrapped) client.
+
+    Returns ``("ok", delta, rng_state)`` or — when the client itself
+    raises :class:`ClientDropout` (scripted stubs, future transport
+    layers) — ``("dropped", reason, rng_state)``.  The generator state
+    is captured either way so a failed attempt consumes the stream
+    exactly as inline execution did.
+    """
+    client, model, global_params, round_index, clone = task
+    if clone:
+        model = clone_module(model)
+    try:
+        delta = client.local_update(model, global_params, round_index)
+    except ClientDropout as exc:
+        return "dropped", str(exc) or type(exc).__name__, _rng_state(client)
+    return "ok", delta, _rng_state(client)
+
+
+def _run_report(task) -> tuple[str, object, dict | None]:
+    """Compute one (unwrapped) client's report; same envelope as updates."""
+    client, model, layer_index, mode, prune_rate, clone = task
+    if clone:
+        model = clone_module(model)
+    try:
+        if mode == "accuracy":
+            report = client.accuracy_report(model)
+        else:
+            layer = list(model.modules())[layer_index]
+            if mode == "ranking":
+                report = client.ranking_report(model, layer)
+            else:
+                report = client.vote_report(model, layer, prune_rate)
+    except ClientDropout as exc:
+        return "dropout", str(exc) or type(exc).__name__, _rng_state(client)
+    return "ok", report, _rng_state(client)
+
+
+def _unwrap(client):
+    """The trainable client under a FaultyClient wrapper (or itself)."""
+    return getattr(client, "inner", client)
+
+
+# -- orchestration -----------------------------------------------------
+
+
+def collect_updates(
+    executor: ClientExecutor | None,
+    clients: Sequence,
+    model,
+    global_params: np.ndarray,
+    *,
+    round_index: int | None = None,
+    retries: int = 0,
+) -> list[tuple[str, object]]:
+    """Collect one local-update payload per client, faults included.
+
+    Returns a list aligned with ``clients``: ``("ok", payload)`` for a
+    delivered (possibly corrupted — validation is the caller's job)
+    payload, or ``("dropped", reason)`` when the client never responded
+    within the retry budget.
+
+    Collection runs in retry waves.  Each wave first resolves fault
+    plans on the coordinator in stable client order — dropout/timeout
+    draws consume attempts from the same ``1 + retries`` budget the
+    historical inline retry loop used — then fans the surviving
+    training jobs out through ``executor`` and finishes each plan
+    (staleness bookkeeping, pre-drawn corruption, generator state) back
+    on the coordinator, again in client order.  A client whose *own*
+    ``local_update`` raises :class:`ClientDropout` re-enters the next
+    wave while its budget lasts.
+    """
+    if executor is None:
+        executor = _DEFAULT_EXECUTOR
+    global_params = np.asarray(global_params)
+    param_dim = int(global_params.size)
+    clone = not executor.clones_payloads
+
+    outcomes: list[tuple[str, object] | None] = [None] * len(clients)
+    # mutable job records: [position, client, attempts_left, last_reason]
+    jobs = [[i, client, 1 + retries, "no response"] for i, client in enumerate(clients)]
+    while jobs:
+        wave: list[tuple[list, object]] = []  # (job, plan or None)
+        for job in jobs:
+            position, client = job[0], job[1]
+            planner = getattr(client, "plan_local_update", None)
+            plan = None
+            if planner is not None:
+                while job[2] > 0:
+                    candidate = planner(param_dim)
+                    if candidate.action in ("dropout", "timeout"):
+                        job[2] -= 1
+                        job[3] = candidate.error
+                        continue
+                    plan = candidate
+                    break
+                if plan is None:  # budget exhausted while planning
+                    outcomes[position] = ("dropped", job[3])
+                    continue
+                if plan.action == "stale":
+                    outcomes[position] = ("ok", client._last_delta.copy())
+                    continue
+            job[2] -= 1  # the dispatch itself consumes one attempt
+            wave.append((job, plan))
+        if not wave:
+            break
+        strip_runtime_state(model)
+        tasks = [
+            (_unwrap(job[1]), model, global_params, round_index, clone)
+            for job, _ in wave
+        ]
+        results = executor.map_clients(_run_update, tasks)
+        jobs = []
+        for (job, plan), (status, value, rng_state) in zip(wave, results):
+            position, client = job[0], job[1]
+            _restore_rng(_unwrap(client), rng_state)
+            if status == "ok":
+                delta = value
+                if plan is not None:
+                    delta = client.finish_local_update(plan, delta)
+                outcomes[position] = ("ok", delta)
+            elif job[2] > 0:
+                job[3] = value
+                jobs.append(job)  # retry in the next wave
+            else:
+                outcomes[position] = ("dropped", value)
+
+    return outcomes
+
+
+def collect_reports(
+    executor: ClientExecutor | None,
+    clients: Sequence,
+    model,
+    mode: str,
+    *,
+    layer=None,
+    prune_rate: float | None = None,
+) -> list[tuple[str, object]]:
+    """Collect one report per client: ``mode`` is ``"ranking"``,
+    ``"vote"`` or ``"accuracy"``.
+
+    Returns a list aligned with ``clients``: ``("ok", report)`` for a
+    delivered (possibly malformed — validation is the caller's job)
+    report, or ``("dropout", message)`` when the report was planned
+    missing or the client itself raised :class:`ClientDropout`.  Report
+    faults are planned on the coordinator in client order, like update
+    faults; accuracy reports have no fault interception (matching the
+    inline protocol) and dispatch unconditionally.
+    """
+    if executor is None:
+        executor = _DEFAULT_EXECUTOR
+    if mode not in ("ranking", "vote", "accuracy"):
+        raise ValueError(f"unknown report mode {mode!r}")
+    vote = mode == "vote"
+    num_channels = int(layer.out_mask.size) if layer is not None else 0
+
+    outcomes: list[tuple[str, object] | None] = [None] * len(clients)
+    dispatch: list[tuple[int, object, object]] = []
+    for position, client in enumerate(clients):
+        planner = getattr(client, "plan_report", None)
+        if planner is None or mode == "accuracy":
+            dispatch.append((position, client, None))
+            continue
+        plan = planner(num_channels, vote)
+        if plan.action == "missing":
+            outcomes[position] = ("dropout", plan.error)
+        else:
+            dispatch.append((position, client, plan))
+
+    if dispatch:
+        strip_runtime_state(model)
+        layer_index = list(model.modules()).index(layer) if layer is not None else -1
+        clone = not executor.clones_payloads
+        tasks = [
+            (_unwrap(client), model, layer_index, mode, prune_rate, clone)
+            for _, client, _ in dispatch
+        ]
+        results = executor.map_clients(_run_report, tasks)
+        for (position, client, plan), (status, value, rng_state) in zip(
+            dispatch, results
+        ):
+            _restore_rng(_unwrap(client), rng_state)
+            if status == "ok" and plan is not None:
+                value = client.finish_report(plan, value, vote)
+            outcomes[position] = (status, value)
+
+    return outcomes
+
+
+_DEFAULT_EXECUTOR = SerialExecutor()

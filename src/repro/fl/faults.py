@@ -36,6 +36,8 @@ __all__ = [
     "ClientTimeout",
     "FaultModel",
     "FaultyClient",
+    "UpdatePlan",
+    "ReportPlan",
     "wrap_clients",
     "validate_update",
 ]
@@ -51,6 +53,78 @@ class ClientTimeout(ClientDropout):
 
 UPDATE_CORRUPTIONS = ("nan", "inf", "shape")
 REPORT_FAULTS = ("missing", "truncated", "garbage")
+
+
+class UpdatePlan:
+    """Pre-resolved fault outcome for one ``local_update`` request.
+
+    Every random draw the fault layer makes for the request — including
+    the corruption kind and the exact indices to poison — is resolved at
+    plan time on the coordinator, so the expensive training step can run
+    on any worker without touching the shared fault generator.  Because
+    training never consumes the fault RNG, planning ahead of training
+    leaves the draw sequence bitwise identical to the interleaved one.
+
+    ``action`` is one of ``"dropout"``, ``"timeout"``, ``"stale"``,
+    ``"train"``; ``error`` carries the exception message for the first
+    two; ``corruption``/``where`` the pre-drawn update corruption for
+    ``"train"`` (both ``None`` for a clean update).
+    """
+
+    __slots__ = ("action", "error", "corruption", "where")
+
+    def __init__(
+        self,
+        action: str,
+        error: str | None = None,
+        corruption: str | None = None,
+        where: np.ndarray | None = None,
+    ) -> None:
+        self.action = action
+        self.error = error
+        self.corruption = corruption
+        self.where = where
+
+    def raise_if_failed(self) -> None:
+        """Raise the planned :class:`ClientDropout`/:class:`ClientTimeout`."""
+        if self.action == "timeout":
+            raise ClientTimeout(self.error)
+        if self.action == "dropout":
+            raise ClientDropout(self.error)
+
+    def __repr__(self) -> str:
+        return f"UpdatePlan({self.action!r}, corruption={self.corruption!r})"
+
+
+class ReportPlan:
+    """Pre-resolved fault outcome for one ranking/vote report request.
+
+    ``action`` is ``"missing"`` (with ``error`` carrying the message) or
+    ``"deliver"``; ``corruption`` is ``None``/``"truncated"``/
+    ``"garbage"`` and ``position`` the pre-drawn index a garbage vote
+    report poisons.
+    """
+
+    __slots__ = ("action", "error", "corruption", "position")
+
+    def __init__(
+        self,
+        action: str,
+        error: str | None = None,
+        corruption: str | None = None,
+        position: int | None = None,
+    ) -> None:
+        self.action = action
+        self.error = error
+        self.corruption = corruption
+        self.position = position
+
+    def raise_if_failed(self) -> None:
+        if self.action == "missing":
+            raise ClientDropout(self.error)
+
+    def __repr__(self) -> str:
+        return f"ReportPlan({self.action!r}, corruption={self.corruption!r})"
 
 
 class FaultModel:
@@ -157,20 +231,55 @@ class FaultModel:
             return None
         return self.report_kinds[int(self._rng.integers(len(self.report_kinds)))]
 
+    # -- plans (all draws, no payloads) --------------------------------
+
+    def plan_update_corruption(self, size: int) -> tuple[str | None, np.ndarray | None]:
+        """Draw the corruption (kind and poisoned indices) for an update.
+
+        ``size`` is the dimension the delta will have (known before
+        training: it equals the global parameter count), so the index
+        draw can happen here on the coordinator rather than after the
+        worker returns.
+        """
+        kind = self.draw_corruption()
+        where = None
+        if kind in ("nan", "inf"):
+            num_bad = max(1, size // 100)
+            where = self._rng.choice(size, size=num_bad, replace=False)
+        return kind, where
+
+    def plan_report_corruption(
+        self, num_channels: int, vote: bool
+    ) -> tuple[str | None, int | None]:
+        """Draw the fault (kind and poisoned position) for one report."""
+        kind = self.draw_report_fault()
+        position = None
+        if vote and kind == "garbage":
+            position = int(self._rng.integers(num_channels))
+        return kind, position
+
     # -- corruptions ---------------------------------------------------
 
-    def corrupt_update(self, delta: np.ndarray, kind: str) -> np.ndarray:
-        """Apply an update corruption of ``kind`` to a copy of ``delta``."""
+    def apply_update_corruption(
+        self, delta: np.ndarray, kind: str, where: np.ndarray | None
+    ) -> np.ndarray:
+        """Apply a pre-drawn corruption to a copy of ``delta``."""
         bad = delta.copy()
         if kind == "shape":
             return bad[:-1] if bad.size > 1 else np.append(bad, bad)
-        num_bad = max(1, bad.size // 100)
-        where = self._rng.choice(bad.size, size=num_bad, replace=False)
         # assignment, not arithmetic: keeps -W error::RuntimeWarning quiet
         bad[where] = np.nan if kind == "nan" else np.inf
         return bad
 
-    def corrupt_ranking(self, report: np.ndarray, kind: str) -> np.ndarray:
+    def corrupt_update(self, delta: np.ndarray, kind: str) -> np.ndarray:
+        """Apply an update corruption of ``kind`` to a copy of ``delta``."""
+        where = None
+        if kind in ("nan", "inf"):
+            num_bad = max(1, delta.size // 100)
+            where = self._rng.choice(delta.size, size=num_bad, replace=False)
+        return self.apply_update_corruption(delta, kind, where)
+
+    def apply_ranking_corruption(self, report: np.ndarray, kind: str) -> np.ndarray:
         """A malformed RAP report: truncated or non-permutation."""
         bad = report.copy()
         if kind == "truncated":
@@ -179,13 +288,25 @@ class FaultModel:
             bad[0] = bad[1]
         return bad
 
-    def corrupt_votes(self, report: np.ndarray, kind: str) -> np.ndarray:
+    # RAP corruptions draw nothing, so plan-time and legacy application
+    # are the same function
+    corrupt_ranking = apply_ranking_corruption
+
+    def apply_vote_corruption(
+        self, report: np.ndarray, kind: str, position: int | None
+    ) -> np.ndarray:
         """A malformed MVP report: truncated or non-binary values."""
         if kind == "truncated":
             return report[:-1].copy()
         bad = report.astype(np.float64)
-        bad[int(self._rng.integers(bad.size))] = np.nan
+        bad[position] = np.nan
         return bad
+
+    def corrupt_votes(self, report: np.ndarray, kind: str) -> np.ndarray:
+        position = None
+        if kind != "truncated":
+            position = int(self._rng.integers(report.size))
+        return self.apply_vote_corruption(report, kind, position)
 
 
 class FaultyClient:
@@ -208,46 +329,87 @@ class FaultyClient:
     def __repr__(self) -> str:
         return f"FaultyClient({self.inner!r})"
 
-    def local_update(self, model, global_params, round_index=None) -> np.ndarray:
+    # -- planning (coordinator-side, consumes the fault RNG) -----------
+
+    def plan_local_update(self, param_dim: int) -> UpdatePlan:
+        """Resolve every fault draw for one update request up front.
+
+        ``param_dim`` is the dimension of the delta the client would
+        produce (the global parameter count).  The draw order is exactly
+        the one :meth:`local_update` historically used — dropout, delay,
+        stale, corruption kind, corruption indices — so a given
+        :class:`FaultModel` seed yields the same fault schedule whether
+        requests are planned ahead or executed inline.
+        """
         faults = self.faults
         if faults.draw_dropout():
-            raise ClientDropout(f"client {self.inner.client_id} dropped out")
+            return UpdatePlan(
+                "dropout", error=f"client {self.inner.client_id} dropped out"
+            )
         delay = faults.draw_delay()
         if delay > faults.deadline_seconds:
-            raise ClientTimeout(
-                f"client {self.inner.client_id} straggled "
-                f"{delay:.1f}s past the {faults.deadline_seconds:.1f}s deadline"
+            return UpdatePlan(
+                "timeout",
+                error=(
+                    f"client {self.inner.client_id} straggled "
+                    f"{delay:.1f}s past the {faults.deadline_seconds:.1f}s deadline"
+                ),
             )
         if faults.draw_stale() and self._last_delta is not None:
-            return self._last_delta.copy()
-        delta = self.inner.local_update(model, global_params, round_index)
+            return UpdatePlan("stale")
+        kind, where = faults.plan_update_corruption(param_dim)
+        return UpdatePlan("train", corruption=kind, where=where)
+
+    def finish_local_update(self, plan: UpdatePlan, delta: np.ndarray) -> np.ndarray:
+        """Coordinator-side completion once the trained delta is back."""
         self._last_delta = delta.copy()
-        kind = faults.draw_corruption()
-        if kind is not None:
-            return faults.corrupt_update(delta, kind)
+        if plan.corruption is not None:
+            return self.faults.apply_update_corruption(
+                delta, plan.corruption, plan.where
+            )
         return delta
 
-    def ranking_report(self, model, layer) -> np.ndarray:
-        kind = self.faults.draw_report_fault()
+    def plan_report(self, num_channels: int, vote: bool) -> ReportPlan:
+        """Resolve every fault draw for one ranking/vote report request."""
+        kind, position = self.faults.plan_report_corruption(num_channels, vote)
         if kind == "missing":
-            raise ClientDropout(
-                f"client {self.inner.client_id} sent no ranking report"
+            label = "vote" if vote else "ranking"
+            return ReportPlan(
+                "missing",
+                error=f"client {self.inner.client_id} sent no {label} report",
             )
-        report = self.inner.ranking_report(model, layer)
-        if kind is None:
+        return ReportPlan("deliver", corruption=kind, position=position)
+
+    def finish_report(self, plan: ReportPlan, report: np.ndarray, vote: bool) -> np.ndarray:
+        if plan.corruption is None:
             return report
-        return self.faults.corrupt_ranking(report, kind)
+        if vote:
+            return self.faults.apply_vote_corruption(
+                report, plan.corruption, plan.position
+            )
+        return self.faults.apply_ranking_corruption(report, plan.corruption)
+
+    # -- inline execution (plan + train in one call) -------------------
+
+    def local_update(self, model, global_params, round_index=None) -> np.ndarray:
+        plan = self.plan_local_update(int(np.asarray(global_params).size))
+        plan.raise_if_failed()
+        if plan.action == "stale":
+            return self._last_delta.copy()
+        delta = self.inner.local_update(model, global_params, round_index)
+        return self.finish_local_update(plan, delta)
+
+    def ranking_report(self, model, layer) -> np.ndarray:
+        plan = self.plan_report(int(layer.out_mask.size), vote=False)
+        plan.raise_if_failed()
+        report = self.inner.ranking_report(model, layer)
+        return self.finish_report(plan, report, vote=False)
 
     def vote_report(self, model, layer, prune_rate) -> np.ndarray:
-        kind = self.faults.draw_report_fault()
-        if kind == "missing":
-            raise ClientDropout(
-                f"client {self.inner.client_id} sent no vote report"
-            )
+        plan = self.plan_report(int(layer.out_mask.size), vote=True)
+        plan.raise_if_failed()
         report = self.inner.vote_report(model, layer, prune_rate)
-        if kind is None:
-            return report
-        return self.faults.corrupt_votes(report, kind)
+        return self.finish_report(plan, report, vote=True)
 
 
 def wrap_clients(clients, faults: FaultModel) -> list[FaultyClient]:

@@ -35,7 +35,8 @@ from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
 from .aggregation import fedavg
 from .client import Client
-from .faults import ClientDropout, validate_update
+from .executor import ClientExecutor, collect_updates
+from .faults import validate_update
 
 __all__ = ["RoundMetrics", "TrainingHistory", "FederatedServer"]
 
@@ -187,6 +188,11 @@ class FederatedServer:
         Quarantine a client after this many invalid payloads (it is
         excluded from all future selection); ``None`` disables
         quarantine.
+    executor:
+        Client-execution engine (see :mod:`repro.fl.executor`); ``None``
+        runs clients serially in-process.  All executors are bitwise
+        deterministic and mutually identical, so this is purely a
+        wall-clock knob.
     """
 
     def __init__(
@@ -201,6 +207,7 @@ class FederatedServer:
         min_quorum: int | float = 1,
         update_retries: int = 0,
         max_client_strikes: int | None = 3,
+        executor: ClientExecutor | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -233,6 +240,7 @@ class FederatedServer:
         self.min_quorum = min_quorum
         self.update_retries = update_retries
         self.max_client_strikes = max_client_strikes
+        self.executor = executor
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
@@ -244,31 +252,6 @@ class FederatedServer:
         sample_size = min(self.clients_per_round, len(pool))
         chosen = self.rng.choice(len(pool), size=sample_size, replace=False)
         return [pool[i] for i in chosen]
-
-    def _collect_update(
-        self,
-        client: Client,
-        global_params: np.ndarray,
-        round_index: int,
-    ) -> tuple[np.ndarray | None, tuple[str, str] | None]:
-        """One client's validated delta, or (None, (outcome, reason)).
-
-        Non-responses are retried up to ``update_retries`` times; an
-        invalid payload is *not* retried (the client answered — asking
-        again would let a malformed-update client stall the round).
-        """
-        reason = "no response"
-        for _ in range(1 + self.update_retries):
-            try:
-                payload = client.local_update(self.model, global_params, round_index)
-            except ClientDropout as exc:
-                reason = str(exc) or type(exc).__name__
-                continue
-            problem = validate_update(payload, global_params.size)
-            if problem is None:
-                return payload, None
-            return None, ("rejected", problem)
-        return None, ("dropped", reason)
 
     def _record_strike(self, client_id: int) -> bool:
         """Count an invalid payload; True when it triggers quarantine."""
@@ -286,22 +269,32 @@ class FederatedServer:
         participants = self.select_clients()
         global_params = self.model.flat_parameters()
 
+        outcomes = collect_updates(
+            self.executor,
+            participants,
+            self.model,
+            global_params,
+            round_index=round_index,
+            retries=self.update_retries,
+        )
+
         accepted: list[np.ndarray] = []
         dropped: list[tuple[int, str]] = []
         rejected: list[tuple[int, str]] = []
         quarantined_now: list[int] = []
-        for client in participants:
-            delta, failure = self._collect_update(client, global_params, round_index)
-            if delta is not None:
-                accepted.append(delta)
+        # validation and strikes run sequentially in stable client order,
+        # so quarantine decisions are executor-independent
+        for client, (status, value) in zip(participants, outcomes):
+            if status == "dropped":
+                dropped.append((client.client_id, value))
                 continue
-            outcome, reason = failure
-            if outcome == "rejected":
-                rejected.append((client.client_id, reason))
+            problem = validate_update(value, global_params.size)
+            if problem is None:
+                accepted.append(value)
+            else:
+                rejected.append((client.client_id, problem))
                 if self._record_strike(client.client_id):
                     quarantined_now.append(client.client_id)
-            else:
-                dropped.append((client.client_id, reason))
 
         quorum = _resolve_quorum(self.min_quorum, len(participants))
         skipped = len(accepted) < quorum

@@ -15,6 +15,7 @@ Fully-connected activations are ``(batch, features)``.
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 __all__ = [
     "im2col",
@@ -74,6 +75,10 @@ def im2col(
     -------
     Array of shape ``(n * out_h * out_w, c * kernel_h * kernel_w)``:
     each row is one receptive field, flattened channel-major.
+
+    The unfold is a zero-copy ``sliding_window_view`` over the (padded)
+    input; the only materialization is the final reshape into the matmul
+    operand.
     """
     n, c, h, w = images.shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
@@ -86,14 +91,11 @@ def im2col(
             mode="constant",
         )
 
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=images.dtype)
-    for y in range(kernel_h):
-        y_max = y + stride * out_h
-        for x in range(kernel_w):
-            x_max = x + stride * out_w
-            cols[:, :, y, x, :, :] = images[:, :, y:y_max:stride, x:x_max:stride]
-
-    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+    # (n, c, out_h, out_w, kernel_h, kernel_w) view — no data copied yet
+    windows = sliding_window_view(images, (kernel_h, kernel_w), axis=(2, 3))[
+        :, :, ::stride, ::stride
+    ]
+    return windows.transpose(0, 2, 3, 1, 4, 5).reshape(
         n * out_h * out_w, c * kernel_h * kernel_w
     )
 
@@ -111,20 +113,34 @@ def col2im(
     This is the adjoint of :func:`im2col` (not its inverse: overlapping
     receptive fields accumulate), which is exactly what backpropagation
     through a convolution requires.
+
+    When the windows are disjoint (``stride >= kernel``, the pooling
+    layers) the fold is a single assignment through a writeable
+    ``sliding_window_view`` — no Python loop at all.  Overlapping
+    windows (``stride < kernel``, the usual convolution) genuinely
+    accumulate, which a strided view cannot express safely, so that
+    path keeps one vectorized add per kernel position.
     """
     n, c, h, w = image_shape
     out_h = conv_output_size(h, kernel_h, stride, padding)
     out_w = conv_output_size(w, kernel_w, stride, padding)
 
     cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
-        0, 3, 4, 5, 1, 2
-    )
+        0, 3, 1, 2, 4, 5
+    )  # -> (n, c, out_h, out_w, kernel_h, kernel_w)
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for y in range(kernel_h):
-        y_max = y + stride * out_h
-        for x in range(kernel_w):
-            x_max = x + stride * out_w
-            padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, y, x, :, :]
+
+    if stride >= kernel_h and stride >= kernel_w:
+        windows = sliding_window_view(
+            padded, (kernel_h, kernel_w), axis=(2, 3), writeable=True
+        )[:, :, ::stride, ::stride]
+        windows[...] = cols
+    else:
+        for y in range(kernel_h):
+            y_max = y + stride * out_h
+            for x in range(kernel_w):
+                x_max = x + stride * out_w
+                padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, :, :, y, x]
 
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]

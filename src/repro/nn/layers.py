@@ -75,6 +75,35 @@ class Conv2d(Module):
         self.bias = Parameter(init.zeros((out_channels,)))
         self.out_mask = np.ones(out_channels, dtype=bool)
         self._cache: tuple | None = None
+        self._weight_2d: np.ndarray | None = None
+        self._weight_2d_src: np.ndarray | None = None
+        self._weight_2d_version = -1
+        self._weight_2d_mask: bytes | None = None
+
+    def _masked_weight_2d(self) -> np.ndarray:
+        """The masked weight matrix ``(out_channels, c*k*k)``, cached.
+
+        Forward and backward both need this product; recomputing it per
+        pass doubles the masking cost for nothing.  The cache is keyed on
+        the identity of ``weight.data`` (catches rebinds), the parameter's
+        mutation :attr:`~repro.nn.module.Parameter.version` (catches
+        in-place writes, provided the writer called ``mark_dirty``), and
+        the mask bytes (``out_mask`` is mutated in place by pruning).
+        """
+        mask_bytes = self.out_mask.tobytes()
+        if (
+            self._weight_2d is None
+            or self._weight_2d_src is not self.weight.data
+            or self._weight_2d_version != self.weight.version
+            or self._weight_2d_mask != mask_bytes
+        ):
+            self._weight_2d = (
+                self.weight.data * self.out_mask[:, None, None, None]
+            ).reshape(self.out_channels, -1)
+            self._weight_2d_src = self.weight.data
+            self._weight_2d_version = self.weight.version
+            self._weight_2d_mask = mask_bytes
+        return self._weight_2d
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
@@ -87,9 +116,7 @@ class Conv2d(Module):
         out_w = F.conv_output_size(w, k, self.stride, self.padding)
 
         cols = F.im2col(x, k, k, self.stride, self.padding)
-        weight_2d = (self.weight.data * self.out_mask[:, None, None, None]).reshape(
-            self.out_channels, -1
-        )
+        weight_2d = self._masked_weight_2d()
         out = cols @ weight_2d.T + self.bias.data * self.out_mask
         out = out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cache = (x.shape, cols)
@@ -108,10 +135,7 @@ class Conv2d(Module):
         self.weight.grad += grad_weight * self.out_mask[:, None, None, None]
         self.bias.grad += grad_2d.sum(axis=0) * self.out_mask
 
-        weight_2d = (self.weight.data * self.out_mask[:, None, None, None]).reshape(
-            self.out_channels, -1
-        )
-        grad_cols = grad_2d @ weight_2d
+        grad_cols = grad_2d @ self._masked_weight_2d()
         k = self.kernel_size
         return F.col2im(grad_cols, x_shape, k, k, self.stride, self.padding)
 
@@ -126,6 +150,9 @@ class Conv2d(Module):
         dead = ~self.out_mask
         self.weight.data[dead] = 0.0
         self.bias.data[dead] = 0.0
+        self.weight.mark_dirty()
+        self.bias.mark_dirty()
+        self._weight_2d = None
 
     def __repr__(self) -> str:
         return (
@@ -174,6 +201,8 @@ class Linear(Module):
         dead = ~self.out_mask
         self.weight.data[dead] = 0.0
         self.bias.data[dead] = 0.0
+        self.weight.mark_dirty()
+        self.bias.mark_dirty()
 
     def __repr__(self) -> str:
         return f"Linear({self.in_features}, {self.out_features})"

@@ -42,12 +42,28 @@ class Parameter:
     name:
         Dotted path assigned when the owning module tree is built; used
         in state dicts and error messages.
+    version:
+        Monotonic mutation counter.  Every in-place write to ``data``
+        must bump it via :meth:`mark_dirty`; layers that cache derived
+        tensors (e.g. :class:`~repro.nn.layers.Conv2d`'s masked weight
+        matrix) key their caches on it.
     """
 
     def __init__(self, data: np.ndarray, name: str = "") -> None:
         self.data = np.asarray(data, dtype=get_default_dtype())
         self.grad = np.zeros_like(self.data)
         self.name = name
+        self.version = 0
+
+    def mark_dirty(self) -> None:
+        """Record that ``data`` was mutated in place.
+
+        Callers that write through ``param.data[...]`` (optimizers,
+        mask application, weight surgery) must call this so version-keyed
+        caches notice the change.  Rebinding ``param.data`` to a new
+        array is detected separately by identity, and needs no call.
+        """
+        self.version += 1
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -69,6 +85,7 @@ class Parameter:
                 f"have {self.data.shape}, got {value.shape}"
             )
         self.data[...] = value
+        self.mark_dirty()
 
     def __repr__(self) -> str:
         return f"Parameter(name={self.name!r}, shape={self.data.shape})"
@@ -214,4 +231,5 @@ class Module:
         for param in self.parameters():
             count = param.size
             param.data[...] = flat[offset : offset + count].reshape(param.shape)
+            param.mark_dirty()
             offset += count

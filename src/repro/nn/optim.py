@@ -69,6 +69,7 @@ class SGD(Optimizer):
             else:
                 update = grad
             param.data -= self.lr * update
+            param.mark_dirty()
 
 
 class Adam(Optimizer):
@@ -109,3 +110,4 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            param.mark_dirty()

@@ -8,6 +8,7 @@ model must have exactly the same parameter names and shapes.
 
 from __future__ import annotations
 
+import copy
 import os
 
 import numpy as np
@@ -15,9 +16,48 @@ import numpy as np
 from .layers import Conv2d, Linear
 from .module import Module
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "strip_runtime_state", "clone_module"]
 
 _MASK_PREFIX = "__mask__."
+
+# per-layer transient attributes: forward/backward caches and recorded
+# activations that are recomputed on the next forward pass and must not
+# ride along when a model is cloned or shipped to a worker process
+_TRANSIENT_ATTRS = ("_cache", "_input", "_output", "_input_shape", "_mask")
+
+
+def strip_runtime_state(model: Module) -> Module:
+    """Drop transient per-layer state (in place); returns the model.
+
+    The forward caches (im2col column matrices, saved inputs, pooling
+    argmaxes) can dwarf the parameters themselves; stripping them before
+    a deep copy or pickle keeps payloads proportional to model size.
+    Stripping is always safe: every cache is rebuilt by the next forward
+    pass, and ``backward`` before ``forward`` raises regardless.
+    """
+    for module in model.modules():
+        if module.last_activation is not None:
+            module.last_activation = None
+        for attr in _TRANSIENT_ATTRS:
+            if getattr(module, attr, None) is not None:
+                setattr(module, attr, None)
+        if isinstance(module, Conv2d) and module._weight_2d is not None:
+            module._weight_2d = None
+            module._weight_2d_src = None
+            module._weight_2d_version = -1
+            module._weight_2d_mask = None
+    return model
+
+
+def clone_module(model: Module) -> Module:
+    """An independent deep copy of ``model`` with transient state dropped.
+
+    This is the payload builder for parallel client execution: each
+    worker trains/reports on its own clone so the coordinator's model is
+    never shared scratch space.  The source model loses only its
+    (recomputable) forward caches.
+    """
+    return copy.deepcopy(strip_runtime_state(model))
 
 
 def _masked_layers(model: Module) -> dict[str, Conv2d | Linear]:

@@ -147,3 +147,105 @@ class TestActivations:
         probs = F.softmax(logits)
         manual = -np.log(probs[np.arange(8), labels]).mean()
         assert F.stable_cross_entropy(logits, labels) == pytest.approx(manual)
+
+
+def reference_im2col(images, kernel_h, kernel_w, stride, padding):
+    """Straightforward per-window loop (the pre-vectorization algorithm)."""
+    n, c, h, w = images.shape
+    out_h = (h + 2 * padding - kernel_h) // stride + 1
+    out_w = (w + 2 * padding - kernel_w) // stride + 1
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    )
+    rows = []
+    for i in range(n):
+        for y in range(out_h):
+            for x in range(out_w):
+                patch = padded[
+                    i,
+                    :,
+                    y * stride : y * stride + kernel_h,
+                    x * stride : x * stride + kernel_w,
+                ]
+                rows.append(patch.reshape(-1))
+    return np.stack(rows)
+
+
+def reference_col2im(cols, image_shape, kernel_h, kernel_w, stride, padding):
+    """Per-window accumulation loop (the pre-vectorization algorithm)."""
+    n, c, h, w = image_shape
+    out_h = (h + 2 * padding - kernel_h) // stride + 1
+    out_w = (w + 2 * padding - kernel_w) // stride + 1
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    windows = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w)
+    for i in range(n):
+        for y in range(out_h):
+            for x in range(out_w):
+                padded[
+                    i,
+                    :,
+                    y * stride : y * stride + kernel_h,
+                    x * stride : x * stride + kernel_w,
+                ] += windows[i, y, x]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+class TestVectorizedLoopEquivalence:
+    """The strided-view im2col/col2im must reproduce the naive loops
+    exactly, across overlapping, disjoint and gapped window geometries.
+
+    Integer-valued inputs make the comparison exact: every accumulation
+    order sums the same integers, so even the overlapping col2im paths
+    must agree bit for bit.
+    """
+
+    GEOMETRIES = [
+        (kernel, stride, padding)
+        for kernel in (1, 2, 3, 5)
+        for stride in (1, 2, 3)
+        for padding in (0, 1, 2)
+    ]
+
+    @staticmethod
+    def _input_size(kernel, stride, padding):
+        """A spatial size the window tiles with four output positions."""
+        return kernel + 3 * stride - 2 * padding
+
+    @pytest.mark.parametrize("kernel,stride,padding", GEOMETRIES)
+    def test_im2col_matches_loop(self, kernel, stride, padding):
+        size = self._input_size(kernel, stride, padding)
+        if size < 1:
+            pytest.skip("window does not fit this geometry")
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + padding)
+        images = rng.integers(-8, 8, size=(2, 3, size, size)).astype(np.float64)
+        fast = F.im2col(images, kernel, kernel, stride, padding)
+        slow = reference_im2col(images, kernel, kernel, stride, padding)
+        np.testing.assert_array_equal(fast, slow)
+
+    @pytest.mark.parametrize("kernel,stride,padding", GEOMETRIES)
+    def test_col2im_matches_loop(self, kernel, stride, padding):
+        size = self._input_size(kernel, stride, padding)
+        if size < 1:
+            pytest.skip("window does not fit this geometry")
+        out = 4  # by construction of _input_size
+        rng = np.random.default_rng(kernel * 100 + stride * 10 + padding)
+        cols = rng.integers(-8, 8, size=(2 * out * out, 3 * kernel * kernel))
+        cols = cols.astype(np.float64)
+        shape = (2, 3, size, size)
+        fast = F.col2im(cols, shape, kernel, kernel, stride, padding)
+        slow = reference_col2im(cols, shape, kernel, kernel, stride, padding)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_rectangular_kernel(self):
+        rng = np.random.default_rng(0)
+        images = rng.integers(-8, 8, size=(1, 2, 7, 9)).astype(np.float64)
+        fast = F.im2col(images, 3, 2, stride=1, padding=1)
+        slow = reference_im2col(images, 3, 2, stride=1, padding=1)
+        np.testing.assert_array_equal(fast, slow)
+        cols = rng.integers(-8, 8, size=fast.shape).astype(np.float64)
+        np.testing.assert_array_equal(
+            F.col2im(cols, images.shape, 3, 2, 1, 1),
+            reference_col2im(cols, images.shape, 3, 2, 1, 1),
+        )

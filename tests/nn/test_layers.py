@@ -212,3 +212,103 @@ class TestSequential:
             model, rng.standard_normal((2, 1, 4, 4)) + 0.05, rng
         )
         assert max(errors.values()) < GRAD_TOL
+
+
+class TestConv2dWeightCache:
+    """The masked ``weight_2d`` matrix is cached between passes; every
+    mutation route must invalidate it so forward never uses stale
+    weights."""
+
+    @staticmethod
+    def _expected(layer, x):
+        """Ground-truth forward from the layer's current weights/mask."""
+        from repro.nn import functional as F
+
+        k = layer.kernel_size
+        n = x.shape[0]
+        out_h = F.conv_output_size(x.shape[2], k, layer.stride, layer.padding)
+        out_w = F.conv_output_size(x.shape[3], k, layer.stride, layer.padding)
+        cols = F.im2col(x, k, k, layer.stride, layer.padding)
+        weight_2d = (
+            layer.weight.data * layer.out_mask[:, None, None, None]
+        ).reshape(layer.out_channels, -1)
+        out = cols @ weight_2d.T + layer.bias.data * layer.out_mask
+        return out.reshape(n, out_h, out_w, layer.out_channels).transpose(
+            0, 3, 1, 2
+        )
+
+    @pytest.fixture
+    def layer_and_input(self, rng):
+        layer = nn.Conv2d(2, 4, kernel_size=3, padding=1, rng=rng)
+        return layer, rng.standard_normal((2, 2, 6, 6))
+
+    def test_cache_reused_between_passes(self, layer_and_input):
+        layer, x = layer_and_input
+        layer(x)
+        first = layer._weight_2d
+        layer(x)
+        assert layer._weight_2d is first  # no recompute without mutation
+
+    def test_optimizer_step_invalidates(self, layer_and_input, rng):
+        layer, x = layer_and_input
+        out = layer(x)
+        layer.backward(rng.standard_normal(out.shape))
+        nn.SGD(layer.parameters(), lr=0.1).step()
+        np.testing.assert_array_equal(layer(x), self._expected(layer, x))
+
+    def test_apply_mask_invalidates(self, layer_and_input):
+        layer, x = layer_and_input
+        layer(x)
+        layer.out_mask[1] = False
+        layer.apply_mask()
+        out = layer(x)
+        np.testing.assert_array_equal(out, self._expected(layer, x))
+        assert (out[:, 1] == 0).all()
+
+    def test_mask_mutation_alone_invalidates(self, layer_and_input):
+        layer, x = layer_and_input
+        layer(x)
+        layer.out_mask[2] = False  # no apply_mask: mask-bytes key catches it
+        out = layer(x)
+        np.testing.assert_array_equal(out, self._expected(layer, x))
+        assert (out[:, 2] == 0).all()
+
+    def test_load_flat_parameters_invalidates(self, layer_and_input, rng):
+        layer, x = layer_and_input
+        layer(x)
+        layer.load_flat_parameters(rng.standard_normal(layer.num_parameters()))
+        np.testing.assert_array_equal(layer(x), self._expected(layer, x))
+
+    def test_copy_invalidates(self, layer_and_input, rng):
+        layer, x = layer_and_input
+        layer(x)
+        layer.weight.copy_(rng.standard_normal(layer.weight.shape))
+        np.testing.assert_array_equal(layer(x), self._expected(layer, x))
+
+    def test_data_rebind_invalidates(self, layer_and_input, rng):
+        layer, x = layer_and_input
+        layer(x)
+        layer.weight.data = rng.standard_normal(layer.weight.shape)
+        np.testing.assert_array_equal(layer(x), self._expected(layer, x))
+
+    def test_deepcopy_clone_is_independent(self, layer_and_input, rng):
+        import copy
+
+        layer, x = layer_and_input
+        layer(x)
+        clone = copy.deepcopy(layer)
+        layer.weight.data = rng.standard_normal(layer.weight.shape)
+        layer(x)
+        np.testing.assert_array_equal(clone(x), self._expected(clone, x))
+
+    def test_gradients_overlapping_stride(self, rng):
+        """stride < kernel exercises col2im's accumulating backward path."""
+        layer = nn.Conv2d(2, 3, kernel_size=3, stride=2, padding=1, rng=rng)
+        errors = check_layer_gradients(layer, rng.standard_normal((2, 2, 7, 7)), rng)
+        assert max(errors.values()) < GRAD_TOL
+
+    def test_gradients_with_pruned_channels(self, rng):
+        layer = nn.Conv2d(2, 4, kernel_size=3, padding=1, rng=rng)
+        layer.out_mask[0] = False
+        errors = check_layer_gradients(layer, rng.standard_normal((2, 2, 5, 5)), rng)
+        assert max(errors.values()) < GRAD_TOL

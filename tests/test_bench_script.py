@@ -1,0 +1,50 @@
+"""Smoke test for scripts/bench.py: runs end to end, emits valid JSON."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def test_bench_script_smoke(tmp_path):
+    output = tmp_path / "BENCH_fl.json"
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "scripts" / "bench.py"),
+            "--scale",
+            "smoke",
+            "--workers",
+            "2",
+            "--output",
+            str(output),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+
+    payload = json.loads(output.read_text())
+    for key in (
+        "scale",
+        "workers",
+        "cpu_count",
+        "num_clients",
+        "timings",
+        "speedups",
+        "bitwise_identical",
+    ):
+        assert key in payload, key
+    assert payload["scale"] == "smoke"
+    assert payload["workers"] == 2
+    assert payload["bitwise_identical"] is True
+    assert set(payload["timings"]) == {"serial", "thread", "process"}
+    assert set(payload["speedups"]) == {"thread", "process"}
+    assert "speedup[thread]" in result.stdout

@@ -29,6 +29,7 @@ import pytest
 from repro.defense.pipeline import DefenseConfig, DefensePipeline
 from repro.experiments.common import build_setup, clone_model
 from repro.experiments.scale import SMOKE
+from repro.fl.executor import ProcessExecutor, ThreadExecutor
 from repro.fl.faults import FaultModel, wrap_clients
 from repro.fl.server import FederatedServer
 from repro.nn.zoo import mnist_cnn
@@ -156,6 +157,49 @@ class TestChaosDefense:
         # and the usual integration bound: the defense never destroys the model
         ta_before, _ = backdoored.metrics()
         assert ta >= min(ta_before, clean_report.pruning.baseline_accuracy) - 0.2
+
+    @pytest.mark.parametrize("executor_cls", [ThreadExecutor, ProcessExecutor])
+    def test_chaos_scenario_identical_under_parallel_executor(
+        self, executor_cls, ten_client_world
+    ):
+        """The full fault cocktail replays bit-for-bit on a worker pool:
+        same params, same per-round fault log as the serial engine."""
+        world = ten_client_world
+
+        def run(executor):
+            faults = FaultModel(
+                dropout_prob=0.2, corrupt_prob=0.05, stale_prob=0.05, seed=7
+            )
+            server = FederatedServer(
+                fresh_model(world),
+                wrap_clients(world.clients, faults),
+                world.test,
+                backdoor_task=world.eval_task,
+                min_quorum=0.9,
+                update_retries=1,
+                max_client_strikes=1,
+                executor=executor,
+            )
+            history = server.train(4)
+            return server.model.flat_parameters(), history
+
+        # the shared clients' RNG streams advance during a run; snapshot
+        # and restore them so both runs start from the same position
+        states = [c.rng.bit_generator.state for c in world.clients]
+        base_params, base_history = run(None)
+        for client, state in zip(world.clients, states):
+            client.rng.bit_generator.state = state
+        with executor_cls(num_workers=2) as executor:
+            params, history = run(executor)
+
+        np.testing.assert_array_equal(params, base_params)
+        for base, parallel in zip(base_history.rounds, history.rounds):
+            assert parallel.test_acc == base.test_acc
+            assert parallel.attack_acc == base.attack_acc
+            assert parallel.dropped == base.dropped
+            assert parallel.rejected == base.rejected
+            assert parallel.quarantined == base.quarantined
+            assert parallel.skipped == base.skipped
 
     def test_zero_fault_rates_bitwise_neutral(self):
         """FaultModel(0) + hardened stack == plain clients, bit for bit."""
