@@ -12,6 +12,7 @@ Usage::
     PYTHONPATH=src python scripts/bench.py                # bench scale
     PYTHONPATH=src python scripts/bench.py --scale smoke  # CI-sized
     PYTHONPATH=src python scripts/bench.py --workers 8 --output my.json
+    PYTHONPATH=src python scripts/bench.py --trace-out trace.jsonl
 """
 
 import argparse
@@ -33,7 +34,7 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-from repro.eval.parallel_bench import run_benchmark  # noqa: E402
+from repro.eval.parallel_bench import run_benchmark, trace_run  # noqa: E402
 
 
 def main(argv=None) -> int:
@@ -52,9 +53,20 @@ def main(argv=None) -> int:
         default=os.path.join(_REPO_ROOT, "BENCH_fl.json"),
         help="where to write the JSON payload",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="also run the workload once with a full telemetry trace "
+        "written as JSONL to PATH (schema v1, see DESIGN.md)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_benchmark(scale=args.scale, workers=args.workers)
+
+    if args.trace_out:
+        trace = trace_run(args.scale, args.trace_out, workers=args.workers)
+        print(f"trace: {trace['num_events']} events -> {trace['path']}")
 
     with open(args.output, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -69,6 +81,13 @@ def main(argv=None) -> int:
     for engine, ratio in payload["speedups"].items():
         print(f"  speedup[{engine}] = {ratio:.2f}x")
     print(f"  bitwise_identical = {payload['bitwise_identical']}")
+    overhead = payload["telemetry"]
+    print(
+        f"  telemetry: {overhead['num_events']} events, "
+        f"overhead={overhead['overhead_fraction'] * 100:.1f}% "
+        f"(null={overhead['null_seconds']:.3f}s "
+        f"instrumented={overhead['instrumented_seconds']:.3f}s)"
+    )
     print(f"wrote {args.output}")
     return 0 if payload["bitwise_identical"] else 1
 

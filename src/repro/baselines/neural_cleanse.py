@@ -22,6 +22,8 @@ input-gradient path (``model.backward`` returns dLoss/dInput).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..data.dataset import DataLoader, Dataset
@@ -31,6 +33,7 @@ from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam
 from ..nn.serialization import clone_module, strip_runtime_state
+from ..obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = [
     "ReconstructedTrigger",
@@ -210,15 +213,22 @@ def unlearn_trigger(
     model.eval()
 
 
-def _reconstruct_task(task) -> ReconstructedTrigger:
+def _reconstruct_task(task) -> tuple[ReconstructedTrigger, float]:
     """One per-label reconstruction (module-level so process pools can
-    pickle it)."""
+    pickle it).
+
+    Returns ``(trigger, seconds)`` — the duration is measured inside the
+    worker with ``perf_counter`` and marshalled home so the coordinator
+    can record a deterministic-order telemetry span for it.
+    """
     model, dataset, label, steps, lr, l1_coef, rng, clone = task
+    start = time.perf_counter()
     if clone:
         model = clone_module(model)
-    return reconstruct_trigger(
+    trigger = reconstruct_trigger(
         model, dataset, label, steps=steps, lr=lr, l1_coef=l1_coef, rng=rng
     )
+    return trigger, time.perf_counter() - start
 
 
 class NeuralCleanse:
@@ -247,6 +257,7 @@ class NeuralCleanse:
         unlearn_epochs: int = 2,
         rng: np.random.Generator | None = None,
         executor: ClientExecutor | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.steps = steps
         self.lr = lr
@@ -255,33 +266,59 @@ class NeuralCleanse:
         self.unlearn_epochs = unlearn_epochs
         self.rng = rng or np.random.default_rng()
         self.executor = executor
+        self.telemetry = ensure_telemetry(telemetry)
 
     def reconstruct_all(
         self, model: Sequential, dataset: Dataset, num_classes: int
     ) -> list[ReconstructedTrigger]:
-        """Reverse-engineer a candidate trigger for every label."""
-        if self.executor is None:
-            return [
-                reconstruct_trigger(
-                    model,
-                    dataset,
-                    label,
-                    steps=self.steps,
-                    lr=self.lr,
-                    l1_coef=self.l1_coef,
-                    rng=self.rng,
-                )
+        """Reverse-engineer a candidate trigger for every label.
+
+        Telemetry: one ``nc.label`` span per label (attrs: label,
+        mask_norm), recorded in label order regardless of executor, all
+        nested inside one ``nc.reconstruct_all`` span.
+        """
+        tel = self.telemetry
+        with tel.span("nc.reconstruct_all", num_classes=num_classes):
+            if self.executor is None:
+                triggers = []
+                for label in range(num_classes):
+                    start = time.perf_counter()
+                    trigger = reconstruct_trigger(
+                        model,
+                        dataset,
+                        label,
+                        steps=self.steps,
+                        lr=self.lr,
+                        l1_coef=self.l1_coef,
+                        rng=self.rng,
+                    )
+                    tel.record_span(
+                        "nc.label",
+                        time.perf_counter() - start,
+                        label=label,
+                        mask_norm=trigger.mask_norm,
+                    )
+                    triggers.append(trigger)
+                return triggers
+            children = self.rng.spawn(num_classes)
+            strip_runtime_state(model)
+            clone = not self.executor.clones_payloads
+            tasks = [
+                (model, dataset, label, self.steps, self.lr, self.l1_coef,
+                 children[label], clone)
                 for label in range(num_classes)
             ]
-        children = self.rng.spawn(num_classes)
-        strip_runtime_state(model)
-        clone = not self.executor.clones_payloads
-        tasks = [
-            (model, dataset, label, self.steps, self.lr, self.l1_coef,
-             children[label], clone)
-            for label in range(num_classes)
-        ]
-        return self.executor.map_clients(_reconstruct_task, tasks)
+            results = self.executor.map_clients(_reconstruct_task, tasks)
+            triggers = []
+            for label, (trigger, seconds) in enumerate(results):
+                tel.record_span(
+                    "nc.label",
+                    seconds,
+                    label=label,
+                    mask_norm=trigger.mask_norm,
+                )
+                triggers.append(trigger)
+            return triggers
 
     def run(
         self, model: Sequential, dataset: Dataset, num_classes: int
@@ -294,16 +331,24 @@ class NeuralCleanse:
         """
         triggers = self.reconstruct_all(model, dataset, num_classes)
         flagged = detect_backdoor_labels(triggers, self.anomaly_threshold)
-        if not flagged:
+        fallback = not flagged
+        if fallback:
             smallest = min(triggers, key=lambda t: t.mask_norm)
             flagged = [smallest.label]
         by_label = {t.label: t for t in triggers}
         for label in flagged:
-            unlearn_trigger(
-                model,
-                dataset,
-                by_label[label],
-                epochs=self.unlearn_epochs,
-                rng=self.rng,
+            self.telemetry.event(
+                "nc.label_flagged",
+                label=label,
+                mask_norm=by_label[label].mask_norm,
+                fallback=fallback,
             )
+            with self.telemetry.span("nc.unlearn", label=label):
+                unlearn_trigger(
+                    model,
+                    dataset,
+                    by_label[label],
+                    epochs=self.unlearn_epochs,
+                    rng=self.rng,
+                )
         return flagged

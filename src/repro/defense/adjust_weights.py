@@ -21,6 +21,7 @@ from typing import Callable
 import numpy as np
 
 from ..nn.layers import Conv2d, Linear, Sequential
+from ..obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = ["AdjustResult", "zero_extreme_weights", "adjust_extreme_weights", "clip_inputs"]
 
@@ -103,6 +104,7 @@ def adjust_extreme_weights(
     delta_step: float = 0.25,
     delta_min: float = 0.5,
     layer: Conv2d | Linear | None = None,
+    telemetry: Telemetry | None = None,
 ) -> AdjustResult:
     """Sweep delta downward, zeroing extremes, until accuracy would drop.
 
@@ -122,6 +124,10 @@ def adjust_extreme_weights(
     layer:
         Target layer; defaults to the model's last convolutional layer
         as in the paper.
+    telemetry:
+        Observability hub; each delta step becomes one
+        ``defense.aw_step`` span (attrs: delta, zeroed, accuracy,
+        accepted), so the stream carries the full Fig 6 sweep.
 
     The model is rolled back to the last accepted delta when a step
     violates the floor.
@@ -135,6 +141,7 @@ def adjust_extreme_weights(
     if delta_step <= 0:
         raise ValueError(f"delta_step must be positive, got {delta_step}")
 
+    tel = ensure_telemetry(telemetry)
     baseline = accuracy_fn(model)
     floor = baseline - accuracy_floor_drop
     mu, sigma = _layer_weight_stats(layer)
@@ -146,10 +153,17 @@ def adjust_extreme_weights(
 
     delta = delta_start
     while delta >= delta_min - 1e-12:
-        zeroed_now = zero_extreme_weights(layer, delta, mu, sigma)
-        accuracy = accuracy_fn(model)
+        with tel.span("defense.aw_step", delta=delta) as step_span:
+            zeroed_now = zero_extreme_weights(layer, delta, mu, sigma)
+            accuracy = accuracy_fn(model)
+            accepted = accuracy >= floor
+            step_span.set(
+                zeroed=total_zeroed + zeroed_now,
+                accuracy=accuracy,
+                accepted=accepted,
+            )
         trace.append((delta, total_zeroed + zeroed_now, accuracy))
-        if accuracy < floor:
+        if not accepted:
             layer.weight.data[...] = accepted_weights  # roll back this step
             layer.weight.mark_dirty()
             break
@@ -158,6 +172,7 @@ def adjust_extreme_weights(
         accepted_delta = delta
         delta -= delta_step
 
+    tel.count("defense.weights_zeroed", total_zeroed)
     return AdjustResult(accepted_delta, total_zeroed, trace, baseline)
 
 

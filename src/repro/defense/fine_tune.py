@@ -28,6 +28,7 @@ from ..fl.aggregation import fedavg
 from ..fl.executor import ClientExecutor, collect_updates
 from ..fl.faults import validate_update
 from ..nn.layers import Sequential
+from ..obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = ["FineTuneResult", "federated_fine_tune"]
 
@@ -92,6 +93,7 @@ def federated_fine_tune(
     min_improvement: float = 1e-3,
     min_quorum: int | float = 1,
     executor: ClientExecutor | None = None,
+    telemetry: Telemetry | None = None,
 ) -> FineTuneResult:
     """Run FedAvg rounds on the pruned model until accuracy plateaus.
 
@@ -110,6 +112,9 @@ def federated_fine_tune(
     ``executor`` selects the client-execution engine (see
     :mod:`repro.fl.executor`); ``None`` runs clients serially.  Results
     are bitwise identical across executors.
+
+    ``telemetry`` records a ``defense.fine_tune_round`` span per round
+    (attrs: round, accuracy, aggregated) plus quorum-skip events.
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -128,6 +133,7 @@ def federated_fine_tune(
             raise ValueError(f"min_quorum must be >= 1, got {min_quorum}")
         quorum = min_quorum
 
+    tel = ensure_telemetry(telemetry)
     baseline = accuracy_fn(model)
     best_accuracy = baseline
     best_params = model.flat_parameters()
@@ -137,28 +143,39 @@ def federated_fine_tune(
     skipped_rounds: list[int] = []
 
     for round_index in range(max_rounds):
-        global_params = model.flat_parameters()
-        deltas: list[np.ndarray] = []
-        outcomes = collect_updates(executor, clients, model, global_params)
-        for status, value in outcomes:
-            if status == "dropped":
-                num_dropped += 1
-            elif validate_update(value, global_params.size) is not None:
-                num_rejected += 1
+        with tel.span("defense.fine_tune_round", round=round_index) as round_span:
+            global_params = model.flat_parameters()
+            deltas: list[np.ndarray] = []
+            outcomes = collect_updates(
+                executor, clients, model, global_params, telemetry=tel
+            )
+            for status, value in outcomes:
+                if status == "dropped":
+                    num_dropped += 1
+                elif validate_update(value, global_params.size) is not None:
+                    num_rejected += 1
+                else:
+                    deltas.append(value)
+            aggregated = len(deltas) >= quorum
+            if not aggregated:
+                skipped_rounds.append(round_index)
+                tel.event(
+                    "defense.fine_tune_skipped",
+                    round=round_index,
+                    accepted=len(deltas),
+                    quorum=quorum,
+                )
             else:
-                deltas.append(value)
-        if len(deltas) < quorum:
-            skipped_rounds.append(round_index)
-        else:
-            model.load_flat_parameters(global_params + fedavg(np.stack(deltas)))
-            # masks survive load_flat_parameters (they live on the layer, not
-            # in the parameter vector), but zero the dead weights defensively:
-            # an attacker's update could write into masked slots.
-            for conv in model.conv_layers():
-                conv.apply_mask()
+                model.load_flat_parameters(global_params + fedavg(np.stack(deltas)))
+                # masks survive load_flat_parameters (they live on the layer, not
+                # in the parameter vector), but zero the dead weights defensively:
+                # an attacker's update could write into masked slots.
+                for conv in model.conv_layers():
+                    conv.apply_mask()
 
-        accuracy = accuracy_fn(model)
-        trace.append(accuracy)
+            accuracy = accuracy_fn(model)
+            trace.append(accuracy)
+            round_span.set(accuracy=accuracy, aggregated=aggregated)
         if accuracy > best_accuracy + min_improvement:
             best_accuracy = accuracy
             best_params = model.flat_parameters()

@@ -29,13 +29,14 @@ valid reports remain.  All such events are logged on
 from __future__ import annotations
 
 import math
-import time
 from typing import Callable, Sequence
 
 import numpy as np
 
+from ..eval.timers import StageTimer
 from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
+from ..obs.context import RunContext, warn_deprecated_kwarg
 from .adjust_weights import AdjustResult, adjust_extreme_weights
 from .fine_tune import FineTuneResult, federated_fine_tune
 from .pruning import PruningResult, prune_by_sequence
@@ -163,11 +164,14 @@ class DefensePipeline:
     layer:
         The pruning/adjustment target; defaults to the model's last
         convolutional layer.
+    context:
+        A :class:`~repro.obs.context.RunContext` carrying the telemetry
+        hub and client-execution engine.  Results are bitwise identical
+        across executors; stage timings come from telemetry spans.
     executor:
-        Client-execution engine used for the report-collection stages
-        and fine-tuning (see :mod:`repro.fl.executor`); ``None`` runs
-        clients serially.  Results are bitwise identical across
-        executors.
+        Deprecated — pass ``context=RunContext(executor=...)`` instead.
+        Still honoured (with a :class:`DeprecationWarning`) when no
+        context supplies an executor.
     """
 
     def __init__(
@@ -177,6 +181,7 @@ class DefensePipeline:
         config: DefenseConfig | None = None,
         layer: Conv2d | Linear | None = None,
         executor: ClientExecutor | None = None,
+        context: RunContext | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -184,7 +189,12 @@ class DefensePipeline:
         self.accuracy_fn = accuracy_fn
         self.config = config or DefenseConfig()
         self.layer = layer
-        self.executor = executor
+        if executor is not None:
+            warn_deprecated_kwarg("DefensePipeline", "executor", "executor")
+        ctx = context if context is not None else RunContext(executor=executor)
+        self.context = ctx
+        self.executor = ctx.executor if ctx.executor is not None else executor
+        self.telemetry = ctx.telemetry
         self.quarantined: set[int] = set()
         self.events: list[tuple[str, int, str]] = []  # (kind, client_id, detail)
         self._report_strikes: dict[int, int] = {}
@@ -198,6 +208,9 @@ class DefensePipeline:
 
     def _record_strike(self, client_id: int, reason: str) -> None:
         self.events.append(("malformed_report", client_id, reason))
+        self.telemetry.event(
+            "defense.malformed_report", client=client_id, reason=reason
+        )
         if self.config.max_report_strikes is None:
             return
         strikes = self._report_strikes.get(client_id, 0) + 1
@@ -209,6 +222,9 @@ class DefensePipeline:
             self.quarantined.add(client_id)
             self.events.append(
                 ("quarantine", client_id, f"{strikes} malformed reports")
+            )
+            self.telemetry.event(
+                "defense.quarantine", client=client_id, strikes=strikes
             )
 
     def _report_quorum(self, num_active: int) -> int:
@@ -239,6 +255,7 @@ class DefensePipeline:
             mode,
             layer=layer,
             prune_rate=self.config.prune_rate,
+            telemetry=self.telemetry,
         )
         validate = validate_ranking_report if use_rap else validate_vote_report
         reports: list[np.ndarray] = []
@@ -247,6 +264,11 @@ class DefensePipeline:
         for client, (status, value) in zip(active, outcomes):
             if status == "dropout":
                 self.events.append(("report_dropout", client.client_id, value))
+                self.telemetry.event(
+                    "defense.report_dropout",
+                    client=client.client_id,
+                    reason=value,
+                )
                 continue
             reason = validate(value, num_channels)
             if reason is not None:
@@ -264,52 +286,69 @@ class DefensePipeline:
         return mvp_prune_order(np.stack(reports))
 
     def run(self, model: Sequential) -> DefenseReport:
-        """Execute FP -> (FT) -> AW on ``model`` in place."""
+        """Execute FP -> (FT) -> AW on ``model`` in place.
+
+        Per-stage wall-clock times come from a telemetry-backed
+        :class:`~repro.eval.timers.StageTimer`, so an attached sink sees
+        ``stage.pruning`` / ``stage.fine_tuning`` / ``stage.adjusting``
+        spans nested inside one ``defense.run`` span.
+        """
         config = self.config
-        timings: dict[str, float] = {}
+        tel = self.telemetry
+        timer = StageTimer(telemetry=tel)
 
-        start = time.perf_counter()
-        order = self.global_prune_order(model)
-        pruning = prune_by_sequence(
-            model,
-            self._target_layer(model),
-            order,
-            self.accuracy_fn,
-            accuracy_drop_threshold=config.accuracy_drop_threshold,
-            max_prune_fraction=config.max_prune_fraction,
-        )
-        timings["pruning"] = time.perf_counter() - start
-
-        fine_tuning = None
-        if config.fine_tune:
-            survivors = self.active_clients()
-            if survivors:
-                start = time.perf_counter()
-                fine_tuning = federated_fine_tune(
+        with tel.span("defense.run", method=config.method) as run_span:
+            with timer.stage("pruning"):
+                order = self.global_prune_order(model)
+                pruning = prune_by_sequence(
                     model,
-                    survivors,
+                    self._target_layer(model),
+                    order,
                     self.accuracy_fn,
-                    max_rounds=config.fine_tune_rounds,
-                    patience=config.fine_tune_patience,
-                    min_quorum=config.min_report_quorum,
-                    executor=self.executor,
-                )
-                timings["fine_tuning"] = time.perf_counter() - start
-            else:
-                self.events.append(
-                    ("fine_tune_skipped", -1, "every client quarantined")
+                    accuracy_drop_threshold=config.accuracy_drop_threshold,
+                    max_prune_fraction=config.max_prune_fraction,
+                    telemetry=tel,
                 )
 
-        start = time.perf_counter()
-        adjusting = adjust_extreme_weights(
-            model,
-            self.accuracy_fn,
-            accuracy_floor_drop=config.aw_floor_drop,
-            delta_start=config.aw_delta_start,
-            delta_step=config.aw_delta_step,
-            delta_min=config.aw_delta_min,
-            layer=self._target_layer(model),
-        )
-        timings["adjusting"] = time.perf_counter() - start
+            fine_tuning = None
+            if config.fine_tune:
+                survivors = self.active_clients()
+                if survivors:
+                    with timer.stage("fine_tuning"):
+                        fine_tuning = federated_fine_tune(
+                            model,
+                            survivors,
+                            self.accuracy_fn,
+                            max_rounds=config.fine_tune_rounds,
+                            patience=config.fine_tune_patience,
+                            min_quorum=config.min_report_quorum,
+                            executor=self.executor,
+                            telemetry=tel,
+                        )
+                else:
+                    self.events.append(
+                        ("fine_tune_skipped", -1, "every client quarantined")
+                    )
+                    tel.event(
+                        "defense.fine_tune_skipped",
+                        round=-1,
+                        reason="every client quarantined",
+                    )
 
-        return DefenseReport(pruning, fine_tuning, adjusting, timings)
+            with timer.stage("adjusting"):
+                adjusting = adjust_extreme_weights(
+                    model,
+                    self.accuracy_fn,
+                    accuracy_floor_drop=config.aw_floor_drop,
+                    delta_start=config.aw_delta_start,
+                    delta_step=config.aw_delta_step,
+                    delta_min=config.aw_delta_min,
+                    layer=self._target_layer(model),
+                    telemetry=tel,
+                )
+            run_span.set(
+                num_pruned=pruning.num_pruned,
+                final_delta=adjusting.final_delta,
+            )
+
+        return DefenseReport(pruning, fine_tuning, adjusting, dict(timer.seconds))

@@ -22,6 +22,7 @@ from ..data.dataset import Dataset
 from ..eval.metrics import test_accuracy
 from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
+from ..obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = ["PruningResult", "prune_by_sequence", "client_feedback_accuracy"]
 
@@ -73,6 +74,7 @@ def prune_by_sequence(
     accuracy_fn: Callable[[Sequential], float],
     accuracy_drop_threshold: float = 0.01,
     max_prune_fraction: float = 0.9,
+    telemetry: Telemetry | None = None,
 ) -> PruningResult:
     """Prune channels in ``prune_order`` until accuracy degrades.
 
@@ -84,6 +86,10 @@ def prune_by_sequence(
 
     The model is modified in place (mask + zeroed weights); the returned
     trace records the accepted accuracy after every kept prune.
+
+    ``telemetry`` records one ``defense.prune_iter`` span per attempted
+    channel (attrs: channel, accuracy, kept) so the stream shows where
+    the stopping rule fired.
     """
     if not 0.0 <= accuracy_drop_threshold <= 1.0:
         raise ValueError(
@@ -101,6 +107,7 @@ def prune_by_sequence(
     ):
         raise ValueError("prune_order must contain unique valid channel ids")
 
+    tel = ensure_telemetry(telemetry)
     baseline = accuracy_fn(model)
     floor = baseline - accuracy_drop_threshold
     budget = int(np.floor(max_prune_fraction * num_channels))
@@ -113,15 +120,19 @@ def prune_by_sequence(
             break
         if not layer.out_mask[channel]:
             continue  # already pruned by an earlier pass
-        layer.out_mask[channel] = False
-        accuracy = accuracy_fn(model)
-        if accuracy < floor:
+        with tel.span("defense.prune_iter", channel=channel) as iter_span:
+            layer.out_mask[channel] = False
+            accuracy = accuracy_fn(model)
+            kept = accuracy >= floor
+            iter_span.set(accuracy=accuracy, kept=kept)
+        if not kept:
             layer.out_mask[channel] = True  # undo and stop
             stopped_early = True
             break
         pruned.append(channel)
         trace.append(accuracy)
 
+    tel.count("defense.channels_pruned", len(pruned))
     layer.apply_mask()
     return PruningResult(pruned, trace, baseline, stopped_early)
 
@@ -130,6 +141,7 @@ def client_feedback_accuracy(
     clients: Sequence,
     model: Sequential,
     executor: ClientExecutor | None = None,
+    telemetry: Telemetry | None = None,
 ) -> float:
     """Robust accuracy oracle from client self-reports.
 
@@ -143,7 +155,9 @@ def client_feedback_accuracy(
     ``executor`` fans report computation out in parallel (see
     :mod:`repro.fl.executor`); ``None`` runs clients serially.
     """
-    outcomes = collect_reports(executor, clients, model, "accuracy")
+    outcomes = collect_reports(
+        executor, clients, model, "accuracy", telemetry=telemetry
+    )
     reports = [value for status, value in outcomes if status == "ok"]
     if not reports:
         raise ValueError("need at least one client report")

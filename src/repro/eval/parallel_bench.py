@@ -29,9 +29,19 @@ from ..fl.executor import (
 )
 from ..fl.server import FederatedServer
 from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from ..obs.context import RunContext
+from ..obs.sinks import JSONLSink, RingBufferSink
+from ..obs.telemetry import Telemetry
 from .timers import StageTimer
 
-__all__ = ["BENCH_PRESETS", "build_bench_world", "make_executor", "run_benchmark"]
+__all__ = [
+    "BENCH_PRESETS",
+    "build_bench_world",
+    "make_executor",
+    "run_benchmark",
+    "measure_telemetry_overhead",
+    "trace_run",
+]
 
 # the 8-client population is the benchmark's defining constant: small
 # enough that the serial baseline finishes quickly, large enough that a
@@ -118,13 +128,15 @@ def _warm_up(executor: ClientExecutor, workers: int) -> None:
     executor.map_clients(_noop, range(max(2, workers)))
 
 
-def _run_engine(executor: ClientExecutor, scale: str):
+def _run_engine(executor: ClientExecutor, scale: str, telemetry: Telemetry | None = None):
     """Time the training round(s) and the FP+AW defense pass."""
     preset = BENCH_PRESETS[scale]
-    timer = StageTimer()
+    timer = StageTimer(telemetry=telemetry)
 
     model, clients, dataset = build_bench_world(scale)
-    server = FederatedServer(model, clients, dataset, executor=executor)
+    server = FederatedServer(
+        model, clients, dataset, executor=executor, telemetry=telemetry
+    )
     with timer.stage("training"):
         history = server.train(preset["rounds"])
 
@@ -133,7 +145,7 @@ def _run_engine(executor: ClientExecutor, scale: str):
         lambda m: 0.9,  # constant oracle: prunes the full order, so the
         # defense pass has a deterministic, engine-independent shape
         DefenseConfig(method="mvp", fine_tune=False),
-        executor=executor,
+        context=RunContext(telemetry=telemetry, executor=executor),
     )
     with timer.stage("defense"):
         pipeline.run(model)
@@ -188,4 +200,53 @@ def run_benchmark(
         "timings": timings,
         "speedups": speedups,
         "bitwise_identical": identical,
+        "telemetry": measure_telemetry_overhead(scale),
     }
+
+
+def measure_telemetry_overhead(scale: str = "smoke") -> dict:
+    """Wall-clock cost of full instrumentation vs. the null hub.
+
+    Runs the serial workload twice — once with ``telemetry=None``
+    (resolving to :data:`~repro.obs.telemetry.NULL_TELEMETRY`) and once
+    with a real hub feeding a ring buffer — and reports the totals.
+    Informational: wall-clock ratios on shared machines are noisy, so
+    the *gated* claim (``tests/obs``) is made on per-op costs instead.
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    with make_executor("serial", 1) as executor:
+        null_timings, _, _ = _run_engine(executor, scale)
+    hub = Telemetry()
+    ring = hub.add_sink(RingBufferSink())
+    with make_executor("serial", 1) as executor:
+        instrumented_timings, _, _ = _run_engine(executor, scale, telemetry=hub)
+    hub.close()
+    null_total = sum(null_timings.values())
+    instrumented_total = sum(instrumented_timings.values())
+    return {
+        "scale": scale,
+        "null_seconds": null_total,
+        "instrumented_seconds": instrumented_total,
+        "overhead_fraction": (instrumented_total - null_total)
+        / max(null_total, 1e-9),
+        "num_events": ring.num_emitted,
+    }
+
+
+def trace_run(scale: str, path: str, workers: int = 4, engine: str = "serial") -> dict:
+    """Run the bench workload with a JSONL trace attached (``--trace-out``).
+
+    Returns a small summary (path, event count) for the CLI to print;
+    the trace itself lands at ``path``, one schema-v1 record per line.
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    hub = Telemetry()
+    ring = hub.add_sink(RingBufferSink())
+    hub.add_sink(JSONLSink(path))
+    with make_executor(engine, workers) as executor:
+        _warm_up(executor, workers)
+        _run_engine(executor, scale, telemetry=hub)
+    hub.close()
+    return {"path": str(path), "num_events": ring.num_emitted, "engine": engine}

@@ -17,6 +17,8 @@ path.
 from __future__ import annotations
 
 import copy
+import time
+import weakref
 
 import numpy as np
 
@@ -32,9 +34,11 @@ from ..defense.pruning import prune_by_sequence, server_validation_accuracy
 from ..eval.metrics import attack_success_rate, test_accuracy
 from ..fl.client import Client, LocalTrainingConfig, MaliciousClient
 from ..fl.executor import ClientExecutor
+from ..fl.faults import wrap_clients
 from ..fl.server import FederatedServer, TrainingHistory
 from ..nn.layers import Sequential
 from ..nn.zoo import build_model, fashion_cnn, mnist_cnn, vgg_small
+from ..obs.context import RunContext, current_context, warn_deprecated_kwarg
 from .scale import ExperimentScale
 
 __all__ = [
@@ -52,6 +56,22 @@ _DEFAULT_ARCHITECTURES = {
     "fashion": "fashion_cnn",
     "cifar": "vgg_small",
 }
+
+
+def _model_signature(model: Sequential) -> tuple:
+    """A cheap fingerprint of everything that can change a model's output.
+
+    Parameters are fingerprinted by buffer identity plus
+    :attr:`~repro.nn.module.Parameter.version` (the same contract the
+    Conv2d im2col weight cache relies on), and prune masks by value —
+    ``out_mask`` is a small boolean vector mutated in place without a
+    version bump, so its bytes participate directly.
+    """
+    params = tuple((id(p.data), p.version) for p in model.parameters())
+    masks = tuple(
+        m.out_mask.tobytes() for m in model.modules() if hasattr(m, "out_mask")
+    )
+    return params, masks
 
 
 class FederatedSetup:
@@ -78,18 +98,33 @@ class FederatedSetup:
         self.scale = scale
         self.dataset_name = dataset_name
         self.training_seconds = training_seconds
+        self._metrics_cache: weakref.WeakKeyDictionary[Sequential, tuple] = (
+            weakref.WeakKeyDictionary()
+        )
 
     def accuracy_fn(self):
         """The server's validation-accuracy oracle over the test split."""
         return server_validation_accuracy(self.test)
 
     def metrics(self, model: Sequential | None = None) -> tuple[float, float]:
-        """(test accuracy, attack success rate) of a model."""
+        """(test accuracy, attack success rate) of a model.
+
+        Memoized per model on parameter versions and prune-mask bytes,
+        so repeated mode evaluations of an unchanged model (``training``
+        metrics queried by several table modules, say) cost two full
+        test-set passes only once.
+        """
         model = model if model is not None else self.model
-        return (
+        signature = _model_signature(model)
+        cached = self._metrics_cache.get(model)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        result = (
             test_accuracy(model, self.test),
             attack_success_rate(model, self.eval_task, self.test),
         )
+        self._metrics_cache[model] = (signature, result)
+        return result
 
 
 def _build_architecture(
@@ -175,6 +210,7 @@ def build_setup(
     rounds: int | None = None,
     attack_start_fraction: float = 0.5,
     executor: ClientExecutor | None = None,
+    context: RunContext | None = None,
 ) -> FederatedSetup:
     """Build, attack and train one federated run.
 
@@ -203,11 +239,21 @@ def build_setup(
         attackers begin poisoning (model replacement is most effective
         near convergence; see MaliciousClient.attack_start_round).
     executor:
-        Client-execution engine for the training rounds (see
-        :mod:`repro.fl.executor`); ``None`` runs clients serially.
-        Results are bitwise identical across executors.
+        Deprecated — pass ``context=RunContext(executor=...)`` instead.
+        Still honoured (with a :class:`DeprecationWarning`) when no
+        context supplies an executor.
+    context:
+        A :class:`~repro.obs.context.RunContext` carrying the telemetry
+        hub, execution engine, and (optionally) a fault model to wrap
+        the client population with.  Defaults to the ambient context
+        (see :func:`~repro.obs.context.use_context`).  Results are
+        bitwise identical across executors.
     """
-    import time
+    if executor is not None:
+        warn_deprecated_kwarg("build_setup", "executor", "executor")
+    ctx = context if context is not None else current_context()
+    engine = ctx.executor if ctx.executor is not None else executor
+    tel = ctx.telemetry
 
     master = np.random.default_rng(seed)
     data_seed = int(master.integers(0, 2**31))
@@ -280,6 +326,9 @@ def build_setup(
         else:
             clients.append(Client(i, local, benign_config, client_rng))
 
+    if ctx.fault_model is not None:
+        clients = wrap_clients(clients, ctx.fault_model)
+
     model = _build_architecture(
         dataset_name, spec, scale, np.random.default_rng(seed + 1), model_name
     )
@@ -290,11 +339,15 @@ def build_setup(
         backdoor_task=eval_task,
         clients_per_round=clients_per_round,
         rng=np.random.default_rng(seed + 2),
-        executor=executor,
+        executor=engine,
+        telemetry=tel,
     )
-    start = time.perf_counter()
-    history = server.train(total_rounds)
-    training_seconds = time.perf_counter() - start
+    with tel.span(
+        "build_setup", dataset=dataset_name, seed=seed, num_clients=len(clients)
+    ):
+        start = time.perf_counter()
+        history = server.train(total_rounds)
+        training_seconds = time.perf_counter() - start
 
     return FederatedSetup(
         model,
@@ -327,6 +380,7 @@ def evaluate_modes(
     modes: tuple[str, ...] = MODE_ORDER,
     config: DefenseConfig | None = None,
     executor: ClientExecutor | None = None,
+    context: RunContext | None = None,
 ) -> dict[str, tuple[float, float]]:
     """(TA, AA) per requested mode, sharing the expensive stages.
 
@@ -340,17 +394,33 @@ def evaluate_modes(
     The pruning stage runs once; FP+AW and All branch from the pruned
     model via deep copies, matching how the paper's modes nest.
 
-    ``executor`` parallelizes the client-side stages (report collection
-    and fine-tuning); results are bitwise identical across executors.
+    ``context`` (default: the ambient context) supplies the telemetry
+    hub and the execution engine for the client-side stages (report
+    collection and fine-tuning); results are bitwise identical across
+    executors.  Each mode evaluation is wrapped in an ``eval.mode``
+    span.  ``executor`` is deprecated in favour of
+    ``context=RunContext(executor=...)``.
     """
     unknown = set(modes) - set(MODE_ORDER)
     if unknown:
         raise ValueError(f"unknown modes: {sorted(unknown)}")
+    if executor is not None:
+        warn_deprecated_kwarg("evaluate_modes", "executor", "executor")
+    ctx = context if context is not None else current_context()
+    engine = ctx.executor if ctx.executor is not None else executor
+    tel = ctx.telemetry
     accuracy_fn = setup.accuracy_fn()
     results: dict[str, tuple[float, float]] = {}
 
+    def record_mode(mode: str, model: Sequential) -> None:
+        with tel.span("eval.mode", mode=mode) as mode_span:
+            results[mode] = setup.metrics(model)
+            mode_span.set(
+                test_acc=results[mode][0], attack_acc=results[mode][1]
+            )
+
     if "training" in modes:
-        results["training"] = setup.metrics()
+        record_mode("training", setup.model)
 
     needs_pruning = {"fp", "fp_aw", "all"} & set(modes)
     if not needs_pruning:
@@ -358,7 +428,10 @@ def evaluate_modes(
 
     base_config = config or _default_defense_config(setup, fine_tune=True)
     pipeline = DefensePipeline(
-        setup.clients, accuracy_fn, base_config, executor=executor
+        setup.clients,
+        accuracy_fn,
+        base_config,
+        context=RunContext(telemetry=tel, executor=engine),
     )
 
     pruned = clone_model(setup.model)
@@ -370,9 +443,10 @@ def evaluate_modes(
         accuracy_fn,
         accuracy_drop_threshold=base_config.accuracy_drop_threshold,
         max_prune_fraction=base_config.max_prune_fraction,
+        telemetry=tel,
     )
     if "fp" in modes:
-        results["fp"] = setup.metrics(pruned)
+        record_mode("fp", pruned)
 
     if "fp_aw" in modes:
         fp_aw = clone_model(pruned)
@@ -383,8 +457,9 @@ def evaluate_modes(
             delta_start=base_config.aw_delta_start,
             delta_step=base_config.aw_delta_step,
             delta_min=base_config.aw_delta_min,
+            telemetry=tel,
         )
-        results["fp_aw"] = setup.metrics(fp_aw)
+        record_mode("fp_aw", fp_aw)
 
     if "all" in modes:
         full = clone_model(pruned)
@@ -394,7 +469,8 @@ def evaluate_modes(
             server_validation_accuracy(setup.test),
             max_rounds=base_config.fine_tune_rounds,
             patience=base_config.fine_tune_patience,
-            executor=executor,
+            executor=engine,
+            telemetry=tel,
         )
         adjust_extreme_weights(
             full,
@@ -403,7 +479,8 @@ def evaluate_modes(
             delta_start=base_config.aw_delta_start,
             delta_step=base_config.aw_delta_step,
             delta_min=base_config.aw_delta_min,
+            telemetry=tel,
         )
-        results["all"] = setup.metrics(full)
+        record_mode("all", full)
 
     return results

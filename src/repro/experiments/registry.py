@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..eval.tables import TableResult
+from ..obs.context import RunContext, use_context
 from . import ablations
 from . import (
     fig3_distributions,
@@ -22,7 +23,7 @@ from . import (
     table6_adjust_weights,
     table7_patterns,
 )
-from .scale import ExperimentScale
+from .scale import ExperimentScale, get_scale
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -50,9 +51,26 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], TableResult]] = {
 
 
 def run_experiment(
-    experiment_id: str, scale: ExperimentScale, seed: int = 42
+    experiment_id: str,
+    scale: ExperimentScale | str,
+    seed: int = 42,
+    context: RunContext | None = None,
 ) -> TableResult:
-    """Run one registered experiment."""
+    """Run one registered experiment.
+
+    ``scale`` is an :class:`~repro.experiments.scale.ExperimentScale`
+    or a scale name (``"smoke"`` / ``"bench"`` / ``"paper"``).
+
+    ``context`` (optional) is installed as the ambient
+    :class:`~repro.obs.context.RunContext` for the duration of the run,
+    so every :func:`~repro.experiments.common.build_setup` /
+    :func:`~repro.experiments.common.evaluate_modes` call inside the
+    experiment module picks up its telemetry hub and execution engine
+    without signature changes.  The whole run is wrapped in one
+    ``experiment`` span.
+    """
+    if isinstance(scale, str):
+        scale = get_scale(scale)
     try:
         runner = EXPERIMENTS[experiment_id]
     except KeyError:
@@ -60,4 +78,8 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(EXPERIMENTS)}"
         ) from None
-    return runner(scale, seed)
+    with use_context(context) as ctx:
+        with ctx.telemetry.span(
+            "experiment", id=experiment_id, scale=scale.name, seed=seed
+        ):
+            return runner(scale, seed)

@@ -45,11 +45,13 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 from ..nn.serialization import clone_module, strip_runtime_state
+from ..obs.telemetry import Telemetry, ensure_telemetry
 from .faults import ClientDropout
 
 __all__ = [
@@ -202,28 +204,37 @@ def _restore_rng(client, state: dict | None) -> None:
         client.rng.bit_generator.state = state
 
 
-def _run_update(task) -> tuple[str, object, dict | None]:
+def _run_update(task) -> tuple[str, object, dict | None, float]:
     """Train one (unwrapped) client.
 
-    Returns ``("ok", delta, rng_state)`` or — when the client itself
-    raises :class:`ClientDropout` (scripted stubs, future transport
-    layers) — ``("dropped", reason, rng_state)``.  The generator state
-    is captured either way so a failed attempt consumes the stream
-    exactly as inline execution did.
+    Returns ``("ok", delta, rng_state, seconds)`` or — when the client
+    itself raises :class:`ClientDropout` (scripted stubs, future
+    transport layers) — ``("dropped", reason, rng_state, seconds)``.
+    The generator state is captured either way so a failed attempt
+    consumes the stream exactly as inline execution did; ``seconds`` is
+    the worker-measured wall-clock of the task, shipped home so the
+    coordinator can record a telemetry span for work it never saw run.
     """
     client, model, global_params, round_index, clone = task
+    start = time.perf_counter()
     if clone:
         model = clone_module(model)
     try:
         delta = client.local_update(model, global_params, round_index)
     except ClientDropout as exc:
-        return "dropped", str(exc) or type(exc).__name__, _rng_state(client)
-    return "ok", delta, _rng_state(client)
+        return (
+            "dropped",
+            str(exc) or type(exc).__name__,
+            _rng_state(client),
+            time.perf_counter() - start,
+        )
+    return "ok", delta, _rng_state(client), time.perf_counter() - start
 
 
-def _run_report(task) -> tuple[str, object, dict | None]:
+def _run_report(task) -> tuple[str, object, dict | None, float]:
     """Compute one (unwrapped) client's report; same envelope as updates."""
     client, model, layer_index, mode, prune_rate, clone = task
+    start = time.perf_counter()
     if clone:
         model = clone_module(model)
     try:
@@ -236,13 +247,23 @@ def _run_report(task) -> tuple[str, object, dict | None]:
             else:
                 report = client.vote_report(model, layer, prune_rate)
     except ClientDropout as exc:
-        return "dropout", str(exc) or type(exc).__name__, _rng_state(client)
-    return "ok", report, _rng_state(client)
+        return (
+            "dropout",
+            str(exc) or type(exc).__name__,
+            _rng_state(client),
+            time.perf_counter() - start,
+        )
+    return "ok", report, _rng_state(client), time.perf_counter() - start
 
 
 def _unwrap(client):
     """The trainable client under a FaultyClient wrapper (or itself)."""
     return getattr(client, "inner", client)
+
+
+def _client_id(client):
+    """Telemetry-friendly client identity (None for id-less stubs)."""
+    return getattr(_unwrap(client), "client_id", None)
 
 
 # -- orchestration -----------------------------------------------------
@@ -256,6 +277,7 @@ def collect_updates(
     *,
     round_index: int | None = None,
     retries: int = 0,
+    telemetry: Telemetry | None = None,
 ) -> list[tuple[str, object]]:
     """Collect one local-update payload per client, faults included.
 
@@ -273,9 +295,15 @@ def collect_updates(
     on the coordinator, again in client order.  A client whose *own*
     ``local_update`` raises :class:`ClientDropout` re-enters the next
     wave while its budget lasts.
+
+    ``telemetry`` records one ``exec.local_update`` span per dispatched
+    task (the duration is worker-measured and marshalled home) plus
+    ``exec.retry`` events — always in stable task order on the
+    coordinator, so the stream is identical across executor engines.
     """
     if executor is None:
         executor = _DEFAULT_EXECUTOR
+    tel = ensure_telemetry(telemetry)
     global_params = np.asarray(global_params)
     param_dim = int(global_params.size)
     clone = not executor.clones_payloads
@@ -283,6 +311,7 @@ def collect_updates(
     outcomes: list[tuple[str, object] | None] = [None] * len(clients)
     # mutable job records: [position, client, attempts_left, last_reason]
     jobs = [[i, client, 1 + retries, "no response"] for i, client in enumerate(clients)]
+    wave_index = 0
     while jobs:
         wave: list[tuple[list, object]] = []  # (job, plan or None)
         for job in jobs:
@@ -308,26 +337,40 @@ def collect_updates(
             wave.append((job, plan))
         if not wave:
             break
-        strip_runtime_state(model)
-        tasks = [
-            (_unwrap(job[1]), model, global_params, round_index, clone)
-            for job, _ in wave
-        ]
-        results = executor.map_clients(_run_update, tasks)
-        jobs = []
-        for (job, plan), (status, value, rng_state) in zip(wave, results):
-            position, client = job[0], job[1]
-            _restore_rng(_unwrap(client), rng_state)
-            if status == "ok":
-                delta = value
-                if plan is not None:
-                    delta = client.finish_local_update(plan, delta)
-                outcomes[position] = ("ok", delta)
-            elif job[2] > 0:
-                job[3] = value
-                jobs.append(job)  # retry in the next wave
-            else:
-                outcomes[position] = ("dropped", value)
+        with tel.span("exec.wave", index=wave_index, tasks=len(wave)):
+            strip_runtime_state(model)
+            tasks = [
+                (_unwrap(job[1]), model, global_params, round_index, clone)
+                for job, _ in wave
+            ]
+            results = executor.map_clients(_run_update, tasks)
+            jobs = []
+            for (job, plan), (status, value, rng_state, seconds) in zip(
+                wave, results
+            ):
+                position, client = job[0], job[1]
+                _restore_rng(_unwrap(client), rng_state)
+                tel.record_span(
+                    "exec.local_update",
+                    seconds,
+                    client=_client_id(client),
+                    status=status,
+                    attempt=1 + retries - job[2],
+                )
+                if status == "ok":
+                    delta = value
+                    if plan is not None:
+                        delta = client.finish_local_update(plan, delta)
+                    outcomes[position] = ("ok", delta)
+                elif job[2] > 0:
+                    job[3] = value
+                    tel.event(
+                        "exec.retry", client=_client_id(client), reason=value
+                    )
+                    jobs.append(job)  # retry in the next wave
+                else:
+                    outcomes[position] = ("dropped", value)
+        wave_index += 1
 
     return outcomes
 
@@ -340,6 +383,7 @@ def collect_reports(
     *,
     layer=None,
     prune_rate: float | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[tuple[str, object]]:
     """Collect one report per client: ``mode`` is ``"ranking"``,
     ``"vote"`` or ``"accuracy"``.
@@ -351,11 +395,16 @@ def collect_reports(
     faults are planned on the coordinator in client order, like update
     faults; accuracy reports have no fault interception (matching the
     inline protocol) and dispatch unconditionally.
+
+    ``telemetry`` records one ``exec.report`` span per dispatched task
+    (worker-measured duration, coordinator-side marshalling in stable
+    task order), so the stream is identical across executor engines.
     """
     if executor is None:
         executor = _DEFAULT_EXECUTOR
     if mode not in ("ranking", "vote", "accuracy"):
         raise ValueError(f"unknown report mode {mode!r}")
+    tel = ensure_telemetry(telemetry)
     vote = mode == "vote"
     num_channels = int(layer.out_mask.size) if layer is not None else 0
 
@@ -373,21 +422,31 @@ def collect_reports(
             dispatch.append((position, client, plan))
 
     if dispatch:
-        strip_runtime_state(model)
-        layer_index = list(model.modules()).index(layer) if layer is not None else -1
-        clone = not executor.clones_payloads
-        tasks = [
-            (_unwrap(client), model, layer_index, mode, prune_rate, clone)
-            for _, client, _ in dispatch
-        ]
-        results = executor.map_clients(_run_report, tasks)
-        for (position, client, plan), (status, value, rng_state) in zip(
-            dispatch, results
-        ):
-            _restore_rng(_unwrap(client), rng_state)
-            if status == "ok" and plan is not None:
-                value = client.finish_report(plan, value, vote)
-            outcomes[position] = (status, value)
+        with tel.span("exec.report_wave", mode=mode, tasks=len(dispatch)):
+            strip_runtime_state(model)
+            layer_index = (
+                list(model.modules()).index(layer) if layer is not None else -1
+            )
+            clone = not executor.clones_payloads
+            tasks = [
+                (_unwrap(client), model, layer_index, mode, prune_rate, clone)
+                for _, client, _ in dispatch
+            ]
+            results = executor.map_clients(_run_report, tasks)
+            for (position, client, plan), (status, value, rng_state, seconds) in zip(
+                dispatch, results
+            ):
+                _restore_rng(_unwrap(client), rng_state)
+                tel.record_span(
+                    "exec.report",
+                    seconds,
+                    client=_client_id(client),
+                    status=status,
+                    mode=mode,
+                )
+                if status == "ok" and plan is not None:
+                    value = client.finish_report(plan, value, vote)
+                outcomes[position] = (status, value)
 
     return outcomes
 

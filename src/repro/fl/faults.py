@@ -28,6 +28,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..obs.telemetry import ensure_telemetry
+
 if TYPE_CHECKING:  # import cycle: client -> defense -> fine_tune -> faults
     from .client import Client
 
@@ -155,6 +157,12 @@ class FaultModel:
         ``("missing", "truncated", "garbage")``).
     seed:
         Seed of the fault schedule.
+    telemetry:
+        Observability hub (:mod:`repro.obs.telemetry`); every resolved
+        fault plan becomes a ``fault.update`` / ``fault.report`` event
+        in the stream.  Defaults to the no-op hub; constructing a
+        :class:`~repro.obs.context.RunContext` with this model points
+        it at the run's hub automatically.
     """
 
     def __init__(
@@ -169,6 +177,7 @@ class FaultModel:
         report_fault_prob: float = 0.0,
         report_kinds: tuple[str, ...] = REPORT_FAULTS,
         seed: int = 0,
+        telemetry=None,
     ) -> None:
         for name, prob in (
             ("dropout_prob", dropout_prob),
@@ -201,6 +210,7 @@ class FaultModel:
         self.report_fault_prob = report_fault_prob
         self.report_kinds = tuple(report_kinds)
         self.seed = seed
+        self.telemetry = ensure_telemetry(telemetry)
         self._rng = np.random.default_rng(seed)
 
     # -- draws ---------------------------------------------------------
@@ -340,8 +350,23 @@ class FaultyClient:
         stale, corruption kind, corruption indices — so a given
         :class:`FaultModel` seed yields the same fault schedule whether
         requests are planned ahead or executed inline.
+
+        Every resolved plan is emitted to the fault model's telemetry as
+        one ``fault.update`` event — planning happens on the coordinator
+        in stable client order, so the fault trace is deterministic and
+        identical across executor engines.
         """
         faults = self.faults
+        plan = self._draw_update_plan(faults, param_dim)
+        faults.telemetry.event(
+            "fault.update",
+            client=self.inner.client_id,
+            action=plan.action,
+            corruption=plan.corruption,
+        )
+        return plan
+
+    def _draw_update_plan(self, faults: FaultModel, param_dim: int) -> UpdatePlan:
         if faults.draw_dropout():
             return UpdatePlan(
                 "dropout", error=f"client {self.inner.client_id} dropped out"
@@ -370,15 +395,28 @@ class FaultyClient:
         return delta
 
     def plan_report(self, num_channels: int, vote: bool) -> ReportPlan:
-        """Resolve every fault draw for one ranking/vote report request."""
+        """Resolve every fault draw for one ranking/vote report request.
+
+        Like update plans, each resolved report plan is emitted as one
+        ``fault.report`` event on the fault model's telemetry.
+        """
         kind, position = self.faults.plan_report_corruption(num_channels, vote)
         if kind == "missing":
             label = "vote" if vote else "ranking"
-            return ReportPlan(
+            plan = ReportPlan(
                 "missing",
                 error=f"client {self.inner.client_id} sent no {label} report",
             )
-        return ReportPlan("deliver", corruption=kind, position=position)
+        else:
+            plan = ReportPlan("deliver", corruption=kind, position=position)
+        self.faults.telemetry.event(
+            "fault.report",
+            client=self.inner.client_id,
+            action=plan.action,
+            corruption=plan.corruption,
+            vote=vote,
+        )
+        return plan
 
     def finish_report(self, plan: ReportPlan, report: np.ndarray, vote: bool) -> np.ndarray:
         if plan.corruption is None:

@@ -33,6 +33,7 @@ from ..attacks.poison import BackdoorTask
 from ..data.dataset import Dataset
 from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
+from ..obs.telemetry import Telemetry, ensure_telemetry
 from .aggregation import fedavg
 from .client import Client
 from .executor import ClientExecutor, collect_updates
@@ -193,6 +194,12 @@ class FederatedServer:
         runs clients serially in-process.  All executors are bitwise
         deterministic and mutually identical, so this is purely a
         wall-clock knob.
+    telemetry:
+        Observability hub (see :mod:`repro.obs`); every round becomes a
+        ``fl.round`` span with selection / local-training / aggregation
+        / evaluation child spans, and every participation fault (drop,
+        rejection, quarantine, quorum skip) becomes an event.  ``None``
+        is the free no-op hub.
     """
 
     def __init__(
@@ -208,6 +215,7 @@ class FederatedServer:
         update_retries: int = 0,
         max_client_strikes: int | None = 3,
         executor: ClientExecutor | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -241,6 +249,7 @@ class FederatedServer:
         self.update_retries = update_retries
         self.max_client_strikes = max_client_strikes
         self.executor = executor
+        self.telemetry = ensure_telemetry(telemetry)
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
@@ -266,48 +275,87 @@ class FederatedServer:
 
     def run_round(self, round_index: int) -> RoundMetrics:
         """One full round: select, train locally, validate, aggregate, evaluate."""
-        participants = self.select_clients()
-        global_params = self.model.flat_parameters()
+        tel = self.telemetry
+        with tel.span("fl.round", round=round_index) as round_span:
+            with tel.span("fl.selection"):
+                participants = self.select_clients()
+            global_params = self.model.flat_parameters()
 
-        outcomes = collect_updates(
-            self.executor,
-            participants,
-            self.model,
-            global_params,
-            round_index=round_index,
-            retries=self.update_retries,
-        )
+            with tel.span("fl.local_training", num_clients=len(participants)):
+                outcomes = collect_updates(
+                    self.executor,
+                    participants,
+                    self.model,
+                    global_params,
+                    round_index=round_index,
+                    retries=self.update_retries,
+                    telemetry=tel,
+                )
 
-        accepted: list[np.ndarray] = []
-        dropped: list[tuple[int, str]] = []
-        rejected: list[tuple[int, str]] = []
-        quarantined_now: list[int] = []
-        # validation and strikes run sequentially in stable client order,
-        # so quarantine decisions are executor-independent
-        for client, (status, value) in zip(participants, outcomes):
-            if status == "dropped":
-                dropped.append((client.client_id, value))
-                continue
-            problem = validate_update(value, global_params.size)
-            if problem is None:
-                accepted.append(value)
+            accepted: list[np.ndarray] = []
+            dropped: list[tuple[int, str]] = []
+            rejected: list[tuple[int, str]] = []
+            quarantined_now: list[int] = []
+            # validation and strikes run sequentially in stable client order,
+            # so quarantine decisions are executor-independent
+            for client, (status, value) in zip(participants, outcomes):
+                if status == "dropped":
+                    dropped.append((client.client_id, value))
+                    tel.event(
+                        "fl.client_dropped", client=client.client_id, reason=value
+                    )
+                    continue
+                problem = validate_update(value, global_params.size)
+                if problem is None:
+                    accepted.append(value)
+                else:
+                    rejected.append((client.client_id, problem))
+                    tel.event(
+                        "fl.client_rejected",
+                        client=client.client_id,
+                        reason=problem,
+                    )
+                    if self._record_strike(client.client_id):
+                        quarantined_now.append(client.client_id)
+                        tel.event(
+                            "fl.quarantine",
+                            client=client.client_id,
+                            strikes=self._strikes[client.client_id],
+                        )
+
+            quorum = _resolve_quorum(self.min_quorum, len(participants))
+            skipped = len(accepted) < quorum
+            if skipped:
+                tel.event(
+                    "fl.round_skipped",
+                    round=round_index,
+                    accepted=len(accepted),
+                    quorum=quorum,
+                )
             else:
-                rejected.append((client.client_id, problem))
-                if self._record_strike(client.client_id):
-                    quarantined_now.append(client.client_id)
+                with tel.span("fl.aggregation", num_accepted=len(accepted)):
+                    self.model.load_flat_parameters(
+                        global_params + self.aggregate(np.stack(accepted))
+                    )
 
-        quorum = _resolve_quorum(self.min_quorum, len(participants))
-        skipped = len(accepted) < quorum
-        if not skipped:
-            self.model.load_flat_parameters(
-                global_params + self.aggregate(np.stack(accepted))
-            )
+            with tel.span("fl.evaluation"):
+                test_acc = test_accuracy(self.model, self.test_set)
+                attack_acc = None
+                if self.backdoor_task is not None:
+                    attack_acc = attack_success_rate(
+                        self.model, self.backdoor_task, self.test_set
+                    )
 
-        test_acc = test_accuracy(self.model, self.test_set)
-        attack_acc = None
-        if self.backdoor_task is not None:
-            attack_acc = attack_success_rate(
-                self.model, self.backdoor_task, self.test_set
+            tel.count("fl.rounds")
+            tel.count("fl.updates_accepted", len(accepted))
+            tel.count("fl.updates_dropped", len(dropped))
+            tel.count("fl.updates_rejected", len(rejected))
+            round_span.set(
+                test_acc=test_acc,
+                attack_acc=attack_acc,
+                accepted=len(accepted),
+                selected=len(participants),
+                skipped=skipped,
             )
         return RoundMetrics(
             round_index,
@@ -326,6 +374,7 @@ class FederatedServer:
         if num_rounds < 1:
             raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
         history = TrainingHistory()
-        for round_index in range(num_rounds):
-            history.append(self.run_round(round_index))
+        with self.telemetry.span("fl.train", num_rounds=num_rounds):
+            for round_index in range(num_rounds):
+                history.append(self.run_round(round_index))
         return history

@@ -1,0 +1,62 @@
+"""repro.obs — dependency-free telemetry for the whole stack.
+
+The observability substrate every layer reports through: a
+:class:`Telemetry` hub of nested spans, counters/gauges and a structured
+event stream; pluggable sinks (in-memory ring buffer, JSONL file,
+console summary); a :class:`NullTelemetry` no-op default that keeps the
+hot path free when tracing is off; and :class:`RunContext`, the single
+bundle (telemetry + rng + executor + fault model) the experiment entry
+points accept.
+
+Quickstart::
+
+    from repro.obs import JSONLSink, RingBufferSink, RunContext, Telemetry
+
+    ring = RingBufferSink()
+    with Telemetry([ring, JSONLSink("trace.jsonl")]) as telemetry:
+        context = RunContext(telemetry=telemetry)
+        ...  # run_experiment(..., context=context) / build_setup(...)
+    ring.events  # the structured stream, schema repro.obs.schema
+
+See DESIGN.md §8 for the event schema.
+"""
+
+from .context import RunContext, current_context, use_context
+from .schema import (
+    SCHEMA_VERSION,
+    canonical_events,
+    dumps_canonical,
+    jsonable,
+    validate_event,
+    validate_stream,
+)
+from .sinks import ConsoleSummarySink, JSONLSink, RingBufferSink, Sink, read_events
+from .telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    ensure_telemetry,
+)
+
+__all__ = [
+    "RunContext",
+    "current_context",
+    "use_context",
+    "SCHEMA_VERSION",
+    "canonical_events",
+    "dumps_canonical",
+    "jsonable",
+    "validate_event",
+    "validate_stream",
+    "Sink",
+    "RingBufferSink",
+    "JSONLSink",
+    "ConsoleSummarySink",
+    "read_events",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "ensure_telemetry",
+]

@@ -1,0 +1,118 @@
+"""RunContext: the one bundle a run threads through the whole stack.
+
+Before this existed, every layer grew its own ad-hoc keyword arguments —
+``rng=`` here, ``executor=`` there, fault wiring done by hand — and the
+set drifted between :func:`~repro.experiments.common.build_setup`,
+:func:`~repro.experiments.common.evaluate_modes`,
+:class:`~repro.defense.pipeline.DefensePipeline` and friends.  A
+:class:`RunContext` carries the four cross-cutting facilities together:
+
+* ``telemetry`` — the observability hub (:mod:`repro.obs.telemetry`),
+* ``rng`` — the run's master generator (seed-derived when absent),
+* ``executor`` — the client-execution engine (:mod:`repro.fl.executor`),
+* ``fault_model`` — client unreliability (:mod:`repro.fl.faults`);
+  constructing the context points the model's draw events at the
+  context's telemetry, so every injected fault lands in the stream.
+
+Entry points accept ``context=`` and fall back to the *ambient* context
+(:func:`current_context`, installed by :func:`use_context` — which
+:func:`~repro.experiments.registry.run_experiment` wraps around every
+runner), so experiment modules do not need a ``context`` parameter
+threaded through each signature.
+
+The old per-function keywords keep working for one release;
+:func:`warn_deprecated_kwarg` emits the ``DeprecationWarning`` that
+marks them for removal.
+"""
+
+from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from .telemetry import Telemetry, ensure_telemetry
+
+if TYPE_CHECKING:  # typing only: obs must not import fl at runtime
+    from ..fl.executor import ClientExecutor
+    from ..fl.faults import FaultModel
+
+__all__ = [
+    "RunContext",
+    "current_context",
+    "use_context",
+    "warn_deprecated_kwarg",
+]
+
+
+class RunContext:
+    """Telemetry + rng + executor + fault model, bundled.
+
+    Every field is optional: ``RunContext()`` is a valid "plain run"
+    context (null telemetry, serial execution, reliable clients, no
+    shared generator).
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry | None = None,
+        rng: np.random.Generator | None = None,
+        executor: "ClientExecutor | None" = None,
+        fault_model: "FaultModel | None" = None,
+    ) -> None:
+        self.telemetry = ensure_telemetry(telemetry)
+        self.rng = rng
+        self.executor = executor
+        self.fault_model = fault_model
+        if fault_model is not None:
+            # fault draws become stream events (see FaultyClient.plan_*)
+            fault_model.telemetry = self.telemetry
+
+    def __repr__(self) -> str:
+        parts = [f"telemetry={type(self.telemetry).__name__}"]
+        if self.rng is not None:
+            parts.append("rng=<set>")
+        if self.executor is not None:
+            parts.append(f"executor={self.executor!r}")
+        if self.fault_model is not None:
+            parts.append("fault_model=<set>")
+        return f"RunContext({', '.join(parts)})"
+
+
+# the ambient-context stack; a plain list because the simulator's
+# coordinator is single-threaded by design (see repro.obs.telemetry)
+_CONTEXT_STACK: list[RunContext] = []
+
+_DEFAULT_CONTEXT = RunContext()
+
+
+def current_context() -> RunContext:
+    """The innermost ambient context (a shared plain one by default)."""
+    return _CONTEXT_STACK[-1] if _CONTEXT_STACK else _DEFAULT_CONTEXT
+
+
+@contextmanager
+def use_context(context: RunContext | None) -> Iterator[RunContext]:
+    """Install ``context`` as the ambient run context for a block.
+
+    ``None`` re-installs a plain context (isolating the block from any
+    outer ambient context rather than inheriting it).
+    """
+    context = context if context is not None else RunContext()
+    _CONTEXT_STACK.append(context)
+    try:
+        yield context
+    finally:
+        _CONTEXT_STACK.pop()
+
+
+def warn_deprecated_kwarg(func_name: str, kwarg: str, replacement: str) -> None:
+    """One consistent DeprecationWarning for a legacy keyword argument."""
+    warnings.warn(
+        f"{func_name}({kwarg}=...) is deprecated; pass "
+        f"RunContext({replacement}=...) via the context= parameter instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

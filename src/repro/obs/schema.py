@@ -1,0 +1,158 @@
+"""The versioned telemetry event schema (v1).
+
+Every record the hub emits is one flat JSON-serializable dict.  Common
+fields:
+
+========== =========================================================
+``v``      schema version (this module's :data:`SCHEMA_VERSION`)
+``seq``    per-hub monotonic sequence number (deterministic)
+``kind``   ``"span"`` | ``"event"`` | ``"counter"`` | ``"gauge"``
+``name``   dotted record name (``fl.round``, ``fault.update``, ...)
+``ts``     seconds since hub creation (monotonic clock)
+========== =========================================================
+
+Kind-specific fields:
+
+* ``span`` — ``span_id`` (int), ``parent_id`` (int or None), ``dur``
+  (seconds), ``attrs`` (dict).  Spans are emitted at *exit*, so children
+  precede their parent in the stream; reconstruct the tree from the ids.
+* ``event`` — ``span_id`` (enclosing span id or None), ``attrs``.
+* ``counter`` / ``gauge`` — ``value``; emitted as a sorted snapshot by
+  ``Telemetry.flush()``.
+
+Determinism: everything except ``ts`` and ``dur`` is a pure function of
+the run's control flow.  :func:`canonical_events` strips those two
+fields so byte-level stream comparison (the executor-parity and
+replay-stability contracts) is one ``json.dumps`` away.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "EVENT_KINDS",
+    "jsonable",
+    "validate_event",
+    "validate_stream",
+    "canonical_events",
+    "dumps_canonical",
+]
+
+SCHEMA_VERSION = 1
+
+EVENT_KINDS = ("span", "event", "counter", "gauge")
+
+#: fields whose values depend on wall-clock time, not on control flow
+TIMING_FIELDS = ("ts", "dur")
+
+_REQUIRED: dict[str, tuple[str, ...]] = {
+    "span": ("v", "seq", "kind", "name", "ts", "dur", "span_id", "parent_id", "attrs"),
+    "event": ("v", "seq", "kind", "name", "ts", "span_id", "attrs"),
+    "counter": ("v", "seq", "kind", "name", "ts", "value"),
+    "gauge": ("v", "seq", "kind", "name", "ts", "value"),
+}
+
+
+def jsonable(value):
+    """Recursively coerce a value into plain JSON types.
+
+    NumPy scalars and arrays (the attribute values instrumentation
+    naturally has at hand) become Python ints/floats/bools/lists, so the
+    in-memory stream and its JSONL serialization agree exactly.
+    """
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def validate_event(event) -> str | None:
+    """Check one record against schema v1; ``None`` means valid."""
+    if not isinstance(event, dict):
+        return f"record is {type(event).__name__}, not a dict"
+    kind = event.get("kind")
+    if kind not in EVENT_KINDS:
+        return f"unknown kind {kind!r}"
+    missing = [field for field in _REQUIRED[kind] if field not in event]
+    if missing:
+        return f"{kind} record missing fields {missing}"
+    if event.get("v") != SCHEMA_VERSION:
+        return f"schema version {event.get('v')!r}, expected {SCHEMA_VERSION}"
+    if not isinstance(event["name"], str) or not event["name"]:
+        return "name must be a non-empty string"
+    if not isinstance(event["seq"], int) or event["seq"] < 0:
+        return "seq must be a non-negative int"
+    if kind == "span":
+        if not isinstance(event["span_id"], int):
+            return "span_id must be an int"
+        parent = event["parent_id"]
+        if parent is not None and not isinstance(parent, int):
+            return "parent_id must be an int or None"
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            return "dur must be a non-negative number"
+    if kind in ("span", "event") and not isinstance(event["attrs"], dict):
+        return "attrs must be a dict"
+    try:
+        json.dumps(event)
+    except (TypeError, ValueError) as exc:
+        return f"not JSON-serializable: {exc}"
+    return None
+
+
+def validate_stream(events: Iterable[dict]) -> list[str]:
+    """Every problem in a stream, as ``"seq N: reason"`` strings.
+
+    Also checks that sequence numbers are strictly increasing — the
+    stream-level invariant individual-record validation cannot see.
+    """
+    problems: list[str] = []
+    last_seq = -1
+    for i, event in enumerate(events):
+        reason = validate_event(event)
+        if reason is not None:
+            problems.append(f"record {i}: {reason}")
+            continue
+        if event["seq"] <= last_seq:
+            problems.append(
+                f"record {i}: seq {event['seq']} not after {last_seq}"
+            )
+        last_seq = event["seq"]
+    return problems
+
+
+def canonical_events(events: Iterable[dict]) -> list[dict]:
+    """Copies of ``events`` with the timing fields removed.
+
+    What remains is deterministic for a fixed seed, so two canonical
+    streams from the same configuration must be *equal* — across runs
+    and across executor engines.
+    """
+    canonical = []
+    for event in events:
+        canonical.append(
+            {k: v for k, v in event.items() if k not in TIMING_FIELDS}
+        )
+    return canonical
+
+
+def dumps_canonical(events: Iterable[dict]) -> bytes:
+    """Canonical stream as deterministic JSONL bytes (for byte-equality)."""
+    lines = [
+        json.dumps(event, sort_keys=True, separators=(",", ":"))
+        for event in canonical_events(events)
+    ]
+    return ("\n".join(lines) + "\n").encode() if lines else b""

@@ -1,0 +1,199 @@
+"""Pluggable telemetry sinks: ring buffer, JSONL writer, console summary.
+
+A sink receives every record the hub emits, already schema-shaped (see
+:mod:`repro.obs.schema`).  Sinks are intentionally dumb — no filtering,
+no buffer negotiation — because the hub emits on the coordinator thread
+only and the stream is small relative to the compute it describes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from collections import deque
+from typing import IO, Iterable, Iterator
+
+__all__ = [
+    "Sink",
+    "RingBufferSink",
+    "JSONLSink",
+    "ConsoleSummarySink",
+    "read_events",
+]
+
+
+class Sink:
+    """Interface of a telemetry sink."""
+
+    def emit(self, event: dict) -> None:
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered records toward their destination (idempotent)."""
+
+    def close(self) -> None:
+        """Release resources (idempotent)."""
+
+
+class RingBufferSink(Sink):
+    """Keeps the last ``capacity`` records in memory.
+
+    The default capacity comfortably holds a full SMOKE/BENCH-scale run;
+    production-sized runs should stream to :class:`JSONLSink` and use
+    the ring only as a flight recorder for the tail.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self.num_emitted = 0  # total ever seen, including evicted
+
+    def emit(self, event: dict) -> None:
+        self._events.append(event)
+        self.num_emitted += 1
+
+    @property
+    def events(self) -> list[dict]:
+        """The retained records, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"RingBufferSink({len(self._events)}/{self.capacity})"
+
+
+class JSONLSink(Sink):
+    """Appends one compact JSON object per record to a file or stream.
+
+    Accepts a path (opened and owned by the sink) or any writable text
+    stream (borrowed; ``close()`` flushes but does not close it).  Lines
+    are written with sorted keys and minimal separators, so a stream's
+    serialization is as deterministic as its contents.
+    """
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, (str, bytes)):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+            self.path: str | None = str(target)
+        else:
+            self._stream = target
+            self._owns_stream = False
+            self.path = getattr(target, "name", None)
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        self._stream.write(
+            json.dumps(event, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._stream.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __repr__(self) -> str:
+        return f"JSONLSink(path={self.path!r})"
+
+
+def read_events(source: str | IO[str]) -> Iterator[dict]:
+    """Parse a JSONL trace back into records (inverse of JSONLSink)."""
+    if isinstance(source, (str, bytes)):
+        with open(source, encoding="utf-8") as handle:
+            yield from read_events(handle)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            yield json.loads(line)
+
+
+class ConsoleSummarySink(Sink):
+    """Aggregates the stream into a human-readable run summary.
+
+    Accumulates per-span-name call counts and total seconds plus event
+    counts as records arrive; :meth:`render` (or ``close()``, which
+    prints to the configured stream) produces a small table.  This is
+    the "what happened in this run" surface for humans — the JSONL
+    stream stays the machine-readable source of truth.
+    """
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self._stream = stream
+        self.span_seconds: dict[str, float] = {}
+        self.span_counts: dict[str, int] = {}
+        self.event_counts: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self._closed = False
+
+    def emit(self, event: dict) -> None:
+        kind = event.get("kind")
+        name = event.get("name", "?")
+        if kind == "span":
+            self.span_seconds[name] = self.span_seconds.get(name, 0.0) + event["dur"]
+            self.span_counts[name] = self.span_counts.get(name, 0) + 1
+        elif kind == "event":
+            self.event_counts[name] = self.event_counts.get(name, 0) + 1
+        elif kind == "counter":
+            self.counters[name] = event["value"]
+        elif kind == "gauge":
+            self.gauges[name] = event["value"]
+
+    def render(self) -> str:
+        out = io.StringIO()
+        out.write("== telemetry summary ==\n")
+        if self.span_seconds:
+            out.write("spans (total seconds / calls):\n")
+            width = max(len(n) for n in self.span_seconds)
+            for name in sorted(
+                self.span_seconds, key=self.span_seconds.get, reverse=True
+            ):
+                out.write(
+                    f"  {name:<{width}}  {self.span_seconds[name]:>9.3f}s"
+                    f"  x{self.span_counts[name]}\n"
+                )
+        if self.event_counts:
+            out.write("events:\n")
+            width = max(len(n) for n in self.event_counts)
+            for name in sorted(self.event_counts):
+                out.write(f"  {name:<{width}}  x{self.event_counts[name]}\n")
+        if self.counters:
+            out.write("counters:\n")
+            width = max(len(n) for n in self.counters)
+            for name in sorted(self.counters):
+                out.write(f"  {name:<{width}}  {self.counters[name]}\n")
+        if self.gauges:
+            out.write("gauges:\n")
+            width = max(len(n) for n in self.gauges)
+            for name in sorted(self.gauges):
+                out.write(f"  {name:<{width}}  {self.gauges[name]:g}\n")
+        return out.getvalue()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        stream = self._stream if self._stream is not None else sys.stdout
+        stream.write(self.render())
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsoleSummarySink(spans={len(self.span_seconds)}, "
+            f"events={sum(self.event_counts.values())})"
+        )

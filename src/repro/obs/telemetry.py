@@ -1,0 +1,355 @@
+"""The telemetry hub: spans, counters/gauges, and a structured event stream.
+
+One :class:`Telemetry` instance is the observability surface of a run.
+Instrumented code opens **spans** (monotonic-clock timed, nestable, with
+attributes), emits point-in-time **events**, and bumps **counters** /
+sets **gauges**; every record fans out to the attached sinks
+(:mod:`repro.obs.sinks`) as a plain dict following the versioned schema
+of :mod:`repro.obs.schema`.
+
+Design rules that keep the stream useful for the determinism contract:
+
+* **Coordinator-only emission.**  Instrumented code never calls the hub
+  from worker threads/processes; workers time themselves and ship the
+  duration home, and the coordinator records it via
+  :meth:`Telemetry.record_span` in stable task order.  The hub therefore
+  needs no locking and the event sequence is a pure function of the
+  run's control flow.
+* **Deterministic identity.**  Span ids and sequence numbers come from
+  monotonic counters, never from randomness or wall-clock time, so two
+  runs of the same seed produce streams that differ only in the
+  ``ts``/``dur`` fields (strip them with
+  :func:`repro.obs.schema.canonical_events` to compare).
+* **A free off-switch.**  :class:`NullTelemetry` overrides every entry
+  point with a constant-returning no-op, so instrumentation left in the
+  hot path costs a method call and nothing else when telemetry is off.
+  ``telemetry=None`` parameters throughout the codebase resolve to the
+  shared :data:`NULL_TELEMETRY` via :func:`ensure_telemetry`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable
+
+from .schema import SCHEMA_VERSION, jsonable
+from .sinks import Sink
+
+__all__ = [
+    "Span",
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "ensure_telemetry",
+]
+
+
+class Span:
+    """One timed, attributed region of a run.
+
+    Use as a context manager (``with telemetry.span("fl.round", round=3)
+    as span:``).  Attributes can be added while the span is open via
+    :meth:`set`; the span record is emitted once, at exit, carrying the
+    start offset (``ts``), the duration (``dur``), and the parent span
+    id captured when the span was opened.
+    """
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "seconds", "_hub", "_start")
+
+    def __init__(self, hub: "Telemetry", name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.seconds: float | None = None
+        self._hub = hub
+        self._start = 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes to the still-open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        self._hub._open_span(self)
+        self._start = self._hub._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = self._hub._clock() - self._start
+        self._hub._close_span(self)
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id})"
+
+
+class Telemetry:
+    """Hub collecting spans, counters, gauges and events into sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Initial sinks (see :mod:`repro.obs.sinks`); more can be attached
+        with :meth:`add_sink`.  With no sinks the hub still maintains
+        counters/gauges but records go nowhere.
+    clock:
+        Monotonic time source; swap for a fake in tests.  Timestamps in
+        the stream are offsets from hub creation, so they are small and
+        trivially normalizable.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sinks: Iterable[Sink] = (),
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._sinks: list[Sink] = list(sinks)
+        self._clock = clock
+        self._t0 = clock()
+        self._seq = 0
+        self._next_span_id = 0
+        self._stack: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, float] = {}
+        self._closed = False
+
+    # -- sinks ---------------------------------------------------------
+
+    def add_sink(self, sink: Sink) -> Sink:
+        """Attach a sink (returned, for one-line create-and-keep)."""
+        self._sinks.append(sink)
+        return sink
+
+    # -- emission ------------------------------------------------------
+
+    def _now(self) -> float:
+        return self._clock() - self._t0
+
+    def _emit(self, record: dict) -> None:
+        record["v"] = SCHEMA_VERSION
+        record["seq"] = self._seq
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(record)
+
+    # -- spans ---------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new (not yet entered) span; use as a context manager."""
+        return Span(self, name, attrs)
+
+    def _open_span(self, span: Span) -> None:
+        span.span_id = self._next_span_id
+        self._next_span_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        self._stack.append(span)
+
+    def _close_span(self, span: Span) -> None:
+        # tolerate exits out of order (a misnested span is a bug in the
+        # instrumented code, not a reason to corrupt the stream)
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:
+            self._stack.remove(span)
+        self._emit(
+            {
+                "kind": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "ts": self._now() - span.seconds,
+                "dur": span.seconds,
+                "attrs": jsonable(span.attrs),
+            }
+        )
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        """Record an externally-timed span (e.g. marshalled back from a
+        worker) under the currently open span.
+
+        The duration was measured elsewhere; ``ts`` is the marshalling
+        time, which is as good as it gets for remote work and is
+        stripped by canonicalization anyway.
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else None
+        self._emit(
+            {
+                "kind": "span",
+                "name": name,
+                "span_id": span_id,
+                "parent_id": parent_id,
+                "ts": self._now(),
+                "dur": float(seconds),
+                "attrs": jsonable(attrs),
+            }
+        )
+
+    @property
+    def current_span(self) -> Span | None:
+        """The innermost open span (None at top level)."""
+        return self._stack[-1] if self._stack else None
+
+    # -- events --------------------------------------------------------
+
+    def event(self, name: str, **attrs) -> None:
+        """A point-in-time record, attached to the enclosing span."""
+        parent = self._stack[-1].span_id if self._stack else None
+        self._emit(
+            {
+                "kind": "event",
+                "name": name,
+                "span_id": parent,
+                "ts": self._now(),
+                "attrs": jsonable(attrs),
+            }
+        )
+
+    # -- counters / gauges ---------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> int:
+        """Add ``value`` to a counter; returns the new total.
+
+        Counters are plain Python ints, so they never wrap or overflow —
+        accumulating past 2**64 is fine (the fixed-width overflow a
+        NumPy accumulator would hit is exactly the failure mode this
+        avoids).
+        """
+        total = self.counters.get(name, 0) + int(value)
+        self.counters[name] = total
+        return total
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest value."""
+        self.gauges[name] = float(value)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def flush(self) -> None:
+        """Emit counter/gauge snapshots (sorted by name) and flush sinks."""
+        for name in sorted(self.counters):
+            self._emit(
+                {
+                    "kind": "counter",
+                    "name": name,
+                    "value": self.counters[name],
+                    "ts": self._now(),
+                }
+            )
+        for name in sorted(self.gauges):
+            self._emit(
+                {
+                    "kind": "gauge",
+                    "name": name,
+                    "value": self.gauges[name],
+                    "ts": self._now(),
+                }
+            )
+        for sink in self._sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Flush, then close every sink (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.flush()
+        for sink in self._sinks:
+            sink.close()
+
+    def __enter__(self) -> "Telemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(sinks={len(self._sinks)}, "
+            f"events={self._seq})"
+        )
+
+
+class _NullSpan:
+    """Shared no-op span: enter/exit do nothing, attributes go nowhere."""
+
+    __slots__ = ()
+    name = None
+    span_id = None
+    parent_id = None
+    seconds = None
+    attrs: dict = {}
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def __repr__(self) -> str:
+        return "NullSpan()"
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry(Telemetry):
+    """The do-nothing hub: every entry point returns a constant.
+
+    Instrumented hot paths pay one attribute lookup and one call per
+    telemetry touch-point — no clock reads, no dict writes, no sink
+    traffic.  ``span()`` hands back one shared, stateless null span.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(sinks=(), clock=lambda: 0.0)
+
+    def add_sink(self, sink: Sink) -> Sink:
+        raise TypeError(
+            "NullTelemetry discards everything; attach sinks to a real "
+            "Telemetry instead"
+        )
+
+    def span(self, name: str, **attrs) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def record_span(self, name: str, seconds: float, **attrs) -> None:
+        return None
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def count(self, name: str, value: int = 1) -> int:
+        return 0
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def flush(self) -> None:
+        return None
+
+    def close(self) -> None:
+        return None
+
+    def __reduce__(self):
+        # pickling/deepcopy resolves back to the shared singleton, so a
+        # null hub riding on a cloned object stays free
+        return (ensure_telemetry, (None,))
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+def ensure_telemetry(telemetry: Telemetry | None) -> Telemetry:
+    """Resolve the ``telemetry=None`` convention to the null hub."""
+    return telemetry if telemetry is not None else NULL_TELEMETRY

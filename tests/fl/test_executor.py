@@ -24,6 +24,7 @@ from repro.fl.executor import (
 )
 from repro.fl.faults import FaultModel, wrap_clients
 from repro.fl.server import FederatedServer
+from repro.obs import RingBufferSink, RunContext, Telemetry, dumps_canonical
 
 
 # pools are module-scoped: process spawn is expensive (seconds per
@@ -249,3 +250,62 @@ class TestDefenseDeterminism:
             for name, executor in all_executors
         }
         assert len(set(values.values())) == 1
+
+
+class TestTelemetryParity:
+    """The canonical event stream is part of the determinism contract:
+    byte-identical (timestamps stripped) across every execution engine."""
+
+    def _traced_training(self, executor):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        model, clients, dataset = build_world()
+        faults = FaultModel(
+            dropout_prob=0.2, corrupt_prob=0.15, stale_prob=0.1, seed=17
+        )
+        faults.telemetry = hub
+        clients = wrap_clients(clients, faults)
+        server = FederatedServer(
+            model,
+            clients,
+            dataset,
+            executor=executor,
+            update_retries=1,
+            max_client_strikes=2,
+            telemetry=hub,
+        )
+        server.train(3)
+        hub.close()
+        return dumps_canonical(ring.events)
+
+    def test_training_stream_byte_identical(self, all_executors):
+        streams = {
+            name: self._traced_training(executor)
+            for name, executor in all_executors
+        }
+        assert streams["serial"]  # non-empty
+        assert streams["thread"] == streams["serial"]
+        assert streams["process"] == streams["serial"]
+
+    def test_defense_stream_byte_identical(self, all_executors):
+        def run(executor):
+            hub = Telemetry()
+            ring = hub.add_sink(RingBufferSink())
+            model, clients, _ = build_world()
+            faults = FaultModel(report_fault_prob=0.3, seed=23)
+            faults.telemetry = hub
+            clients = wrap_clients(clients, faults)
+            pipeline = DefensePipeline(
+                clients,
+                lambda m: 0.9,
+                DefenseConfig(method="mvp", fine_tune=True, fine_tune_rounds=2),
+                context=RunContext(telemetry=hub, executor=executor),
+            )
+            pipeline.run(model)
+            hub.close()
+            return dumps_canonical(ring.events)
+
+        streams = {name: run(executor) for name, executor in all_executors}
+        assert streams["serial"]
+        assert streams["thread"] == streams["serial"]
+        assert streams["process"] == streams["serial"]

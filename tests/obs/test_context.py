@@ -1,0 +1,227 @@
+"""Tests for RunContext, the ambient-context stack, and kwarg deprecation."""
+
+import warnings
+
+import pytest
+
+from repro.fl.executor import SerialExecutor
+from repro.fl.faults import FaultModel
+from repro.obs import (
+    NULL_TELEMETRY,
+    RingBufferSink,
+    RunContext,
+    Telemetry,
+    current_context,
+    use_context,
+)
+from repro.obs.context import warn_deprecated_kwarg
+
+
+class TestRunContext:
+    def test_defaults_are_plain(self):
+        ctx = RunContext()
+        assert ctx.telemetry is NULL_TELEMETRY
+        assert ctx.rng is None
+        assert ctx.executor is None
+        assert ctx.fault_model is None
+
+    def test_fault_model_wired_to_telemetry(self):
+        hub = Telemetry()
+        faults = FaultModel(seed=3)
+        assert faults.telemetry is NULL_TELEMETRY
+        RunContext(telemetry=hub, fault_model=faults)
+        assert faults.telemetry is hub
+
+    def test_repr_mentions_set_fields(self):
+        ctx = RunContext(executor=SerialExecutor(), fault_model=FaultModel())
+        text = repr(ctx)
+        assert "executor=" in text and "fault_model=<set>" in text
+
+
+class TestAmbientContext:
+    def test_default_ambient_context_is_plain(self):
+        ctx = current_context()
+        assert ctx.telemetry is NULL_TELEMETRY
+        assert ctx.executor is None
+
+    def test_use_context_installs_and_restores(self):
+        outer_default = current_context()
+        mine = RunContext(telemetry=Telemetry())
+        with use_context(mine) as installed:
+            assert installed is mine
+            assert current_context() is mine
+            inner = RunContext()
+            with use_context(inner):
+                assert current_context() is inner
+            assert current_context() is mine
+        assert current_context() is outer_default
+
+    def test_use_context_none_isolates(self):
+        hub = Telemetry()
+        with use_context(RunContext(telemetry=hub)):
+            with use_context(None):
+                assert current_context().telemetry is NULL_TELEMETRY
+
+    def test_restored_even_after_exception(self):
+        before = current_context()
+        with pytest.raises(RuntimeError):
+            with use_context(RunContext()):
+                raise RuntimeError("boom")
+        assert current_context() is before
+
+
+class TestDeprecatedKwargs:
+    def test_warn_deprecated_kwarg_message(self):
+        with pytest.warns(DeprecationWarning, match="build_setup.*executor"):
+            warn_deprecated_kwarg("build_setup", "executor", "executor")
+
+    def test_defense_pipeline_executor_kwarg_warns_but_works(self):
+        from repro.defense.pipeline import DefensePipeline
+        from tests.fl.test_executor import build_world
+
+        _, clients, _ = build_world()
+        executor = SerialExecutor()
+        with pytest.warns(DeprecationWarning, match="DefensePipeline"):
+            pipeline = DefensePipeline(clients, lambda m: 0.9, executor=executor)
+        assert pipeline.executor is executor
+        assert pipeline.telemetry is NULL_TELEMETRY
+
+    def test_defense_pipeline_context_preferred_no_warning(self):
+        from repro.defense.pipeline import DefensePipeline
+        from tests.fl.test_executor import build_world
+
+        _, clients, _ = build_world()
+        hub = Telemetry()
+        hub.add_sink(RingBufferSink())
+        executor = SerialExecutor()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pipeline = DefensePipeline(
+                clients,
+                lambda m: 0.9,
+                context=RunContext(telemetry=hub, executor=executor),
+            )
+        assert pipeline.executor is executor
+        assert pipeline.telemetry is hub
+
+    def test_evaluate_modes_executor_kwarg_warns(self, monkeypatch):
+        import repro.experiments.common as common
+
+        # a minimal fake setup: only the 'training' branch runs, so all
+        # evaluate_modes needs is metrics()
+        class FakeSetup:
+            model = None
+
+            def accuracy_fn(self):
+                return lambda m: 1.0
+
+            def metrics(self, model=None):
+                return (1.0, 0.0)
+
+        with pytest.warns(DeprecationWarning, match="evaluate_modes"):
+            result = common.evaluate_modes(
+                FakeSetup(), modes=("training",), executor=SerialExecutor()
+            )
+        assert result == {"training": (1.0, 0.0)}
+
+    def test_build_setup_executor_kwarg_warns(self):
+        from repro.experiments.common import build_setup
+        from repro.experiments.scale import SMOKE
+
+        with pytest.warns(DeprecationWarning, match="build_setup"):
+            build_setup(
+                "mnist", SMOKE, seed=3, rounds=1, executor=SerialExecutor()
+            )
+
+
+class TestContextThreading:
+    def test_run_experiment_installs_context(self, monkeypatch):
+        """The runner sees the passed context as the ambient one, and the
+        whole run lands inside one `experiment` span."""
+        import repro.experiments.registry as registry
+        from repro.experiments.scale import SMOKE
+
+        seen = {}
+
+        def fake_runner(scale, seed):
+            seen["ctx"] = current_context()
+            return "result"
+
+        monkeypatch.setitem(registry.EXPERIMENTS, "fake", fake_runner)
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        ctx = RunContext(telemetry=hub)
+        assert registry.run_experiment("fake", SMOKE, seed=1, context=ctx) == "result"
+        assert seen["ctx"] is ctx
+        [span] = ring.events
+        assert span["name"] == "experiment"
+        assert span["attrs"]["id"] == "fake"
+        assert span["attrs"]["seed"] == 1
+
+    def test_build_setup_picks_up_ambient_context(self):
+        from repro.experiments.common import build_setup
+        from repro.experiments.scale import SMOKE
+
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        with use_context(RunContext(telemetry=hub)):
+            setup = build_setup("mnist", SMOKE, seed=3, rounds=1)
+        names = {e["name"] for e in ring.events}
+        assert "build_setup" in names
+        assert "fl.round" in names
+        assert setup.history.rounds  # the run actually trained
+
+    def test_build_setup_context_fault_model_wraps_clients(self):
+        from repro.experiments.common import build_setup
+        from repro.experiments.scale import SMOKE
+        from repro.fl.faults import FaultyClient
+
+        ctx = RunContext(fault_model=FaultModel(seed=9))
+        setup = build_setup("mnist", SMOKE, seed=3, rounds=1, context=ctx)
+        assert all(isinstance(c, FaultyClient) for c in setup.clients)
+
+
+class TestMetricsMemoization:
+    def test_metrics_cached_until_model_changes(self):
+        from repro.experiments.common import build_setup
+        from repro.experiments.scale import SMOKE
+
+        setup = build_setup("mnist", SMOKE, seed=3, rounds=1)
+        first = setup.metrics()
+        assert setup.metrics() == first  # hit: same versions, same masks
+
+        # flip a prune mask in place (no Parameter.version bump): the
+        # signature must notice and recompute
+        layer = setup.model.last_conv()
+        layer.out_mask[0] = False
+        setup.metrics()  # recomputes against the masked model
+        layer.out_mask[0] = True
+        assert setup.metrics() == first
+
+        # in-place weight surgery with mark_dirty invalidates too: the
+        # cached signature must change (metric *values* may coincide —
+        # a zeroed net can still score chance accuracy)
+        before = setup._metrics_cache[setup.model][0]
+        layer.weight.data[...] = 0.0
+        layer.weight.mark_dirty()
+        setup.metrics()
+        assert setup._metrics_cache[setup.model][0] != before
+
+    def test_metrics_cache_counts_real_evaluations(self, monkeypatch):
+        from repro.experiments import common
+        from repro.experiments.common import build_setup
+        from repro.experiments.scale import SMOKE
+
+        setup = build_setup("mnist", SMOKE, seed=3, rounds=1)
+        calls = {"n": 0}
+        real = common.test_accuracy
+
+        def counting(model, dataset, **kwargs):
+            calls["n"] += 1
+            return real(model, dataset, **kwargs)
+
+        monkeypatch.setattr(common, "test_accuracy", counting)
+        setup.metrics()
+        setup.metrics()
+        setup.metrics()
+        assert calls["n"] == 1  # two repeats served from cache

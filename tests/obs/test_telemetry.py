@@ -1,0 +1,270 @@
+"""Unit tests for the telemetry hub, sinks, and schema."""
+
+import copy
+import io
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    NULL_TELEMETRY,
+    ConsoleSummarySink,
+    JSONLSink,
+    NullTelemetry,
+    RingBufferSink,
+    Telemetry,
+    canonical_events,
+    dumps_canonical,
+    ensure_telemetry,
+    read_events,
+    validate_event,
+    validate_stream,
+)
+
+
+def make_hub():
+    hub = Telemetry()
+    ring = hub.add_sink(RingBufferSink())
+    return hub, ring
+
+
+class TestSpans:
+    def test_span_emitted_at_exit_with_duration(self):
+        hub, ring = make_hub()
+        with hub.span("work", task=3) as span:
+            assert ring.events == []  # nothing until exit
+            span.set(result="ok")
+        [record] = ring.events
+        assert record["kind"] == "span"
+        assert record["name"] == "work"
+        assert record["attrs"] == {"task": 3, "result": "ok"}
+        assert record["dur"] >= 0
+        assert record["parent_id"] is None
+
+    def test_nesting_sets_parent_ids(self):
+        hub, ring = make_hub()
+        with hub.span("outer"):
+            with hub.span("inner"):
+                hub.event("ping")
+        ping, inner, outer = ring.events
+        assert outer["parent_id"] is None
+        assert inner["parent_id"] == outer["span_id"]
+        assert ping["span_id"] == inner["span_id"]
+        # children exit before parents, so they precede them in the stream
+        assert inner["seq"] < outer["seq"]
+
+    def test_span_ids_deterministic_counters(self):
+        streams = []
+        for _ in range(2):
+            hub, ring = make_hub()
+            with hub.span("a"):
+                with hub.span("b"):
+                    pass
+            with hub.span("c"):
+                pass
+            streams.append(dumps_canonical(ring.events))
+        assert streams[0] == streams[1]
+
+    def test_record_span_attaches_to_open_span(self):
+        hub, ring = make_hub()
+        with hub.span("parent"):
+            hub.record_span("remote", 0.5, client=2)
+        remote, parent = ring.events
+        assert remote["dur"] == 0.5
+        assert remote["parent_id"] == parent["span_id"]
+        assert remote["attrs"] == {"client": 2}
+
+    def test_record_span_rejects_negative_duration(self):
+        hub, _ = make_hub()
+        with pytest.raises(ValueError, match="seconds"):
+            hub.record_span("bad", -0.1)
+
+    def test_misnested_exit_does_not_corrupt_stream(self):
+        hub, ring = make_hub()
+        outer = hub.span("outer")
+        inner = hub.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # wrong order
+        inner.__exit__(None, None, None)
+        assert hub.current_span is None
+        assert validate_stream(ring.events) == []
+
+    def test_numpy_attrs_coerced_to_json_types(self):
+        hub, ring = make_hub()
+        with hub.span("s", acc=np.float64(0.5), n=np.int64(3), ok=np.bool_(True)):
+            pass
+        attrs = ring.events[0]["attrs"]
+        assert type(attrs["acc"]) is float
+        assert type(attrs["n"]) is int
+        assert type(attrs["ok"]) is bool
+        json.dumps(attrs)
+
+
+class TestCountersGauges:
+    def test_count_accumulates_and_returns_total(self):
+        hub, _ = make_hub()
+        assert hub.count("x") == 1
+        assert hub.count("x", 4) == 5
+        assert hub.counters["x"] == 5
+
+    def test_counter_no_fixed_width_overflow(self):
+        hub, ring = make_hub()
+        hub.count("big", 2**63 - 1)
+        assert hub.count("big", 10) == 2**63 + 9  # past int64 max, exact
+        hub.flush()
+        [record] = [e for e in ring.events if e["kind"] == "counter"]
+        assert record["value"] == 2**63 + 9
+
+    def test_flush_emits_sorted_snapshots(self):
+        hub, ring = make_hub()
+        hub.count("z")
+        hub.count("a")
+        hub.gauge("m", 1.5)
+        hub.flush()
+        names = [e["name"] for e in ring.events]
+        assert names == ["a", "z", "m"]  # counters sorted, then gauges
+        assert validate_stream(ring.events) == []
+
+
+class TestSinks:
+    def test_fan_out_to_multiple_sinks(self):
+        hub = Telemetry()
+        rings = [hub.add_sink(RingBufferSink()) for _ in range(3)]
+        hub.event("hello")
+        assert all(len(ring.events) == 1 for ring in rings)
+        assert rings[0].events == rings[1].events == rings[2].events
+
+    def test_ring_buffer_evicts_but_counts(self):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink(capacity=2))
+        for i in range(5):
+            hub.event(f"e{i}")
+        assert ring.num_emitted == 5
+        assert [e["name"] for e in ring.events] == ["e3", "e4"]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        hub.add_sink(JSONLSink(path))
+        with hub.span("outer", n=2):
+            hub.event("mark", client=0)
+        hub.count("c", 7)
+        hub.close()
+        replayed = list(read_events(path))
+        assert replayed == ring.events
+        assert validate_stream(replayed) == []
+
+    def test_jsonl_borrowed_stream_not_closed(self):
+        stream = io.StringIO()
+        sink = JSONLSink(stream)
+        sink.emit({"kind": "event", "name": "x"})
+        sink.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"kind": "event", "name": "x"}
+
+    def test_console_summary_aggregates(self):
+        out = io.StringIO()
+        hub = Telemetry()
+        hub.add_sink(ConsoleSummarySink(stream=out))
+        with hub.span("fl.round"):
+            pass
+        with hub.span("fl.round"):
+            pass
+        hub.event("fault.update")
+        hub.count("fl.rounds", 2)
+        hub.close()
+        text = out.getvalue()
+        assert "fl.round" in text and "x2" in text
+        assert "fault.update" in text
+        assert "fl.rounds" in text
+
+    def test_close_idempotent(self, tmp_path):
+        hub = Telemetry()
+        hub.add_sink(JSONLSink(str(tmp_path / "t.jsonl")))
+        hub.event("once")
+        hub.close()
+        hub.close()  # second close is a no-op, not an error
+
+
+class TestSchema:
+    def test_all_kinds_validate(self):
+        hub, ring = make_hub()
+        with hub.span("s"):
+            hub.event("e")
+        hub.count("c")
+        hub.gauge("g", 1.0)
+        hub.flush()
+        assert {e["kind"] for e in ring.events} == {
+            "span", "event", "counter", "gauge",
+        }
+        assert validate_stream(ring.events) == []
+
+    def test_validate_event_rejects_garbage(self):
+        assert validate_event(None) is not None
+        assert validate_event({"kind": "martian"}) is not None
+        assert validate_event({"kind": "event", "name": "x"}) is not None
+
+    def test_validate_stream_catches_seq_regression(self):
+        hub, ring = make_hub()
+        hub.event("a")
+        hub.event("b")
+        events = ring.events
+        events[1]["seq"] = 0  # duplicate seq
+        assert validate_stream(events)
+
+    def test_canonical_strips_only_timing(self):
+        hub, ring = make_hub()
+        with hub.span("s", k=1):
+            pass
+        [canon] = canonical_events(ring.events)
+        assert "ts" not in canon and "dur" not in canon
+        assert canon["name"] == "s" and canon["attrs"] == {"k": 1}
+        # original untouched
+        assert "dur" in ring.events[0]
+
+    def test_dumps_canonical_deterministic_bytes(self):
+        hub, ring = make_hub()
+        hub.event("e", b=2, a=1)
+        blob = dumps_canonical(ring.events)
+        assert isinstance(blob, bytes)
+        assert blob == dumps_canonical(ring.events)
+        assert dumps_canonical([]) == b""
+
+
+class TestNullTelemetry:
+    def test_ensure_telemetry_resolves_none(self):
+        assert ensure_telemetry(None) is NULL_TELEMETRY
+        hub = Telemetry()
+        assert ensure_telemetry(hub) is hub
+
+    def test_all_entry_points_noop(self):
+        null = NULL_TELEMETRY
+        with null.span("s", k=1) as span:
+            assert span.set(x=2) is span
+        null.event("e")
+        null.record_span("r", 1.0)
+        assert null.count("c", 5) == 0
+        null.gauge("g", 1.0)
+        null.flush()
+        null.close()
+        assert null.counters == {} and null.gauges == {}
+        assert not null.enabled
+
+    def test_span_is_shared_singleton(self):
+        assert NULL_TELEMETRY.span("a") is NULL_TELEMETRY.span("b")
+
+    def test_add_sink_rejected(self):
+        with pytest.raises(TypeError, match="NullTelemetry"):
+            NULL_TELEMETRY.add_sink(RingBufferSink())
+
+    def test_pickle_and_deepcopy_resolve_to_singleton(self):
+        assert pickle.loads(pickle.dumps(NULL_TELEMETRY)) is NULL_TELEMETRY
+        assert copy.deepcopy(NullTelemetry()) is NULL_TELEMETRY
+
+    def test_subclass_of_telemetry(self):
+        # instrumented code can type-check against Telemetry only
+        assert isinstance(NULL_TELEMETRY, Telemetry)

@@ -33,6 +33,7 @@ from repro.fl.executor import ProcessExecutor, ThreadExecutor
 from repro.fl.faults import FaultModel, wrap_clients
 from repro.fl.server import FederatedServer
 from repro.nn.zoo import mnist_cnn
+from repro.obs import RingBufferSink, Telemetry
 
 pytestmark = pytest.mark.chaos
 
@@ -97,6 +98,57 @@ class TestChaosTraining:
         assert np.isfinite(server.model.flat_parameters()).all()
         # with quorum 1 and a 10-client population, every round aggregates
         assert history.skipped_rounds == []
+
+    def test_fault_events_match_history_accounting(self, ten_client_world):
+        """Every telemetry `fault.update` draw reconciles with what the
+        server recorded: failed plans == dropouts, corrupted train plans
+        == rejections (retries disabled so draws map 1:1 to outcomes)."""
+        world = ten_client_world
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        faults = FaultModel(
+            dropout_prob=0.2,
+            corrupt_prob=0.1,
+            stale_prob=0.05,
+            seed=7,
+            telemetry=hub,
+        )
+        server = FederatedServer(
+            fresh_model(world),
+            wrap_clients(world.clients, faults),
+            world.test,
+            min_quorum=1,
+            update_retries=0,  # 1 draw per (client, round): exact accounting
+            max_client_strikes=None,  # keep the population constant
+            telemetry=hub,
+        )
+        history = server.train(6)
+        hub.close()
+
+        draws = [e for e in ring.events if e["name"] == "fault.update"]
+        assert len(draws) == 6 * len(world.clients)
+
+        failed = [
+            e for e in draws if e["attrs"]["action"] in ("dropout", "timeout")
+        ]
+        assert len(failed) == history.num_dropouts > 0
+
+        # every corruption kind fails validate_update, so corrupted
+        # train plans are exactly the server's rejections
+        corrupted = [
+            e
+            for e in draws
+            if e["attrs"]["action"] == "train"
+            and e["attrs"]["corruption"] is not None
+        ]
+        assert len(corrupted) == history.num_rejections > 0
+
+        # stale replays are valid payloads: accepted, never rejected
+        stale = [e for e in draws if e["attrs"]["action"] == "stale"]
+        accepted = sum(r.num_accepted for r in history.rounds)
+        clean = len(draws) - len(failed) - len(corrupted)
+        assert clean == accepted
+        assert len(stale) <= clean
 
     def test_straggler_timeouts_logged_as_dropouts(self, ten_client_world):
         world = ten_client_world

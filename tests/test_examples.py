@@ -20,6 +20,7 @@ EXPECTED_EXAMPLES = {
     "robust_aggregation.py",
     "backdoor_localization.py",
     "unreliable_clients.py",
+    "traced_run.py",
 }
 
 
