@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification: the fast default suite, then the slow tier.
+#
+# The default pytest run deselects tests marked `slow` (multi-second
+# process-spawn / kill-and-resume chaos); this script is the complete
+# gate CI and pre-merge checks should run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== fast suite (slow tests deselected) =="
+python -m pytest -x -q
+
+echo "== slow tier (process kill/hang recovery, end-to-end resume) =="
+python -m pytest -x -q -m slow

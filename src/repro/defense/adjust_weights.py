@@ -55,6 +55,27 @@ class AdjustResult:
         self.trace = trace
         self.baseline_accuracy = baseline_accuracy
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON form for checkpoint metadata."""
+        return {
+            "final_delta": float(self.final_delta),
+            "num_zeroed": int(self.num_zeroed),
+            "trace": [
+                [float(d), int(n), float(a)] for d, n, a in self.trace
+            ],
+            "baseline_accuracy": float(self.baseline_accuracy),
+        }
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "AdjustResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        return cls(
+            float(record["final_delta"]),
+            int(record["num_zeroed"]),
+            [(float(d), int(n), float(a)) for d, n, a in record["trace"]],
+            float(record["baseline_accuracy"]),
+        )
+
     def __repr__(self) -> str:
         return (
             f"AdjustResult(delta={self.final_delta}, "

@@ -28,9 +28,21 @@ from ..fl.aggregation import fedavg
 from ..fl.executor import ClientExecutor, collect_updates
 from ..fl.faults import validate_update
 from ..nn.layers import Sequential
+from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.telemetry import Telemetry, ensure_telemetry
+from ..persist.checkpoint import CheckpointManager
+from ..persist.state import (
+    DELTA_PREFIX,
+    capture_client_states,
+    restore_client_states,
+    shared_fault_model,
+)
 
 __all__ = ["FineTuneResult", "federated_fine_tune"]
+
+# snapshot array slot for the best-round parameters (distinct from the
+# model's own parameter names and the client_delta.* namespace)
+_BEST_KEY = "fine_tune.best_params"
 
 
 class FineTuneResult:
@@ -76,6 +88,29 @@ class FineTuneResult:
     def improved(self) -> bool:
         return self.final_accuracy > self.baseline_accuracy
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON form for checkpoint metadata."""
+        return {
+            "rounds_run": int(self.rounds_run),
+            "accuracy_trace": [float(a) for a in self.accuracy_trace],
+            "baseline_accuracy": float(self.baseline_accuracy),
+            "num_dropped": int(self.num_dropped),
+            "num_rejected": int(self.num_rejected),
+            "skipped_rounds": [int(r) for r in self.skipped_rounds],
+        }
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "FineTuneResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        return cls(
+            int(record["rounds_run"]),
+            [float(a) for a in record["accuracy_trace"]],
+            float(record["baseline_accuracy"]),
+            num_dropped=int(record.get("num_dropped", 0)),
+            num_rejected=int(record.get("num_rejected", 0)),
+            skipped_rounds=[int(r) for r in record.get("skipped_rounds", ())],
+        )
+
     def __repr__(self) -> str:
         return (
             f"FineTuneResult(rounds={self.rounds_run}, "
@@ -94,6 +129,9 @@ def federated_fine_tune(
     min_quorum: int | float = 1,
     executor: ClientExecutor | None = None,
     telemetry: Telemetry | None = None,
+    checkpoint: CheckpointManager | None = None,
+    checkpoint_every: int = 1,
+    resume: bool = False,
 ) -> FineTuneResult:
     """Run FedAvg rounds on the pruned model until accuracy plateaus.
 
@@ -115,11 +153,24 @@ def federated_fine_tune(
 
     ``telemetry`` records a ``defense.fine_tune_round`` span per round
     (attrs: round, accuracy, aggregated) plus quorum-skip events.
+
+    ``checkpoint`` (a :class:`~repro.persist.checkpoint.CheckpointManager`)
+    makes the stage crash-safe: every ``checkpoint_every`` completed
+    rounds a ``"fine_tune"`` snapshot captures the model, the best
+    parameters seen, the accuracy trace, the early-stop counters and
+    every client's mutable state.  ``resume=True`` restarts from the
+    newest verifiable snapshot (a no-op when none exists), and the
+    resumed stage produces the same final parameters and result an
+    uninterrupted stage would.
     """
     if max_rounds < 1:
         raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
     if patience < 1:
         raise ValueError(f"patience must be >= 1, got {patience}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint manager")
     if not clients:
         raise ValueError("need at least one client to fine-tune")
     if isinstance(min_quorum, float):
@@ -134,15 +185,49 @@ def federated_fine_tune(
         quorum = min_quorum
 
     tel = ensure_telemetry(telemetry)
-    baseline = accuracy_fn(model)
-    best_accuracy = baseline
-    best_params = model.flat_parameters()
-    stale_rounds = 0
-    trace: list[float] = []
-    num_dropped = num_rejected = 0
-    skipped_rounds: list[int] = []
+    start_round = 0
+    snapshot = checkpoint.load_latest("fine_tune") if resume else None
+    if snapshot is not None:
+        tel.event(
+            "persist.resume",
+            kind="fine_tune",
+            step=snapshot.step,
+            path=snapshot.path,
+            rejected=[f for f, _ in checkpoint.last_rejected],
+        )
+        meta = snapshot.meta
+        model_arrays = {
+            name: value
+            for name, value in snapshot.arrays.items()
+            if not name.startswith(DELTA_PREFIX) and name != _BEST_KEY
+        }
+        apply_model_state(model, model_arrays)
+        restore_client_states(clients, meta["clients"], snapshot.arrays)
+        fault_model = shared_fault_model(clients)
+        if fault_model is not None and "fault_model" in meta:
+            fault_model.load_state_dict(meta["fault_model"])
+        baseline = float(meta["baseline_accuracy"])
+        best_accuracy = float(meta["best_accuracy"])
+        best_params = np.array(snapshot.arrays[_BEST_KEY], copy=True)
+        stale_rounds = int(meta["stale_rounds"])
+        trace = [float(a) for a in meta["accuracy_trace"]]
+        num_dropped = int(meta["num_dropped"])
+        num_rejected = int(meta["num_rejected"])
+        skipped_rounds = [int(r) for r in meta["skipped_rounds"]]
+        start_round = snapshot.step
+    else:
+        baseline = accuracy_fn(model)
+        best_accuracy = baseline
+        best_params = model.flat_parameters()
+        stale_rounds = 0
+        trace = []
+        num_dropped = num_rejected = 0
+        skipped_rounds = []
 
-    for round_index in range(max_rounds):
+    for round_index in range(start_round, max_rounds):
+        # a resumed snapshot may already have exhausted its patience
+        if stale_rounds >= patience:
+            break
         with tel.span("defense.fine_tune_round", round=round_index) as round_span:
             global_params = model.flat_parameters()
             deltas: list[np.ndarray] = []
@@ -182,8 +267,24 @@ def federated_fine_tune(
             stale_rounds = 0
         else:
             stale_rounds += 1
-            if stale_rounds >= patience:
-                break
+        if checkpoint is not None and (round_index + 1) % checkpoint_every == 0:
+            _save_fine_tune_checkpoint(
+                checkpoint,
+                tel,
+                model,
+                clients,
+                round_index + 1,
+                baseline=baseline,
+                best_accuracy=best_accuracy,
+                best_params=best_params,
+                stale_rounds=stale_rounds,
+                trace=trace,
+                num_dropped=num_dropped,
+                num_rejected=num_rejected,
+                skipped_rounds=skipped_rounds,
+            )
+        if stale_rounds >= patience:
+            break
 
     model.load_flat_parameters(best_params)
     return FineTuneResult(
@@ -194,3 +295,41 @@ def federated_fine_tune(
         num_rejected=num_rejected,
         skipped_rounds=skipped_rounds,
     )
+
+
+def _save_fine_tune_checkpoint(
+    checkpoint: CheckpointManager,
+    tel: Telemetry,
+    model: Sequential,
+    clients: Sequence,
+    round_cursor: int,
+    *,
+    baseline: float,
+    best_accuracy: float,
+    best_params: np.ndarray,
+    stale_rounds: int,
+    trace: list[float],
+    num_dropped: int,
+    num_rejected: int,
+    skipped_rounds: list[int],
+) -> None:
+    """Durably snapshot the fine-tuning loop after ``round_cursor`` rounds."""
+    tel.event("persist.checkpoint", kind="fine_tune", step=round_cursor)
+    arrays = pack_model_state(model)
+    arrays[_BEST_KEY] = np.asarray(best_params)
+    client_meta, client_arrays = capture_client_states(clients)
+    arrays.update(client_arrays)
+    meta = {
+        "baseline_accuracy": float(baseline),
+        "best_accuracy": float(best_accuracy),
+        "stale_rounds": int(stale_rounds),
+        "accuracy_trace": [float(a) for a in trace],
+        "num_dropped": int(num_dropped),
+        "num_rejected": int(num_rejected),
+        "skipped_rounds": [int(r) for r in skipped_rounds],
+        "clients": client_meta,
+    }
+    fault_model = shared_fault_model(clients)
+    if fault_model is not None:
+        meta["fault_model"] = fault_model.state_dict()
+    checkpoint.save("fine_tune", round_cursor, arrays, meta)

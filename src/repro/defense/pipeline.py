@@ -24,6 +24,13 @@ subsequent stage, fine-tuning included.  Both RAP and MVP aggregate
 surviving quorum and raises only when fewer than ``min_report_quorum``
 valid reports remain.  All such events are logged on
 ``DefensePipeline.events``.
+
+The pipeline is also crash-safe: when its
+:class:`~repro.obs.context.RunContext` carries a
+:class:`~repro.persist.checkpoint.CheckpointManager`, a snapshot is
+written after every completed stage (and per fine-tuning round), and
+``context.resume`` restarts the pipeline after the last completed
+stage instead of from scratch.
 """
 
 from __future__ import annotations
@@ -36,7 +43,15 @@ import numpy as np
 from ..eval.timers import StageTimer
 from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
+from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.context import RunContext, warn_deprecated_kwarg
+from ..persist.checkpoint import CheckpointManager, Snapshot
+from ..persist.state import (
+    DELTA_PREFIX,
+    capture_client_states,
+    restore_client_states,
+    shared_fault_model,
+)
 from .adjust_weights import AdjustResult, adjust_extreme_weights
 from .fine_tune import FineTuneResult, federated_fine_tune
 from .pruning import PruningResult, prune_by_sequence
@@ -48,6 +63,12 @@ from .ranking import (
 )
 
 __all__ = ["DefenseConfig", "DefenseReport", "DefensePipeline"]
+
+# the "defense" snapshot step doubles as the stage cursor: a snapshot at
+# step k means stages 1..k are complete and must not be recomputed
+_STAGE_PRUNED = 1
+_STAGE_FINE_TUNED = 2
+_STAGE_ADJUSTED = 3
 
 
 class DefenseConfig:
@@ -292,26 +313,65 @@ class DefensePipeline:
         :class:`~repro.eval.timers.StageTimer`, so an attached sink sees
         ``stage.pruning`` / ``stage.fine_tuning`` / ``stage.adjusting``
         spans nested inside one ``defense.run`` span.
+
+        When the pipeline's :class:`~repro.obs.context.RunContext`
+        carries a checkpoint manager, a ``"defense"`` snapshot (model,
+        client state, quarantine ledger, completed stage results) is
+        written after each stage, and the fine-tuning stage additionally
+        checkpoints per round.  With ``context.resume`` set, ``run``
+        restarts after the last completed stage — completed stages are
+        never recomputed, and their results are rebuilt from the
+        snapshot so the resumed :class:`DefenseReport` is complete.
+        Resume here guarantees *state* identity (same final model, same
+        report); the telemetry byte-identity contract belongs to
+        :meth:`repro.fl.server.FederatedServer.train`.
         """
         config = self.config
         tel = self.telemetry
+        ctx = self.context
+        checkpoint = ctx.checkpoint
+        resume = ctx.resume
+        if resume and checkpoint is None:
+            raise ValueError("context.resume requires a checkpoint manager")
         timer = StageTimer(telemetry=tel)
 
+        stage_cursor = 0
+        pruning: PruningResult | None = None
+        fine_tuning: FineTuneResult | None = None
+        adjusting: AdjustResult | None = None
+        snapshot = checkpoint.load_latest("defense") if resume else None
+        if snapshot is not None:
+            tel.event(
+                "persist.resume",
+                kind="defense",
+                step=snapshot.step,
+                path=snapshot.path,
+                rejected=[f for f, _ in checkpoint.last_rejected],
+            )
+            stage_cursor = snapshot.step
+            pruning, fine_tuning, adjusting = self._restore_snapshot(
+                model, snapshot, timer
+            )
+
         with tel.span("defense.run", method=config.method) as run_span:
-            with timer.stage("pruning"):
-                order = self.global_prune_order(model)
-                pruning = prune_by_sequence(
-                    model,
-                    self._target_layer(model),
-                    order,
-                    self.accuracy_fn,
-                    accuracy_drop_threshold=config.accuracy_drop_threshold,
-                    max_prune_fraction=config.max_prune_fraction,
-                    telemetry=tel,
+            if stage_cursor < _STAGE_PRUNED:
+                with timer.stage("pruning"):
+                    order = self.global_prune_order(model)
+                    pruning = prune_by_sequence(
+                        model,
+                        self._target_layer(model),
+                        order,
+                        self.accuracy_fn,
+                        accuracy_drop_threshold=config.accuracy_drop_threshold,
+                        max_prune_fraction=config.max_prune_fraction,
+                        telemetry=tel,
+                    )
+                self._save_stage(
+                    checkpoint, model, _STAGE_PRUNED, timer,
+                    pruning, fine_tuning, adjusting,
                 )
 
-            fine_tuning = None
-            if config.fine_tune:
+            if config.fine_tune and stage_cursor < _STAGE_FINE_TUNED:
                 survivors = self.active_clients()
                 if survivors:
                     with timer.stage("fine_tuning"):
@@ -324,7 +384,14 @@ class DefensePipeline:
                             min_quorum=config.min_report_quorum,
                             executor=self.executor,
                             telemetry=tel,
+                            checkpoint=checkpoint,
+                            checkpoint_every=ctx.checkpoint_every,
+                            resume=resume,
                         )
+                    self._save_stage(
+                        checkpoint, model, _STAGE_FINE_TUNED, timer,
+                        pruning, fine_tuning, adjusting,
+                    )
                 else:
                     self.events.append(
                         ("fine_tune_skipped", -1, "every client quarantined")
@@ -335,16 +402,21 @@ class DefensePipeline:
                         reason="every client quarantined",
                     )
 
-            with timer.stage("adjusting"):
-                adjusting = adjust_extreme_weights(
-                    model,
-                    self.accuracy_fn,
-                    accuracy_floor_drop=config.aw_floor_drop,
-                    delta_start=config.aw_delta_start,
-                    delta_step=config.aw_delta_step,
-                    delta_min=config.aw_delta_min,
-                    layer=self._target_layer(model),
-                    telemetry=tel,
+            if stage_cursor < _STAGE_ADJUSTED:
+                with timer.stage("adjusting"):
+                    adjusting = adjust_extreme_weights(
+                        model,
+                        self.accuracy_fn,
+                        accuracy_floor_drop=config.aw_floor_drop,
+                        delta_start=config.aw_delta_start,
+                        delta_step=config.aw_delta_step,
+                        delta_min=config.aw_delta_min,
+                        layer=self._target_layer(model),
+                        telemetry=tel,
+                    )
+                self._save_stage(
+                    checkpoint, model, _STAGE_ADJUSTED, timer,
+                    pruning, fine_tuning, adjusting,
                 )
             run_span.set(
                 num_pruned=pruning.num_pruned,
@@ -352,3 +424,94 @@ class DefensePipeline:
             )
 
         return DefenseReport(pruning, fine_tuning, adjusting, dict(timer.seconds))
+
+    # -- persistence ---------------------------------------------------
+
+    def _save_stage(
+        self,
+        checkpoint: CheckpointManager | None,
+        model: Sequential,
+        stage: int,
+        timer: StageTimer,
+        pruning: PruningResult | None,
+        fine_tuning: FineTuneResult | None,
+        adjusting: AdjustResult | None,
+    ) -> None:
+        """Durably snapshot the pipeline at a stage boundary."""
+        if checkpoint is None:
+            return
+        self.telemetry.event("persist.checkpoint", kind="defense", step=stage)
+        arrays = pack_model_state(model)
+        client_meta, client_arrays = capture_client_states(self.clients)
+        arrays.update(client_arrays)
+        meta = {
+            "stage": int(stage),
+            "quarantined": sorted(int(c) for c in self.quarantined),
+            "strikes": {
+                str(k): int(v) for k, v in self._report_strikes.items()
+            },
+            "events": [[kind, int(cid), detail] for kind, cid, detail in self.events],
+            "clients": client_meta,
+            "stage_seconds": {
+                name: float(secs) for name, secs in timer.seconds.items()
+            },
+            "pruning": pruning.to_jsonable() if pruning is not None else None,
+            "fine_tuning": (
+                fine_tuning.to_jsonable() if fine_tuning is not None else None
+            ),
+            "adjusting": (
+                adjusting.to_jsonable() if adjusting is not None else None
+            ),
+        }
+        fault_model = shared_fault_model(self.clients)
+        if fault_model is not None:
+            meta["fault_model"] = fault_model.state_dict()
+        checkpoint.save("defense", stage, arrays, meta)
+
+    def _restore_snapshot(
+        self,
+        model: Sequential,
+        snapshot: Snapshot,
+        timer: StageTimer,
+    ) -> tuple[
+        PruningResult | None, FineTuneResult | None, AdjustResult | None
+    ]:
+        """Apply a ``"defense"`` snapshot: model, clients, ledger, results."""
+        meta = snapshot.meta
+        model_arrays = {
+            name: value
+            for name, value in snapshot.arrays.items()
+            if not name.startswith(DELTA_PREFIX)
+        }
+        apply_model_state(model, model_arrays)
+        restore_client_states(self.clients, meta["clients"], snapshot.arrays)
+        fault_model = shared_fault_model(self.clients)
+        if fault_model is not None and "fault_model" in meta:
+            fault_model.load_state_dict(meta["fault_model"])
+        self.quarantined = {int(c) for c in meta["quarantined"]}
+        self._report_strikes = {
+            int(k): int(v) for k, v in meta["strikes"].items()
+        }
+        self.events = [
+            (kind, int(cid), detail) for kind, cid, detail in meta["events"]
+        ]
+        # completed-stage durations carry over so a resumed report's
+        # stage_seconds covers the whole pipeline, not just the tail
+        for name, secs in meta["stage_seconds"].items():
+            timer.seconds[name] = timer.seconds.get(name, 0.0) + float(secs)
+        pruning = (
+            PruningResult.from_jsonable(meta["pruning"])
+            if meta.get("pruning") is not None
+            else None
+        )
+        fine_tuning = (
+            FineTuneResult.from_jsonable(meta["fine_tuning"])
+            if meta.get("fine_tuning") is not None
+            else None
+        )
+        adjusting = (
+            AdjustResult.from_jsonable(meta["adjusting"])
+            if meta.get("adjusting") is not None
+            else None
+        )
+        return pruning, fine_tuning, adjusting

@@ -59,6 +59,25 @@ class PruningResult:
     def num_pruned(self) -> int:
         return len(self.pruned_channels)
 
+    def to_jsonable(self) -> dict:
+        """A plain-JSON form for checkpoint metadata."""
+        return {
+            "pruned_channels": [int(c) for c in self.pruned_channels],
+            "accuracy_trace": [float(a) for a in self.accuracy_trace],
+            "baseline_accuracy": float(self.baseline_accuracy),
+            "stopped_early": bool(self.stopped_early),
+        }
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "PruningResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        return cls(
+            [int(c) for c in record["pruned_channels"]],
+            [float(a) for a in record["accuracy_trace"]],
+            float(record["baseline_accuracy"]),
+            bool(record["stopped_early"]),
+        )
+
     def __repr__(self) -> str:
         return (
             f"PruningResult(num_pruned={self.num_pruned}, "

@@ -15,6 +15,8 @@ comparison meaningful.
 from __future__ import annotations
 
 import os
+import tempfile
+import time
 
 import numpy as np
 
@@ -32,6 +34,7 @@ from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from ..obs.context import RunContext
 from ..obs.sinks import JSONLSink, RingBufferSink
 from ..obs.telemetry import Telemetry
+from ..persist import CheckpointManager
 from .timers import StageTimer
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "make_executor",
     "run_benchmark",
     "measure_telemetry_overhead",
+    "measure_checkpoint_cost",
     "trace_run",
 ]
 
@@ -201,6 +205,7 @@ def run_benchmark(
         "speedups": speedups,
         "bitwise_identical": identical,
         "telemetry": measure_telemetry_overhead(scale),
+        "checkpoint": measure_checkpoint_cost(scale),
     }
 
 
@@ -231,6 +236,46 @@ def measure_telemetry_overhead(scale: str = "smoke") -> dict:
         "overhead_fraction": (instrumented_total - null_total)
         / max(null_total, 1e-9),
         "num_events": ring.num_emitted,
+    }
+
+
+def measure_checkpoint_cost(scale: str = "smoke", repeats: int = 3) -> dict:
+    """Durable-snapshot write and restore cost on the bench federation.
+
+    Trains the seeded world for one round, then times
+    :meth:`~repro.fl.server.FederatedServer.save_checkpoint` (a full
+    atomic write: encode, fsync, rename, manifest update) and
+    :meth:`~repro.fl.server.FederatedServer.restore_checkpoint`.  The
+    minimum over ``repeats`` is reported — the steady-state cost a
+    ``checkpoint_every=1`` run pays per round — plus the snapshot's
+    on-disk size.
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    model, clients, dataset = build_bench_world(scale)
+    server = FederatedServer(model, clients, dataset)
+    history = server.train(1)
+    with tempfile.TemporaryDirectory() as tmp:
+        manager = CheckpointManager(tmp)
+        write_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            snapshot = server.save_checkpoint(manager, 1, history)
+            write_times.append(time.perf_counter() - start)
+        snapshot_bytes = os.path.getsize(snapshot.path)
+        loaded = manager.load_latest("train")
+        restore_times = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            server.restore_checkpoint(loaded)
+            restore_times.append(time.perf_counter() - start)
+    return {
+        "scale": scale,
+        "write_seconds": min(write_times),
+        "restore_seconds": min(restore_times),
+        "snapshot_bytes": snapshot_bytes,
     }
 
 

@@ -4,14 +4,18 @@ Usage::
 
     python -m repro.experiments.cli table1 --scale bench
     python -m repro.experiments.cli all --scale smoke --seed 7
+    python -m repro.experiments.cli table1 --checkpoint-dir ckpt --resume
 """
 
 from __future__ import annotations
 
 import argparse
+import copy
 import sys
 import time
 
+from ..obs.context import RunContext
+from ..persist import CheckpointManager
 from .registry import EXPERIMENTS, run_experiment
 from .scale import get_scale
 
@@ -37,17 +41,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as <id>.json into this directory",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="write crash-safe training/defense snapshots under this "
+        "directory (one subdirectory per experiment id)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume each experiment from its newest verifiable snapshot "
+        "in --checkpoint-dir (no-op when none exists)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot cadence in training rounds (default: 1)",
+    )
+    parser.add_argument(
+        "--max-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap federated training at N rounds (applies to both the "
+        "grayscale and CIFAR budgets of the chosen scale)",
+    )
     return parser
 
 
+def _apply_max_rounds(scale, max_rounds: int):
+    """A copy of ``scale`` with both round budgets capped at ``max_rounds``."""
+    capped = copy.copy(scale)
+    capped.rounds = min(scale.rounds, max_rounds)
+    capped.cifar_rounds = min(scale.cifar_rounds, max_rounds)
+    return capped
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.checkpoint_every < 1:
+        parser.error("--checkpoint-every must be >= 1")
+    if args.max_rounds is not None and args.max_rounds < 1:
+        parser.error("--max-rounds must be >= 1")
     scale = get_scale(args.scale)
+    if args.max_rounds is not None:
+        scale = _apply_max_rounds(scale, args.max_rounds)
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     for experiment_id in ids:
+        context = None
+        if args.checkpoint_dir is not None:
+            manager = CheckpointManager(args.checkpoint_dir)
+            context = RunContext(
+                checkpoint=manager.scope(experiment_id),
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
         start = time.perf_counter()
-        result = run_experiment(experiment_id, scale, args.seed)
+        result = run_experiment(experiment_id, scale, args.seed, context=context)
         elapsed = time.perf_counter() - start
         print(result)
         print(f"\n[{experiment_id} finished in {elapsed:.1f}s at scale "

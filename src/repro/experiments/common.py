@@ -17,6 +17,8 @@ path.
 from __future__ import annotations
 
 import copy
+import hashlib
+import json
 import time
 import weakref
 
@@ -191,6 +193,24 @@ def _place_attackers(
     parts[:] = reordered
 
 
+def _setup_slug(dataset_name: str, seed: int, scale: ExperimentScale, kwargs: dict) -> str:
+    """A deterministic checkpoint-scope name for one built federation.
+
+    Two ``build_setup`` calls get the same scope iff they build the same
+    world, so an experiment that constructs several federations under one
+    ``--checkpoint-dir`` can never resume one setup's snapshot into
+    another's.  The readable prefix aids inspection; the digest carries
+    the full configuration.
+    """
+    config = dict(kwargs)
+    config["dataset_name"] = dataset_name
+    config["seed"] = seed
+    config["scale"] = {k: v for k, v in sorted(vars(scale).items())}
+    blob = json.dumps(config, sort_keys=True, default=str)
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:10]
+    return f"{dataset_name}-seed{seed}-{digest}"
+
+
 def build_setup(
     dataset_name: str,
     scale: ExperimentScale,
@@ -247,13 +267,44 @@ def build_setup(
         hub, execution engine, and (optionally) a fault model to wrap
         the client population with.  Defaults to the ambient context
         (see :func:`~repro.obs.context.use_context`).  Results are
-        bitwise identical across executors.
+        bitwise identical across executors.  A context with a
+        ``checkpoint`` manager makes training crash-safe: snapshots are
+        written every ``checkpoint_every`` rounds into a per-setup
+        subdirectory (so several setups can share one directory), and
+        ``resume=True`` continues from the newest verifiable snapshot; a
+        context ``watchdog`` guards the round loop (see
+        :class:`~repro.fl.server.FederatedServer`).
     """
     if executor is not None:
         warn_deprecated_kwarg("build_setup", "executor", "executor")
     ctx = context if context is not None else current_context()
     engine = ctx.executor if ctx.executor is not None else executor
     tel = ctx.telemetry
+    checkpoint = ctx.checkpoint
+    if checkpoint is not None:
+        checkpoint = checkpoint.scope(
+            _setup_slug(
+                dataset_name,
+                seed,
+                scale,
+                dict(
+                    victim_label=victim_label,
+                    attack_label=attack_label,
+                    pattern_pixels=pattern_pixels,
+                    num_attackers=num_attackers,
+                    dba=dba,
+                    gamma=gamma,
+                    rank_attack=rank_attack,
+                    self_limit_delta=self_limit_delta,
+                    clients_per_round=clients_per_round,
+                    num_clients=num_clients,
+                    last_conv_l2=last_conv_l2,
+                    model_name=model_name,
+                    rounds=rounds,
+                    attack_start_fraction=attack_start_fraction,
+                ),
+            )
+        )
 
     master = np.random.default_rng(seed)
     data_seed = int(master.integers(0, 2**31))
@@ -341,12 +392,18 @@ def build_setup(
         rng=np.random.default_rng(seed + 2),
         executor=engine,
         telemetry=tel,
+        watchdog=ctx.watchdog,
     )
     with tel.span(
         "build_setup", dataset=dataset_name, seed=seed, num_clients=len(clients)
     ):
         start = time.perf_counter()
-        history = server.train(total_rounds)
+        history = server.train(
+            total_rounds,
+            checkpoint=checkpoint,
+            checkpoint_every=ctx.checkpoint_every,
+            resume=ctx.resume,
+        )
         training_seconds = time.perf_counter() - start
 
     return FederatedSetup(

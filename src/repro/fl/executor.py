@@ -144,7 +144,7 @@ class ThreadExecutor(ClientExecutor):
 
 
 class ProcessExecutor(ClientExecutor):
-    """Process-pool execution (spawn start method).
+    """Process-pool execution (spawn start method) with a worker watchdog.
 
     Spawn (rather than fork) keeps workers safe on every platform and
     independent of inherited BLAS thread state; the price is that every
@@ -152,12 +152,53 @@ class ProcessExecutor(ClientExecutor):
     transient layer caches before fan-out.  The pool is created lazily
     on first use and reused across rounds to amortize interpreter
     start-up.
+
+    Worker death and hangs are survivable, not fatal.  A wave whose
+    worker is killed (OOM reaper, SIGKILL) or misses the ``task_timeout``
+    deadline keeps every completed result, tears the pool down, and
+    re-dispatches only the incomplete tasks into a fresh pool — up to
+    ``max_task_retries`` times before giving up with ``RuntimeError``.
+    Re-dispatch is deterministic: task bodies are pure functions of
+    their pickled payloads (the coordinator's state is only mutated
+    after results marshal home), so a re-run returns bit-identical
+    results and the executor-identity contract survives worker loss.
+
+    Parameters
+    ----------
+    num_workers:
+        Pool size.
+    task_timeout:
+        Deadline in seconds for one wave of tasks; ``None`` (default)
+        waits forever.  On expiry the unfinished tasks' workers are
+        presumed hung, the pool is terminated, and those tasks are
+        re-dispatched.  Set it comfortably above the slowest expected
+        task — a deadline that fires on healthy stragglers costs a full
+        pool restart per wave.
+    max_task_retries:
+        How many times one task may be re-dispatched after worker
+        death/hang before ``map_clients`` raises.
     """
 
     clones_payloads = True
 
-    def __init__(self, num_workers: int = 4) -> None:
+    def __init__(
+        self,
+        num_workers: int = 4,
+        task_timeout: float | None = None,
+        max_task_retries: int = 2,
+    ) -> None:
         self.num_workers = _check_workers(num_workers)
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be > 0 or None, got {task_timeout}"
+            )
+        if max_task_retries < 0:
+            raise ValueError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        self.task_timeout = task_timeout
+        self.max_task_retries = max_task_retries
+        self.redispatches = 0
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -171,9 +212,72 @@ class ProcessExecutor(ClientExecutor):
     def map_clients(self, fn: Callable, items: Iterable) -> list:
         # no single-item shortcut: in-process execution would skip the
         # payload isolation that pickling provides
+        items = list(items)
+        results: list = [None] * len(items)
+        pending = list(range(len(items)))
+        attempt = 0
+        while pending:
+            pending = self._run_wave(fn, items, results, pending)
+            if not pending:
+                break
+            attempt += 1
+            if attempt > self.max_task_retries:
+                raise RuntimeError(
+                    f"{len(pending)} worker task(s) still incomplete after "
+                    f"{self.max_task_retries} re-dispatch(es) — workers "
+                    f"keep dying or hanging past the "
+                    f"{self.task_timeout}s deadline"
+                )
+            self.redispatches += len(pending)
+        return results
+
+    def _run_wave(
+        self, fn: Callable, items: list, results: list, pending: list[int]
+    ) -> list[int]:
+        """One submit/collect pass; returns indices needing re-dispatch."""
         pool = self._ensure_pool()
-        futures = [pool.submit(fn, item) for item in items]
-        return [future.result() for future in futures]
+        try:
+            future_map = {pool.submit(fn, items[i]): i for i in pending}
+        except RuntimeError:
+            # the pool broke before/while submitting (a worker died
+            # between waves); rebuild and re-dispatch the whole wave
+            self._terminate_pool()
+            return list(pending)
+        done, not_done = concurrent.futures.wait(
+            future_map, timeout=self.task_timeout
+        )
+        failed: list[int] = []
+        for future in done:
+            index = future_map[future]
+            try:
+                results[index] = future.result()
+            except concurrent.futures.process.BrokenProcessPool:
+                # this task's worker (or a sibling taking the pool down
+                # with it) died before the result marshalled home
+                failed.append(index)
+        if not_done:
+            # deadline expired with tasks still running: hung workers
+            failed.extend(future_map[future] for future in not_done)
+        if failed or not_done:
+            self._terminate_pool()
+        failed.sort()
+        return failed
+
+    def _terminate_pool(self) -> None:
+        """Tear the pool down now, killing hung workers if needed."""
+        if self._pool is None:
+            return
+        pool, self._pool = self._pool, None
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in processes:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in processes:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -181,7 +285,12 @@ class ProcessExecutor(ClientExecutor):
             self._pool = None
 
     def __repr__(self) -> str:
-        return f"ProcessExecutor(num_workers={self.num_workers})"
+        deadline = (
+            f", task_timeout={self.task_timeout}"
+            if self.task_timeout is not None
+            else ""
+        )
+        return f"ProcessExecutor(num_workers={self.num_workers}{deadline})"
 
 
 # -- task bodies (module-level: process pools must pickle them) --------

@@ -212,34 +212,79 @@ class FaultModel:
         self.seed = seed
         self.telemetry = ensure_telemetry(telemetry)
         self._rng = np.random.default_rng(seed)
+        self.draw_counts: dict[str, int] = {}
 
     # -- draws ---------------------------------------------------------
 
+    def _count(self, category: str) -> None:
+        self.draw_counts[category] = self.draw_counts.get(category, 0) + 1
+
     def draw_dropout(self) -> bool:
+        self._count("dropout")
         return self.dropout_prob > 0 and self._rng.random() < self.dropout_prob
 
     def draw_delay(self) -> float:
         """Simulated response delay in seconds (0.0 for non-stragglers)."""
+        self._count("delay")
         if self.straggler_prob <= 0 or self._rng.random() >= self.straggler_prob:
             return 0.0
         lo, hi = self.straggler_delay
         return float(self._rng.uniform(lo, hi))
 
     def draw_stale(self) -> bool:
+        self._count("stale")
         return self.stale_prob > 0 and self._rng.random() < self.stale_prob
 
     def draw_corruption(self) -> str | None:
+        self._count("corruption")
         if self.corrupt_prob <= 0 or self._rng.random() >= self.corrupt_prob:
             return None
         return self.corrupt_kinds[int(self._rng.integers(len(self.corrupt_kinds)))]
 
     def draw_report_fault(self) -> str | None:
+        self._count("report_fault")
         if (
             self.report_fault_prob <= 0
             or self._rng.random() >= self.report_fault_prob
         ):
             return None
         return self.report_kinds[int(self._rng.integers(len(self.report_kinds)))]
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The fault schedule's stream position, JSON-serializable.
+
+        Captures the private generator's exact state plus the per-category
+        draw counters, so a resumed run replays the *remaining* fault
+        schedule — not the whole schedule from the top — and diagnostics
+        can report how far into the schedule the crash happened.
+        """
+        from ..persist.state import rng_state_to_jsonable
+
+        return {
+            "seed": self.seed,
+            "rng": rng_state_to_jsonable(self._rng),
+            "draw_counts": dict(self.draw_counts),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a position captured by :meth:`state_dict`.
+
+        Raises ``ValueError`` on a seed mismatch — a checkpoint from one
+        fault schedule must not silently continue a different one.
+        """
+        from ..persist.state import rng_state_from_jsonable
+
+        if state["seed"] != self.seed:
+            raise ValueError(
+                f"checkpoint fault schedule has seed {state['seed']}, "
+                f"this model was built with seed {self.seed}"
+            )
+        rng_state_from_jsonable(self._rng, state["rng"])
+        self.draw_counts = {
+            str(k): int(v) for k, v in state["draw_counts"].items()
+        }
 
     # -- plans (all draws, no payloads) --------------------------------
 
@@ -254,6 +299,7 @@ class FaultModel:
         kind = self.draw_corruption()
         where = None
         if kind in ("nan", "inf"):
+            self._count("corruption_where")
             num_bad = max(1, size // 100)
             where = self._rng.choice(size, size=num_bad, replace=False)
         return kind, where
@@ -265,6 +311,7 @@ class FaultModel:
         kind = self.draw_report_fault()
         position = None
         if vote and kind == "garbage":
+            self._count("report_position")
             position = int(self._rng.integers(num_channels))
         return kind, position
 

@@ -33,7 +33,18 @@ from ..attacks.poison import BackdoorTask
 from ..data.dataset import Dataset
 from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
+from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.telemetry import Telemetry, ensure_telemetry
+from ..persist.checkpoint import CheckpointManager, Snapshot
+from ..persist.state import (
+    DELTA_PREFIX,
+    capture_client_states,
+    restore_client_states,
+    rng_state_from_jsonable,
+    rng_state_to_jsonable,
+    shared_fault_model,
+)
+from ..persist.watchdog import DivergenceWatchdog
 from .aggregation import fedavg
 from .client import Client
 from .executor import ClientExecutor, collect_updates
@@ -49,7 +60,8 @@ class RoundMetrics:
     how many clients were selected and accepted, who was dropped
     (no response within the retry budget), rejected (invalid payload),
     or quarantined this round, and whether the round was skipped for
-    lack of quorum (the global model is untouched on a skipped round).
+    lack of quorum (the global model is untouched on a skipped round)
+    or rolled back by the divergence watchdog (``diverged``).
     """
 
     def __init__(
@@ -64,6 +76,8 @@ class RoundMetrics:
         rejected: Sequence[tuple[int, str]] = (),
         quarantined: Sequence[int] = (),
         skipped: bool = False,
+        diverged: bool = False,
+        divergence_reason: str | None = None,
     ) -> None:
         self.round_index = round_index
         self.test_acc = test_acc
@@ -74,6 +88,42 @@ class RoundMetrics:
         self.rejected = list(rejected)
         self.quarantined = list(quarantined)
         self.skipped = skipped
+        self.diverged = diverged
+        self.divergence_reason = divergence_reason
+
+    def to_jsonable(self) -> dict:
+        """The round as plain JSON types (checkpoint metadata form)."""
+        return {
+            "round_index": int(self.round_index),
+            "test_acc": float(self.test_acc),
+            "attack_acc": (
+                None if self.attack_acc is None else float(self.attack_acc)
+            ),
+            "num_selected": self.num_selected,
+            "num_accepted": self.num_accepted,
+            "dropped": [[int(c), str(r)] for c, r in self.dropped],
+            "rejected": [[int(c), str(r)] for c, r in self.rejected],
+            "quarantined": [int(c) for c in self.quarantined],
+            "skipped": bool(self.skipped),
+            "diverged": bool(self.diverged),
+            "divergence_reason": self.divergence_reason,
+        }
+
+    @classmethod
+    def from_jsonable(cls, record: dict) -> "RoundMetrics":
+        return cls(
+            record["round_index"],
+            record["test_acc"],
+            record["attack_acc"],
+            num_selected=record["num_selected"],
+            num_accepted=record["num_accepted"],
+            dropped=[(int(c), str(r)) for c, r in record["dropped"]],
+            rejected=[(int(c), str(r)) for c, r in record["rejected"]],
+            quarantined=[int(c) for c in record["quarantined"]],
+            skipped=record["skipped"],
+            diverged=record.get("diverged", False),
+            divergence_reason=record.get("divergence_reason"),
+        )
 
     def __repr__(self) -> str:
         attack = f", AA={self.attack_acc:.3f}" if self.attack_acc is not None else ""
@@ -82,6 +132,8 @@ class RoundMetrics:
             extra = f", accepted={self.num_accepted}/{self.num_selected}"
         if self.skipped:
             extra += ", skipped"
+        if self.diverged:
+            extra += ", diverged"
         return (
             f"RoundMetrics(round={self.round_index}, "
             f"TA={self.test_acc:.3f}{attack}{extra})"
@@ -131,6 +183,22 @@ class TrainingHistory:
         return [
             (r.round_index, cid) for r in self.rounds for cid in r.quarantined
         ]
+
+    @property
+    def diverged_rounds(self) -> list[int]:
+        """Indices of rounds the divergence watchdog rolled back."""
+        return [r.round_index for r in self.rounds if r.diverged]
+
+    def to_jsonable(self) -> list[dict]:
+        """The history as plain JSON types (checkpoint metadata form)."""
+        return [r.to_jsonable() for r in self.rounds]
+
+    @classmethod
+    def from_jsonable(cls, records: Sequence[dict]) -> "TrainingHistory":
+        history = cls()
+        for record in records:
+            history.append(RoundMetrics.from_jsonable(record))
+        return history
 
     @property
     def final(self) -> RoundMetrics:
@@ -200,6 +268,14 @@ class FederatedServer:
         / evaluation child spans, and every participation fault (drop,
         rejection, quarantine, quorum skip) becomes an event.  ``None``
         is the free no-op hub.
+    watchdog:
+        A :class:`~repro.persist.watchdog.DivergenceWatchdog` guarding
+        the round loop: an aggregate it vetoes (non-finite, exploding
+        norm) is never applied, and a round whose validation accuracy
+        collapses is rolled back to its pre-round parameters.  Either
+        way the round is recorded as ``diverged`` with the reason and a
+        ``watchdog.rollback`` event lands in the stream.  ``None``
+        disables the checks (the paper's idealized loop).
     """
 
     def __init__(
@@ -216,6 +292,7 @@ class FederatedServer:
         max_client_strikes: int | None = 3,
         executor: ClientExecutor | None = None,
         telemetry: Telemetry | None = None,
+        watchdog: DivergenceWatchdog | None = None,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -250,6 +327,7 @@ class FederatedServer:
         self.max_client_strikes = max_client_strikes
         self.executor = executor
         self.telemetry = ensure_telemetry(telemetry)
+        self.watchdog = watchdog
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
@@ -325,6 +403,8 @@ class FederatedServer:
 
             quorum = _resolve_quorum(self.min_quorum, len(participants))
             skipped = len(accepted) < quorum
+            diverged = False
+            divergence_reason: str | None = None
             if skipped:
                 tel.event(
                     "fl.round_skipped",
@@ -334,9 +414,23 @@ class FederatedServer:
                 )
             else:
                 with tel.span("fl.aggregation", num_accepted=len(accepted)):
-                    self.model.load_flat_parameters(
-                        global_params + self.aggregate(np.stack(accepted))
-                    )
+                    update = self.aggregate(np.stack(accepted))
+                    if self.watchdog is not None:
+                        divergence_reason = self.watchdog.check_aggregate(update)
+                    if divergence_reason is not None:
+                        # vetoed before application: the model never sees
+                        # the bad aggregate, so "rollback" is a no-op on
+                        # the parameters and the round is just skipped
+                        diverged = True
+                        self.watchdog.record_rollback()
+                        tel.event(
+                            "watchdog.rollback",
+                            round=round_index,
+                            stage="aggregate",
+                            reason=divergence_reason,
+                        )
+                    else:
+                        self.model.load_flat_parameters(global_params + update)
 
             with tel.span("fl.evaluation"):
                 test_acc = test_accuracy(self.model, self.test_set)
@@ -346,16 +440,41 @@ class FederatedServer:
                         self.model, self.backdoor_task, self.test_set
                     )
 
+            if self.watchdog is not None and not skipped and not diverged:
+                divergence_reason = self.watchdog.observe_accuracy(test_acc)
+                if divergence_reason is not None:
+                    # the aggregate was applied but collapsed validation:
+                    # restore the pre-round parameters and re-evaluate so
+                    # the recorded metrics describe the surviving model
+                    diverged = True
+                    self.model.load_flat_parameters(global_params)
+                    self.watchdog.record_rollback()
+                    tel.event(
+                        "watchdog.rollback",
+                        round=round_index,
+                        stage="evaluation",
+                        reason=divergence_reason,
+                    )
+                    with tel.span("fl.evaluation", rolled_back=True):
+                        test_acc = test_accuracy(self.model, self.test_set)
+                        if self.backdoor_task is not None:
+                            attack_acc = attack_success_rate(
+                                self.model, self.backdoor_task, self.test_set
+                            )
+
             tel.count("fl.rounds")
             tel.count("fl.updates_accepted", len(accepted))
             tel.count("fl.updates_dropped", len(dropped))
             tel.count("fl.updates_rejected", len(rejected))
+            if diverged:
+                tel.count("fl.rounds_diverged")
             round_span.set(
                 test_acc=test_acc,
                 attack_acc=attack_acc,
                 accepted=len(accepted),
                 selected=len(participants),
                 skipped=skipped,
+                diverged=diverged,
             )
         return RoundMetrics(
             round_index,
@@ -367,14 +486,155 @@ class FederatedServer:
             rejected=rejected,
             quarantined=quarantined_now,
             skipped=skipped,
+            diverged=diverged,
+            divergence_reason=divergence_reason,
         )
 
-    def train(self, num_rounds: int) -> TrainingHistory:
-        """Run ``num_rounds`` rounds, returning the metric traces."""
+    def train(
+        self,
+        num_rounds: int,
+        *,
+        checkpoint: CheckpointManager | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> TrainingHistory:
+        """Run ``num_rounds`` rounds, returning the metric traces.
+
+        Parameters
+        ----------
+        checkpoint:
+            A :class:`~repro.persist.checkpoint.CheckpointManager`;
+            when given, a durable snapshot of the full training state is
+            written every ``checkpoint_every`` completed rounds.
+        checkpoint_every:
+            Snapshot cadence in rounds.
+        resume:
+            Restart from the newest verifiable ``"train"`` snapshot in
+            ``checkpoint`` instead of round zero.  With no snapshot on
+            disk the flag is a no-op (so the same invocation works for
+            the first attempt and every retry).  A resumed run completed
+            this way is bitwise identical — final parameters and
+            canonical telemetry stream — to one that never crashed.
+        """
         if num_rounds < 1:
             raise ValueError(f"num_rounds must be >= 1, got {num_rounds}")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
+        tel = self.telemetry
         history = TrainingHistory()
-        with self.telemetry.span("fl.train", num_rounds=num_rounds):
-            for round_index in range(num_rounds):
+        start_round = 0
+        train_span = None
+        if resume:
+            snapshot = checkpoint.load_latest("train")
+            if snapshot is not None:
+                # resume diagnostics go out on the *fresh* cursor, before
+                # restore_checkpoint rewinds it to the snapshot's — the
+                # stream stitcher drops them, keeping the spliced stream
+                # identical to an uninterrupted run's
+                tel.event(
+                    "persist.resume",
+                    step=snapshot.step,
+                    path=snapshot.path,
+                    rejected=[f for f, _ in checkpoint.last_rejected],
+                )
+                history = self.restore_checkpoint(snapshot)
+                start_round = snapshot.step
+                span_id = snapshot.meta.get("train_span_id")
+                if span_id is not None:
+                    train_span = tel.resume_span(
+                        "fl.train", span_id, num_rounds=num_rounds
+                    )
+        if train_span is None:
+            train_span = tel.span("fl.train", num_rounds=num_rounds)
+        with train_span:
+            for round_index in range(start_round, num_rounds):
                 history.append(self.run_round(round_index))
+                if (
+                    checkpoint is not None
+                    and (round_index + 1) % checkpoint_every == 0
+                ):
+                    self.save_checkpoint(checkpoint, round_index + 1, history)
         return history
+
+    # -- persistence ---------------------------------------------------
+
+    def save_checkpoint(
+        self,
+        checkpoint: CheckpointManager,
+        round_cursor: int,
+        history: TrainingHistory,
+    ) -> Snapshot:
+        """Durably snapshot everything ``round_cursor`` rounds produced.
+
+        The snapshot captures the global model (parameters + prune
+        masks), the server's sampling RNG, quarantine/strike state,
+        every client's mutable state (RNG stream, stale-replay cache),
+        the shared fault schedule's position, the watchdog's memory, the
+        metric history, and the telemetry cursor — the full closure a
+        resumed run needs to continue bit-for-bit.
+
+        The ``persist.checkpoint`` event is deliberately emitted *before*
+        the telemetry cursor is captured, so the event sits below the
+        resume boundary and appears exactly once in a stitched stream.
+        """
+        tel = self.telemetry
+        tel.event("persist.checkpoint", round=round_cursor)
+        arrays = pack_model_state(self.model)
+        client_meta, client_arrays = capture_client_states(self.clients)
+        arrays.update(client_arrays)
+        meta = {
+            "round_cursor": int(round_cursor),
+            "server_rng": rng_state_to_jsonable(self.rng),
+            "quarantined": sorted(int(c) for c in self.quarantined),
+            "strikes": {str(k): int(v) for k, v in self._strikes.items()},
+            "clients": client_meta,
+            "history": history.to_jsonable(),
+            "telemetry": tel.state_dict(),
+            "train_span_id": (
+                tel.current_span.span_id
+                if tel.current_span is not None
+                else None
+            ),
+        }
+        fault_model = self._shared_fault_model()
+        if fault_model is not None:
+            meta["fault_model"] = fault_model.state_dict()
+        if self.watchdog is not None:
+            meta["watchdog"] = self.watchdog.state_dict()
+        return checkpoint.save("train", round_cursor, arrays, meta)
+
+    def restore_checkpoint(self, snapshot: Snapshot) -> TrainingHistory:
+        """Apply a ``"train"`` snapshot to this (freshly rebuilt) server.
+
+        Returns the restored :class:`TrainingHistory`; the caller
+        continues the round loop from ``snapshot.step``.  The telemetry
+        cursor is restored last, so any diagnostics emitted while
+        restoring stay on the pre-restore (dropped) side of the stream.
+        """
+        meta = snapshot.meta
+        model_arrays = {
+            name: value
+            for name, value in snapshot.arrays.items()
+            if not name.startswith(DELTA_PREFIX)
+        }
+        apply_model_state(self.model, model_arrays)
+        rng_state_from_jsonable(self.rng, meta["server_rng"])
+        self.quarantined = {int(c) for c in meta["quarantined"]}
+        self._strikes = {int(k): int(v) for k, v in meta["strikes"].items()}
+        restore_client_states(self.clients, meta["clients"], snapshot.arrays)
+        fault_model = self._shared_fault_model()
+        if fault_model is not None and "fault_model" in meta:
+            fault_model.load_state_dict(meta["fault_model"])
+        if self.watchdog is not None and "watchdog" in meta:
+            self.watchdog.load_state_dict(meta["watchdog"])
+        history = TrainingHistory.from_jsonable(meta["history"])
+        self.telemetry.load_state_dict(meta.get("telemetry"))
+        return history
+
+    def _shared_fault_model(self):
+        """The population's shared fault schedule, if clients carry one."""
+        return shared_fault_model(self.clients)

@@ -14,6 +14,17 @@ from .module import Parameter
 __all__ = ["Optimizer", "SGD", "Adam"]
 
 
+def _cycle_params(parameters: list[Parameter], count: int) -> list[Parameter]:
+    """The parameter list repeated to cover ``count`` slot buffers.
+
+    Slot buffers are stored per parameter, one group per slot kind (one
+    group for SGD velocity, two for Adam's m/v), so the reference shape
+    for buffer ``i`` is parameter ``i % len(parameters)``.
+    """
+    repeats = -(-count // len(parameters)) if parameters else 0
+    return (list(parameters) * repeats)[:count]
+
+
 class Optimizer:
     """Base class holding the parameter list."""
 
@@ -28,6 +39,49 @@ class Optimizer:
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.zero_grad()
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Hyper-parameters plus slot buffers, checkpoint-serializable.
+
+        Arrays stay NumPy (the snapshot layer stores them natively);
+        everything else is plain JSON types.
+        """
+        return {"type": type(self).__name__, "buffers": []}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore slot buffers captured by :meth:`state_dict`.
+
+        The optimizer must already be constructed over the same
+        parameter list — state dicts restore *training momentum*, not
+        configuration, and a type or shape mismatch raises rather than
+        silently blending two different training runs.
+        """
+        self._check_state(state, expected_buffers=0)
+
+    def _check_state(self, state: dict, expected_buffers: int) -> None:
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"cannot load into {type(self).__name__}"
+            )
+        buffers = state.get("buffers", [])
+        if len(buffers) != expected_buffers:
+            raise ValueError(
+                f"optimizer state has {len(buffers)} slot buffers, "
+                f"expected {expected_buffers}"
+            )
+        for index, (buffer, param) in enumerate(
+            zip(buffers, _cycle_params(self.parameters, len(buffers)))
+        ):
+            buffer = np.asarray(buffer)
+            if buffer.shape != param.data.shape:
+                raise ValueError(
+                    f"slot buffer {index} has shape {buffer.shape}, "
+                    f"parameter {param.name or index} expects "
+                    f"{param.data.shape}"
+                )
 
 
 class SGD(Optimizer):
@@ -71,6 +125,21 @@ class SGD(Optimizer):
             param.data -= self.lr * update
             param.mark_dirty()
 
+    def state_dict(self) -> dict:
+        return {
+            "type": "SGD",
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "buffers": [np.array(v, copy=True) for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state(state, expected_buffers=len(self.parameters))
+        self._velocity = [
+            np.array(b, copy=True) for b in state["buffers"]
+        ]
+
 
 class Adam(Optimizer):
     """Adam optimizer (Kingma & Ba); used by the Neural Cleanse baseline
@@ -111,3 +180,23 @@ class Adam(Optimizer):
             v_hat = v / bias2
             param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
             param.mark_dirty()
+
+    def state_dict(self) -> dict:
+        return {
+            "type": "Adam",
+            "lr": self.lr,
+            "betas": [self.beta1, self.beta2],
+            "eps": self.eps,
+            "step_count": self._step_count,
+            "buffers": [
+                np.array(b, copy=True) for b in (*self._m, *self._v)
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._check_state(state, expected_buffers=2 * len(self.parameters))
+        buffers = [np.array(b, copy=True) for b in state["buffers"]]
+        half = len(self.parameters)
+        self._m = buffers[:half]
+        self._v = buffers[half:]
+        self._step_count = int(state["step_count"])

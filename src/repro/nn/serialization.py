@@ -1,24 +1,45 @@
 """Model checkpointing to ``.npz`` files.
 
-Saves the full defense-relevant state: parameter values *and* the
-channel prune masks (a cleansed model without its masks would resurrect
-pruned neurons on the next fine-tune).  Loading is strict — the target
-model must have exactly the same parameter names and shapes.
+Saves the full defense-relevant state: parameter values, the channel
+prune masks (a cleansed model without its masks would resurrect pruned
+neurons on the next fine-tune), and — when an optimizer is passed — its
+slot buffers (momentum/Adam moments), so a resumed training run
+continues with the exact update dynamics of the uninterrupted one.
+Loading is strict: the target model must have exactly the same parameter
+names, shapes, and floating dtypes, and mismatches are reported in one
+aggregated, readable error rather than failing on the first name.
+
+The pack/apply pair (:func:`pack_model_state` / :func:`apply_model_state`)
+is the in-memory form used by the checkpoint layer
+(:mod:`repro.persist.checkpoint`); :func:`save_model` /
+:func:`load_model` wrap it in a standalone ``.npz`` file.
 """
 
 from __future__ import annotations
 
 import copy
+import json
 import os
 
 import numpy as np
 
 from .layers import Conv2d, Linear
 from .module import Module
+from .optim import Optimizer
 
-__all__ = ["save_model", "load_model", "strip_runtime_state", "clone_module"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "pack_model_state",
+    "apply_model_state",
+    "masked_layers",
+    "strip_runtime_state",
+    "clone_module",
+]
 
 _MASK_PREFIX = "__mask__."
+_OPT_PREFIX = "__opt__."
+_OPT_META = "__opt_meta__"
 
 # per-layer transient attributes: forward/backward caches and recorded
 # activations that are recomputed on the next forward pass and must not
@@ -60,7 +81,7 @@ def clone_module(model: Module) -> Module:
     return copy.deepcopy(strip_runtime_state(model))
 
 
-def _masked_layers(model: Module) -> dict[str, Conv2d | Linear]:
+def masked_layers(model: Module) -> dict[str, Conv2d | Linear]:
     """Dotted-path -> layer for every maskable layer in the model."""
     layers: dict[str, Conv2d | Linear] = {}
 
@@ -82,33 +103,89 @@ def _masked_layers(model: Module) -> dict[str, Conv2d | Linear]:
     return layers
 
 
-def save_model(model: Module, path: str | os.PathLike) -> None:
-    """Write parameters and prune masks to a ``.npz`` file."""
-    arrays: dict[str, np.ndarray] = dict(model.state_dict())
-    for layer_path, layer in _masked_layers(model).items():
-        arrays[_MASK_PREFIX + layer_path] = layer.out_mask.copy()
-    np.savez(path, **arrays)
+# load_model predates the public name; keep the alias for callers inside
+# the package that still use it
+_masked_layers = masked_layers
 
 
-def load_model(model: Module, path: str | os.PathLike) -> None:
-    """Restore parameters and prune masks saved by :func:`save_model`.
+def pack_model_state(
+    model: Module, optimizer: Optimizer | None = None
+) -> dict[str, np.ndarray]:
+    """Flatten model (+ optional optimizer) state into named arrays.
 
-    Raises ``KeyError`` when parameter names mismatch and ``ValueError``
-    on shape mismatches (via the strict ``load_state_dict``).
+    Parameters keep their ``state_dict`` names; prune masks get a
+    ``__mask__.`` prefix, optimizer slot buffers ``__opt__.<i>``, and
+    the optimizer's scalar hyper-state rides as a UTF-8 JSON blob under
+    ``__opt_meta__`` — everything an ``.npz`` archive or checkpoint
+    snapshot can hold natively.
     """
-    with np.load(path) as archive:
-        state = {
-            name: archive[name]
-            for name in archive.files
-            if not name.startswith(_MASK_PREFIX)
-        }
-        masks = {
-            name[len(_MASK_PREFIX):]: archive[name]
-            for name in archive.files
-            if name.startswith(_MASK_PREFIX)
-        }
-    model.load_state_dict(state)
-    layers = _masked_layers(model)
+    arrays: dict[str, np.ndarray] = dict(model.state_dict())
+    for name in arrays:
+        if name.startswith(("__mask__", "__opt__")):
+            raise ValueError(f"parameter name {name!r} collides with a reserved prefix")
+    for layer_path, layer in masked_layers(model).items():
+        arrays[_MASK_PREFIX + layer_path] = layer.out_mask.copy()
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        buffers = state.pop("buffers")
+        for index, buffer in enumerate(buffers):
+            arrays[f"{_OPT_PREFIX}{index}"] = np.asarray(buffer)
+        state["num_buffers"] = len(buffers)
+        meta_bytes = json.dumps(state, sort_keys=True).encode("utf-8")
+        arrays[_OPT_META] = np.frombuffer(meta_bytes, dtype=np.uint8)
+    return arrays
+
+
+def apply_model_state(
+    model: Module,
+    arrays: dict[str, np.ndarray],
+    optimizer: Optimizer | None = None,
+) -> None:
+    """Restore a :func:`pack_model_state` snapshot onto a live model.
+
+    Validation happens *before* anything is written: parameter names
+    must match exactly, shapes must agree, and values must be floating
+    arrays; all problems are aggregated into one ``ValueError`` so a
+    mismatched checkpoint is diagnosable in a single traceback.  When
+    the snapshot carries optimizer state, ``optimizer`` must be given a
+    compatible instance (and vice versa an optimizer-less snapshot
+    leaves a passed optimizer untouched).
+    """
+    params = {
+        name: value
+        for name, value in arrays.items()
+        if not name.startswith((_MASK_PREFIX, _OPT_PREFIX))
+        and name != _OPT_META
+    }
+    expected = dict(model.state_dict())
+    problems: list[str] = []
+    for name in sorted(expected.keys() - params.keys()):
+        problems.append(f"missing parameter {name!r}")
+    for name in sorted(params.keys() - expected.keys()):
+        problems.append(f"unexpected parameter {name!r}")
+    for name in sorted(expected.keys() & params.keys()):
+        value = np.asarray(params[name])
+        if value.shape != expected[name].shape:
+            problems.append(
+                f"parameter {name!r}: shape {value.shape} != "
+                f"expected {expected[name].shape}"
+            )
+        elif not np.issubdtype(value.dtype, np.floating):
+            problems.append(
+                f"parameter {name!r}: dtype {value.dtype} is not floating"
+            )
+    if problems:
+        raise ValueError(
+            "model state does not fit this model:\n  " + "\n  ".join(problems)
+        )
+    model.load_state_dict(params)
+
+    layers = masked_layers(model)
+    masks = {
+        name[len(_MASK_PREFIX):]: value
+        for name, value in arrays.items()
+        if name.startswith(_MASK_PREFIX)
+    }
     unexpected = masks.keys() - layers.keys()
     if unexpected:
         raise KeyError(f"masks for unknown layers: {sorted(unexpected)}")
@@ -120,3 +197,43 @@ def load_model(model: Module, path: str | os.PathLike) -> None:
                 f"have {layer.out_mask.shape}, got {mask.shape}"
             )
         layer.out_mask[...] = mask.astype(bool)
+
+    if _OPT_META in arrays:
+        if optimizer is None:
+            raise ValueError(
+                "snapshot carries optimizer state but no optimizer was "
+                "passed to receive it"
+            )
+        meta = json.loads(np.asarray(arrays[_OPT_META]).tobytes().decode("utf-8"))
+        num_buffers = int(meta.pop("num_buffers"))
+        buffer_keys = [f"{_OPT_PREFIX}{i}" for i in range(num_buffers)]
+        missing = [k for k in buffer_keys if k not in arrays]
+        if missing:
+            raise ValueError(f"optimizer slot buffers missing: {missing}")
+        meta["buffers"] = [arrays[k] for k in buffer_keys]
+        optimizer.load_state_dict(meta)
+
+
+def save_model(
+    model: Module,
+    path: str | os.PathLike,
+    optimizer: Optimizer | None = None,
+) -> None:
+    """Write parameters, prune masks, and optimizer state to ``.npz``."""
+    np.savez(path, **pack_model_state(model, optimizer))
+
+
+def load_model(
+    model: Module,
+    path: str | os.PathLike,
+    optimizer: Optimizer | None = None,
+) -> None:
+    """Restore state saved by :func:`save_model`.
+
+    Raises an aggregated ``ValueError`` on name/shape/dtype mismatches
+    and ``KeyError`` for masks naming unknown layers; pass ``optimizer``
+    to round-trip momentum/Adam buffers saved alongside the model.
+    """
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    apply_model_state(model, arrays, optimizer)

@@ -38,6 +38,8 @@ from .telemetry import Telemetry, ensure_telemetry
 if TYPE_CHECKING:  # typing only: obs must not import fl at runtime
     from ..fl.executor import ClientExecutor
     from ..fl.faults import FaultModel
+    from ..persist.checkpoint import CheckpointManager
+    from ..persist.watchdog import DivergenceWatchdog
 
 __all__ = [
     "RunContext",
@@ -48,11 +50,23 @@ __all__ = [
 
 
 class RunContext:
-    """Telemetry + rng + executor + fault model, bundled.
+    """Telemetry + rng + executor + fault model + durability, bundled.
 
     Every field is optional: ``RunContext()`` is a valid "plain run"
     context (null telemetry, serial execution, reliable clients, no
-    shared generator).
+    shared generator, no checkpointing).
+
+    Durability fields (see :mod:`repro.persist`):
+
+    * ``checkpoint`` — a :class:`~repro.persist.checkpoint.CheckpointManager`
+      owning the run's snapshot directory; ``None`` disables persistence.
+    * ``checkpoint_every`` — snapshot cadence in rounds.
+    * ``resume`` — start from the newest verifiable snapshot instead of
+      round zero (a no-op when no snapshot exists yet, so the same flag
+      works for both the first attempt and every retry).
+    * ``watchdog`` — a :class:`~repro.persist.watchdog.DivergenceWatchdog`
+      guarding the round loop against non-finite/exploding aggregates
+      and accuracy collapse.
     """
 
     def __init__(
@@ -61,11 +75,23 @@ class RunContext:
         rng: np.random.Generator | None = None,
         executor: "ClientExecutor | None" = None,
         fault_model: "FaultModel | None" = None,
+        checkpoint: "CheckpointManager | None" = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+        watchdog: "DivergenceWatchdog | None" = None,
     ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.telemetry = ensure_telemetry(telemetry)
         self.rng = rng
         self.executor = executor
         self.fault_model = fault_model
+        self.checkpoint = checkpoint
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.watchdog = watchdog
         if fault_model is not None:
             # fault draws become stream events (see FaultyClient.plan_*)
             fault_model.telemetry = self.telemetry
@@ -78,6 +104,12 @@ class RunContext:
             parts.append(f"executor={self.executor!r}")
         if self.fault_model is not None:
             parts.append("fault_model=<set>")
+        if self.checkpoint is not None:
+            parts.append(f"checkpoint={self.checkpoint!r}")
+            if self.resume:
+                parts.append("resume=True")
+        if self.watchdog is not None:
+            parts.append(f"watchdog={self.watchdog!r}")
         return f"RunContext({', '.join(parts)})"
 
 

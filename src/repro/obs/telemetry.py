@@ -141,8 +141,9 @@ class Telemetry:
         return Span(self, name, attrs)
 
     def _open_span(self, span: Span) -> None:
-        span.span_id = self._next_span_id
-        self._next_span_id += 1
+        if span.span_id is None:
+            span.span_id = self._next_span_id
+            self._next_span_id += 1
         span.parent_id = self._stack[-1].span_id if self._stack else None
         self._stack.append(span)
 
@@ -190,6 +191,23 @@ class Telemetry:
             }
         )
 
+    def resume_span(self, name: str, span_id: int, **attrs) -> Span:
+        """A span re-opened under a checkpointed identity.
+
+        A resumed run re-enters spans that were open when the
+        checkpoint was taken (``fl.train``, say).  Re-opening them with
+        their original ``span_id`` — instead of consuming a fresh one —
+        means the record emitted at exit is identical to the one the
+        uninterrupted run emits, which is what keeps a stitched stream
+        (:func:`repro.persist.state.stitch_streams`) byte-equal to an
+        uninterrupted one.
+        """
+        if span_id < 0:
+            raise ValueError(f"span_id must be >= 0, got {span_id}")
+        span = Span(self, name, attrs)
+        span.span_id = int(span_id)
+        return span
+
     @property
     def current_span(self) -> Span | None:
         """The innermost open span (None at top level)."""
@@ -227,6 +245,38 @@ class Telemetry:
     def gauge(self, name: str, value: float) -> None:
         """Set a gauge to its latest value."""
         self.gauges[name] = float(value)
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The hub's deterministic cursor, JSON-serializable.
+
+        Captures everything a resumed run needs to continue the stream
+        exactly where an uninterrupted run would be: the sequence
+        counter, the span-id counter, and the counter/gauge totals.
+        Wall-clock offsets are deliberately absent — ``ts``/``dur`` are
+        stripped by canonicalization and never part of the determinism
+        contract.
+        """
+        return {
+            "seq": self._seq,
+            "next_span_id": self._next_span_id,
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+        }
+
+    def load_state_dict(self, state: dict | None) -> None:
+        """Restore a cursor captured by :meth:`state_dict`.
+
+        ``None`` is accepted and ignored so callers can pass through a
+        checkpoint written under :class:`NullTelemetry` unconditionally.
+        """
+        if state is None:
+            return
+        self._seq = int(state["seq"])
+        self._next_span_id = int(state["next_span_id"])
+        self.counters = {str(k): int(v) for k, v in state["counters"].items()}
+        self.gauges = {str(k): float(v) for k, v in state["gauges"].items()}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -323,7 +373,17 @@ class NullTelemetry(Telemetry):
     def span(self, name: str, **attrs) -> _NullSpan:  # type: ignore[override]
         return _NULL_SPAN
 
+    def resume_span(self, name: str, span_id: int, **attrs) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
     def record_span(self, name: str, seconds: float, **attrs) -> None:
+        return None
+
+    def state_dict(self) -> None:  # type: ignore[override]
+        # a null hub has no cursor; resuming restores nothing
+        return None
+
+    def load_state_dict(self, state: dict | None) -> None:
         return None
 
     def event(self, name: str, **attrs) -> None:

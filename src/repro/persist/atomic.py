@@ -1,0 +1,113 @@
+"""Atomic durable file writes and content checksums.
+
+A checkpoint that can be half-written is worse than no checkpoint: a
+resumed run would load garbage and either crash later or silently
+diverge.  Two mechanisms close that hole:
+
+* **Atomicity** — :func:`atomic_write_bytes` writes to a temporary file
+  in the *same directory* as the destination, flushes and fsyncs it,
+  then :func:`os.replace`-renames it over the destination and fsyncs the
+  directory.  On POSIX the rename is atomic, so readers only ever see
+  the old file or the complete new one, never a prefix.
+* **Verification** — every snapshot's SHA-256 is recorded (in the
+  checkpoint manifest, see :mod:`repro.persist.checkpoint`) and
+  re-computed on read by :func:`read_verified_bytes`.  A torn write that
+  somehow survives (power loss between the data fsync and the rename
+  being reordered by a non-POSIX filesystem, manual truncation, bit
+  rot) fails the checksum and raises :class:`CorruptSnapshotError`
+  instead of deserializing nonsense.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+__all__ = [
+    "CorruptSnapshotError",
+    "sha256_bytes",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "read_verified_bytes",
+]
+
+
+class CorruptSnapshotError(Exception):
+    """A snapshot failed its integrity check (torn write, tampering)."""
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of a byte string (the snapshot content checksum)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def _fsync_directory(path: str) -> None:
+    """Flush a directory's entry table (best effort off POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Durably replace ``path`` with ``data`` (all-or-nothing).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary (cross-device renames are
+    copies, which are not atomic).
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".tmp.", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_json(path: str | os.PathLike, payload) -> None:
+    """Atomically write ``payload`` as deterministic, readable JSON."""
+    data = json.dumps(payload, sort_keys=True, indent=1).encode("utf-8")
+    atomic_write_bytes(path, data)
+
+
+def read_verified_bytes(path: str | os.PathLike, expected_sha256: str) -> bytes:
+    """Read a file and verify its checksum before handing it back.
+
+    Raises :class:`CorruptSnapshotError` when the file is missing or its
+    content hash does not match — both are what a torn or tampered
+    snapshot looks like to a resuming run.
+    """
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CorruptSnapshotError(f"snapshot {path!r} unreadable: {exc}") from exc
+    actual = sha256_bytes(data)
+    if actual != expected_sha256:
+        raise CorruptSnapshotError(
+            f"snapshot {path!r} failed its integrity check: "
+            f"sha256 {actual[:12]}… != recorded {expected_sha256[:12]}… "
+            f"(torn write or corruption)"
+        )
+    return data

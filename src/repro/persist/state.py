@@ -1,0 +1,179 @@
+"""Codecs between live run state and its snapshot-serializable form.
+
+Snapshots store arrays (NumPy, via the ``.npz`` payload) and a JSON
+metadata record; everything stateful that is *not* an array — RNG
+streams, quarantine sets, telemetry cursors — must round-trip through
+JSON.  The helpers here are deliberately duck-typed (they look at
+``client.rng`` / ``client._last_delta`` attributes rather than
+importing :mod:`repro.fl`), which keeps :mod:`repro.persist` free of
+upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "DELTA_PREFIX",
+    "rng_state_to_jsonable",
+    "rng_state_from_jsonable",
+    "capture_client_states",
+    "restore_client_states",
+    "shared_fault_model",
+    "stitch_streams",
+]
+
+# array names carrying FaultyClient stale-replay caches in a snapshot;
+# consumers filter on it to separate client arrays from model arrays
+DELTA_PREFIX = "client_delta."
+_DELTA_PREFIX = DELTA_PREFIX
+
+
+def rng_state_to_jsonable(rng: np.random.Generator | None):
+    """A generator's full stream position as plain JSON types.
+
+    ``None`` passes through (rng-less stubs).  The encoding is the
+    ``bit_generator.state`` dict with any NumPy scalars/arrays coerced
+    to Python ints/lists, so ``json.dumps`` round-trips it exactly.
+    """
+    if rng is None:
+        return None
+    return _jsonable(rng.bit_generator.state)
+
+
+def rng_state_from_jsonable(rng: np.random.Generator, state) -> None:
+    """Advance ``rng`` to a position captured by :func:`rng_state_to_jsonable`."""
+    if state is not None:
+        rng.bit_generator.state = state
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def capture_client_states(clients: Iterable) -> tuple[list[dict], dict[str, np.ndarray]]:
+    """Snapshot every client's mutable state (RNG stream, replay cache).
+
+    Returns ``(meta, arrays)``: per-client JSON records aligned with the
+    iteration order, plus the arrays too big for JSON (a
+    :class:`~repro.fl.faults.FaultyClient`'s ``_last_delta`` stale-replay
+    cache).  Everything else a client owns (dataset, config, poisoned
+    copy) is reconstructed from code + seed when the world is rebuilt,
+    so it does not belong in a snapshot.
+    """
+    meta: list[dict] = []
+    arrays: dict[str, np.ndarray] = {}
+    for client in clients:
+        client_id = getattr(client, "client_id", None)
+        record = {
+            "client_id": client_id,
+            "rng": rng_state_to_jsonable(getattr(client, "rng", None)),
+        }
+        last_delta = getattr(client, "_last_delta", None)
+        if last_delta is not None:
+            key = f"{_DELTA_PREFIX}{client_id}"
+            arrays[key] = np.asarray(last_delta)
+            record["last_delta"] = key
+        meta.append(record)
+    return meta, arrays
+
+
+def restore_client_states(
+    clients: Sequence,
+    meta: Sequence[dict],
+    arrays: Mapping[str, np.ndarray],
+) -> None:
+    """Apply a :func:`capture_client_states` snapshot to a rebuilt population.
+
+    Clients are matched by ``client_id`` (falling back to position for
+    id-less stubs); a population that no longer contains a snapshotted
+    client id raises — resuming against a different world is a config
+    error, not something to paper over.
+    """
+    by_id = {
+        getattr(client, "client_id", None): client for client in clients
+    }
+    for position, record in enumerate(meta):
+        client_id = record.get("client_id")
+        client = by_id.get(client_id)
+        if client is None:
+            if client_id is None and position < len(clients):
+                client = clients[position]
+            else:
+                raise ValueError(
+                    f"checkpoint names client {client_id!r} but the rebuilt "
+                    f"population has no such client — resuming against a "
+                    f"different world?"
+                )
+        rng = getattr(client, "rng", None)
+        if rng is not None and record.get("rng") is not None:
+            rng_state_from_jsonable(rng, record["rng"])
+        delta_key = record.get("last_delta")
+        if delta_key is not None:
+            if delta_key not in arrays:
+                raise ValueError(
+                    f"checkpoint meta references missing array {delta_key!r}"
+                )
+            client._last_delta = np.array(arrays[delta_key], copy=True)
+
+
+def shared_fault_model(clients: Iterable):
+    """The population's shared fault schedule, if clients carry one.
+
+    :class:`~repro.fl.faults.FaultyClient` wrappers all reference one
+    :class:`~repro.fl.faults.FaultModel`; snapshotting it once (rather
+    than per client) keeps its draw counters consistent on restore.
+    Returns ``None`` for fault-free populations.
+    """
+    for client in clients:
+        faults = getattr(client, "faults", None)
+        if faults is not None:
+            return faults
+    return None
+
+
+def stitch_streams(
+    segments: Sequence[Sequence[dict]],
+    resume_seqs: Sequence[int],
+) -> list[dict]:
+    """Splice telemetry event streams across crash/resume boundaries.
+
+    ``segments`` are the event lists of each run attempt in order (the
+    killed run, then each resumed continuation); ``resume_seqs[i]`` is
+    the telemetry sequence number attempt ``i+1`` resumed from (saved in
+    the checkpoint it loaded).  Events an attempt emitted *past* the
+    checkpoint its successor resumed from were replayed by that
+    successor and are dropped; events a resuming attempt emitted
+    *before* restoring the cursor (resume diagnostics on a fresh hub)
+    are likewise dropped.  The result of stitching a killed-and-resumed
+    run equals the stream of the uninterrupted run, record for record —
+    that is the determinism contract the resume tests assert bytewise
+    (after :func:`repro.obs.schema.canonical_events`).
+    """
+    if len(resume_seqs) != len(segments) - 1:
+        raise ValueError(
+            f"need one resume seq per boundary: {len(segments)} segments "
+            f"but {len(resume_seqs)} resume seqs"
+        )
+    stitched: list[dict] = []
+    for index, segment in enumerate(segments):
+        low = resume_seqs[index - 1] if index > 0 else 0
+        high = resume_seqs[index] if index < len(resume_seqs) else None
+        stitched.extend(
+            event
+            for event in segment
+            if event["seq"] >= low and (high is None or event["seq"] < high)
+        )
+    return stitched

@@ -1,0 +1,133 @@
+"""Divergence detection for long round loops.
+
+Federated training at production scale fails in ways payload validation
+cannot catch: every individual delta is finite and well-shaped, yet the
+aggregate overflows (many large-but-finite updates), the update norm
+explodes (an amplified attacker slipping past clipping), or the global
+model's validation accuracy collapses over a round.  A
+:class:`DivergenceWatchdog` gives the round loop a cheap, deterministic
+verdict *before* a bad aggregate is applied — and after evaluation, a
+verdict on whether the round it just applied should be rolled back.
+
+The watchdog holds no model state and draws no randomness; its verdicts
+are pure functions of the observations, so a run with a watchdog is as
+deterministic as one without (and bitwise identical whenever the
+watchdog never fires).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DivergenceWatchdog"]
+
+
+class DivergenceWatchdog:
+    """Detects non-finite aggregates, norm explosions, accuracy collapse.
+
+    Parameters
+    ----------
+    max_update_norm:
+        Reject an aggregated update whose L2 norm exceeds this; ``None``
+        disables the norm check (non-finite aggregates are always
+        rejected — there is no configuration in which applying NaN is
+        right).
+    collapse_drop:
+        Roll back a round whose post-aggregation validation accuracy
+        fell more than this below the best accuracy seen so far;
+        ``None`` disables the collapse check.
+    warmup_rounds:
+        Accuracy observations during the first ``warmup_rounds``
+        establish the baseline without ever triggering a collapse —
+        early training is legitimately volatile.
+    """
+
+    def __init__(
+        self,
+        max_update_norm: float | None = None,
+        collapse_drop: float | None = None,
+        warmup_rounds: int = 1,
+    ) -> None:
+        if max_update_norm is not None and max_update_norm <= 0:
+            raise ValueError(
+                f"max_update_norm must be > 0 or None, got {max_update_norm}"
+            )
+        if collapse_drop is not None and not 0.0 < collapse_drop <= 1.0:
+            raise ValueError(
+                f"collapse_drop must be in (0, 1] or None, got {collapse_drop}"
+            )
+        if warmup_rounds < 0:
+            raise ValueError(f"warmup_rounds must be >= 0, got {warmup_rounds}")
+        self.max_update_norm = max_update_norm
+        self.collapse_drop = collapse_drop
+        self.warmup_rounds = warmup_rounds
+        self.best_accuracy: float | None = None
+        self.rounds_observed = 0
+        self.rollbacks = 0
+
+    # -- verdicts ------------------------------------------------------
+
+    def check_aggregate(self, aggregate: np.ndarray) -> str | None:
+        """Reason the aggregated update must not be applied, or ``None``."""
+        aggregate = np.asarray(aggregate)
+        if not np.isfinite(aggregate).all():
+            return "non-finite aggregated update"
+        if self.max_update_norm is not None:
+            norm = float(np.linalg.norm(aggregate))
+            if norm > self.max_update_norm:
+                return (
+                    f"aggregated update norm {norm:.3g} exceeds "
+                    f"limit {self.max_update_norm:.3g}"
+                )
+        return None
+
+    def observe_accuracy(self, accuracy: float) -> str | None:
+        """Record a round's validation accuracy; non-``None`` = roll back.
+
+        The best-so-far baseline only advances on rounds that are *not*
+        rolled back, so a collapse never poisons the reference it is
+        judged against.
+        """
+        self.rounds_observed += 1
+        in_warmup = self.rounds_observed <= self.warmup_rounds
+        if (
+            self.collapse_drop is not None
+            and not in_warmup
+            and self.best_accuracy is not None
+            and accuracy < self.best_accuracy - self.collapse_drop
+        ):
+            return (
+                f"validation accuracy collapsed to {accuracy:.3f} "
+                f"(best {self.best_accuracy:.3f}, "
+                f"tolerance {self.collapse_drop:.3f})"
+            )
+        if self.best_accuracy is None or accuracy > self.best_accuracy:
+            self.best_accuracy = float(accuracy)
+        return None
+
+    def record_rollback(self) -> None:
+        """Count a rollback the round loop performed on our verdict."""
+        self.rollbacks += 1
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The watchdog's mutable state, JSON-serializable."""
+        return {
+            "best_accuracy": self.best_accuracy,
+            "rounds_observed": self.rounds_observed,
+            "rollbacks": self.rollbacks,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        best = state["best_accuracy"]
+        self.best_accuracy = None if best is None else float(best)
+        self.rounds_observed = int(state["rounds_observed"])
+        self.rollbacks = int(state["rollbacks"])
+
+    def __repr__(self) -> str:
+        return (
+            f"DivergenceWatchdog(max_update_norm={self.max_update_norm}, "
+            f"collapse_drop={self.collapse_drop}, "
+            f"rollbacks={self.rollbacks})"
+        )

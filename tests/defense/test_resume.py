@@ -1,0 +1,209 @@
+"""Crash-and-resume for the defense pipeline and fine-tuning stage.
+
+The defense resume contract is *state identity*: a pipeline killed at
+any point and resumed in a freshly rebuilt world produces the same final
+model and the same :class:`DefenseReport` as one that never crashed,
+and completed stages are never recomputed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.defense.adjust_weights import AdjustResult
+from repro.defense.fine_tune import FineTuneResult, federated_fine_tune
+from repro.defense.pipeline import DefenseConfig, DefensePipeline
+from repro.defense.pruning import PruningResult
+from repro.obs.context import RunContext
+from repro.persist import CheckpointManager
+
+from ..fl.test_resume import make_world
+
+
+def acc_fn(model):
+    """A deterministic validation oracle (pure function of the weights)."""
+    return float(np.tanh(np.abs(model.flat_parameters()).mean() * 10))
+
+
+class CrashAfter:
+    """acc_fn that dies once its call budget is exhausted."""
+
+    def __init__(self, calls: int) -> None:
+        self.calls = calls
+        self.count = 0
+
+    def __call__(self, model) -> float:
+        self.count += 1
+        if self.count > self.calls:
+            raise RuntimeError("injected crash")
+        return acc_fn(model)
+
+
+def defense_config() -> DefenseConfig:
+    return DefenseConfig(
+        method="mvp", fine_tune=True, fine_tune_rounds=3, fine_tune_patience=2
+    )
+
+
+class TestFineTuneResume:
+    def test_crash_and_resume_matches_uninterrupted(self, tmp_path):
+        model, clients, _ = make_world()
+        ref = federated_fine_tune(model, clients, acc_fn, max_rounds=4, patience=2)
+        ref_params = model.flat_parameters()
+
+        manager = CheckpointManager(tmp_path / "ft")
+        model2, clients2, _ = make_world()
+        with pytest.raises(RuntimeError, match="injected"):
+            # baseline + round-0 eval succeed; dies during round 1
+            federated_fine_tune(
+                model2, clients2, CrashAfter(2), max_rounds=4, patience=2,
+                checkpoint=manager, resume=True,
+            )
+        assert manager.load_latest("fine_tune") is not None
+
+        model3, clients3, _ = make_world()
+        result = federated_fine_tune(
+            model3, clients3, acc_fn, max_rounds=4, patience=2,
+            checkpoint=manager, resume=True,
+        )
+        assert np.array_equal(model3.flat_parameters(), ref_params)
+        assert result.to_jsonable() == ref.to_jsonable()
+
+    def test_resume_validation(self, tmp_path):
+        model, clients, _ = make_world()
+        with pytest.raises(ValueError, match="resume"):
+            federated_fine_tune(model, clients, acc_fn, resume=True)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            federated_fine_tune(
+                model, clients, acc_fn,
+                checkpoint=CheckpointManager(tmp_path), checkpoint_every=0,
+            )
+
+    def test_exhausted_patience_resumes_to_immediate_stop(self, tmp_path):
+        """A snapshot taken right before the early stop does not train more."""
+        manager = CheckpointManager(tmp_path / "ft")
+        model, clients, _ = make_world()
+        ref = federated_fine_tune(
+            model, clients, acc_fn, max_rounds=4, patience=2,
+            checkpoint=manager,
+        )
+        model2, clients2, _ = make_world()
+        result = federated_fine_tune(
+            model2, clients2, acc_fn, max_rounds=4, patience=2,
+            checkpoint=manager, resume=True,
+        )
+        assert result.rounds_run == ref.rounds_run
+        assert np.array_equal(model2.flat_parameters(), model.flat_parameters())
+
+
+class TestPipelineResume:
+    def _reference(self):
+        model, clients, _ = make_world()
+        pipeline = DefensePipeline(clients, acc_fn, defense_config())
+        report = pipeline.run(model)
+        return model.flat_parameters(), report
+
+    def _pruning_call_budget(self):
+        """How many acc_fn calls the pruning stage consumes (seeded probe)."""
+        from repro.defense.pruning import prune_by_sequence
+
+        model, clients, _ = make_world()
+        probe = DefensePipeline(clients, acc_fn, defense_config())
+        order = probe.global_prune_order(model)
+        model2, _, _ = make_world()
+        counter = CrashAfter(10**9)
+        prune_by_sequence(model2, model2.last_conv(), order, counter)
+        return counter.count
+
+    def test_crash_in_fine_tune_resumes_without_recomputing_pruning(
+        self, tmp_path
+    ):
+        ref_params, ref_report = self._reference()
+        manager = CheckpointManager(tmp_path / "defense")
+
+        # dies during the second fine-tuning round
+        crash_at = self._pruning_call_budget() + 2
+        model, clients, _ = make_world()
+        crashing = DefensePipeline(
+            clients, CrashAfter(crash_at), defense_config(),
+            context=RunContext(checkpoint=manager, resume=True),
+        )
+        with pytest.raises(RuntimeError, match="injected"):
+            crashing.run(model)
+        kinds = {e["kind"] for e in manager.entries()}
+        assert kinds == {"defense", "fine_tune"}
+
+        model2, clients2, _ = make_world()
+        resumed = DefensePipeline(
+            clients2, acc_fn, defense_config(),
+            context=RunContext(checkpoint=manager, resume=True),
+        )
+
+        def recomputed(_model):
+            raise AssertionError("pruning re-ran on resume")
+
+        resumed.global_prune_order = recomputed
+        report = resumed.run(model2)
+
+        assert np.array_equal(model2.flat_parameters(), ref_params)
+        assert report.pruning.to_jsonable() == ref_report.pruning.to_jsonable()
+        assert (
+            report.fine_tuning.to_jsonable()
+            == ref_report.fine_tuning.to_jsonable()
+        )
+        assert (
+            report.adjusting.to_jsonable()
+            == ref_report.adjusting.to_jsonable()
+        )
+        assert set(report.stage_seconds) == {
+            "pruning", "fine_tuning", "adjusting"
+        }
+
+    def test_completed_pipeline_resumes_to_full_report(self, tmp_path):
+        """Resuming past the last stage recomputes nothing and loses nothing."""
+        ref_params, ref_report = self._reference()
+        manager = CheckpointManager(tmp_path / "defense")
+        model, clients, _ = make_world()
+        DefensePipeline(
+            clients, acc_fn, defense_config(),
+            context=RunContext(checkpoint=manager, resume=True),
+        ).run(model)
+
+        model2, clients2, _ = make_world()
+        resumed = DefensePipeline(
+            clients2, CrashAfter(0), defense_config(),  # any acc call would die
+            context=RunContext(checkpoint=manager, resume=True),
+        )
+        report = resumed.run(model2)
+        assert np.array_equal(model2.flat_parameters(), ref_params)
+        assert report.adjusting.to_jsonable() == ref_report.adjusting.to_jsonable()
+
+    def test_resume_without_checkpoint_raises(self):
+        model, clients, _ = make_world()
+        pipeline = DefensePipeline(
+            clients, acc_fn, defense_config(), context=RunContext(resume=True)
+        )
+        with pytest.raises(ValueError, match="resume"):
+            pipeline.run(model)
+
+
+class TestResultCodecs:
+    def test_pruning_round_trip(self):
+        result = PruningResult([3, 1], [0.9, 0.88], 0.91, True)
+        clone = PruningResult.from_jsonable(result.to_jsonable())
+        assert clone.to_jsonable() == result.to_jsonable()
+        assert clone.num_pruned == 2
+
+    def test_fine_tune_round_trip(self):
+        result = FineTuneResult(
+            2, [0.5, 0.6], 0.45, num_dropped=1, num_rejected=2,
+            skipped_rounds=[1],
+        )
+        clone = FineTuneResult.from_jsonable(result.to_jsonable())
+        assert clone.to_jsonable() == result.to_jsonable()
+        assert clone.final_accuracy == result.final_accuracy
+
+    def test_adjust_round_trip(self):
+        result = AdjustResult(2.5, 4, [(5.0, 0, 0.9), (2.5, 4, 0.89)], 0.9)
+        clone = AdjustResult.from_jsonable(result.to_jsonable())
+        assert clone.to_jsonable() == result.to_jsonable()
+        assert clone.trace == result.trace

@@ -1,0 +1,69 @@
+"""Argument handling for the experiment runner CLI.
+
+Full experiment execution is exercised elsewhere (test_registry); here
+we pin the flag surface: validation errors exit before any experiment
+starts, and ``--max-rounds`` caps a *copy* of the scale preset.
+"""
+
+import pytest
+
+from repro.experiments.cli import _apply_max_rounds, build_parser, main
+from repro.experiments.scale import get_scale
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.checkpoint_dir is None
+        assert args.resume is False
+        assert args.checkpoint_every == 1
+        assert args.max_rounds is None
+
+    def test_checkpoint_flags_parse(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "table1",
+                "--checkpoint-dir", str(tmp_path),
+                "--resume",
+                "--checkpoint-every", "3",
+                "--max-rounds", "2",
+            ]
+        )
+        assert args.checkpoint_dir == str(tmp_path)
+        assert args.resume is True
+        assert args.checkpoint_every == 3
+        assert args.max_rounds == 2
+
+
+class TestValidation:
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_every_must_be_positive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["table1", "--checkpoint-dir", str(tmp_path),
+                 "--checkpoint-every", "0"]
+            )
+
+    def test_max_rounds_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--max-rounds", "0"])
+
+
+class TestMaxRounds:
+    def test_caps_both_round_budgets(self):
+        scale = get_scale("bench")
+        capped = _apply_max_rounds(scale, 1)
+        assert capped.rounds == 1
+        assert capped.cifar_rounds == 1
+        # the preset itself is untouched (it is module-global state)
+        assert scale.rounds == get_scale("bench").rounds
+
+    def test_never_raises_a_budget(self):
+        scale = get_scale("smoke")
+        capped = _apply_max_rounds(scale, 10_000)
+        assert capped.rounds == scale.rounds
+        assert capped.cifar_rounds == scale.cifar_rounds

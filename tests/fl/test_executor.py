@@ -309,3 +309,77 @@ class TestTelemetryParity:
         assert streams["serial"]
         assert streams["thread"] == streams["serial"]
         assert streams["process"] == streams["serial"]
+
+
+# -- worker watchdog ---------------------------------------------------
+#
+# The task bodies below must be module-level (spawn pickles them by
+# qualified name) and communicate across process boundaries through
+# flag files: the first execution of a task dies or hangs, re-dispatch
+# finds the flag and completes.
+
+
+def _kill_once(task):
+    import os
+    import signal
+
+    value, flag = task
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("died")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def _hang_once(task):
+    import os
+    import time
+
+    value, flag = task
+    if not os.path.exists(flag):
+        with open(flag, "w") as handle:
+            handle.write("hung")
+        time.sleep(120)
+    return value * 2
+
+
+def _always_die(_task):
+    import os
+    import signal
+
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestWorkerWatchdog:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="task_timeout"):
+            ProcessExecutor(num_workers=1, task_timeout=0)
+        with pytest.raises(ValueError, match="max_task_retries"):
+            ProcessExecutor(num_workers=1, max_task_retries=-1)
+
+    def test_killed_worker_recovers_completed_results(self, tmp_path):
+        """SIGKILL mid-wave: survivors kept, casualty re-dispatched."""
+        flag = str(tmp_path / "killed.flag")
+        with ProcessExecutor(num_workers=2) as executor:
+            results = executor.map_clients(
+                _kill_once, [(i, flag) for i in range(4)]
+            )
+            assert results == [0, 2, 4, 6]
+            assert executor.redispatches >= 1
+            # the rebuilt pool keeps serving later waves
+            assert executor.map_clients(_square, [3]) == [9]
+
+    @pytest.mark.slow
+    def test_hung_worker_past_deadline_is_re_dispatched(self, tmp_path):
+        flag = str(tmp_path / "hung.flag")
+        with ProcessExecutor(num_workers=2, task_timeout=3.0) as executor:
+            results = executor.map_clients(
+                _hang_once, [(i, flag) for i in range(2)]
+            )
+            assert results == [0, 2]
+            assert executor.redispatches >= 1
+
+    def test_gives_up_after_retry_budget(self):
+        with ProcessExecutor(num_workers=1, max_task_retries=0) as executor:
+            with pytest.raises(RuntimeError, match="re-dispatch"):
+                executor.map_clients(_always_die, [1])

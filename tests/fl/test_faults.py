@@ -163,3 +163,40 @@ class TestFaultyClient:
         wrapped = wrap_clients(clients, faults)
         assert [w.client_id for w in wrapped] == [0, 1, 2]
         assert all(w.faults is faults for w in wrapped)
+
+
+class TestFaultModelState:
+    def _busy_model(self):
+        model = FaultModel(
+            dropout_prob=0.3, corrupt_prob=0.2, stale_prob=0.1, seed=9
+        )
+        for _ in range(7):
+            model.draw_dropout()
+            model.draw_corruption()
+        return model
+
+    def test_round_trip_replays_remaining_schedule(self):
+        import json
+
+        model = self._busy_model()
+        state = json.loads(json.dumps(model.state_dict()))
+        counts_at_capture = dict(model.draw_counts)
+        expected = [
+            (model.draw_dropout(), model.draw_corruption()) for _ in range(5)
+        ]
+
+        fresh = FaultModel(
+            dropout_prob=0.3, corrupt_prob=0.2, stale_prob=0.1, seed=9
+        )
+        fresh.load_state_dict(state)
+        assert fresh.draw_counts == counts_at_capture
+        replay = [
+            (fresh.draw_dropout(), fresh.draw_corruption()) for _ in range(5)
+        ]
+        assert replay == expected
+
+    def test_seed_mismatch_rejected(self):
+        donor = FaultModel(dropout_prob=0.1, seed=2)
+        receiver = FaultModel(dropout_prob=0.1, seed=1)
+        with pytest.raises(ValueError, match="seed"):
+            receiver.load_state_dict(donor.state_dict())

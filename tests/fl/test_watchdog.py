@@ -1,0 +1,164 @@
+"""Integration tests: the divergence watchdog inside the round loop."""
+
+import numpy as np
+import pytest
+
+from repro.fl.aggregation import fedavg
+from repro.fl.server import FederatedServer
+from repro.obs.sinks import RingBufferSink
+from repro.obs.telemetry import Telemetry
+from repro.persist import CheckpointManager, DivergenceWatchdog
+
+from .test_resume import make_world
+
+
+class PoisonAggregate:
+    """fedavg that returns a poisoned update on one scheduled call."""
+
+    def __init__(self, poison_call: int, poison):
+        self.poison_call = poison_call
+        self.poison = poison
+        self.calls = 0
+
+    def __call__(self, stacked: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        update = fedavg(stacked)
+        if self.calls == self.poison_call:
+            update = self.poison(update)
+        return update
+
+
+def inject_nan(update: np.ndarray) -> np.ndarray:
+    poisoned = update.copy()
+    poisoned[0] = np.nan  # assignment, not arithmetic: no RuntimeWarning
+    return poisoned
+
+
+class TestAggregateVeto:
+    def test_non_finite_update_never_applied(self):
+        model, clients, dataset = make_world()
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        watchdog = DivergenceWatchdog()
+        server = FederatedServer(
+            model,
+            clients,
+            dataset,
+            aggregate=PoisonAggregate(2, inject_nan),
+            telemetry=hub,
+            watchdog=watchdog,
+        )
+        history = server.train(3)
+        hub.close()
+
+        assert np.isfinite(model.flat_parameters()).all()
+        assert history.rounds[1].diverged
+        assert "non-finite" in history.rounds[1].divergence_reason
+        assert not history.rounds[0].diverged
+        assert not history.rounds[2].diverged
+        assert watchdog.rollbacks == 1
+        rollbacks = [e for e in ring.events if e["name"] == "watchdog.rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["attrs"]["stage"] == "aggregate"
+        assert rollbacks[0]["attrs"]["round"] == 1
+
+    def test_vetoed_round_leaves_params_untouched(self):
+        model, clients, dataset = make_world()
+        watchdog = DivergenceWatchdog()
+        server = FederatedServer(
+            model,
+            clients,
+            dataset,
+            aggregate=PoisonAggregate(2, inject_nan),
+            watchdog=watchdog,
+        )
+        server.train(1)
+        before = model.flat_parameters()
+        server.run_round(1)  # the poisoned round
+        np.testing.assert_array_equal(model.flat_parameters(), before)
+
+    def test_norm_explosion_vetoed(self):
+        model, clients, dataset = make_world()
+        amplify = lambda u: np.full_like(u, 1e6)
+        server = FederatedServer(
+            model,
+            clients,
+            dataset,
+            aggregate=PoisonAggregate(1, amplify),
+            watchdog=DivergenceWatchdog(max_update_norm=100.0),
+        )
+        history = server.train(1)
+        assert history.rounds[0].diverged
+        assert "norm" in history.rounds[0].divergence_reason
+
+    def test_without_watchdog_rounds_never_diverge(self):
+        model, clients, dataset = make_world()
+        server = FederatedServer(model, clients, dataset)
+        history = server.train(2)
+        assert history.diverged_rounds == []
+
+
+class TestCollapseRollback:
+    def test_collapse_restores_pre_round_params(self, monkeypatch):
+        scripted = iter([0.8, 0.9, 0.2, 0.9, 0.85])
+        monkeypatch.setattr(
+            "repro.fl.server.test_accuracy",
+            lambda model, test_set: next(scripted),
+        )
+        model, clients, dataset = make_world()
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        watchdog = DivergenceWatchdog(collapse_drop=0.3, warmup_rounds=1)
+        server = FederatedServer(
+            model, clients, dataset, telemetry=hub, watchdog=watchdog
+        )
+        server.train(2)  # accuracies 0.8 (warmup), 0.9
+        after_round_two = model.flat_parameters()
+
+        metrics = server.run_round(2)  # evaluates to 0.2 -> rollback
+        hub.close()
+        assert metrics.diverged
+        assert "collapsed" in metrics.divergence_reason
+        # parameters rolled back; re-evaluation recorded the survivor (0.9)
+        np.testing.assert_array_equal(model.flat_parameters(), after_round_two)
+        assert metrics.test_acc == 0.9
+        rollbacks = [e for e in ring.events if e["name"] == "watchdog.rollback"]
+        assert len(rollbacks) == 1
+        assert rollbacks[0]["attrs"]["stage"] == "evaluation"
+
+    def test_collapse_never_fires_during_warmup(self, monkeypatch):
+        scripted = iter([0.9, 0.1, 0.1])
+        monkeypatch.setattr(
+            "repro.fl.server.test_accuracy",
+            lambda model, test_set: next(scripted),
+        )
+        model, clients, dataset = make_world()
+        server = FederatedServer(
+            model,
+            clients,
+            dataset,
+            watchdog=DivergenceWatchdog(collapse_drop=0.3, warmup_rounds=3),
+        )
+        history = server.train(3)
+        assert history.diverged_rounds == []
+
+
+class TestWatchdogPersistence:
+    def test_state_survives_checkpoint_resume(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ckpt")
+        model, clients, dataset = make_world()
+        watchdog = DivergenceWatchdog(collapse_drop=0.3)
+        server = FederatedServer(
+            model, clients, dataset, watchdog=watchdog
+        )
+        server.train(2, checkpoint=manager)
+        assert watchdog.best_accuracy is not None
+
+        model2, clients2, dataset2 = make_world()
+        fresh = DivergenceWatchdog(collapse_drop=0.3)
+        server2 = FederatedServer(
+            model2, clients2, dataset2, watchdog=fresh
+        )
+        server2.train(3, checkpoint=manager, resume=True)
+        assert fresh.rounds_observed == 3
+        assert fresh.best_accuracy >= watchdog.best_accuracy

@@ -1,0 +1,90 @@
+"""Tests for atomic durable writes and checksummed reads."""
+
+import hashlib
+import os
+
+import pytest
+
+from repro.persist.atomic import (
+    CorruptSnapshotError,
+    atomic_write_bytes,
+    atomic_write_json,
+    read_verified_bytes,
+    sha256_bytes,
+)
+
+
+class TestSha256:
+    def test_matches_hashlib(self):
+        payload = b"federated"
+        assert sha256_bytes(payload) == hashlib.sha256(payload).hexdigest()
+
+    def test_distinguishes_content(self):
+        assert sha256_bytes(b"a") != sha256_bytes(b"b")
+
+
+class TestAtomicWriteBytes:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "x.bin"
+        atomic_write_bytes(str(path), b"\x00\x01payload")
+        assert path.read_bytes() == b"\x00\x01payload"
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "x.bin"
+        path.write_bytes(b"old")
+        atomic_write_bytes(str(path), b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write_bytes(str(tmp_path / "x.bin"), b"data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["x.bin"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        # writing into a missing directory fails before any rename
+        target = tmp_path / "nodir" / "x.bin"
+        with pytest.raises(OSError):
+            atomic_write_bytes(str(target), b"data")
+        assert not target.exists()
+
+
+class TestAtomicWriteJson:
+    def test_round_trips(self, tmp_path):
+        import json
+
+        path = tmp_path / "m.json"
+        atomic_write_json(str(path), {"b": 2, "a": [1, 2]})
+        assert json.loads(path.read_text()) == {"b": 2, "a": [1, 2]}
+
+    def test_deterministic_bytes(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        atomic_write_json(str(a), {"x": 1, "y": 2})
+        atomic_write_json(str(b), {"y": 2, "x": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestReadVerifiedBytes:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.bin"
+        payload = b"snapshot-bytes"
+        atomic_write_bytes(str(path), payload)
+        assert read_verified_bytes(str(path), sha256_bytes(payload)) == payload
+
+    def test_rejects_tampered_bytes(self, tmp_path):
+        path = tmp_path / "x.bin"
+        atomic_write_bytes(str(path), b"snapshot-bytes")
+        checksum = sha256_bytes(b"snapshot-bytes")
+        path.write_bytes(b"snapshot-bytEs")
+        with pytest.raises(CorruptSnapshotError, match="integrity"):
+            read_verified_bytes(str(path), checksum)
+
+    def test_rejects_truncation(self, tmp_path):
+        path = tmp_path / "x.bin"
+        payload = os.urandom(256)
+        atomic_write_bytes(str(path), payload)
+        path.write_bytes(payload[:100])
+        with pytest.raises(CorruptSnapshotError):
+            read_verified_bytes(str(path), sha256_bytes(payload))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CorruptSnapshotError):
+            read_verified_bytes(str(tmp_path / "gone.bin"), sha256_bytes(b""))

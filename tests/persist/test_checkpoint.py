@@ -1,0 +1,144 @@
+"""Tests for the checkpoint directory: manifest, retention, fallback."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.persist import CheckpointManager, CorruptSnapshotError
+
+
+def arrays_for(step: int) -> dict:
+    return {
+        "weights": np.full((3, 2), float(step)),
+        "mask": np.array([True, False, True]),
+    }
+
+
+class TestSaveLoad:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        saved = manager.save("train", 4, arrays_for(4), {"round": 4, "note": "x"})
+        loaded = manager.load_latest("train")
+        assert loaded is not None
+        assert loaded.kind == "train" and loaded.step == 4
+        assert loaded.meta == {"round": 4, "note": "x"}
+        np.testing.assert_array_equal(loaded.arrays["weights"], saved.arrays["weights"])
+        assert loaded.arrays["weights"].dtype == np.float64
+        assert loaded.arrays["mask"].dtype == np.bool_
+        assert loaded.checksum == saved.checksum
+
+    def test_empty_directory(self, tmp_path):
+        assert CheckpointManager(tmp_path).load_latest("train") is None
+
+    def test_latest_wins(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for step in (1, 2, 3):
+            manager.save("train", step, arrays_for(step), {"round": step})
+        assert manager.load_latest("train").step == 3
+
+    def test_kinds_are_namespaced(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 5, arrays_for(5), {})
+        manager.save("defense", 1, arrays_for(1), {})
+        assert manager.load_latest("train").step == 5
+        assert manager.load_latest("defense").step == 1
+        assert manager.load_latest("fine_tune") is None
+
+    def test_reserved_meta_key_rejected(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError, match="reserved"):
+            manager.save("train", 1, {"__meta__": np.zeros(2)}, {})
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+
+class TestRetention:
+    def test_old_snapshots_evicted(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in range(1, 5):
+            manager.save("train", step, arrays_for(step), {})
+        entries = manager.entries("train")
+        assert [e["step"] for e in entries] == [3, 4]
+        files = {p.name for p in tmp_path.iterdir()}
+        assert "train-00000001.ckpt" not in files
+        assert "train-00000004.ckpt" in files
+
+    def test_retention_is_per_kind(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=1)
+        manager.save("train", 1, arrays_for(1), {})
+        manager.save("defense", 1, arrays_for(1), {})
+        manager.save("train", 2, arrays_for(2), {})
+        assert manager.load_latest("defense") is not None
+        assert [e["step"] for e in manager.entries("train")] == [2]
+
+
+class TestCorruptionFallback:
+    def test_truncated_latest_falls_back(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 1, arrays_for(1), {"round": 1})
+        manager.save("train", 2, arrays_for(2), {"round": 2})
+        latest = tmp_path / "train-00000002.ckpt"
+        latest.write_bytes(latest.read_bytes()[:64])  # torn write
+        loaded = manager.load_latest("train")
+        assert loaded.step == 1
+        assert manager.last_rejected and manager.last_rejected[0][0] == (
+            "train-00000002.ckpt"
+        )
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 1, arrays_for(1), {})
+        (tmp_path / "train-00000001.ckpt").write_bytes(b"garbage")
+        assert manager.load_latest("train") is None
+        assert len(manager.last_rejected) == 1
+
+    def test_unlisted_snapshot_ignored(self, tmp_path):
+        # a file the manifest doesn't know about (crash between the
+        # snapshot rename and the manifest update) must not be loaded
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 1, arrays_for(1), {"round": 1})
+        orphan = manager.save("train", 9, arrays_for(9), {"round": 9})
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        manifest["snapshots"] = [
+            e for e in manifest["snapshots"] if e["step"] != 9
+        ]
+        (tmp_path / "MANIFEST.json").write_text(json.dumps(manifest))
+        assert os.path.exists(orphan.path)
+        assert manager.load_latest("train").step == 1
+
+    def test_corrupt_manifest_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 1, arrays_for(1), {})
+        (tmp_path / "MANIFEST.json").write_text("{not json")
+        with pytest.raises(CorruptSnapshotError, match="manifest"):
+            manager.load_latest("train")
+
+    def test_unsupported_manifest_version(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("train", 1, arrays_for(1), {})
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        manifest["version"] = 99
+        (tmp_path / "MANIFEST.json").write_text(json.dumps(manifest))
+        with pytest.raises(CorruptSnapshotError, match="version"):
+            manager.load_latest("train")
+
+
+class TestScope:
+    def test_scopes_are_isolated(self, tmp_path):
+        root = CheckpointManager(tmp_path, keep=5)
+        a = root.scope("mnist-seed1")
+        b = root.scope("mnist-seed2")
+        a.save("train", 1, arrays_for(1), {"who": "a"})
+        b.save("train", 7, arrays_for(7), {"who": "b"})
+        assert a.load_latest("train").meta == {"who": "a"}
+        assert b.load_latest("train").step == 7
+        assert root.load_latest("train") is None
+        assert a.keep == 5
+
+    def test_scope_sanitizes_name(self, tmp_path):
+        scoped = CheckpointManager(tmp_path).scope("a/b c:d")
+        assert os.path.basename(scoped.directory) == "a_b_c_d"

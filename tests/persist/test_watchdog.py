@@ -1,0 +1,97 @@
+"""Tests for the divergence watchdog's verdicts and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.persist import DivergenceWatchdog
+
+
+class TestCheckAggregate:
+    def test_finite_update_passes(self):
+        assert DivergenceWatchdog().check_aggregate(np.ones(4)) is None
+
+    def test_nan_always_rejected(self):
+        update = np.ones(4)
+        update[2] = np.nan
+        reason = DivergenceWatchdog().check_aggregate(update)
+        assert reason is not None and "non-finite" in reason
+
+    def test_inf_always_rejected(self):
+        update = np.ones(4)
+        update[0] = np.inf
+        assert DivergenceWatchdog().check_aggregate(update) is not None
+
+    def test_norm_limit(self):
+        dog = DivergenceWatchdog(max_update_norm=1.0)
+        assert dog.check_aggregate(np.full(4, 0.1)) is None
+        reason = dog.check_aggregate(np.full(4, 10.0))
+        assert reason is not None and "norm" in reason
+
+    def test_no_norm_limit_by_default(self):
+        assert DivergenceWatchdog().check_aggregate(np.full(4, 1e30)) is None
+
+
+class TestObserveAccuracy:
+    def test_collapse_detected_after_warmup(self):
+        dog = DivergenceWatchdog(collapse_drop=0.2, warmup_rounds=1)
+        assert dog.observe_accuracy(0.8) is None  # warmup
+        assert dog.observe_accuracy(0.85) is None
+        reason = dog.observe_accuracy(0.5)
+        assert reason is not None and "collapsed" in reason
+
+    def test_warmup_never_collapses(self):
+        dog = DivergenceWatchdog(collapse_drop=0.1, warmup_rounds=3)
+        assert dog.observe_accuracy(0.9) is None
+        assert dog.observe_accuracy(0.1) is None  # huge drop, still warmup
+        assert dog.observe_accuracy(0.1) is None
+
+    def test_best_does_not_advance_on_collapse(self):
+        dog = DivergenceWatchdog(collapse_drop=0.2, warmup_rounds=0)
+        dog.observe_accuracy(0.9)
+        assert dog.observe_accuracy(0.5) is not None
+        assert dog.best_accuracy == 0.9
+
+    def test_disabled_without_threshold(self):
+        dog = DivergenceWatchdog()
+        dog.observe_accuracy(0.9)
+        assert dog.observe_accuracy(0.0) is None
+
+    def test_tolerated_dip_within_threshold(self):
+        dog = DivergenceWatchdog(collapse_drop=0.5, warmup_rounds=0)
+        dog.observe_accuracy(0.9)
+        assert dog.observe_accuracy(0.6) is None
+
+
+class TestValidationAndState:
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError, match="max_update_norm"):
+            DivergenceWatchdog(max_update_norm=0)
+        with pytest.raises(ValueError, match="collapse_drop"):
+            DivergenceWatchdog(collapse_drop=1.5)
+        with pytest.raises(ValueError, match="warmup_rounds"):
+            DivergenceWatchdog(warmup_rounds=-1)
+
+    def test_state_round_trip(self):
+        dog = DivergenceWatchdog(collapse_drop=0.2, warmup_rounds=0)
+        dog.observe_accuracy(0.7)
+        dog.observe_accuracy(0.8)
+        dog.record_rollback()
+        state = dog.state_dict()
+
+        import json
+
+        restored = DivergenceWatchdog(collapse_drop=0.2, warmup_rounds=0)
+        restored.load_state_dict(json.loads(json.dumps(state)))
+        assert restored.best_accuracy == 0.8
+        assert restored.rounds_observed == 2
+        assert restored.rollbacks == 1
+        # the restored baseline keeps judging collapses
+        assert restored.observe_accuracy(0.5) is not None
+
+    def test_fresh_state(self):
+        state = DivergenceWatchdog().state_dict()
+        assert state == {
+            "best_accuracy": None,
+            "rounds_observed": 0,
+            "rollbacks": 0,
+        }

@@ -23,17 +23,26 @@ outcome beyond tolerance.
 All tests carry the ``chaos`` marker: deselect with ``-m "not chaos"``.
 """
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
+from repro import nn
+from repro.data.dataset import Dataset
 from repro.defense.pipeline import DefenseConfig, DefensePipeline
 from repro.experiments.common import build_setup, clone_model
 from repro.experiments.scale import SMOKE
+from repro.fl.client import Client, LocalTrainingConfig
 from repro.fl.executor import ProcessExecutor, ThreadExecutor
 from repro.fl.faults import FaultModel, wrap_clients
 from repro.fl.server import FederatedServer
 from repro.nn.zoo import mnist_cnn
 from repro.obs import RingBufferSink, Telemetry
+from repro.persist import CheckpointManager
+
+from .fl.test_resume import CrashingAggregate, SimulatedCrash
 
 pytestmark = pytest.mark.chaos
 
@@ -275,3 +284,137 @@ class TestChaosDefense:
             final_metrics.append(setup.metrics())
         np.testing.assert_array_equal(final_params[0], final_params[1])
         assert final_metrics[0] == final_metrics[1]
+
+
+# -- durability under violent failure ----------------------------------
+#
+# KamikazeClient is module-level so spawn workers can unpickle it; the
+# flag file is how one SIGKILL communicates "already died" to the
+# re-dispatched attempt.
+
+
+class KamikazeClient(Client):
+    """A client whose first ``local_update`` SIGKILLs its worker process."""
+
+    def __init__(self, flag, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.flag = flag
+
+    def local_update(self, model, global_params, round_index):
+        if self.flag is not None and not os.path.exists(self.flag):
+            with open(self.flag, "w") as handle:
+                handle.write("killed")
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().local_update(model, global_params, round_index)
+
+
+def durable_world(flag=None):
+    """A small seeded federation; client 1 is a kamikaze when given a flag."""
+    size, classes, num_clients, total = 8, 4, 4, 96
+    data_rng = np.random.default_rng(13)
+    images = data_rng.random((total, 1, size, size))
+    labels = np.tile(np.arange(classes), total // classes)
+    dataset = Dataset(images, labels)
+    config = LocalTrainingConfig(
+        lr=0.05, momentum=0.9, batch_size=16, local_epochs=1
+    )
+    clients = []
+    for i, chunk in enumerate(np.array_split(np.arange(total), num_clients)):
+        shard = dataset.subset(chunk)
+        rng = np.random.default_rng(70 + i)
+        if i == 1 and flag is not None:
+            clients.append(KamikazeClient(flag, i, shard, config, rng))
+        else:
+            clients.append(Client(i, shard, config, rng))
+    model_rng = np.random.default_rng(3)
+    model = nn.Sequential(
+        nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=model_rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * (size // 2) ** 2, classes, rng=model_rng),
+    )
+    return model, clients, dataset
+
+
+class TestChaosDurability:
+    """Kill the worker, then kill the coordinator, and still finish."""
+
+    @pytest.mark.slow
+    def test_worker_sigkill_then_coordinator_crash_then_resume(self, tmp_path):
+        num_rounds = 4
+        ref_model, ref_clients, ref_dataset = durable_world()
+        with ProcessExecutor(num_workers=2) as executor:
+            ref_history = FederatedServer(
+                ref_model, ref_clients, ref_dataset, executor=executor
+            ).train(num_rounds)
+        ref_params = ref_model.flat_parameters()
+
+        flag = str(tmp_path / "kamikaze.flag")
+        manager = CheckpointManager(tmp_path / "ckpt", keep=10)
+
+        # attempt 1: a worker is SIGKILLed in round 0 (and re-dispatched),
+        # then the coordinator itself dies mid round 2
+        model, clients, dataset = durable_world(flag)
+        with ProcessExecutor(num_workers=2) as executor:
+            server = FederatedServer(
+                model,
+                clients,
+                dataset,
+                aggregate=CrashingAggregate(3),
+                executor=executor,
+            )
+            with pytest.raises(SimulatedCrash):
+                server.train(num_rounds, checkpoint=manager)
+            assert executor.redispatches >= 1
+        assert os.path.exists(flag)  # the kamikaze really fired
+        assert manager.load_latest("train").step == 2
+
+        # attempt 2: a rebuilt (kamikaze-free) world resumes and finishes
+        model2, clients2, dataset2 = durable_world()
+        with ProcessExecutor(num_workers=2) as executor:
+            history = FederatedServer(
+                model2, clients2, dataset2, executor=executor
+            ).train(num_rounds, checkpoint=manager, resume=True)
+
+        assert model2.flat_parameters().tobytes() == ref_params.tobytes()
+        assert history.to_jsonable() == ref_history.to_jsonable()
+
+    def test_torn_snapshot_rejected_by_checksum(self, tmp_path):
+        """Truncation is detected, reported, and survived via fallback."""
+        num_rounds = 4
+        ref_model, ref_clients, ref_dataset = durable_world()
+        ref_history = FederatedServer(
+            ref_model, ref_clients, ref_dataset
+        ).train(num_rounds)
+
+        manager = CheckpointManager(tmp_path / "ckpt", keep=10)
+        model, clients, dataset = durable_world()
+        with pytest.raises(SimulatedCrash):
+            FederatedServer(
+                model, clients, dataset, aggregate=CrashingAggregate(4)
+            ).train(num_rounds, checkpoint=manager)
+        newest = manager.load_latest("train")
+        assert newest.step == 3
+        with open(newest.path, "r+b") as handle:
+            data = handle.read()
+            handle.seek(0)
+            handle.truncate()
+            handle.write(data[: len(data) // 3])
+
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        model2, clients2, dataset2 = durable_world()
+        fresh = CheckpointManager(tmp_path / "ckpt", keep=10)
+        history = FederatedServer(
+            model2, clients2, dataset2, telemetry=hub
+        ).train(num_rounds, checkpoint=fresh, resume=True)
+        hub.close()
+
+        assert np.array_equal(model2.flat_parameters(), ref_model.flat_parameters())
+        assert history.to_jsonable() == ref_history.to_jsonable()
+        resume_events = [e for e in ring.events if e["name"] == "persist.resume"]
+        assert len(resume_events) == 1
+        assert resume_events[0]["attrs"]["step"] == 2  # fell back one snapshot
+        assert len(resume_events[0]["attrs"]["rejected"]) == 1
+        assert fresh.last_rejected and "integrity" in fresh.last_rejected[0][1]

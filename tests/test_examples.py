@@ -21,6 +21,7 @@ EXPECTED_EXAMPLES = {
     "backdoor_localization.py",
     "unreliable_clients.py",
     "traced_run.py",
+    "resume_run.py",
 }
 
 
