@@ -25,9 +25,18 @@ WORKERS = 4
 
 def _require_cores(workers: int) -> None:
     cores = os.cpu_count() or 1
+    if cores == 1:
+        # single core: parallel engines cannot beat serial at all, so the
+        # expected speedup is ~1.0x (or below, with pool overhead) — skip
+        # with a message that says so, rather than implying a near-miss
+        pytest.skip(
+            f"single-core host: a {workers}-worker pool has no second core "
+            "to run on, so the >= 2x speedup claim does not apply"
+        )
     if cores < workers:
         pytest.skip(
-            f"speedup assertion needs >= {workers} cores, have {cores}"
+            f"speedup assertion needs >= {workers} cores, have {cores} "
+            "(oversubscribed pools time-slice instead of speeding up)"
         )
 
 
@@ -49,6 +58,11 @@ class TestEngineIdentity:
         assert payload["bitwise_identical"] is True
         assert set(payload["timings"]) == {"serial", "thread", "process"}
         assert payload["cpu_count"] == os.cpu_count()
+        assert payload["oversubscribed"] == ((os.cpu_count() or 1) < 2)
+        assert set(payload["utilization"]) == set(payload["timings"])
+        for stats in payload["utilization"].values():
+            assert 0.0 <= stats["utilization"]
+        assert payload["critical_path"], "serial trace must yield a path"
         for engine, seconds in payload["timings"].items():
             assert set(seconds) == {"training", "defense"}
             assert all(value >= 0.0 for value in seconds.values())

@@ -1,0 +1,94 @@
+"""Capture a trace of a profiled experiment, then mine it for answers.
+
+Runs one registered experiment (fig6 by default) with a JSONL trace and
+the per-layer profiler attached, then walks the analysis layer
+(:mod:`repro.obs.analysis`) over the file it just wrote:
+
+* **summarize** — per-phase totals, wave utilization
+  (busy / (wall x workers)), the critical path, counters and gauges,
+* **tree** — the reconstructed span tree (spans emit at exit, so the
+  stream is children-first; ``seq`` is the sibling order),
+* **profile** — the per-layer forward/backward table rebuilt from the
+  ``profile.*`` records the profiler flushed into the stream,
+* **diff** — the perf-regression gate, demonstrated by diffing the
+  trace against a doctored copy with 2x-slower training rounds.
+
+Everything here is also reachable from the shell via
+``scripts/trace.py summarize|tree|profile|diff`` — this script is the
+programmatic tour of the same API.
+
+Usage::
+
+    python examples/analyze_trace.py [--scale smoke|bench|paper]
+    python examples/analyze_trace.py --experiment table2 --keep-trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+
+from repro.experiments import get_scale, run_experiment
+from repro.obs import JSONLSink, RunContext, Telemetry, diff, load_trace
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--experiment", default="fig6")
+    parser.add_argument(
+        "--keep-trace",
+        action="store_true",
+        help="leave the captured trace on disk instead of deleting it",
+    )
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    trace_path = os.path.join(tempfile.mkdtemp(), f"{args.experiment}.jsonl")
+    hub = Telemetry([JSONLSink(trace_path)])
+    context = RunContext(telemetry=hub, profile=True)
+    result = run_experiment(args.experiment, scale, seed=args.seed, context=context)
+    hub.close()
+    print(result)
+    print(f"\ntrace captured at {trace_path}\n")
+
+    # --- reconstruct and summarize -----------------------------------
+    analysis = load_trace(trace_path)
+    print(analysis.summarize())
+
+    # --- the span tree, trimmed to the interesting depth -------------
+    print("span tree (depth <= 3):")
+    print(analysis.render_tree(max_depth=3))
+
+    # --- targeted queries the summary doesn't show -------------------
+    rounds = analysis.round_breakdown()
+    if rounds:
+        slowest = max(rounds, key=lambda r: r["seconds"])
+        print(f"slowest round: #{slowest['round']} at {slowest['seconds']:.3f}s")
+    path = analysis.critical_path()
+    leaf = path[-1]
+    print(f"critical-path leaf: {leaf['name']} ({leaf['seconds']:.3f}s)")
+    layers = [r for r in analysis.records if r["name"] == "profile.forward"]
+    print(f"{len(layers)} layer rows profiled (see scripts/trace.py profile)")
+
+    # --- the regression gate, on a synthetic 2x slowdown -------------
+    doctored = []
+    for record in analysis.records:
+        record = dict(record)
+        if record.get("name") == "fl.round":
+            record["dur"] = record["dur"] * 2.0
+        doctored.append(record)
+    verdict = diff(analysis.records, doctored)
+    print("\ninjected 2x fl.round slowdown -> gate says:")
+    print(verdict.render())
+
+    if args.keep_trace:
+        print(f"\ntrace kept at {trace_path}")
+    else:
+        os.remove(trace_path)
+
+
+if __name__ == "__main__":
+    main()

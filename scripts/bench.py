@@ -13,6 +13,12 @@ Usage::
     PYTHONPATH=src python scripts/bench.py --scale smoke  # CI-sized
     PYTHONPATH=src python scripts/bench.py --workers 8 --output my.json
     PYTHONPATH=src python scripts/bench.py --trace-out trace.jsonl
+    PYTHONPATH=src python scripts/bench.py --baseline BENCH_fl.json
+
+With ``--baseline`` the fresh payload is regression-gated against a
+previously saved one (same machine assumed): any engine stage more than
+``--threshold`` slower exits non-zero, so CI can catch perf regressions
+the way it catches correctness ones.
 """
 
 import argparse
@@ -34,7 +40,11 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
 
-from repro.eval.parallel_bench import run_benchmark, trace_run  # noqa: E402
+from repro.eval.parallel_bench import (  # noqa: E402
+    compare_to_baseline,
+    run_benchmark,
+    trace_run,
+)
 
 
 def main(argv=None) -> int:
@@ -60,6 +70,19 @@ def main(argv=None) -> int:
         help="also run the workload once with a full telemetry trace "
         "written as JSONL to PATH (schema v1, see DESIGN.md)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="regression-gate against a previously written payload: exit "
+        "non-zero if any engine stage is more than --threshold slower",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown tolerated by --baseline (default: 0.25)",
+    )
     args = parser.parse_args(argv)
 
     payload = run_benchmark(scale=args.scale, workers=args.workers)
@@ -72,14 +95,28 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
 
+    oversub = " (oversubscribed)" if payload["oversubscribed"] else ""
     print(f"scale={payload['scale']} workers={payload['workers']} "
-          f"cpu_count={payload['cpu_count']}")
+          f"cpu_count={payload['cpu_count']}{oversub}")
     for engine, seconds in payload["timings"].items():
         stages = " ".join(f"{k}={v:.3f}s" for k, v in seconds.items())
         total = sum(seconds.values())
         print(f"  {engine:8s} {stages} total={total:.3f}s")
     for engine, ratio in payload["speedups"].items():
         print(f"  speedup[{engine}] = {ratio:.2f}x")
+    for engine, stats in payload["utilization"].items():
+        print(
+            f"  utilization[{engine}] = {stats['utilization'] * 100:.0f}% "
+            f"({stats['num_waves']} waves, "
+            f"busy={stats['busy_seconds']:.3f}s "
+            f"wall={stats['wall_seconds']:.3f}s)"
+        )
+    if payload["critical_path"]:
+        path = " > ".join(
+            f"{entry['name']}={entry['seconds']:.3f}s"
+            for entry in payload["critical_path"]
+        )
+        print(f"  critical path: {path}")
     print(f"  bitwise_identical = {payload['bitwise_identical']}")
     overhead = payload["telemetry"]
     print(
@@ -89,7 +126,29 @@ def main(argv=None) -> int:
         f"instrumented={overhead['instrumented_seconds']:.3f}s)"
     )
     print(f"wrote {args.output}")
-    return 0 if payload["bitwise_identical"] else 1
+
+    gate_ok = True
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        verdict = compare_to_baseline(
+            payload, baseline, threshold=args.threshold
+        )
+        if verdict["ok"]:
+            print(
+                f"baseline gate: ok ({verdict['checked']} stage timings "
+                f"within {args.threshold * 100:.0f}% of {args.baseline})"
+            )
+        else:
+            gate_ok = False
+            print(f"baseline gate: FAILED against {args.baseline}")
+            for reg in verdict["regressions"]:
+                print(
+                    f"  {reg['engine']}/{reg['stage']}: "
+                    f"{reg['base_seconds']:.3f}s -> {reg['head_seconds']:.3f}s "
+                    f"({reg['ratio']:.2f}x)"
+                )
+    return 0 if (payload["bitwise_identical"] and gate_ok) else 1
 
 
 if __name__ == "__main__":

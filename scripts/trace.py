@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Analyze telemetry traces (the ``--trace-out`` JSONL files).
+
+Subcommands::
+
+    PYTHONPATH=src python scripts/trace.py summarize run.jsonl
+    PYTHONPATH=src python scripts/trace.py tree run.jsonl --max-depth 4
+    PYTHONPATH=src python scripts/trace.py diff base.jsonl head.jsonl
+    PYTHONPATH=src python scripts/trace.py profile run.jsonl
+
+``summarize`` prints the run report: per-phase totals, the spans-by-time
+table, executor wave utilization, the critical path, and final
+counter/gauge values.  ``tree`` renders the span tree as indented text.
+``diff`` compares two traces per span name and exits non-zero when any
+span regressed beyond ``--threshold`` — the trace-level perf gate.
+``profile`` tabulates the per-layer ``profile.*`` records a
+``--profile`` run leaves in the stream.
+"""
+
+import argparse
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.obs.analysis import diff, load_trace  # noqa: E402
+from repro.obs.profile import render_profile  # noqa: E402
+
+
+def _cmd_summarize(args) -> int:
+    analysis = load_trace(args.trace)
+    print(analysis.summarize(workers=args.workers, top=args.top), end="")
+    return 0
+
+
+def _cmd_tree(args) -> int:
+    analysis = load_trace(args.trace)
+    print(
+        analysis.render_tree(
+            max_depth=args.max_depth, min_fraction=args.min_fraction
+        ),
+        end="",
+    )
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    result = diff(
+        load_trace(args.base),
+        load_trace(args.head),
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    print(result.render(), end="")
+    regressions = result.regressions
+    if regressions:
+        print(
+            f"\n{len(regressions)} span(s) regressed beyond "
+            f"{args.threshold * 100:.0f}%:"
+        )
+        for entry in regressions:
+            ratio = (
+                f"{entry['ratio']:.2f}x" if entry["ratio"] is not None else "new"
+            )
+            print(
+                f"  {entry['name']}: {entry['base_total']:.3f}s -> "
+                f"{entry['head_total']:.3f}s ({ratio})"
+            )
+        return 1
+    print(f"\nno regressions beyond {args.threshold * 100:.0f}%")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    analysis = load_trace(args.trace)
+    stats: dict[str, dict] = {}
+    for record in analysis.records:
+        name = record.get("name")
+        if name not in ("profile.forward", "profile.backward"):
+            continue
+        attrs = record.get("attrs", {})
+        entry = stats.setdefault(
+            attrs.get("layer", "?"),
+            {
+                "forward_calls": 0,
+                "forward_seconds": 0.0,
+                "backward_calls": 0,
+                "backward_seconds": 0.0,
+                "input_bytes": 0,
+                "output_bytes": 0,
+                "grad_bytes": 0,
+            },
+        )
+        if name == "profile.forward":
+            entry["forward_calls"] += attrs.get("calls", 0)
+            entry["forward_seconds"] += record.get("dur", 0.0)
+            entry["input_bytes"] += attrs.get("input_bytes", 0)
+            entry["output_bytes"] += attrs.get("output_bytes", 0)
+        else:
+            entry["backward_calls"] += attrs.get("calls", 0)
+            entry["backward_seconds"] += record.get("dur", 0.0)
+            entry["grad_bytes"] += attrs.get("grad_bytes", 0)
+    if not stats:
+        print(
+            "no profile.* records in this trace "
+            "(run with --profile / RunContext(profile=True))"
+        )
+        return 1
+    print(render_profile(stats), end="")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="per-phase totals, utilization, "
+                       "critical path, counters")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool size for utilization (default: the trace's "
+        "exec.workers gauge, else 1)",
+    )
+    p.add_argument(
+        "--top", type=int, default=5, help="rows in the top-spans table"
+    )
+    p.set_defaults(func=_cmd_summarize)
+
+    p = sub.add_parser("tree", help="render the span tree as indented text")
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument(
+        "--max-depth", type=int, default=None, help="truncate below this depth"
+    )
+    p.add_argument(
+        "--min-fraction",
+        type=float,
+        default=0.0,
+        help="hide spans shorter than this fraction of the trace total",
+    )
+    p.set_defaults(func=_cmd_tree)
+
+    p = sub.add_parser(
+        "diff", help="compare two traces per span name; exits 1 on regression"
+    )
+    p.add_argument("base", help="baseline JSONL trace")
+    p.add_argument("head", help="candidate JSONL trace")
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional slowdown tolerated per span name (default: 0.25)",
+    )
+    p.add_argument(
+        "--min-seconds",
+        type=float,
+        default=1e-3,
+        help="ignore regressions smaller than this many absolute seconds",
+    )
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "profile", help="tabulate per-layer profile.* records from the trace"
+    )
+    p.add_argument("trace", help="JSONL trace file (from a --profile run)")
+    p.set_defaults(func=_cmd_profile)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,3 +13,21 @@ python -m pytest -x -q
 
 echo "== slow tier (process kill/hang recovery, end-to-end resume) =="
 python -m pytest -x -q -m slow
+
+echo "== trace round-trip (emit -> validate -> analyze) =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+python - "$TRACE_TMP/verify_trace.jsonl" <<'EOF'
+import sys
+from repro.eval.parallel_bench import trace_run
+from repro.obs.schema import validate_stream
+from repro.obs.sinks import read_events
+
+path = sys.argv[1]
+info = trace_run("smoke", path, workers=2, engine="serial")
+events = read_events(path)
+problems = validate_stream(events)
+assert not problems, problems
+print(f"trace ok: {info['num_events']} events, schema valid")
+EOF
+python scripts/trace.py summarize "$TRACE_TMP/verify_trace.jsonl" | head -20

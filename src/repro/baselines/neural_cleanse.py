@@ -33,6 +33,7 @@ from ..nn.losses import CrossEntropyLoss
 from ..nn.module import Parameter
 from ..nn.optim import SGD, Adam
 from ..nn.serialization import clone_module, strip_runtime_state
+from ..obs.profile import maybe_profile
 from ..obs.telemetry import Telemetry, ensure_telemetry
 
 __all__ = [
@@ -258,6 +259,7 @@ class NeuralCleanse:
         rng: np.random.Generator | None = None,
         executor: ClientExecutor | None = None,
         telemetry: Telemetry | None = None,
+        profile: bool = False,
     ) -> None:
         self.steps = steps
         self.lr = lr
@@ -267,6 +269,7 @@ class NeuralCleanse:
         self.rng = rng or np.random.default_rng()
         self.executor = executor
         self.telemetry = ensure_telemetry(telemetry)
+        self.profile = bool(profile)
 
     def reconstruct_all(
         self, model: Sequential, dataset: Dataset, num_classes: int
@@ -328,7 +331,18 @@ class NeuralCleanse:
         When no label is flagged, the label with the smallest mask norm
         is unlearned anyway — matching the comparison protocol of
         selecting Neural Cleanse's best effort.
+
+        With ``profile=True`` the whole detect+unlearn pass runs under a
+        per-layer :class:`~repro.obs.profile.LayerProfiler` (aggregated
+        ``profile.*`` spans in the stream; flagged labels and the final
+        model are unchanged).
         """
+        with maybe_profile(telemetry=self.telemetry, enabled=self.profile):
+            return self._run(model, dataset, num_classes)
+
+    def _run(
+        self, model: Sequential, dataset: Dataset, num_classes: int
+    ) -> list[int]:
         triggers = self.reconstruct_all(model, dataset, num_classes)
         flagged = detect_backdoor_labels(triggers, self.anomaly_threshold)
         fallback = not flagged

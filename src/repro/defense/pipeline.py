@@ -45,6 +45,7 @@ from ..fl.executor import ClientExecutor, collect_reports
 from ..nn.layers import Conv2d, Linear, Sequential
 from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.context import RunContext, warn_deprecated_kwarg
+from ..obs.profile import maybe_profile
 from ..persist.checkpoint import CheckpointManager, Snapshot
 from ..persist.state import (
     DELTA_PREFIX,
@@ -247,6 +248,7 @@ class DefensePipeline:
             self.telemetry.event(
                 "defense.quarantine", client=client_id, strikes=strikes
             )
+            self.telemetry.count("defense.quarantines")
 
     def _report_quorum(self, num_active: int) -> int:
         quorum = self.config.min_report_quorum
@@ -325,6 +327,12 @@ class DefensePipeline:
         Resume here guarantees *state* identity (same final model, same
         report); the telemetry byte-identity contract belongs to
         :meth:`repro.fl.server.FederatedServer.train`.
+
+        With ``context.profile`` set, the whole run executes under a
+        :class:`~repro.obs.profile.LayerProfiler`, so aggregated
+        ``profile.forward``/``profile.backward`` spans land inside the
+        ``defense.run`` span.  Profiling observes without mutating: the
+        report and final model are bitwise identical either way.
         """
         config = self.config
         tel = self.telemetry
@@ -353,7 +361,8 @@ class DefensePipeline:
                 model, snapshot, timer
             )
 
-        with tel.span("defense.run", method=config.method) as run_span:
+        with tel.span("defense.run", method=config.method) as run_span, \
+                maybe_profile(ctx, telemetry=tel):
             if stage_cursor < _STAGE_PRUNED:
                 with timer.stage("pruning"):
                     order = self.global_prune_order(model)

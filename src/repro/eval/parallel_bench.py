@@ -31,6 +31,7 @@ from ..fl.executor import (
 )
 from ..fl.server import FederatedServer
 from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
+from ..obs.analysis import TraceAnalysis
 from ..obs.context import RunContext
 from ..obs.sinks import JSONLSink, RingBufferSink
 from ..obs.telemetry import Telemetry
@@ -42,6 +43,7 @@ __all__ = [
     "build_bench_world",
     "make_executor",
     "run_benchmark",
+    "compare_to_baseline",
     "measure_telemetry_overhead",
     "measure_checkpoint_cost",
     "trace_run",
@@ -168,7 +170,17 @@ def run_benchmark(
     asserts the determinism contract (final parameters and accuracy
     traces equal across every engine).  ``cpu_count`` is recorded
     because speedups below the worker count on an undersized box are
-    expected, not a regression.
+    expected, not a regression — ``oversubscribed`` makes the call
+    explicit (more workers requested than cores available).
+
+    Each engine run is traced into an in-memory ring so the payload can
+    report *why* the numbers look the way they do: per-engine
+    ``utilization`` (executor busy-time over wall-time, see
+    :meth:`~repro.obs.analysis.TraceAnalysis.wave_utilization`) and the
+    serial run's top ``critical_path`` spans.  The tracing itself is in
+    the measured region for every engine alike, so the speedup ratios
+    stay comparable; the bitwise checks compare parameters and accuracy
+    traces, which telemetry cannot touch.
     """
     if scale not in BENCH_PRESETS:
         raise ValueError(f"unknown scale {scale!r}")
@@ -178,12 +190,28 @@ def run_benchmark(
     timings: dict[str, dict[str, float]] = {}
     params: dict[str, np.ndarray] = {}
     traces: dict[str, list[float]] = {}
+    utilization: dict[str, dict] = {}
+    critical_path: list[dict] = []
     for engine in engines:
+        effective_workers = 1 if engine == "serial" else workers
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        hub.gauge("exec.workers", effective_workers)
         with make_executor(engine, workers) as executor:
             _warm_up(executor, workers)
             timings[engine], params[engine], traces[engine] = _run_engine(
-                executor, scale
+                executor, scale, telemetry=hub
             )
+        hub.close()
+        analysis = TraceAnalysis(ring.events)
+        stats = analysis.wave_utilization()
+        stats.pop("waves", None)  # keep the payload compact
+        utilization[engine] = stats
+        if engine == "serial":
+            critical_path = [
+                {"name": e["name"], "depth": e["depth"], "seconds": e["seconds"]}
+                for e in analysis.critical_path()[:5]
+            ]
 
     serial_total = sum(timings["serial"].values())
     speedups = {
@@ -196,17 +224,69 @@ def run_benchmark(
         and traces[engine] == traces["serial"]
         for engine in engines
     )
+    cpu_count = os.cpu_count()
     return {
         "scale": scale,
         "workers": workers,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
+        "oversubscribed": bool(cpu_count is not None and cpu_count < workers),
         "num_clients": BENCH_PRESETS[scale]["num_clients"],
         "timings": timings,
         "speedups": speedups,
+        "utilization": utilization,
+        "critical_path": critical_path,
         "bitwise_identical": identical,
         "telemetry": measure_telemetry_overhead(scale),
         "checkpoint": measure_checkpoint_cost(scale),
     }
+
+
+def compare_to_baseline(
+    payload: dict,
+    baseline: dict,
+    threshold: float = 0.25,
+    min_seconds: float = 1e-3,
+) -> dict:
+    """Regression-gate a fresh bench ``payload`` against a saved baseline.
+
+    Compares per-engine, per-stage wall-clock timings: a stage regresses
+    when it is more than ``threshold`` (fractionally) slower than the
+    baseline *and* the absolute slowdown exceeds ``min_seconds`` (so
+    microsecond noise on trivial stages never trips the gate).  Engines
+    or stages absent from either side are skipped — a baseline from a
+    different machine shape gates what it can and ignores the rest.
+
+    Returns ``{"ok": bool, "regressions": [...], "checked": int}``;
+    ``scripts/bench.py --baseline`` exits non-zero when ``ok`` is False.
+    """
+    if threshold <= 0:
+        raise ValueError(f"threshold must be > 0, got {threshold}")
+    regressions: list[dict] = []
+    checked = 0
+    base_timings = baseline.get("timings", {})
+    head_timings = payload.get("timings", {})
+    for engine, base_stages in sorted(base_timings.items()):
+        head_stages = head_timings.get(engine)
+        if head_stages is None:
+            continue
+        for stage, base_seconds in sorted(base_stages.items()):
+            head_seconds = head_stages.get(stage)
+            if head_seconds is None:
+                continue
+            checked += 1
+            delta = head_seconds - base_seconds
+            ratio = head_seconds / max(base_seconds, 1e-9)
+            if ratio > 1.0 + threshold and delta > min_seconds:
+                regressions.append(
+                    {
+                        "engine": engine,
+                        "stage": stage,
+                        "base_seconds": base_seconds,
+                        "head_seconds": head_seconds,
+                        "ratio": ratio,
+                    }
+                )
+    return {"ok": not regressions, "regressions": regressions, "checked": checked}
 
 
 def measure_telemetry_overhead(scale: str = "smoke") -> dict:
@@ -290,6 +370,9 @@ def trace_run(scale: str, path: str, workers: int = 4, engine: str = "serial") -
     hub = Telemetry()
     ring = hub.add_sink(RingBufferSink())
     hub.add_sink(JSONLSink(path))
+    # recorded so trace analysis can compute wave utilization without
+    # being told the worker count out of band
+    hub.gauge("exec.workers", 1 if engine == "serial" else workers)
     with make_executor(engine, workers) as executor:
         _warm_up(executor, workers)
         _run_engine(executor, scale, telemetry=hub)

@@ -55,6 +55,13 @@ class TableResult:
 
     Experiments return these; benches assert on the summary, examples
     and the CLI print ``str(result)``.
+
+    ``counters`` carries the run's final telemetry counter snapshot
+    (rounds skipped, quarantines, watchdog rollbacks, ...) —
+    :func:`~repro.experiments.registry.run_experiment` fills it in, so
+    a saved table records not just *what* came out but how bumpy the
+    run that produced it was.  Empty for a fault-free run under the
+    null hub.
     """
 
     def __init__(
@@ -64,12 +71,14 @@ class TableResult:
         rows: list[dict[str, Any]],
         summary: dict[str, float] | None = None,
         columns: Sequence[str] | None = None,
+        counters: dict[str, int] | None = None,
     ) -> None:
         self.experiment_id = experiment_id
         self.title = title
         self.rows = rows
         self.summary = summary or {}
         self.columns = list(columns) if columns else None
+        self.counters = dict(counters) if counters else {}
 
     def __str__(self) -> str:
         parts = [f"== {self.experiment_id}: {self.title} ==", ""]
@@ -82,6 +91,11 @@ class TableResult:
                     parts.append(f"  {key}: {value:.4f}")
                 else:
                     parts.append(f"  {key}: {value}")
+        if self.counters:
+            parts.append("")
+            parts.append("counters:")
+            for key in sorted(self.counters):
+                parts.append(f"  {key}: {self.counters[key]}")
         return "\n".join(parts)
 
     def to_json(self) -> str:
@@ -103,6 +117,10 @@ class TableResult:
             ],
             "summary": {key: coerce(val) for key, val in self.summary.items()},
         }
+        if self.counters:
+            payload["counters"] = {
+                key: int(val) for key, val in self.counters.items()
+            }
         return json.dumps(payload, indent=2)
 
     @staticmethod
@@ -116,4 +134,5 @@ class TableResult:
             payload["title"],
             payload["rows"],
             payload.get("summary"),
+            counters=payload.get("counters"),
         )

@@ -5,6 +5,7 @@ Usage::
     python -m repro.experiments.cli table1 --scale bench
     python -m repro.experiments.cli all --scale smoke --seed 7
     python -m repro.experiments.cli table1 --checkpoint-dir ckpt --resume
+    python -m repro.experiments.cli table1 --trace-out t.jsonl --profile
 """
 
 from __future__ import annotations
@@ -15,6 +16,8 @@ import sys
 import time
 
 from ..obs.context import RunContext
+from ..obs.sinks import JSONLSink
+from ..obs.telemetry import Telemetry
 from ..persist import CheckpointManager
 from .registry import EXPERIMENTS, run_experiment
 from .scale import get_scale
@@ -68,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="cap federated training at N rounds (applies to both the "
         "grayscale and CIFAR budgets of the chosen scale)",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the full telemetry trace as JSONL to PATH (analyze "
+        "with scripts/trace.py); with 'all', one file per experiment "
+        "id is written as PATH with a -<id> suffix",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="per-layer forward/backward profiling: aggregated profile.* "
+        "spans land in the trace (results are bitwise unchanged)",
+    )
     return parser
 
 
@@ -94,20 +111,37 @@ def main(argv: list[str] | None = None) -> int:
     ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
 
     for experiment_id in ids:
-        context = None
+        context_kwargs: dict = {}
         if args.checkpoint_dir is not None:
             manager = CheckpointManager(args.checkpoint_dir)
-            context = RunContext(
+            context_kwargs.update(
                 checkpoint=manager.scope(experiment_id),
                 checkpoint_every=args.checkpoint_every,
                 resume=args.resume,
             )
+        telemetry = None
+        trace_path = None
+        if args.trace_out is not None:
+            trace_path = _trace_path(args.trace_out, experiment_id, ids)
+            telemetry = Telemetry([JSONLSink(trace_path)])
+            context_kwargs["telemetry"] = telemetry
+        if args.profile:
+            context_kwargs["profile"] = True
+        context = RunContext(**context_kwargs) if context_kwargs else None
         start = time.perf_counter()
-        result = run_experiment(experiment_id, scale, args.seed, context=context)
+        try:
+            result = run_experiment(
+                experiment_id, scale, args.seed, context=context
+            )
+        finally:
+            if telemetry is not None:
+                telemetry.close()
         elapsed = time.perf_counter() - start
         print(result)
         print(f"\n[{experiment_id} finished in {elapsed:.1f}s at scale "
               f"{scale.name!r}]\n")
+        if trace_path is not None:
+            print(f"[trace written to {trace_path}]\n")
         if args.json_dir is not None:
             import os
 
@@ -116,6 +150,16 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w") as handle:
                 handle.write(result.to_json())
     return 0
+
+
+def _trace_path(base: str, experiment_id: str, ids: list[str]) -> str:
+    """Per-experiment trace file: the given path, suffixed when 'all'."""
+    if len(ids) == 1:
+        return base
+    root, dot, ext = base.rpartition(".")
+    if not dot:
+        return f"{base}-{experiment_id}"
+    return f"{root}-{experiment_id}.{ext}"
 
 
 if __name__ == "__main__":

@@ -393,6 +393,7 @@ def build_setup(
         executor=engine,
         telemetry=tel,
         watchdog=ctx.watchdog,
+        profile=ctx.profile,
     )
     with tel.span(
         "build_setup", dataset=dataset_name, seed=seed, num_clients=len(clients)

@@ -67,7 +67,11 @@ def run_experiment(
     :func:`~repro.experiments.common.evaluate_modes` call inside the
     experiment module picks up its telemetry hub and execution engine
     without signature changes.  The whole run is wrapped in one
-    ``experiment`` span.
+    ``experiment`` span, and the returned
+    :class:`~repro.eval.tables.TableResult` carries the final telemetry
+    counter snapshot (``fl.rounds_skipped``, ``fl.quarantines``,
+    ``watchdog.rollbacks``, ...) so the table records how bumpy the run
+    was, not just what it produced.
     """
     if isinstance(scale, str):
         scale = get_scale(scale)
@@ -82,4 +86,8 @@ def run_experiment(
         with ctx.telemetry.span(
             "experiment", id=experiment_id, scale=scale.name, seed=seed
         ):
-            return runner(scale, seed)
+            result = runner(scale, seed)
+        counters = getattr(ctx.telemetry, "counters", None)
+        if counters and not result.counters:
+            result.counters = dict(counters)
+        return result

@@ -481,6 +481,12 @@ def collect_updates(
                     outcomes[position] = ("dropped", value)
         wave_index += 1
 
+    # worker re-dispatches happen only when workers die, so the gauge is
+    # emitted only then — quiet runs stay byte-identical across engines
+    redispatches = getattr(executor, "redispatches", 0)
+    if redispatches:
+        tel.gauge("exec.redispatches", redispatches)
+
     return outcomes
 
 

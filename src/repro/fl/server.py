@@ -34,6 +34,7 @@ from ..data.dataset import Dataset
 from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
 from ..nn.serialization import apply_model_state, pack_model_state
+from ..obs.profile import maybe_profile
 from ..obs.telemetry import Telemetry, ensure_telemetry
 from ..persist.checkpoint import CheckpointManager, Snapshot
 from ..persist.state import (
@@ -276,6 +277,14 @@ class FederatedServer:
         way the round is recorded as ``diverged`` with the reason and a
         ``watchdog.rollback`` event lands in the stream.  ``None``
         disables the checks (the paper's idealized loop).
+    profile:
+        Wrap :meth:`train` in a per-layer
+        :class:`~repro.obs.profile.LayerProfiler`, flushing aggregated
+        ``profile.forward``/``profile.backward`` spans inside the
+        ``fl.train`` span.  Observation only — the trained model is
+        bitwise identical either way.  For full client coverage profile
+        under the serial executor; process workers never see the
+        coordinator's hook.
     """
 
     def __init__(
@@ -293,6 +302,7 @@ class FederatedServer:
         executor: ClientExecutor | None = None,
         telemetry: Telemetry | None = None,
         watchdog: DivergenceWatchdog | None = None,
+        profile: bool = False,
     ) -> None:
         if not clients:
             raise ValueError("need at least one client")
@@ -328,6 +338,7 @@ class FederatedServer:
         self.executor = executor
         self.telemetry = ensure_telemetry(telemetry)
         self.watchdog = watchdog
+        self.profile = bool(profile)
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
@@ -400,6 +411,7 @@ class FederatedServer:
                             client=client.client_id,
                             strikes=self._strikes[client.client_id],
                         )
+                        tel.count("fl.quarantines")
 
             quorum = _resolve_quorum(self.min_quorum, len(participants))
             skipped = len(accepted) < quorum
@@ -429,6 +441,7 @@ class FederatedServer:
                             stage="aggregate",
                             reason=divergence_reason,
                         )
+                        tel.count("watchdog.rollbacks")
                     else:
                         self.model.load_flat_parameters(global_params + update)
 
@@ -455,6 +468,7 @@ class FederatedServer:
                         stage="evaluation",
                         reason=divergence_reason,
                     )
+                    tel.count("watchdog.rollbacks")
                     with tel.span("fl.evaluation", rolled_back=True):
                         test_acc = test_accuracy(self.model, self.test_set)
                         if self.backdoor_task is not None:
@@ -466,6 +480,8 @@ class FederatedServer:
             tel.count("fl.updates_accepted", len(accepted))
             tel.count("fl.updates_dropped", len(dropped))
             tel.count("fl.updates_rejected", len(rejected))
+            if skipped:
+                tel.count("fl.rounds_skipped")
             if diverged:
                 tel.count("fl.rounds_diverged")
             round_span.set(
@@ -550,7 +566,7 @@ class FederatedServer:
                     )
         if train_span is None:
             train_span = tel.span("fl.train", num_rounds=num_rounds)
-        with train_span:
+        with train_span, maybe_profile(telemetry=tel, enabled=self.profile):
             for round_index in range(start_round, num_rounds):
                 history.append(self.run_round(round_index))
                 if (

@@ -24,6 +24,7 @@ import numpy as np
 
 from . import functional as F
 from . import init
+from . import module as _module
 from .module import Module, Parameter
 
 __all__ = [
@@ -388,8 +389,17 @@ class Sequential(Module):
         return x
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
-            grad_output = layer.backward(grad_output)
+        # the per-layer backward chain is the one place layer backward
+        # calls funnel through, so the profiling hook lives here (the
+        # forward twin sits in Module.__call__); one global load per
+        # backward pass keeps the off path free
+        hook = _module._PROFILE_HOOK
+        if hook is None:
+            for layer in reversed(self.layers):
+                grad_output = layer.backward(grad_output)
+        else:
+            for layer in reversed(self.layers):
+                grad_output = hook.profiled_backward(layer, grad_output)
         return grad_output
 
     def __getitem__(self, index: int) -> Module:

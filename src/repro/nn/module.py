@@ -25,7 +25,33 @@ import numpy as np
 
 from .config import get_default_dtype
 
-__all__ = ["Parameter", "Module"]
+__all__ = ["Parameter", "Module", "set_profile_hook", "get_profile_hook"]
+
+
+# The opt-in layer-profiling hook (see repro.obs.profile.LayerProfiler).
+# None keeps the forward/backward hot path at one global load + identity
+# check per call — the "off by default, <2% overhead" contract.  When
+# set, the hook's profiled_forward/profiled_backward run the layer and
+# time it; the framework never imports repro.obs, so the dependency
+# points obs -> nn only.
+_PROFILE_HOOK = None
+
+
+def set_profile_hook(hook) -> object | None:
+    """Install (or with ``None`` clear) the global layer-profiling hook.
+
+    Returns the previously installed hook so callers can restore it —
+    the discipline :class:`repro.obs.profile.LayerProfiler` follows.
+    """
+    global _PROFILE_HOOK
+    previous = _PROFILE_HOOK
+    _PROFILE_HOOK = hook
+    return previous
+
+
+def get_profile_hook():
+    """The currently installed layer-profiling hook (None when off)."""
+    return _PROFILE_HOOK
 
 
 class Parameter:
@@ -117,7 +143,11 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
-        out = self.forward(x)
+        hook = _PROFILE_HOOK
+        if hook is None:
+            out = self.forward(x)
+        else:
+            out = hook.profiled_forward(self, x)
         if self._recording:
             self.last_activation = out
         return out

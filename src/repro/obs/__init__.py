@@ -21,7 +21,9 @@ Quickstart::
 See DESIGN.md §8 for the event schema.
 """
 
+from .analysis import SpanNode, TraceAnalysis, TraceDiff, diff, load_trace
 from .context import RunContext, current_context, use_context
+from .profile import LayerProfiler, maybe_profile, render_profile
 from .schema import (
     SCHEMA_VERSION,
     canonical_events,
@@ -40,6 +42,14 @@ from .telemetry import (
 )
 
 __all__ = [
+    "SpanNode",
+    "TraceAnalysis",
+    "TraceDiff",
+    "diff",
+    "load_trace",
+    "LayerProfiler",
+    "maybe_profile",
+    "render_profile",
     "RunContext",
     "current_context",
     "use_context",

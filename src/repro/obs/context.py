@@ -67,6 +67,16 @@ class RunContext:
     * ``watchdog`` — a :class:`~repro.persist.watchdog.DivergenceWatchdog`
       guarding the round loop against non-finite/exploding aggregates
       and accuracy collapse.
+
+    Observability fields (see :mod:`repro.obs.profile`):
+
+    * ``profile`` — opt into per-layer forward/backward profiling: the
+      entry points that run models (``DefensePipeline``,
+      ``FederatedServer`` via ``build_setup``, ``NeuralCleanse``) wrap
+      their model work in a :class:`~repro.obs.profile.LayerProfiler`,
+      and aggregated ``profile.forward``/``profile.backward`` records
+      land in the telemetry stream.  Off by default and effectively
+      free when off.
     """
 
     def __init__(
@@ -79,6 +89,7 @@ class RunContext:
         checkpoint_every: int = 1,
         resume: bool = False,
         watchdog: "DivergenceWatchdog | None" = None,
+        profile: bool = False,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError(
@@ -92,6 +103,7 @@ class RunContext:
         self.checkpoint_every = checkpoint_every
         self.resume = resume
         self.watchdog = watchdog
+        self.profile = bool(profile)
         if fault_model is not None:
             # fault draws become stream events (see FaultyClient.plan_*)
             fault_model.telemetry = self.telemetry
@@ -110,6 +122,8 @@ class RunContext:
                 parts.append("resume=True")
         if self.watchdog is not None:
             parts.append(f"watchdog={self.watchdog!r}")
+        if self.profile:
+            parts.append("profile=True")
         return f"RunContext({', '.join(parts)})"
 
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 import io
 import json
 import sys
+import warnings
 from collections import deque
-from typing import IO, Iterable, Iterator
+from typing import IO, Callable, Iterable, Iterator
 
 __all__ = [
     "Sink",
@@ -111,16 +112,58 @@ class JSONLSink(Sink):
         return f"JSONLSink(path={self.path!r})"
 
 
-def read_events(source: str | IO[str]) -> Iterator[dict]:
-    """Parse a JSONL trace back into records (inverse of JSONLSink)."""
+def read_events(
+    source: str | IO[str],
+    *,
+    strict: bool = False,
+    on_torn: Callable[[str], None] | None = None,
+) -> list[dict]:
+    """Parse a JSONL trace back into records (inverse of JSONLSink).
+
+    A writer killed mid-record (OOM reaper, SIGKILL) leaves a torn
+    *trailing* line; by default it is skipped with a
+    :class:`RuntimeWarning` — the stream up to the tear is intact and
+    still worth reading — and ``on_torn`` (if given) is called with the
+    partial text so callers like
+    :func:`repro.obs.analysis.load_trace` can mark the trace truncated.
+    ``strict=True`` raises instead.  An unparseable line *followed by*
+    further records is not a tear but corruption, and always raises.
+    (Telling the two apart needs one line of look-ahead, which is why
+    this returns a fully-parsed list rather than a lazy iterator.)
+    """
     if isinstance(source, (str, bytes)):
         with open(source, encoding="utf-8") as handle:
-            yield from read_events(handle)
-        return
+            return read_events(handle, strict=strict, on_torn=on_torn)
+    events: list[dict] = []
+    torn: tuple[str, json.JSONDecodeError] | None = None
     for line in source:
         line = line.strip()
-        if line:
-            yield json.loads(line)
+        if not line:
+            continue
+        if torn is not None:
+            # the bad line was mid-stream: that is corruption, not a tear
+            raise ValueError(
+                f"corrupt trace: unparseable record mid-stream "
+                f"({torn[0][:60]!r})"
+            ) from torn[1]
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            torn = (line, exc)
+    if torn is not None:
+        if strict:
+            raise ValueError(
+                f"trace ends in a torn trailing record ({torn[0][:60]!r})"
+            ) from torn[1]
+        warnings.warn(
+            f"trace ends in a torn trailing record ({torn[0][:60]!r}…) — "
+            f"the writer was likely killed mid-line; skipping it",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        if on_torn is not None:
+            on_torn(torn[0])
+    return events
 
 
 class ConsoleSummarySink(Sink):

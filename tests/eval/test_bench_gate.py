@@ -1,0 +1,58 @@
+"""Unit tests for the bench perf-regression gate (compare_to_baseline)."""
+
+import pytest
+
+from repro.eval.parallel_bench import compare_to_baseline
+
+
+def payload(training=1.0, defense=0.5, engines=("serial", "thread")):
+    return {
+        "timings": {
+            engine: {"training": training, "defense": defense}
+            for engine in engines
+        }
+    }
+
+
+class TestCompareToBaseline:
+    def test_identical_payloads_pass(self):
+        verdict = compare_to_baseline(payload(), payload())
+        assert verdict["ok"] is True
+        assert verdict["regressions"] == []
+        assert verdict["checked"] == 4  # 2 engines x 2 stages
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        verdict = compare_to_baseline(payload(training=2.0), payload())
+        assert verdict["ok"] is False
+        [reg] = [r for r in verdict["regressions"] if r["engine"] == "serial"]
+        assert reg["stage"] == "training"
+        assert reg["ratio"] == pytest.approx(2.0)
+        # both engines regressed the same stage
+        assert len(verdict["regressions"]) == 2
+
+    def test_slowdown_within_threshold_passes(self):
+        verdict = compare_to_baseline(
+            payload(training=1.2), payload(), threshold=0.25
+        )
+        assert verdict["ok"] is True
+
+    def test_min_seconds_suppresses_microsecond_noise(self):
+        head = payload(training=1e-5, defense=1e-5)
+        base = payload(training=1e-6, defense=1e-6)
+        verdict = compare_to_baseline(head, base)  # 10x but micro-scale
+        assert verdict["ok"] is True
+
+    def test_missing_engines_are_skipped_not_failed(self):
+        head = payload(engines=("serial",))
+        base = payload(engines=("serial", "thread", "process"))
+        verdict = compare_to_baseline(head, base)
+        assert verdict["ok"] is True
+        assert verdict["checked"] == 2  # only serial overlaps
+
+    def test_speedup_never_regresses(self):
+        verdict = compare_to_baseline(payload(training=0.5), payload())
+        assert verdict["ok"] is True
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_to_baseline(payload(), payload(), threshold=0.0)

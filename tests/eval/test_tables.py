@@ -73,3 +73,29 @@ class TestJsonRoundtrip:
     def test_infinity_coerced(self):
         result = TableResult("t", "x", [{"cost": float("inf")}])
         assert '"inf"' in result.to_json()
+
+
+class TestCounters:
+    def test_str_includes_counters_sorted(self):
+        result = TableResult(
+            "t", "x", [{"a": 1}],
+            counters={"fl.rounds_skipped": 2, "fl.quarantines": 1},
+        )
+        text = str(result)
+        assert "counters:" in text
+        assert text.index("fl.quarantines: 1") < text.index(
+            "fl.rounds_skipped: 2"
+        )
+
+    def test_str_without_counters(self):
+        assert "counters" not in str(TableResult("t", "x", [{"a": 1}]))
+
+    def test_counters_json_roundtrip(self):
+        result = TableResult(
+            "t", "x", [{"a": 1}], counters={"watchdog.rollbacks": 4}
+        )
+        restored = TableResult.from_json(result.to_json())
+        assert restored.counters == {"watchdog.rollbacks": 4}
+
+    def test_empty_counters_omitted_from_json(self):
+        assert "counters" not in TableResult("t", "x", [{"a": 1}]).to_json()

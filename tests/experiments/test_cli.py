@@ -67,3 +67,31 @@ class TestMaxRounds:
         capped = _apply_max_rounds(scale, 10_000)
         assert capped.rounds == scale.rounds
         assert capped.cifar_rounds == scale.cifar_rounds
+
+
+class TestTraceOut:
+    def test_trace_out_writes_analyzable_jsonl(self, tmp_path, capsys):
+        from repro.obs.analysis import load_trace
+
+        trace = tmp_path / "run.jsonl"
+        assert main(
+            ["fig6", "--scale", "smoke", "--seed", "13",
+             "--trace-out", str(trace), "--profile"]
+        ) == 0
+        assert trace.exists()
+        assert "trace written" in capsys.readouterr().out
+        analysis = load_trace(str(trace))
+        assert analysis.roots, "experiment span expected"
+        assert [r.name for r in analysis.roots][0] == "experiment"
+        # --profile left aggregated per-layer records in the stream
+        assert any(
+            r.get("name") == "profile.forward" for r in analysis.records
+        )
+
+    def test_trace_path_suffixed_per_experiment_for_all(self):
+        from repro.experiments.cli import _trace_path
+
+        ids = ["fig6", "table1"]
+        assert _trace_path("t.jsonl", "fig6", ids) == "t-fig6.jsonl"
+        assert _trace_path("trace", "fig6", ids) == "trace-fig6"
+        assert _trace_path("t.jsonl", "fig6", ["fig6"]) == "t.jsonl"

@@ -46,3 +46,22 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "fig6" in output
         assert "finished in" in output
+
+
+class TestRunCounters:
+    def test_result_carries_final_counter_snapshot(self):
+        from repro.obs import RingBufferSink, RunContext, Telemetry
+
+        hub = Telemetry()
+        hub.add_sink(RingBufferSink())
+        result = run_experiment(
+            "fig6", SMOKE, seed=13, context=RunContext(telemetry=hub)
+        )
+        hub.close()
+        assert result.counters  # training ran, so fl.rounds et al exist
+        assert result.counters["fl.rounds"] >= 1
+        assert "fl.updates_accepted" in result.counters
+
+    def test_null_hub_leaves_counters_empty(self):
+        result = run_experiment("fig6", SMOKE, seed=13)
+        assert result.counters == {}

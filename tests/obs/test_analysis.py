@@ -1,0 +1,272 @@
+"""Unit tests for trace analysis: span trees, breakdowns, and diffing."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    RingBufferSink,
+    Telemetry,
+    TraceAnalysis,
+    diff,
+    load_trace,
+    read_events,
+)
+from repro.persist.state import stitch_streams
+
+
+def make_hub():
+    hub = Telemetry()
+    ring = hub.add_sink(RingBufferSink())
+    return hub, ring
+
+
+def sample_events():
+    """A small but real stream: two rounds with waves and counters."""
+    hub, ring = make_hub()
+    hub.gauge("exec.workers", 2)
+    with hub.span("fl.train", num_rounds=2):
+        for round_index in range(2):
+            with hub.span("fl.round", round=round_index):
+                with hub.span("fl.local_training"):
+                    with hub.span("exec.wave", index=0, tasks=2):
+                        hub.record_span(
+                            "exec.local_update", 0.4, client=0, status="ok"
+                        )
+                        hub.record_span(
+                            "exec.local_update", 0.3, client=1, status="ok"
+                        )
+                with hub.span("fl.evaluation"):
+                    pass
+                hub.count("fl.rounds")
+    hub.close()
+    return ring.events
+
+
+class TestTreeReconstruction:
+    def test_children_nest_under_parents(self):
+        analysis = TraceAnalysis(sample_events())
+        [train] = [r for r in analysis.roots if r.name == "fl.train"]
+        rounds = [c for c in train.children if c.name == "fl.round"]
+        assert [r.attrs["round"] for r in rounds] == [0, 1]
+        for round_node in rounds:
+            names = [c.name for c in round_node.children]
+            assert names == ["fl.local_training", "fl.evaluation"]
+
+    def test_out_of_order_records_reconstruct_identically(self):
+        events = sample_events()
+        shuffled = list(reversed(events))
+        ordered = TraceAnalysis(events)
+        recovered = TraceAnalysis(shuffled)
+        assert ordered.render_tree() == recovered.render_tree()
+        assert ordered.by_name() == recovered.by_name()
+
+    def test_zero_event_stream(self):
+        analysis = TraceAnalysis([])
+        assert analysis.roots == []
+        assert analysis.by_name() == {}
+        assert analysis.critical_path() == []
+        assert analysis.summarize() == "(empty trace: no records)\n"
+        assert "0 spans" in analysis.render_tree()
+
+    def test_orphan_span_promoted_to_root(self):
+        # a parent lost to a crash: the child still analyzes, as a root
+        events = [
+            {
+                "v": 1, "seq": 0, "kind": "span", "name": "lonely",
+                "ts": 0.0, "dur": 1.0, "span_id": 7, "parent_id": 99,
+                "attrs": {},
+            }
+        ]
+        analysis = TraceAnalysis(events)
+        assert [r.name for r in analysis.roots] == ["lonely"]
+
+    def test_stitched_stream_analyzes(self):
+        # crash after round 0, resume, finish round 1: the stitched
+        # stream must rebuild the same tree as an uninterrupted run
+        hub1, ring1 = make_hub()
+        span = hub1.span("fl.train", num_rounds=2)
+        span.__enter__()
+        with hub1.span("fl.round", round=0):
+            pass
+        train_span_id = span.span_id
+        cursor = hub1.state_dict()
+        with hub1.span("fl.round", round=1):  # past the checkpoint: replayed
+            pass
+
+        hub2, ring2 = make_hub()
+        hub2.load_state_dict(cursor)
+        resumed = hub2.resume_span("fl.train", train_span_id, num_rounds=2)
+        with resumed:
+            with hub2.span("fl.round", round=1):
+                pass
+
+        stitched = stitch_streams(
+            [ring1.events, ring2.events], [cursor["seq"]]
+        )
+        analysis = TraceAnalysis(stitched)
+        [train] = analysis.roots
+        assert train.name == "fl.train"
+        assert [c.attrs["round"] for c in train.children] == [0, 1]
+
+
+class TestBreakdowns:
+    def test_by_name_totals_and_counts(self):
+        stats = TraceAnalysis(sample_events()).by_name()
+        assert stats["exec.local_update"]["count"] == 4
+        assert stats["exec.local_update"]["total"] == pytest.approx(1.4)
+        assert stats["fl.round"]["count"] == 2
+
+    def test_client_breakdown_groups_by_client_attr(self):
+        clients = TraceAnalysis(sample_events()).client_breakdown()
+        assert set(clients) == {0, 1}
+        assert clients[0]["total"] == pytest.approx(0.8)
+        assert clients[1]["total"] == pytest.approx(0.6)
+        assert clients[0]["status"] == {"ok": 2}
+
+    def test_wave_utilization_reads_workers_gauge(self):
+        stats = TraceAnalysis(sample_events()).wave_utilization()
+        assert stats["workers"] == 2
+        assert stats["num_waves"] == 2
+        assert stats["busy_seconds"] == pytest.approx(1.4)
+        # wall is real wall-clock of the wave spans (tiny); utilization
+        # uses busy/(wall*workers) so here it far exceeds 1 — clamp-free
+        assert stats["utilization"] > 0
+
+    def test_wave_utilization_explicit_workers_overrides_gauge(self):
+        stats = TraceAnalysis(sample_events()).wave_utilization(workers=4)
+        assert stats["workers"] == 4
+
+    def test_critical_path_descends_largest_child(self):
+        path = TraceAnalysis(sample_events()).critical_path()
+        names = [entry["name"] for entry in path]
+        assert names[0] == "fl.train"
+        assert "fl.round" in names
+        assert names[-1] == "exec.local_update"
+        depths = [entry["depth"] for entry in path]
+        assert depths == sorted(depths)
+
+    def test_summarize_mentions_all_sections(self):
+        text = TraceAnalysis(sample_events()).summarize()
+        for heading in ("spans by total time", "executor waves", "counters"):
+            assert heading in text
+        assert "fl.rounds" in text
+
+
+class TestTornLines:
+    def _write(self, tmp_path, lines):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("".join(lines))
+        return str(path)
+
+    def _records(self):
+        hub, ring = make_hub()
+        with hub.span("a"):
+            hub.event("e")
+        hub.close()
+        return [json.dumps(r) + "\n" for r in ring.events]
+
+    def test_torn_trailing_line_skipped_with_warning(self, tmp_path):
+        lines = self._records()
+        path = self._write(tmp_path, lines + ['{"v": 1, "seq": 99, "ki'])
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            events = read_events(path)
+        assert len(events) == len(lines)
+
+    def test_torn_line_strict_raises(self, tmp_path):
+        path = self._write(tmp_path, self._records() + ["{broken"])
+        with pytest.raises(ValueError, match="torn trailing record"):
+            read_events(path, strict=True)
+
+    def test_mid_stream_corruption_always_raises(self, tmp_path):
+        lines = self._records()
+        corrupted = lines[:1] + ["{definitely not json}\n"] + lines[1:]
+        path = self._write(tmp_path, corrupted)
+        with pytest.raises(ValueError, match="corrupt"):
+            read_events(path)
+
+    def test_load_trace_marks_truncated_and_adds_event(self, tmp_path):
+        path = self._write(tmp_path, self._records() + ['{"torn'])
+        with pytest.warns(RuntimeWarning):
+            analysis = load_trace(path)
+        assert analysis.truncated is True
+        assert any(
+            r["name"] == "trace.truncated"
+            for r in analysis.records
+            if r.get("kind") == "event"
+        )
+        assert "truncated" in analysis.summarize()
+
+    def test_load_trace_clean_file_not_truncated(self, tmp_path):
+        path = self._write(tmp_path, self._records())
+        analysis = load_trace(path)
+        assert analysis.truncated is False
+
+    def test_load_trace_from_record_list_and_stream(self):
+        events = sample_events()
+        from_list = load_trace(events)
+        from_stream = load_trace(
+            io.StringIO("".join(json.dumps(r) + "\n" for r in events))
+        )
+        assert from_list.render_tree() == from_stream.render_tree()
+
+
+class TestDiff:
+    def _trace(self, slowdown=1.0):
+        hub, ring = make_hub()
+        with hub.span("fl.train"):
+            hub.record_span("stage.training", 2.0 * slowdown)
+            hub.record_span("stage.defense", 1.0)
+        hub.close()
+        return ring.events
+
+    def test_injected_2x_slowdown_is_flagged(self):
+        result = diff(self._trace(), self._trace(slowdown=2.0))
+        [regression] = result.regressions
+        assert regression["name"] == "stage.training"
+        assert regression["ratio"] == pytest.approx(2.0)
+        assert "REGRESSION" in result.render()
+
+    def test_identical_traces_no_regressions(self):
+        events = self._trace()
+        assert diff(events, events).regressions == []
+
+    def test_threshold_tolerates_small_slowdowns(self):
+        result = diff(self._trace(), self._trace(slowdown=1.2), threshold=0.25)
+        assert result.regressions == []
+        result = diff(self._trace(), self._trace(slowdown=1.2), threshold=0.1)
+        assert [r["name"] for r in result.regressions] == ["stage.training"]
+
+    def test_min_seconds_suppresses_noise(self):
+        base = [
+            {"v": 1, "seq": 0, "kind": "span", "name": "tiny", "ts": 0.0,
+             "dur": 1e-6, "span_id": 0, "parent_id": None, "attrs": {}},
+        ]
+        head = [dict(base[0], dur=1e-5)]  # 10x slower but microseconds
+        assert diff(base, head).regressions == []
+
+    def test_new_span_in_head_regresses_when_material(self):
+        result = diff(self._trace(), self._trace() + [
+            {"v": 1, "seq": 99, "kind": "span", "name": "surprise",
+             "ts": 0.0, "dur": 5.0, "span_id": 50, "parent_id": None,
+             "attrs": {}},
+        ])
+        assert "surprise" in [r["name"] for r in result.regressions]
+
+    def test_disappeared_span_never_regresses(self):
+        base = self._trace() + [
+            {"v": 1, "seq": 99, "kind": "span", "name": "gone",
+             "ts": 0.0, "dur": 5.0, "span_id": 50, "parent_id": None,
+             "attrs": {}},
+        ]
+        result = diff(base, self._trace())
+        assert "gone" not in [r["name"] for r in result.regressions]
+
+    def test_accepts_analyses_and_raw_records(self):
+        base, head = self._trace(), self._trace(slowdown=2.0)
+        from_records = diff(base, head)
+        from_analyses = diff(TraceAnalysis(base), TraceAnalysis(head))
+        assert [r["name"] for r in from_records.regressions] == [
+            r["name"] for r in from_analyses.regressions
+        ]

@@ -1,0 +1,230 @@
+"""Unit tests for the per-layer profiler and its global hook."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import get_profile_hook
+from repro.obs import (
+    LayerProfiler,
+    RingBufferSink,
+    RunContext,
+    Telemetry,
+    maybe_profile,
+    render_profile,
+    use_context,
+)
+
+
+def make_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential(
+        Conv2d(1, 4, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(4 * 16, 3, rng=rng),
+    )
+
+
+def forward_backward(model, seed=1):
+    rng = np.random.default_rng(seed)
+    x = rng.random((5, 1, 8, 8))
+    y = np.array([0, 1, 2, 0, 1])
+    loss_fn = CrossEntropyLoss()
+    model.train()
+    out = model(x)
+    loss_fn.forward(out, y)
+    model.backward(loss_fn.backward())
+    return out
+
+
+class TestBitwiseIdentity:
+    def test_profiled_forward_backward_identical_to_unprofiled(self):
+        plain_model = make_model()
+        plain_out = forward_backward(plain_model)
+
+        profiled_model = make_model()
+        with LayerProfiler() as prof:
+            profiled_out = forward_backward(profiled_model)
+
+        assert np.array_equal(plain_out, profiled_out)
+        assert np.array_equal(
+            plain_model.flat_parameters(), profiled_model.flat_parameters()
+        )
+        for plain_p, prof_p in zip(
+            plain_model.parameters(), profiled_model.parameters()
+        ):
+            assert np.array_equal(plain_p.grad, prof_p.grad)
+        assert prof.stats  # and it actually measured something
+
+
+class TestAggregation:
+    def test_forward_and_backward_share_a_row(self):
+        with LayerProfiler() as prof:
+            forward_backward(make_model())
+        for key, entry in prof.stats.items():
+            assert entry["forward_calls"] == 1, key
+            assert entry["backward_calls"] == 1, key
+
+    def test_structural_keys_merge_model_clones(self):
+        with LayerProfiler() as prof:
+            forward_backward(make_model())
+            forward_backward(make_model())  # a "clone": same architecture
+        for entry in prof.stats.values():
+            assert entry["forward_calls"] == 2
+            assert entry["backward_calls"] == 2
+
+    def test_keys_are_class_plus_shape(self):
+        with LayerProfiler() as prof:
+            forward_backward(make_model())
+        assert "Conv2d(4,1,3,3)" in prof.stats  # first parameter's shape
+        assert "ReLU(4,8,8)" in prof.stats  # activation shape, no batch dim
+        assert "MaxPool2d(4,4,4)" in prof.stats  # output shape
+
+    def test_container_not_double_counted(self):
+        with LayerProfiler() as prof:
+            forward_backward(make_model())
+        assert not any(key.startswith("Sequential") for key in prof.stats)
+
+    def test_bytes_accounted(self):
+        with LayerProfiler() as prof:
+            forward_backward(make_model())
+        conv = prof.stats["Conv2d(4,1,3,3)"]
+        assert conv["input_bytes"] == 5 * 1 * 8 * 8 * 8  # float64 input
+        assert conv["output_bytes"] == 5 * 4 * 8 * 8 * 8
+        assert conv["grad_bytes"] > 0
+
+
+class TestHookLifecycle:
+    def test_hook_installed_and_removed(self):
+        assert get_profile_hook() is None
+        with LayerProfiler() as prof:
+            assert get_profile_hook() is prof
+            assert prof.active
+        assert get_profile_hook() is None
+
+    def test_hook_removed_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with LayerProfiler():
+                raise RuntimeError("boom")
+        assert get_profile_hook() is None
+
+    def test_nested_profiler_stays_passive(self):
+        with LayerProfiler() as outer:
+            with LayerProfiler() as inner:
+                assert not inner.active
+                assert get_profile_hook() is outer
+                forward_backward(make_model())
+            assert get_profile_hook() is outer  # inner exit didn't remove it
+        assert get_profile_hook() is None
+        assert not inner.stats  # everything landed in the outer profiler
+        assert outer.stats["Conv2d(4,1,3,3)"]["forward_calls"] == 1
+
+
+class TestTelemetryIntegration:
+    def test_flush_emits_aggregated_spans(self):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        with hub.span("defense.run"):
+            with LayerProfiler(hub):
+                forward_backward(make_model())
+        hub.close()
+        forwards = [e for e in ring.events if e["name"] == "profile.forward"]
+        backwards = [e for e in ring.events if e["name"] == "profile.backward"]
+        assert len(forwards) == 5  # one per layer, sorted by key
+        assert [e["attrs"]["layer"] for e in forwards] == sorted(
+            e["attrs"]["layer"] for e in forwards
+        )
+        assert len(backwards) == 5
+        run_span = [e for e in ring.events if e["name"] == "defense.run"]
+        assert all(
+            e["parent_id"] == run_span[0]["span_id"] for e in forwards
+        )
+
+    def test_null_telemetry_safe(self):
+        with LayerProfiler() as prof:  # no hub: resolves to the null hub
+            forward_backward(make_model())
+        assert prof.stats  # in-memory stats still available
+        assert "Conv2d" in prof.render()
+        assert "MB moved" in render_profile(prof.stats)
+
+
+class TestMaybeProfile:
+    def test_disabled_context_returns_noop(self):
+        with maybe_profile(RunContext()) as prof:
+            assert prof.active is False
+            forward_backward(make_model())
+        assert get_profile_hook() is None
+        assert prof.stats == {}
+
+    def test_enabled_context_profiles(self):
+        ctx = RunContext(profile=True)
+        with maybe_profile(ctx) as prof:
+            forward_backward(make_model())
+        assert prof.stats
+
+    def test_resolves_ambient_context(self):
+        with use_context(RunContext(profile=True)):
+            with maybe_profile() as prof:
+                forward_backward(make_model())
+        assert prof.stats
+        with use_context(RunContext()):
+            with maybe_profile() as prof:
+                pass
+        assert prof.stats == {}
+
+    def test_explicit_enabled_overrides_context(self):
+        with maybe_profile(RunContext(), enabled=True) as prof:
+            forward_backward(make_model())
+        assert prof.stats
+
+
+class TestOffModeOverhead:
+    def test_disabled_hook_overhead_under_two_percent(self):
+        """Per-call hook cost x a smoke run's layer calls stays <2%.
+
+        Measured per-op (like the null-telemetry gate) because two full
+        wall-clock runs on a shared box differ by more than 2% on their
+        own.  The off-mode hook is one module-global load plus an
+        identity check per Module.__call__.
+        """
+        model = make_model()
+        x = np.random.default_rng(0).random((5, 1, 8, 8))
+        model.eval()
+        calls = 2_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            model(x)
+        baseline = time.perf_counter() - start
+        per_forward = baseline / calls
+
+        # count layer calls per forward, then price the hook check alone:
+        # a None-returning global read, measured on a tight loop
+        from repro.nn import module as module_mod
+
+        reads = 1_000_000
+        start = time.perf_counter()
+        for _ in range(reads):
+            hook = module_mod._PROFILE_HOOK
+            if hook is not None:  # pragma: no cover - hook is None here
+                raise AssertionError
+        per_read = (time.perf_counter() - start) / reads
+
+        layers_per_forward = 6  # Sequential + 5 leaf layers
+        overhead = (per_read * layers_per_forward) / per_forward
+        assert overhead < 0.02, (
+            f"off-mode hook overhead {overhead:.2%} "
+            f"({per_read * 1e9:.0f}ns/check x {layers_per_forward} "
+            f"vs {per_forward * 1e6:.0f}us/forward)"
+        )

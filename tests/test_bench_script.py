@@ -39,6 +39,9 @@ def test_bench_script_smoke(tmp_path):
         "num_clients",
         "timings",
         "speedups",
+        "utilization",
+        "critical_path",
+        "oversubscribed",
         "bitwise_identical",
     ):
         assert key in payload, key
@@ -47,4 +50,8 @@ def test_bench_script_smoke(tmp_path):
     assert payload["bitwise_identical"] is True
     assert set(payload["timings"]) == {"serial", "thread", "process"}
     assert set(payload["speedups"]) == {"thread", "process"}
+    assert set(payload["utilization"]) == {"serial", "thread", "process"}
+    assert payload["critical_path"], "serial trace should yield a path"
     assert "speedup[thread]" in result.stdout
+    assert "utilization[serial]" in result.stdout
+    assert "critical path:" in result.stdout

@@ -22,6 +22,7 @@ EXPECTED_EXAMPLES = {
     "unreliable_clients.py",
     "traced_run.py",
     "resume_run.py",
+    "analyze_trace.py",
 }
 
 

@@ -1,0 +1,129 @@
+"""Subprocess tests for scripts/trace.py on small synthetic traces."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import JSONLSink, RunContext, Telemetry
+from repro.obs.profile import maybe_profile
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_trace(*args):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "trace.py"), *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def write_trace(path, slowdown=1.0, profiled=False):
+    hub = Telemetry([JSONLSink(str(path))])
+    hub.gauge("exec.workers", 2)
+    with hub.span("fl.train"):
+        with hub.span("fl.round", round=0):
+            with hub.span("exec.wave", index=0, tasks=2):
+                hub.record_span(
+                    "exec.local_update", 0.4 * slowdown, client=0, status="ok"
+                )
+                hub.record_span(
+                    "exec.local_update", 0.3, client=1, status="ok"
+                )
+        hub.count("fl.rounds")
+        if profiled:
+            with maybe_profile(
+                RunContext(profile=True), telemetry=hub
+            ):
+                import numpy as np
+
+                from repro.nn.layers import Linear, Sequential
+
+                model = Sequential(
+                    Linear(4, 2, rng=np.random.default_rng(0))
+                )
+                model(np.zeros((1, 4)))
+    hub.close()
+    return path
+
+
+class TestSummarize:
+    def test_prints_phases_waves_and_counters(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        result = run_trace("summarize", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "spans by total time" in result.stdout
+        assert "executor waves" in result.stdout
+        assert "fl.rounds" in result.stdout
+        assert "workers=2" in result.stdout  # picked up the gauge
+
+    def test_workers_flag_overrides_gauge(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        result = run_trace("summarize", str(trace), "--workers", "8")
+        assert result.returncode == 0, result.stderr
+        assert "workers=8" in result.stdout
+
+
+class TestTree:
+    def test_renders_nested_spans(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        result = run_trace("tree", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "fl.train" in result.stdout
+        assert "exec.wave" in result.stdout
+
+    def test_max_depth_truncates(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        result = run_trace("tree", str(trace), "--max-depth", "1")
+        assert result.returncode == 0, result.stderr
+        assert "exec.wave" not in result.stdout
+
+
+class TestDiff:
+    def test_identical_traces_exit_zero(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl")
+        head = write_trace(tmp_path / "head.jsonl")
+        result = run_trace("diff", str(base), str(head))
+        assert result.returncode == 0, result.stdout
+        assert "no regressions" in result.stdout
+
+    def test_injected_2x_slowdown_exits_nonzero(self, tmp_path):
+        base = write_trace(tmp_path / "base.jsonl")
+        head = write_trace(tmp_path / "head.jsonl", slowdown=2.0)
+        result = run_trace("diff", str(base), str(head))
+        assert result.returncode == 1, result.stdout
+        assert "REGRESSION" in result.stdout
+        assert "exec.local_update" in result.stdout
+
+
+class TestProfile:
+    def test_profiled_trace_tabulates_layers(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl", profiled=True)
+        result = run_trace("profile", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "Linear(2,4)" in result.stdout
+        assert "MB moved" in result.stdout
+
+    def test_unprofiled_trace_exits_nonzero_with_hint(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        result = run_trace("profile", str(trace))
+        assert result.returncode == 1
+        assert "no profile.* records" in result.stdout
+
+
+class TestTornTrace:
+    def test_summarize_survives_torn_trailing_line(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        with open(trace, "a") as handle:
+            handle.write('{"v": 1, "seq": 999, "ki')
+        result = run_trace("summarize", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "truncated" in result.stdout
