@@ -125,6 +125,20 @@ def main(argv=None) -> int:
         f"(null={overhead['null_seconds']:.3f}s "
         f"instrumented={overhead['instrumented_seconds']:.3f}s)"
     )
+    service = payload.get("service")
+    if service:
+        reports = service["reports"]
+        print(
+            f"  service: {service['committed']}/{service['rounds']} rounds "
+            f"committed, commit latency (simulated) "
+            f"p50={service['latency_p50']:.2f}s "
+            f"p99={service['latency_p99']:.2f}s"
+        )
+        print(
+            f"  service reports: admitted={reports['admitted']} "
+            f"late={reports['late']} deferred={reports['deferred']} "
+            f"shed={reports['shed']} rejected={reports['rejected']}"
+        )
     print(f"wrote {args.output}")
 
     gate_ok = True

@@ -7,14 +7,25 @@ Subcommands::
     PYTHONPATH=src python scripts/trace.py tree run.jsonl --max-depth 4
     PYTHONPATH=src python scripts/trace.py diff base.jsonl head.jsonl
     PYTHONPATH=src python scripts/trace.py profile run.jsonl
+    PYTHONPATH=src python scripts/trace.py validate run.jsonl
 
 ``summarize`` prints the run report: per-phase totals, the spans-by-time
-table, executor wave utilization, the critical path, and final
-counter/gauge values.  ``tree`` renders the span tree as indented text.
+table, executor wave utilization, service round-commit latency
+percentiles (when the trace holds ``service.commit_latency`` spans),
+the critical path, and final counter/gauge values; a truncated trace is
+flagged at the top and its synthetic ``trace.truncated`` marker shows
+in the events table.  ``tree`` renders the span tree as indented text.
 ``diff`` compares two traces per span name and exits non-zero when any
 span regressed beyond ``--threshold`` — the trace-level perf gate.
 ``profile`` tabulates the per-layer ``profile.*`` records a
-``--profile`` run leaves in the stream.
+``--profile`` run leaves in the stream.  ``validate`` checks the stream
+against schema v1 plus the span/event name registry and exits non-zero
+on any problem (including truncation) — the CI gate ``verify.sh`` runs
+on the service trace.
+
+Every subcommand reads traces tolerantly (``strict=False``: a torn
+trailing line is skipped and flagged, never fatal); pass ``--strict``
+to make a torn trace an immediate error instead.
 """
 
 import argparse
@@ -27,16 +38,29 @@ if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
 
 from repro.obs.analysis import diff, load_trace  # noqa: E402
 from repro.obs.profile import render_profile  # noqa: E402
+from repro.obs.schema import unknown_names, validate_stream  # noqa: E402
+
+
+def _load(path, args):
+    """One loader for every subcommand: strict only when asked."""
+    return load_trace(path, strict=getattr(args, "strict", False))
 
 
 def _cmd_summarize(args) -> int:
-    analysis = load_trace(args.trace)
+    analysis = _load(args.trace, args)
     print(analysis.summarize(workers=args.workers, top=args.top), end="")
+    if analysis.truncated:
+        # the report already leads with the flag; repeat it on stderr so
+        # piped/paged output cannot hide a torn trace
+        print(
+            "warning: trace is truncated (torn trailing record skipped)",
+            file=sys.stderr,
+        )
     return 0
 
 
 def _cmd_tree(args) -> int:
-    analysis = load_trace(args.trace)
+    analysis = _load(args.trace, args)
     print(
         analysis.render_tree(
             max_depth=args.max_depth, min_fraction=args.min_fraction
@@ -48,8 +72,8 @@ def _cmd_tree(args) -> int:
 
 def _cmd_diff(args) -> int:
     result = diff(
-        load_trace(args.base),
-        load_trace(args.head),
+        _load(args.base, args),
+        _load(args.head, args),
         threshold=args.threshold,
         min_seconds=args.min_seconds,
     )
@@ -73,8 +97,30 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    """Schema + name-registry + completeness gate; exit 1 on any problem."""
+    analysis = _load(args.trace, args)
+    # the synthetic trace.truncated marker has no seq/v fields by design;
+    # validate the real records and report the tear separately
+    records = [r for r in analysis.records if r.get("name") != "trace.truncated"]
+    problems = validate_stream(records)
+    unknown = unknown_names(records)
+    for problem in problems:
+        print(f"schema: {problem}")
+    for name in unknown:
+        print(f"unregistered name: {name}")
+    if analysis.truncated:
+        print("truncated: trace ends in a torn trailing record")
+    ok = not problems and not unknown and not analysis.truncated
+    print(
+        f"{len(records)} records: "
+        + ("valid, registered, complete" if ok else "INVALID")
+    )
+    return 0 if ok else 1
+
+
 def _cmd_profile(args) -> int:
-    analysis = load_trace(args.trace)
+    analysis = _load(args.trace, args)
     stats: dict[str, dict] = {}
     for record in analysis.records:
         name = record.get("name")
@@ -114,6 +160,11 @@ def _cmd_profile(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="error out on a torn trailing record instead of skipping it",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("summarize", help="per-phase totals, utilization, "
@@ -169,8 +220,21 @@ def main(argv=None) -> int:
     p.add_argument("trace", help="JSONL trace file (from a --profile run)")
     p.set_defaults(func=_cmd_profile)
 
+    p = sub.add_parser(
+        "validate",
+        help="check schema v1 + the span/event name registry + "
+        "completeness; exits 1 on any problem",
+    )
+    p.add_argument("trace", help="JSONL trace file")
+    p.set_defaults(func=_cmd_validate)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # --strict turns a torn/corrupt trace into a clean failure
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -31,3 +31,8 @@ assert not problems, problems
 print(f"trace ok: {info['num_events']} events, schema valid")
 EOF
 python scripts/trace.py summarize "$TRACE_TMP/verify_trace.jsonl" | head -20
+
+echo "== service (deadline-scheduled rounds under bursty traffic) =="
+python -m repro.experiments.cli serve --scale smoke --schedule bursty \
+    --service-rounds 6 --trace-out "$TRACE_TMP/service_trace.jsonl"
+python scripts/trace.py --strict validate "$TRACE_TMP/service_trace.jsonl"

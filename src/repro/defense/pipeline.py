@@ -308,8 +308,16 @@ class DefensePipeline:
             return rap_prune_order(np.stack(reports))
         return mvp_prune_order(np.stack(reports))
 
-    def run(self, model: Sequential) -> DefenseReport:
+    def run(self, model: Sequential, *, incremental: bool = False) -> DefenseReport:
         """Execute FP -> (FT) -> AW on ``model`` in place.
+
+        With ``incremental=True`` the pipeline runs as a bounded
+        mid-stream pass for the always-on service
+        (:mod:`repro.fl.service`): the ``defense.run`` span is tagged
+        ``incremental`` and per-stage checkpointing/resume is disabled
+        — the service owns persistence at round granularity, and a
+        cleanse squeezed between rounds must not overwrite the one-shot
+        pipeline's ``"defense"`` stage cursor.
 
         Per-stage wall-clock times come from a telemetry-backed
         :class:`~repro.eval.timers.StageTimer`, so an attached sink sees
@@ -337,8 +345,8 @@ class DefensePipeline:
         config = self.config
         tel = self.telemetry
         ctx = self.context
-        checkpoint = ctx.checkpoint
-        resume = ctx.resume
+        checkpoint = None if incremental else ctx.checkpoint
+        resume = False if incremental else ctx.resume
         if resume and checkpoint is None:
             raise ValueError("context.resume requires a checkpoint manager")
         timer = StageTimer(telemetry=tel)
@@ -361,7 +369,10 @@ class DefensePipeline:
                 model, snapshot, timer
             )
 
-        with tel.span("defense.run", method=config.method) as run_span, \
+        span_attrs = {"method": config.method}
+        if incremental:
+            span_attrs["incremental"] = True
+        with tel.span("defense.run", **span_attrs) as run_span, \
                 maybe_profile(ctx, telemetry=tel):
             if stage_cursor < _STAGE_PRUNED:
                 with timer.stage("pruning"):

@@ -29,7 +29,10 @@ from ..fl.executor import (
     SerialExecutor,
     ThreadExecutor,
 )
+from ..fl.faults import FaultModel, wrap_clients
 from ..fl.server import FederatedServer
+from ..fl.service import DefenseService, ServiceConfig
+from ..fl.traffic import make_schedule
 from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from ..obs.analysis import TraceAnalysis
 from ..obs.context import RunContext
@@ -46,6 +49,7 @@ __all__ = [
     "compare_to_baseline",
     "measure_telemetry_overhead",
     "measure_checkpoint_cost",
+    "measure_service",
     "trace_run",
 ]
 
@@ -238,6 +242,7 @@ def run_benchmark(
         "bitwise_identical": identical,
         "telemetry": measure_telemetry_overhead(scale),
         "checkpoint": measure_checkpoint_cost(scale),
+        "service": measure_service(scale),
     }
 
 
@@ -255,6 +260,13 @@ def compare_to_baseline(
     microsecond noise on trivial stages never trips the gate).  Engines
     or stages absent from either side are skipped — a baseline from a
     different machine shape gates what it can and ignores the rest.
+
+    The ``service`` section is gated alongside the engine stages:
+    simulated round-commit latency percentiles (p50/p99) and the shed /
+    rejected report counts are deterministic for a fixed seed, so growth
+    beyond the threshold is a scheduling-policy regression, not machine
+    noise (the ``min_seconds`` floor applies to the latency figures the
+    same way it does to stage timings).
 
     Returns ``{"ok": bool, "regressions": [...], "checked": int}``;
     ``scripts/bench.py --baseline`` exits non-zero when ``ok`` is False.
@@ -286,6 +298,35 @@ def compare_to_baseline(
                         "ratio": ratio,
                     }
                 )
+
+    base_service = baseline.get("service") or {}
+    head_service = payload.get("service") or {}
+    service_metrics = [
+        ("latency_p50", base_service.get("latency_p50"),
+         head_service.get("latency_p50"), min_seconds),
+        ("latency_p99", base_service.get("latency_p99"),
+         head_service.get("latency_p99"), min_seconds),
+        ("reports.shed", (base_service.get("reports") or {}).get("shed"),
+         (head_service.get("reports") or {}).get("shed"), 0),
+        ("reports.rejected", (base_service.get("reports") or {}).get("rejected"),
+         (head_service.get("reports") or {}).get("rejected"), 0),
+    ]
+    for metric, base_value, head_value, floor in service_metrics:
+        if base_value is None or head_value is None:
+            continue
+        checked += 1
+        delta = head_value - base_value
+        ratio = head_value / max(base_value, 1e-9)
+        if ratio > 1.0 + threshold and delta > floor:
+            regressions.append(
+                {
+                    "engine": "service",
+                    "stage": metric,
+                    "base_seconds": base_value,
+                    "head_seconds": head_value,
+                    "ratio": ratio,
+                }
+            )
     return {"ok": not regressions, "regressions": regressions, "checked": checked}
 
 
@@ -356,6 +397,64 @@ def measure_checkpoint_cost(scale: str = "smoke", repeats: int = 3) -> dict:
         "write_seconds": min(write_times),
         "restore_seconds": min(restore_times),
         "snapshot_bytes": snapshot_bytes,
+    }
+
+
+#: rounds the service benchmark streams per scale — enough for the
+#: bursty schedule to produce both clean and burst rounds
+_SERVICE_ROUNDS = {"smoke": 6, "bench": 12}
+
+
+def measure_service(scale: str = "smoke", seed: int = 5) -> dict:
+    """Stream the bench federation through the always-on defense service.
+
+    Runs :class:`~repro.fl.service.DefenseService` over the seeded
+    bench world under a bursty traffic schedule with a 30%-straggler
+    fault model, and reports the service-level numbers the bench
+    payload tracks: simulated round-commit latency percentiles
+    (nearest-rank p50/p90/p99 — deterministic for the fixed seed, so a
+    baseline comparison is exact) and the admission accounting
+    (admitted / late / deferred / shed / rejected report counts).
+    Wall-clock never enters these figures; the section exists so
+    scheduling-policy changes show up in ``BENCH_fl.json`` diffs the
+    same way engine-time regressions do.
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    model, clients, dataset = build_bench_world(scale, seed=seed)
+    faults = FaultModel(
+        straggler_prob=0.3,
+        straggler_delay=(1.0, 20.0),
+        deadline_seconds=10.0,
+        seed=seed + 2,
+    )
+    hub = Telemetry()
+    ring = hub.add_sink(RingBufferSink())
+    service = DefenseService(
+        model,
+        wrap_clients(clients, faults),
+        dataset,
+        ServiceConfig(round_deadline=10.0, quorum=0.5, eval_every=0),
+        traffic=make_schedule("bursty", seed=seed + 3),
+        context=RunContext(telemetry=hub, fault_model=faults),
+    )
+    history = service.run(_SERVICE_ROUNDS[scale])
+    hub.close()
+    percentiles = history.latency_percentiles()
+    counts = history.report_counts()
+    return {
+        "scale": scale,
+        "rounds": len(history),
+        "committed": len(history.committed_rounds),
+        "quorum_failures": len(history.quorum_failed_rounds),
+        "degraded_rounds": len(history.degraded_rounds),
+        "cleanses": len(history.cleansed_rounds),
+        "trust_quarantines": len(history.trust_quarantine_events),
+        "latency_p50": percentiles["p50"],
+        "latency_p90": percentiles["p90"],
+        "latency_p99": percentiles["p99"],
+        "reports": counts,
+        "num_events": ring.num_emitted,
     }
 
 

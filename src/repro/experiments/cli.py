@@ -6,6 +6,14 @@ Usage::
     python -m repro.experiments.cli all --scale smoke --seed 7
     python -m repro.experiments.cli table1 --checkpoint-dir ckpt --resume
     python -m repro.experiments.cli table1 --trace-out t.jsonl --profile
+
+Beyond the paper's tables/figures, ``serve`` boots the always-on
+defense service (:mod:`repro.fl.service`) on the synthetic benchmark
+federation under a chosen traffic schedule and streams
+deadline-scheduled rounds::
+
+    python -m repro.experiments.cli serve --schedule bursty \\
+        --service-rounds 8 --trace-out service.jsonl
 """
 
 from __future__ import annotations
@@ -30,7 +38,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help=f"experiment id or 'all'; one of: {', '.join(sorted(EXPERIMENTS))}",
+        help=f"experiment id, 'all', or 'serve' (stream the always-on "
+        f"defense service); ids: {', '.join(sorted(EXPERIMENTS))}",
     )
     parser.add_argument(
         "--scale",
@@ -85,7 +94,118 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-layer forward/backward profiling: aggregated profile.* "
         "spans land in the trace (results are bitwise unchanged)",
     )
+    serve = parser.add_argument_group("serve mode (experiment = 'serve')")
+    serve.add_argument(
+        "--schedule",
+        default="bursty",
+        choices=["steady", "bursty", "flash", "adversarial", "chaos"],
+        help="traffic schedule the service streams under (default: bursty)",
+    )
+    serve.add_argument(
+        "--service-rounds",
+        type=int,
+        default=8,
+        metavar="N",
+        help="simulated rounds the service streams (default: 8)",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-round report deadline on the simulated clock "
+        "(default: 10.0)",
+    )
+    serve.add_argument(
+        "--quorum",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="fraction of solicited clients required to commit a round "
+        "(default: 0.5)",
+    )
     return parser
+
+
+def _run_serve(args, parser: argparse.ArgumentParser) -> int:
+    """Boot the always-on defense service on the synthetic bench world."""
+    from ..eval.parallel_bench import build_bench_world
+    from ..fl.faults import FaultModel, wrap_clients
+    from ..fl.service import DefenseService, ServiceConfig
+    from ..fl.traffic import make_schedule
+
+    if args.service_rounds < 1:
+        parser.error("--service-rounds must be >= 1")
+    if args.scale == "paper":
+        parser.error("serve runs on the synthetic bench world; "
+                     "use --scale smoke or bench")
+
+    model, clients, dataset = build_bench_world(args.scale, seed=args.seed)
+    faults = FaultModel(
+        straggler_prob=0.3,
+        straggler_delay=(1.0, 2 * args.deadline),
+        deadline_seconds=args.deadline,
+        seed=args.seed + 2,
+    )
+    context_kwargs: dict = {"fault_model": faults}
+    telemetry = None
+    if args.trace_out is not None:
+        telemetry = Telemetry([JSONLSink(args.trace_out)])
+        context_kwargs["telemetry"] = telemetry
+    if args.checkpoint_dir is not None:
+        manager = CheckpointManager(args.checkpoint_dir)
+        context_kwargs.update(
+            checkpoint=manager.scope("serve"),
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
+    service = DefenseService(
+        model,
+        wrap_clients(clients, faults),
+        dataset,
+        ServiceConfig(
+            round_deadline=args.deadline,
+            quorum=args.quorum,
+            eval_every=0,
+        ),
+        traffic=make_schedule(
+            args.schedule, seed=args.seed + 3, deadline=args.deadline
+        ),
+        context=RunContext(**context_kwargs),
+    )
+    start = time.perf_counter()
+    try:
+        history = service.run(args.service_rounds)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    elapsed = time.perf_counter() - start
+
+    percentiles = history.latency_percentiles()
+    counts = history.report_counts()
+    committed = len(history.committed_rounds)
+    print(f"service: {committed}/{len(history)} rounds committed under "
+          f"{args.schedule!r} traffic (deadline={args.deadline:g}s "
+          f"quorum={args.quorum:g})")
+    print(f"  commit latency (simulated): p50={percentiles['p50']:.2f}s "
+          f"p90={percentiles['p90']:.2f}s p99={percentiles['p99']:.2f}s")
+    print(f"  reports: admitted={counts['admitted']} late={counts['late']} "
+          f"deferred={counts['deferred']} shed={counts['shed']} "
+          f"rejected={counts['rejected']} invalid={counts['invalid']} "
+          f"no_response={counts['no_response']}")
+    if history.quorum_failed_rounds:
+        print(f"  quorum failed in rounds {history.quorum_failed_rounds}")
+    if history.degraded_rounds:
+        print(f"  degraded in rounds {history.degraded_rounds}")
+    if history.cleansed_rounds:
+        print(f"  incremental cleanses in rounds {history.cleansed_rounds}")
+    if history.trust_quarantine_events:
+        quarantined = sorted({c for _, c in history.trust_quarantine_events})
+        print(f"  trust-quarantined clients: {quarantined}")
+    print(f"\n[serve finished in {elapsed:.1f}s at scale {args.scale!r}]")
+    if args.trace_out is not None:
+        print(f"[trace written to {args.trace_out}]")
+    return 0
 
 
 def _apply_max_rounds(scale, max_rounds: int):
@@ -105,6 +225,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--checkpoint-every must be >= 1")
     if args.max_rounds is not None and args.max_rounds < 1:
         parser.error("--max-rounds must be >= 1")
+    if args.experiment == "serve":
+        return _run_serve(args, parser)
     scale = get_scale(args.scale)
     if args.max_rounds is not None:
         scale = _apply_max_rounds(scale, args.max_rounds)

@@ -30,6 +30,23 @@ from .faults import (
     wrap_clients,
 )
 from .server import FederatedServer, RoundMetrics, TrainingHistory
+from .service import (
+    DefenseService,
+    ReportEnvelope,
+    RoundOutcome,
+    ServiceConfig,
+    ServiceHistory,
+)
+from .traffic import (
+    AdversarialTraffic,
+    BurstyTraffic,
+    ComposedTraffic,
+    FlashCrowdTraffic,
+    SteadyTraffic,
+    TrafficPattern,
+    make_schedule,
+)
+from .trust import TrustConfig, TrustTracker
 
 __all__ = [
     "AGGREGATION_RULES",
@@ -62,4 +79,18 @@ __all__ = [
     "FederatedServer",
     "RoundMetrics",
     "TrainingHistory",
+    "DefenseService",
+    "ReportEnvelope",
+    "RoundOutcome",
+    "ServiceConfig",
+    "ServiceHistory",
+    "TrustConfig",
+    "TrustTracker",
+    "TrafficPattern",
+    "SteadyTraffic",
+    "BurstyTraffic",
+    "FlashCrowdTraffic",
+    "AdversarialTraffic",
+    "ComposedTraffic",
+    "make_schedule",
 ]

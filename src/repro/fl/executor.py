@@ -61,6 +61,7 @@ __all__ = [
     "ProcessExecutor",
     "collect_updates",
     "collect_reports",
+    "dispatch_updates",
 ]
 
 
@@ -487,6 +488,60 @@ def collect_updates(
     if redispatches:
         tel.gauge("exec.redispatches", redispatches)
 
+    return outcomes
+
+
+def dispatch_updates(
+    executor: ClientExecutor | None,
+    clients: Sequence,
+    model,
+    global_params: np.ndarray,
+    *,
+    round_index: int | None = None,
+    telemetry: Telemetry | None = None,
+) -> list[tuple[str, object]]:
+    """One fan-out wave of training tasks, no fault planning, no retries.
+
+    The streaming service (:mod:`repro.fl.service`) resolves fault
+    plans and arrival times itself — by the time it reaches dispatch it
+    only has clients that *will* train (timeout plans included: a
+    straggler's delta still materializes, it just arrives late).  This
+    helper runs exactly that wave: fan the tasks out through
+    ``executor``, marshal the per-client RNG streams home, and record
+    one ``exec.local_update`` span per task in stable client order.
+
+    Returns a list aligned with ``clients``: ``("ok", delta)`` or
+    ``("dropped", reason)`` when the client's own ``local_update``
+    raised :class:`~repro.fl.faults.ClientDropout`.
+    """
+    if executor is None:
+        executor = _DEFAULT_EXECUTOR
+    tel = ensure_telemetry(telemetry)
+    global_params = np.asarray(global_params)
+    clone = not executor.clones_payloads
+    outcomes: list[tuple[str, object]] = []
+    if not clients:
+        return outcomes
+    with tel.span("exec.wave", index=0, tasks=len(clients)):
+        strip_runtime_state(model)
+        tasks = [
+            (_unwrap(client), model, global_params, round_index, clone)
+            for client in clients
+        ]
+        results = executor.map_clients(_run_update, tasks)
+        for client, (status, value, rng_state, seconds) in zip(clients, results):
+            _restore_rng(_unwrap(client), rng_state)
+            tel.record_span(
+                "exec.local_update",
+                seconds,
+                client=_client_id(client),
+                status=status,
+                attempt=1,
+            )
+            outcomes.append((status, value))
+    redispatches = getattr(executor, "redispatches", 0)
+    if redispatches:
+        tel.gauge("exec.redispatches", redispatches)
     return outcomes
 
 

@@ -50,7 +50,24 @@ class ClientDropout(Exception):
 
 
 class ClientTimeout(ClientDropout):
-    """A straggler's response arrived after the round deadline."""
+    """A straggler's response arrived after the round deadline.
+
+    Carries the values it was raised with — ``elapsed`` (the simulated
+    delay the response took, in seconds) and ``deadline`` (the budget it
+    blew through) — so straggler postmortems can read the numbers off
+    the exception/telemetry instead of re-running the fault schedule.
+    """
+
+    def __init__(
+        self,
+        message: str | None = None,
+        *,
+        elapsed: float | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.elapsed = elapsed
+        self.deadline = deadline
 
 
 UPDATE_CORRUPTIONS = ("nan", "inf", "shape")
@@ -70,10 +87,15 @@ class UpdatePlan:
     ``action`` is one of ``"dropout"``, ``"timeout"``, ``"stale"``,
     ``"train"``; ``error`` carries the exception message for the first
     two; ``corruption``/``where`` the pre-drawn update corruption for
-    ``"train"`` (both ``None`` for a clean update).
+    ``"train"`` (both ``None`` for a clean update).  ``delay`` is the
+    simulated response delay drawn for the request (0.0 for prompt
+    responders; for ``"timeout"`` plans it is the elapsed time that
+    blew the budget) and ``deadline`` the budget a timeout was judged
+    against — arrival-scheduling callers (the streaming service) read
+    both instead of re-drawing.
     """
 
-    __slots__ = ("action", "error", "corruption", "where")
+    __slots__ = ("action", "error", "corruption", "where", "delay", "deadline")
 
     def __init__(
         self,
@@ -81,16 +103,22 @@ class UpdatePlan:
         error: str | None = None,
         corruption: str | None = None,
         where: np.ndarray | None = None,
+        delay: float = 0.0,
+        deadline: float | None = None,
     ) -> None:
         self.action = action
         self.error = error
         self.corruption = corruption
         self.where = where
+        self.delay = delay
+        self.deadline = deadline
 
     def raise_if_failed(self) -> None:
         """Raise the planned :class:`ClientDropout`/:class:`ClientTimeout`."""
         if self.action == "timeout":
-            raise ClientTimeout(self.error)
+            raise ClientTimeout(
+                self.error, elapsed=self.delay, deadline=self.deadline
+            )
         if self.action == "dropout":
             raise ClientDropout(self.error)
 
@@ -405,12 +433,24 @@ class FaultyClient:
         """
         faults = self.faults
         plan = self._draw_update_plan(faults, param_dim)
-        faults.telemetry.event(
-            "fault.update",
-            client=self.inner.client_id,
-            action=plan.action,
-            corruption=plan.corruption,
-        )
+        if plan.action == "timeout":
+            # thread the numbers the timeout was judged on into the
+            # stream so straggler postmortems don't re-run the schedule
+            faults.telemetry.event(
+                "fault.update",
+                client=self.inner.client_id,
+                action=plan.action,
+                corruption=plan.corruption,
+                elapsed=plan.delay,
+                deadline=plan.deadline,
+            )
+        else:
+            faults.telemetry.event(
+                "fault.update",
+                client=self.inner.client_id,
+                action=plan.action,
+                corruption=plan.corruption,
+            )
         return plan
 
     def _draw_update_plan(self, faults: FaultModel, param_dim: int) -> UpdatePlan:
@@ -426,11 +466,13 @@ class FaultyClient:
                     f"client {self.inner.client_id} straggled "
                     f"{delay:.1f}s past the {faults.deadline_seconds:.1f}s deadline"
                 ),
+                delay=delay,
+                deadline=faults.deadline_seconds,
             )
         if faults.draw_stale() and self._last_delta is not None:
-            return UpdatePlan("stale")
+            return UpdatePlan("stale", delay=delay)
         kind, where = faults.plan_update_corruption(param_dim)
-        return UpdatePlan("train", corruption=kind, where=where)
+        return UpdatePlan("train", corruption=kind, where=where, delay=delay)
 
     def finish_local_update(self, plan: UpdatePlan, delta: np.ndarray) -> np.ndarray:
         """Coordinator-side completion once the trained delta is back."""

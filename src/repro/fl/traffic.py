@@ -1,0 +1,275 @@
+"""Seeded arrival-traffic generators for the streaming defense service.
+
+The :class:`~repro.fl.faults.FaultModel` decides *whether* a client
+responds and how its payload is damaged; this module decides *when* the
+response lands on the coordinator.  A traffic pattern maps
+``(round_index, client_ids)`` to per-client simulated arrival delays in
+seconds, which :class:`~repro.fl.service.DefenseService` adds on top of
+any fault-drawn straggler delay to place each report on the round's
+simulated clock.
+
+Determinism contract: each pattern derives a fresh generator from
+``(seed, round_index)`` via :class:`numpy.random.SeedSequence` and
+draws in *sorted client-id order*, so the schedule is a pure function
+of (seed, round, cohort) — independent of executor engine, dispatch
+order, and how many draws earlier rounds consumed.
+
+Patterns compose additively (:class:`ComposedTraffic`), and
+:func:`make_schedule` builds the named presets the CLI / bench / verify
+harnesses share (``steady``, ``bursty``, ``flash``, ``adversarial``,
+``chaos``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "TrafficPattern",
+    "SteadyTraffic",
+    "BurstyTraffic",
+    "FlashCrowdTraffic",
+    "AdversarialTraffic",
+    "ComposedTraffic",
+    "make_schedule",
+]
+
+
+class TrafficPattern:
+    """Interface: per-round, per-client simulated arrival delays."""
+
+    def delays(
+        self, round_index: int, client_ids: Sequence[int]
+    ) -> dict[int, float]:
+        """Arrival delay in simulated seconds for every id in the cohort."""
+        raise NotImplementedError
+
+    def _rng(self, seed: int, round_index: int) -> np.random.Generator:
+        """One generator per (pattern seed, round) — draw-order safe."""
+        return np.random.default_rng(
+            np.random.SeedSequence((int(seed), int(round_index)))
+        )
+
+
+class SteadyTraffic(TrafficPattern):
+    """Well-behaved traffic: small uniform jitter per client."""
+
+    def __init__(self, seed: int = 0, jitter: tuple[float, float] = (0.0, 2.0)) -> None:
+        if jitter[0] > jitter[1] or jitter[0] < 0:
+            raise ValueError(f"bad jitter interval {jitter}")
+        self.seed = int(seed)
+        self.jitter = (float(jitter[0]), float(jitter[1]))
+
+    def delays(self, round_index, client_ids):
+        rng = self._rng(self.seed, round_index)
+        lo, hi = self.jitter
+        return {
+            int(cid): float(rng.uniform(lo, hi))
+            for cid in sorted(int(c) for c in client_ids)
+        }
+
+    def __repr__(self) -> str:
+        return f"SteadyTraffic(seed={self.seed}, jitter={self.jitter})"
+
+
+class BurstyTraffic(TrafficPattern):
+    """Whole-cohort bursts: some rounds, everyone piles up late at once.
+
+    With probability ``burst_prob`` a round is a burst round: every
+    response is held back by a shared offset drawn from
+    ``burst_delay`` (a network partition healing, a cell tower coming
+    back) plus per-client jitter.  Quiet rounds degrade to steady
+    jitter.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        burst_prob: float = 0.3,
+        burst_delay: tuple[float, float] = (2.0, 6.0),
+        jitter: tuple[float, float] = (0.0, 1.0),
+    ) -> None:
+        if not 0.0 <= burst_prob <= 1.0:
+            raise ValueError(f"burst_prob must be in [0, 1], got {burst_prob}")
+        if burst_delay[0] > burst_delay[1] or burst_delay[0] < 0:
+            raise ValueError(f"bad burst_delay interval {burst_delay}")
+        self.seed = int(seed)
+        self.burst_prob = float(burst_prob)
+        self.burst_delay = (float(burst_delay[0]), float(burst_delay[1]))
+        self.jitter = (float(jitter[0]), float(jitter[1]))
+
+    def delays(self, round_index, client_ids):
+        rng = self._rng(self.seed, round_index)
+        offset = 0.0
+        if self.burst_prob > 0 and rng.random() < self.burst_prob:
+            offset = float(rng.uniform(*self.burst_delay))
+        lo, hi = self.jitter
+        return {
+            int(cid): offset + float(rng.uniform(lo, hi))
+            for cid in sorted(int(c) for c in client_ids)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstyTraffic(seed={self.seed}, burst_prob={self.burst_prob})"
+        )
+
+
+class FlashCrowdTraffic(TrafficPattern):
+    """Overload spikes: on ``spike_rounds`` arrivals queue up serially.
+
+    Models a thundering herd hitting an ingestion bottleneck — the
+    ``i``-th client (in a seeded shuffle of the cohort) waits behind
+    ``i`` units of ``service_time``, so delays grow linearly with
+    cohort position and the tail of the cohort blows any deadline.
+    Off-spike rounds contribute nothing.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        spike_rounds: Sequence[int] = (),
+        service_time: float = 1.0,
+        jitter: tuple[float, float] = (0.0, 0.5),
+    ) -> None:
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        self.seed = int(seed)
+        self.spike_rounds = frozenset(int(r) for r in spike_rounds)
+        self.service_time = float(service_time)
+        self.jitter = (float(jitter[0]), float(jitter[1]))
+
+    def delays(self, round_index, client_ids):
+        ids = sorted(int(c) for c in client_ids)
+        if int(round_index) not in self.spike_rounds:
+            return {cid: 0.0 for cid in ids}
+        rng = self._rng(self.seed, round_index)
+        order = list(rng.permutation(len(ids)))
+        lo, hi = self.jitter
+        queue_position = {ids[int(i)]: pos for pos, i in enumerate(order)}
+        return {
+            cid: queue_position[cid] * self.service_time
+            + float(rng.uniform(lo, hi))
+            for cid in ids
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FlashCrowdTraffic(seed={self.seed}, "
+            f"spike_rounds={sorted(self.spike_rounds)})"
+        )
+
+
+class AdversarialTraffic(TrafficPattern):
+    """Targeted clients probe the admission edge: always *just* late.
+
+    An adaptive attacker who knows the deadline lands its reports a
+    hair past it every round, farming the late-report path (deferred
+    admission, backoff resets) for whatever leverage it offers.  The
+    ``targets`` arrive ``deadline + margin`` after dispatch; everyone
+    else is untouched.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        targets: Sequence[int] = (),
+        deadline: float = 10.0,
+        margin: tuple[float, float] = (0.1, 1.0),
+    ) -> None:
+        if deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
+        if margin[0] > margin[1] or margin[0] < 0:
+            raise ValueError(f"bad margin interval {margin}")
+        self.seed = int(seed)
+        self.targets = frozenset(int(t) for t in targets)
+        self.deadline = float(deadline)
+        self.margin = (float(margin[0]), float(margin[1]))
+
+    def delays(self, round_index, client_ids):
+        rng = self._rng(self.seed, round_index)
+        lo, hi = self.margin
+        out: dict[int, float] = {}
+        for cid in sorted(int(c) for c in client_ids):
+            if cid in self.targets:
+                out[cid] = self.deadline + float(rng.uniform(lo, hi))
+            else:
+                out[cid] = 0.0
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"AdversarialTraffic(seed={self.seed}, "
+            f"targets={sorted(self.targets)})"
+        )
+
+
+class ComposedTraffic(TrafficPattern):
+    """Sum of several patterns (delays add, like queueing stages)."""
+
+    def __init__(self, patterns: Sequence[TrafficPattern]) -> None:
+        if not patterns:
+            raise ValueError("need at least one pattern")
+        self.patterns = list(patterns)
+
+    def delays(self, round_index, client_ids):
+        total = {int(cid): 0.0 for cid in client_ids}
+        for pattern in self.patterns:
+            for cid, delay in pattern.delays(round_index, client_ids).items():
+                total[cid] += delay
+        return total
+
+    def __repr__(self) -> str:
+        return f"ComposedTraffic({self.patterns!r})"
+
+
+def make_schedule(
+    kind: str,
+    seed: int = 0,
+    *,
+    deadline: float = 10.0,
+    targets: Sequence[int] = (),
+    spike_rounds: Sequence[int] = (),
+    overrides: Mapping | None = None,
+) -> TrafficPattern:
+    """The named traffic presets the CLI / bench / verify harnesses share.
+
+    ========== ========================================================
+    ``steady``      small uniform jitter
+    ``bursty``      whole-cohort burst rounds over light jitter
+    ``flash``       flash-crowd queueing on ``spike_rounds``
+    ``adversarial`` ``targets`` always arrive just past ``deadline``
+    ``chaos``       bursty + flash + adversarial composed (the
+                    acceptance-scenario mix)
+    ========== ========================================================
+
+    ``overrides`` tweaks the underlying constructor kwargs of the
+    single-pattern presets (ignored for ``chaos``).
+    """
+    kw = dict(overrides or {})
+    if kind == "steady":
+        return SteadyTraffic(seed, **kw)
+    if kind == "bursty":
+        return BurstyTraffic(seed, **kw)
+    if kind == "flash":
+        return FlashCrowdTraffic(seed, spike_rounds=spike_rounds, **kw)
+    if kind == "adversarial":
+        return AdversarialTraffic(
+            seed, targets=targets, deadline=deadline, **kw
+        )
+    if kind == "chaos":
+        return ComposedTraffic(
+            [
+                BurstyTraffic(seed),
+                FlashCrowdTraffic(seed + 1, spike_rounds=spike_rounds),
+                AdversarialTraffic(
+                    seed + 2, targets=targets, deadline=deadline
+                ),
+            ]
+        )
+    raise ValueError(
+        f"unknown schedule {kind!r}; expected steady/bursty/flash/"
+        f"adversarial/chaos"
+    )

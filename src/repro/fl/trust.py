@@ -1,0 +1,248 @@
+"""Online per-client trust scores for the streaming defense service.
+
+The one-shot pipeline (:mod:`repro.defense.pipeline`) judges clients
+*after* training; a long-running service needs a signal it can act on
+**per round**, while updates stream in.  This module scores every
+accepted delta against two cheap, aggregation-time statistics:
+
+* **direction alignment** — cosine similarity between the client's
+  delta and a robust reference direction (the coordinate-wise *median*
+  of the round's accepted deltas by default; the median resists the
+  handful of amplified backdoor updates that dominate a mean, which is
+  exactly why the mean makes a poor reference under model-replacement
+  attacks à la Bagdasaryan et al.);
+* **norm conformity** — the ratio of the round's median update norm to
+  the client's.  Model-replacement attacks scale their delta by
+  ``n/η`` (the paper's §II-C boosting), so an over-norm update is the
+  single strongest tell; under-norm updates are left alone (a client
+  with little data is not an attacker).
+
+Per-round scores land in ``[0, 1]`` and feed an exponentially-weighted
+moving average per client, so one noisy round neither convicts nor
+absolves.  The tracker itself is pure bookkeeping — *policy* (who gets
+quarantined, when a cohort-level dip triggers an incremental cleanse)
+lives in :class:`~repro.fl.service.DefenseService`, which also emits
+the telemetry.  Everything here is deterministic: scores are pure
+functions of the delta matrix, and the JSON state round-trips through
+:meth:`TrustTracker.state_dict` for crash-safe resume.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["TrustConfig", "TrustTracker"]
+
+
+class TrustConfig:
+    """Tuning knobs for online trust scoring.
+
+    Parameters
+    ----------
+    smoothing:
+        EWMA weight of the newest round score (higher = faster to
+        convict and to forgive).
+    alignment_weight, norm_weight:
+        Mix of the two per-round signals; they are normalized to sum
+        to 1, so only their ratio matters.
+    reference:
+        Reference direction for alignment: ``"median"`` (robust,
+        default) or ``"mean"`` (the applied FedAvg aggregate).
+    quarantine_threshold:
+        EWMA below this marks the client a quarantine candidate.
+    recover_threshold:
+        A quarantined client whose EWMA climbs back above this (via
+        probation rounds) is a restore candidate.  Must exceed
+        ``quarantine_threshold`` or clients would oscillate.
+    min_observations:
+        Rounds a client must have been scored before its EWMA can
+        trigger quarantine (protects fresh clients from one bad draw).
+    initial:
+        EWMA starting value for a never-scored client.
+    """
+
+    def __init__(
+        self,
+        smoothing: float = 0.5,
+        alignment_weight: float = 0.5,
+        norm_weight: float = 0.5,
+        reference: str = "median",
+        quarantine_threshold: float = 0.4,
+        recover_threshold: float = 0.6,
+        min_observations: int = 3,
+        initial: float = 1.0,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing}")
+        if alignment_weight < 0 or norm_weight < 0:
+            raise ValueError("signal weights must be >= 0")
+        total = alignment_weight + norm_weight
+        if total <= 0:
+            raise ValueError("at least one signal weight must be > 0")
+        if reference not in ("median", "mean"):
+            raise ValueError(f"reference must be 'median' or 'mean', got {reference!r}")
+        if not 0.0 <= quarantine_threshold < recover_threshold <= 1.0:
+            raise ValueError(
+                f"need 0 <= quarantine_threshold < recover_threshold <= 1, "
+                f"got {quarantine_threshold} / {recover_threshold}"
+            )
+        if min_observations < 1:
+            raise ValueError(f"min_observations must be >= 1, got {min_observations}")
+        if not 0.0 <= initial <= 1.0:
+            raise ValueError(f"initial must be in [0, 1], got {initial}")
+        self.smoothing = float(smoothing)
+        self.alignment_weight = float(alignment_weight) / total
+        self.norm_weight = float(norm_weight) / total
+        self.reference = reference
+        self.quarantine_threshold = float(quarantine_threshold)
+        self.recover_threshold = float(recover_threshold)
+        self.min_observations = int(min_observations)
+        self.initial = float(initial)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrustConfig(smoothing={self.smoothing}, "
+            f"reference={self.reference!r}, "
+            f"quarantine<{self.quarantine_threshold}, "
+            f"recover>{self.recover_threshold})"
+        )
+
+
+def _alignment(delta: np.ndarray, reference: np.ndarray) -> float:
+    """Cosine alignment mapped to [0, 1]; 0.5 when either side is null."""
+    nd = float(np.linalg.norm(delta))
+    nr = float(np.linalg.norm(reference))
+    if nd == 0.0 or nr == 0.0:
+        return 0.5
+    cos = float(np.dot(delta, reference) / (nd * nr))
+    return 0.5 * (1.0 + max(-1.0, min(1.0, cos)))
+
+
+class TrustTracker:
+    """EWMA trust per client, updated one round at a time.
+
+    ``scores`` maps client id → current EWMA in [0, 1]; every client
+    starts (implicitly) at ``config.initial``.  :meth:`score_round`
+    consumes the round's accepted delta matrix and returns the raw
+    per-round scores; the EWMA update happens in the same call.
+    """
+
+    def __init__(self, config: TrustConfig | None = None) -> None:
+        self.config = config if config is not None else TrustConfig()
+        self.scores: dict[int, float] = {}
+        self.observations: dict[int, int] = {}
+
+    # -- scoring -------------------------------------------------------
+
+    def score_round(
+        self,
+        client_ids: Sequence[int],
+        deltas: Sequence[np.ndarray],
+        num_reference: int | None = None,
+    ) -> dict[int, float]:
+        """Score one round of accepted deltas; returns raw round scores.
+
+        ``client_ids`` and ``deltas`` are aligned.  With fewer than two
+        deltas there is no cohort to compare against, so nothing is
+        scored (an empty dict comes back and no EWMA moves).
+
+        ``num_reference`` restricts the reference direction and norm
+        statistics to the first ``num_reference`` rows — the service
+        passes the aggregated cohort there and appends probation
+        deltas after it, so a suspected client is judged against the
+        trusted cohort rather than shaping its own yardstick.  Values
+        below 2 (or ``None``) fall back to the full matrix.
+        """
+        if len(client_ids) != len(deltas):
+            raise ValueError(
+                f"{len(client_ids)} ids for {len(deltas)} deltas"
+            )
+        if len(deltas) < 2:
+            return {}
+        matrix = np.stack([np.asarray(d, dtype=np.float64) for d in deltas])
+        reference_matrix = matrix
+        if num_reference is not None and 2 <= num_reference <= len(deltas):
+            reference_matrix = matrix[:num_reference]
+        if self.config.reference == "median":
+            reference = np.median(reference_matrix, axis=0)
+        else:
+            reference = reference_matrix.mean(axis=0)
+        norms = np.linalg.norm(matrix, axis=1)
+        median_norm = float(np.median(np.linalg.norm(reference_matrix, axis=1)))
+        round_scores: dict[int, float] = {}
+        cfg = self.config
+        for cid, delta, norm in zip(client_ids, matrix, norms):
+            align = _alignment(delta, reference)
+            norm = float(norm)
+            if median_norm == 0.0:
+                conformity = 1.0 if norm == 0.0 else 0.0
+            elif norm > median_norm:
+                conformity = median_norm / norm
+            else:
+                conformity = 1.0
+            score = cfg.alignment_weight * align + cfg.norm_weight * conformity
+            score = max(0.0, min(1.0, score))
+            round_scores[int(cid)] = score
+            previous = self.scores.get(int(cid), cfg.initial)
+            self.scores[int(cid)] = (
+                (1.0 - cfg.smoothing) * previous + cfg.smoothing * score
+            )
+            self.observations[int(cid)] = self.observations.get(int(cid), 0) + 1
+        return round_scores
+
+    # -- policy inputs -------------------------------------------------
+
+    def trust(self, client_id: int) -> float:
+        """Current EWMA for a client (the initial value if unscored)."""
+        return self.scores.get(int(client_id), self.config.initial)
+
+    def quarantine_candidates(self, exclude: set[int] = frozenset()) -> list[int]:
+        """Clients whose EWMA fell below the quarantine threshold.
+
+        Only clients with at least ``min_observations`` scored rounds
+        qualify; ``exclude`` filters ids already handled (quarantined
+        by either path).  Sorted for deterministic iteration.
+        """
+        cfg = self.config
+        return sorted(
+            cid
+            for cid, score in self.scores.items()
+            if cid not in exclude
+            and self.observations.get(cid, 0) >= cfg.min_observations
+            and score < cfg.quarantine_threshold
+        )
+
+    def recovered(self, candidates: Sequence[int]) -> list[int]:
+        """The subset of ``candidates`` whose EWMA climbed back up."""
+        threshold = self.config.recover_threshold
+        return sorted(
+            int(cid) for cid in candidates if self.trust(cid) >= threshold
+        )
+
+    def cohort_trust(self, client_ids: Sequence[int]) -> float | None:
+        """Mean EWMA over the given (scored) clients; None if none scored."""
+        scored = [self.scores[int(c)] for c in client_ids if int(c) in self.scores]
+        if not scored:
+            return None
+        return float(sum(scored) / len(scored))
+
+    # -- persistence ---------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "scores": {str(k): float(v) for k, v in self.scores.items()},
+            "observations": {
+                str(k): int(v) for k, v in self.observations.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping) -> None:
+        self.scores = {int(k): float(v) for k, v in state["scores"].items()}
+        self.observations = {
+            int(k): int(v) for k, v in state["observations"].items()
+        }
+
+    def __repr__(self) -> str:
+        return f"TrustTracker(clients={len(self.scores)})"

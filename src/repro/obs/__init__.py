@@ -25,10 +25,16 @@ from .analysis import SpanNode, TraceAnalysis, TraceDiff, diff, load_trace
 from .context import RunContext, current_context, use_context
 from .profile import LayerProfiler, maybe_profile, render_profile
 from .schema import (
+    COUNTER_NAMES,
+    EVENT_NAMES,
+    GAUGE_NAMES,
+    NAME_PREFIXES,
     SCHEMA_VERSION,
+    SPAN_NAMES,
     canonical_events,
     dumps_canonical,
     jsonable,
+    unknown_names,
     validate_event,
     validate_stream,
 )
@@ -54,9 +60,15 @@ __all__ = [
     "current_context",
     "use_context",
     "SCHEMA_VERSION",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
+    "NAME_PREFIXES",
     "canonical_events",
     "dumps_canonical",
     "jsonable",
+    "unknown_names",
     "validate_event",
     "validate_stream",
     "Sink",

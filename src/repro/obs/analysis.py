@@ -33,6 +33,7 @@ synthetic ``trace.truncated`` event (see :func:`load_trace`).
 from __future__ import annotations
 
 import io
+import math
 from typing import IO, Iterable, Sequence
 
 from .sinks import read_events
@@ -347,6 +348,49 @@ class TraceAnalysis:
             "waves": waves,
         }
 
+    # -- streaming service ---------------------------------------------
+
+    def commit_latency_stats(self) -> dict | None:
+        """Round-commit latency distribution of a streaming-service trace.
+
+        Reads the ``service.commit_latency`` spans the
+        :class:`~repro.fl.service.DefenseService` records once per round
+        (their ``dur`` carries the *simulated* commit latency, which is
+        deterministic for a fixed seed).  Returns ``None`` when the
+        trace has no service rounds; otherwise a dict with ``rounds``,
+        ``committed``, nearest-rank ``p50``/``p90``/``p99``, ``mean``
+        and ``max`` — the numbers the bench payload and the trace diff
+        gate key on.
+        """
+        latencies = [
+            span.dur for span in self.spans if span.name == "service.commit_latency"
+        ]
+        if not latencies:
+            return None
+        ordered = sorted(latencies)
+
+        def rank(q: float) -> float:
+            position = min(
+                len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1)
+            )
+            return float(ordered[position])
+
+        committed = sum(
+            1
+            for span in self.spans
+            if span.name == "service.commit_latency"
+            and span.attrs.get("quorum_met")
+        )
+        return {
+            "rounds": len(ordered),
+            "committed": committed,
+            "p50": rank(50),
+            "p90": rank(90),
+            "p99": rank(99),
+            "mean": float(sum(ordered) / len(ordered)),
+            "max": float(ordered[-1]),
+        }
+
     # -- critical path -------------------------------------------------
 
     def critical_path(self) -> list[dict]:
@@ -471,6 +515,18 @@ class TraceAnalysis:
                 f"{util['utilization']:.1%}\n"
             )
 
+        service = self.commit_latency_stats()
+        if service is not None:
+            out.write(
+                f"\n== service round commits ==\n"
+                f"  rounds={service['rounds']}"
+                f"  committed={service['committed']}"
+                f"  quorum_failed={service['rounds'] - service['committed']}\n"
+                f"  commit latency (simulated): p50={service['p50']:.3f}s"
+                f"  p90={service['p90']:.3f}s  p99={service['p99']:.3f}s"
+                f"  max={service['max']:.3f}s\n"
+            )
+
         path = self.critical_path()
         if path:
             out.write(f"\n== critical path (top {top}) ==\n")
@@ -518,17 +574,23 @@ def _describe_attrs(attrs: dict) -> str:
     return f"  [{', '.join(parts)}]" if parts else ""
 
 
-def load_trace(source: str | IO[str] | Iterable[dict]) -> TraceAnalysis:
+def load_trace(
+    source: str | IO[str] | Iterable[dict], *, strict: bool = False
+) -> TraceAnalysis:
     """A :class:`TraceAnalysis` from a JSONL path/stream or record list.
 
-    A torn trailing line (a writer killed mid-record) is skipped with a
-    warning rather than raised, and the analysis is marked
-    ``truncated`` with a synthetic ``trace.truncated`` event — so a
-    crashed run's trace is still readable up to the tear.
+    By default (``strict=False``, stated explicitly so the tolerant
+    behaviour survives any future ``read_events`` default change) a torn
+    trailing line — a writer killed mid-record — is skipped with a
+    warning rather than raised, and the analysis is marked ``truncated``
+    with a synthetic ``trace.truncated`` event, so a crashed run's trace
+    is still readable up to the tear.  ``strict=True`` raises on the
+    tear instead — the mode for gates that require a complete trace
+    (the ``verify.sh`` service step, ``trace.py --strict``).
     """
     if isinstance(source, (str, bytes)) or hasattr(source, "read"):
         torn: list[str] = []
-        events = list(read_events(source, on_torn=torn.append))
+        events = list(read_events(source, strict=strict, on_torn=torn.append))
         return TraceAnalysis(events, truncated=bool(torn))
     return TraceAnalysis(list(source))
 

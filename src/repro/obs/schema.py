@@ -36,9 +36,15 @@ import numpy as np
 __all__ = [
     "SCHEMA_VERSION",
     "EVENT_KINDS",
+    "SPAN_NAMES",
+    "EVENT_NAMES",
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
+    "NAME_PREFIXES",
     "jsonable",
     "validate_event",
     "validate_stream",
+    "unknown_names",
     "canonical_events",
     "dumps_canonical",
 ]
@@ -46,6 +52,134 @@ __all__ = [
 SCHEMA_VERSION = 1
 
 EVENT_KINDS = ("span", "event", "counter", "gauge")
+
+#: every span name the instrumentation emits.  The registry is the
+#: contract between emitters and trace tooling: adding an emitter
+#: without registering its name here fails the schema tests, so
+#: downstream dashboards/diff gates never meet a name they have not
+#: seen.  Dynamically-derived families (``stage.<name>``) are admitted
+#: by prefix via :data:`NAME_PREFIXES`.
+SPAN_NAMES = frozenset(
+    {
+        "build_setup",
+        "defense.aw_step",
+        "defense.fine_tune_round",
+        "defense.prune_iter",
+        "defense.run",
+        "eval.mode",
+        "exec.local_update",
+        "exec.report",
+        "exec.report_wave",
+        "exec.wave",
+        "experiment",
+        "fl.aggregation",
+        "fl.evaluation",
+        "fl.local_training",
+        "fl.round",
+        "fl.selection",
+        "fl.train",
+        "nc.label",
+        "nc.reconstruct_all",
+        "nc.unlearn",
+        "profile.backward",
+        "profile.forward",
+        # streaming defense service (repro.fl.service)
+        "service.cleanse",
+        "service.commit_latency",
+        "service.evaluation",
+        "service.round",
+        "service.run",
+    }
+)
+
+#: every point-in-time event name (``trace.truncated`` is synthetic,
+#: inserted by the trace loader when a JSONL file ends in a torn line)
+EVENT_NAMES = frozenset(
+    {
+        "defense.fine_tune_skipped",
+        "defense.malformed_report",
+        "defense.quarantine",
+        "defense.report_dropout",
+        "exec.retry",
+        "fault.report",
+        "fault.update",
+        "fl.client_dropped",
+        "fl.client_rejected",
+        "fl.quarantine",
+        "fl.round_skipped",
+        "nc.label_flagged",
+        "persist.checkpoint",
+        "persist.resume",
+        # streaming defense service (repro.fl.service)
+        "service.backoff",
+        "service.cleanse_failed",
+        "service.cleanse_skipped",
+        "service.degraded",
+        "service.dispatch",
+        "service.no_response",
+        "service.quarantine_adopted",
+        "service.quorum_failed",
+        "service.recovered",
+        "service.report_invalid",
+        "service.report_late",
+        "service.report_rejected",
+        "service.report_shed",
+        "trace.truncated",
+        "trust.quarantine",
+        "trust.restore",
+        "trust.score",
+        "watchdog.rollback",
+    }
+)
+
+COUNTER_NAMES = frozenset(
+    {
+        "defense.channels_pruned",
+        "defense.quarantines",
+        "defense.weights_zeroed",
+        "fl.quarantines",
+        "fl.rounds",
+        "fl.rounds_diverged",
+        "fl.rounds_skipped",
+        "fl.updates_accepted",
+        "fl.updates_dropped",
+        "fl.updates_rejected",
+        "service.cleanses",
+        "service.degraded_entries",
+        "service.reports_admitted",
+        "service.reports_invalid",
+        "service.reports_late",
+        "service.reports_no_response",
+        "service.reports_rejected",
+        "service.reports_shed",
+        "service.rounds",
+        "service.rounds_committed",
+        "service.rounds_quorum_failed",
+        "trust.quarantines",
+        "trust.restores",
+        "watchdog.rollbacks",
+    }
+)
+
+GAUGE_NAMES = frozenset(
+    {
+        "exec.redispatches",
+        "exec.workers",
+        "service.pending",
+    }
+)
+
+#: dotted prefixes under which names are generated at runtime (the
+#: StageTimer's ``stage.<name>`` spans take their suffix from caller
+#: code, so they cannot be enumerated here)
+NAME_PREFIXES = ("stage.",)
+
+_REGISTRY: dict[str, frozenset] = {
+    "span": SPAN_NAMES,
+    "event": EVENT_NAMES,
+    "counter": COUNTER_NAMES,
+    "gauge": GAUGE_NAMES,
+}
 
 #: fields whose values depend on wall-clock time, not on control flow
 TIMING_FIELDS = ("ts", "dur")
@@ -132,6 +266,29 @@ def validate_stream(events: Iterable[dict]) -> list[str]:
             )
         last_seq = event["seq"]
     return problems
+
+
+def unknown_names(events: Iterable[dict]) -> list[str]:
+    """Record names absent from the name registry, as ``"kind name"``.
+
+    Complements :func:`validate_stream`: a structurally valid record can
+    still carry a name no tooling knows about (a typo'd emitter, an
+    instrumentation site added without registering its name).  Names
+    under a :data:`NAME_PREFIXES` prefix are runtime-generated families
+    and always pass.  Each offending ``(kind, name)`` pair is reported
+    once, sorted.
+    """
+    seen: set[tuple[str, str]] = set()
+    for event in events:
+        kind = event.get("kind")
+        name = event.get("name")
+        registry = _REGISTRY.get(kind)
+        if registry is None or not isinstance(name, str):
+            continue  # structural problems are validate_stream's job
+        if name in registry or name.startswith(NAME_PREFIXES):
+            continue
+        seen.add((kind, name))
+    return [f"{kind} {name}" for kind, name in sorted(seen)]
 
 
 def canonical_events(events: Iterable[dict]) -> list[dict]:

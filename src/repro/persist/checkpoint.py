@@ -158,6 +158,17 @@ class CheckpointManager:
             return entries
         return [e for e in entries if e["kind"] == kind]
 
+    def latest_entry(self, kind: str) -> dict | None:
+        """The newest manifest entry of ``kind``, without decoding it.
+
+        Cheap existence/identity probe: the streaming service reports
+        *which* last-good snapshot it froze on (file, step) in its
+        degraded-mode telemetry without paying for an array decode.
+        ``None`` when no snapshot of the kind is registered.
+        """
+        entries = self.entries(kind)
+        return dict(entries[-1]) if entries else None
+
     # -- save / load ---------------------------------------------------
 
     def save(

@@ -95,3 +95,44 @@ class TestTraceOut:
         assert _trace_path("t.jsonl", "fig6", ids) == "t-fig6.jsonl"
         assert _trace_path("trace", "fig6", ids) == "trace-fig6"
         assert _trace_path("t.jsonl", "fig6", ["fig6"]) == "t.jsonl"
+
+
+class TestServe:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.schedule == "bursty"
+        assert args.service_rounds == 8
+        assert args.deadline == 10.0
+        assert args.quorum == 0.5
+
+    def test_schedule_choices(self):
+        for kind in ("steady", "bursty", "flash", "adversarial", "chaos"):
+            args = build_parser().parse_args(["serve", "--schedule", kind])
+            assert args.schedule == kind
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--schedule", "tsunami"])
+
+    def test_service_rounds_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--service-rounds", "0"])
+        assert "--service-rounds" in capsys.readouterr().err
+
+    def test_paper_scale_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scale", "paper"])
+        assert "bench world" in capsys.readouterr().err
+
+    def test_serve_smoke_streams_rounds_and_trace(self, tmp_path, capsys):
+        from repro.obs.analysis import load_trace
+
+        trace = tmp_path / "service.jsonl"
+        assert main(
+            ["serve", "--scale", "smoke", "--service-rounds", "2",
+             "--trace-out", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rounds committed" in out
+        assert "commit latency" in out
+        assert trace.exists()
+        analysis = load_trace(str(trace))
+        assert [r.name for r in analysis.roots] == ["service.run"]

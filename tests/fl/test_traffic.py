@@ -1,0 +1,126 @@
+"""Tests for the seeded arrival-traffic generators."""
+
+import pytest
+
+from repro.fl.traffic import (
+    AdversarialTraffic,
+    BurstyTraffic,
+    ComposedTraffic,
+    FlashCrowdTraffic,
+    SteadyTraffic,
+    make_schedule,
+)
+
+COHORT = [3, 0, 7, 1]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: SteadyTraffic(seed=4),
+            lambda: BurstyTraffic(seed=4, burst_prob=0.5),
+            lambda: FlashCrowdTraffic(seed=4, spike_rounds=[1]),
+            lambda: AdversarialTraffic(seed=4, targets=[3], deadline=5.0),
+        ],
+    )
+    def test_same_seed_same_delays(self, factory):
+        a = [factory().delays(r, COHORT) for r in range(4)]
+        b = [factory().delays(r, COHORT) for r in range(4)]
+        assert a == b
+
+    def test_draws_independent_of_cohort_order(self):
+        pattern = SteadyTraffic(seed=9)
+        assert pattern.delays(0, COHORT) == pattern.delays(0, sorted(COHORT))
+
+    def test_rounds_draw_independently(self):
+        """Earlier rounds consume no entropy from later ones."""
+        pattern = SteadyTraffic(seed=2)
+        direct = pattern.delays(5, COHORT)
+        for r in range(5):
+            pattern.delays(r, COHORT)
+        assert pattern.delays(5, COHORT) == direct
+
+    def test_covers_whole_cohort(self):
+        delays = BurstyTraffic(seed=0).delays(0, COHORT)
+        assert sorted(delays) == sorted(COHORT)
+
+
+class TestPatterns:
+    def test_steady_within_jitter(self):
+        delays = SteadyTraffic(seed=1, jitter=(0.5, 2.0)).delays(0, COHORT)
+        assert all(0.5 <= d <= 2.0 for d in delays.values())
+
+    def test_bursty_quiet_vs_burst_rounds(self):
+        pattern = BurstyTraffic(
+            seed=1, burst_prob=0.5, burst_delay=(10.0, 12.0), jitter=(0.0, 1.0)
+        )
+        maxima = [max(pattern.delays(r, COHORT).values()) for r in range(20)]
+        assert any(m >= 10.0 for m in maxima)  # some burst rounds
+        assert any(m <= 1.0 for m in maxima)  # some quiet rounds
+
+    def test_flash_crowd_queues_only_on_spikes(self):
+        pattern = FlashCrowdTraffic(
+            seed=1, spike_rounds=[2], service_time=3.0, jitter=(0.0, 0.0)
+        )
+        assert set(pattern.delays(0, COHORT).values()) == {0.0}
+        spike = pattern.delays(2, COHORT)
+        # one client per queue position: 0, 3, 6, 9
+        assert sorted(spike.values()) == [0.0, 3.0, 6.0, 9.0]
+
+    def test_adversarial_targets_just_late(self):
+        pattern = AdversarialTraffic(
+            seed=1, targets=[7], deadline=10.0, margin=(0.1, 1.0)
+        )
+        delays = pattern.delays(0, COHORT)
+        assert 10.1 <= delays[7] <= 11.0
+        assert all(delays[c] == 0.0 for c in COHORT if c != 7)
+
+    def test_composed_sums(self):
+        a = SteadyTraffic(seed=1, jitter=(1.0, 1.0))
+        b = SteadyTraffic(seed=2, jitter=(2.0, 2.0))
+        composed = ComposedTraffic([a, b]).delays(0, COHORT)
+        assert all(d == pytest.approx(3.0) for d in composed.values())
+
+
+class TestValidation:
+    def test_bad_intervals(self):
+        with pytest.raises(ValueError, match="jitter"):
+            SteadyTraffic(jitter=(2.0, 1.0))
+        with pytest.raises(ValueError, match="burst_prob"):
+            BurstyTraffic(burst_prob=1.5)
+        with pytest.raises(ValueError, match="service_time"):
+            FlashCrowdTraffic(service_time=-1.0)
+        with pytest.raises(ValueError, match="deadline"):
+            AdversarialTraffic(deadline=0.0)
+        with pytest.raises(ValueError, match="at least one"):
+            ComposedTraffic([])
+
+
+class TestMakeSchedule:
+    @pytest.mark.parametrize(
+        "kind, cls",
+        [
+            ("steady", SteadyTraffic),
+            ("bursty", BurstyTraffic),
+            ("flash", FlashCrowdTraffic),
+            ("adversarial", AdversarialTraffic),
+            ("chaos", ComposedTraffic),
+        ],
+    )
+    def test_presets(self, kind, cls):
+        pattern = make_schedule(
+            kind, seed=3, deadline=5.0, targets=[1], spike_rounds=[0]
+        )
+        assert isinstance(pattern, cls)
+        assert set(pattern.delays(0, COHORT)) == set(COHORT)
+
+    def test_overrides_reach_constructor(self):
+        pattern = make_schedule(
+            "steady", seed=3, overrides={"jitter": (4.0, 4.0)}
+        )
+        assert all(d == 4.0 for d in pattern.delays(0, COHORT).values())
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            make_schedule("tsunami")

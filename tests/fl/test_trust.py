@@ -1,0 +1,158 @@
+"""Tests for online per-client trust scoring (repro.fl.trust)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fl.trust import TrustConfig, TrustTracker
+
+DIM = 4
+ONES = np.ones(DIM, dtype=np.float64)
+
+
+def make_tracker(**overrides):
+    defaults = dict(smoothing=0.5, min_observations=3)
+    defaults.update(overrides)
+    return TrustTracker(TrustConfig(**defaults))
+
+
+class TestTrustConfig:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(smoothing=0.0), "smoothing"),
+            (dict(smoothing=1.5), "smoothing"),
+            (dict(alignment_weight=-0.1), "weights"),
+            (dict(alignment_weight=0.0, norm_weight=0.0), "weight"),
+            (dict(reference="mode"), "reference"),
+            (dict(quarantine_threshold=0.7, recover_threshold=0.6), "recover"),
+            (dict(quarantine_threshold=-0.1), "recover"),
+            (dict(min_observations=0), "min_observations"),
+            (dict(initial=1.5), "initial"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            TrustConfig(**kwargs)
+
+    def test_signal_weights_normalize(self):
+        config = TrustConfig(alignment_weight=3.0, norm_weight=1.0)
+        assert config.alignment_weight == pytest.approx(0.75)
+        assert config.norm_weight == pytest.approx(0.25)
+
+
+class TestScoreRound:
+    def test_identical_deltas_score_one(self):
+        tracker = make_tracker()
+        scores = tracker.score_round([0, 1, 2], [ONES, ONES, ONES])
+        assert scores == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_boosted_anti_cohort_delta_scores_low(self):
+        tracker = make_tracker()
+        scores = tracker.score_round(
+            [0, 1, 2, 3, 4], [-8.0 * ONES, ONES, ONES, ONES, ONES]
+        )
+        # alignment 0 (opposite the median), conformity 2/16
+        assert scores[0] == pytest.approx(0.0625)
+        assert all(scores[c] == 1.0 for c in (1, 2, 3, 4))
+        assert tracker.trust(0) == pytest.approx(0.53125)  # EWMA from 1.0
+
+    def test_under_norm_updates_are_not_penalized(self):
+        tracker = make_tracker()
+        scores = tracker.score_round([0, 1, 2], [0.1 * ONES, ONES, ONES])
+        # a small-data client is aligned and under-norm: full conformity
+        assert scores[0] == 1.0
+
+    def test_fewer_than_two_deltas_scores_nothing(self):
+        tracker = make_tracker()
+        assert tracker.score_round([], []) == {}
+        assert tracker.score_round([0], [ONES]) == {}
+        assert tracker.scores == {}
+        assert tracker.observations == {}
+
+    def test_mismatched_lengths_raise(self):
+        tracker = make_tracker()
+        with pytest.raises(ValueError, match="ids for"):
+            tracker.score_round([0, 1], [ONES])
+
+    def test_num_reference_keeps_probation_row_out_of_the_yardstick(self):
+        tracker = make_tracker()
+        # trusted cohort first, the suspected row appended after it
+        scores = tracker.score_round(
+            [1, 2, 0], [ONES, ONES, -8.0 * ONES], num_reference=2
+        )
+        assert scores[1] == 1.0 and scores[2] == 1.0
+        assert scores[0] == pytest.approx(0.0625)  # judged vs the cohort
+
+    def test_num_reference_below_two_falls_back_to_full_matrix(self):
+        frozen = make_tracker()
+        fallback = make_tracker()
+        ids = [0, 1, 2]
+        deltas = [ONES, ONES, 2.0 * ONES]
+        assert frozen.score_round(ids, deltas, num_reference=1) == (
+            fallback.score_round(ids, deltas)
+        )
+
+    def test_all_zero_deltas_are_neutral(self):
+        tracker = make_tracker()
+        zero = np.zeros(DIM)
+        scores = tracker.score_round([0, 1], [zero, zero])
+        # alignment is the neutral 0.5, zero norm conforms fully
+        assert scores == {0: 0.75, 1: 0.75}
+
+    def test_mean_reference_option(self):
+        tracker = make_tracker(reference="mean")
+        scores = tracker.score_round([0, 1], [ONES, ONES])
+        assert scores == {0: 1.0, 1: 1.0}
+
+
+class TestPolicyInputs:
+    def sink(self, tracker, client_id=0, rounds=3):
+        """Drive one client's EWMA down with anti-cohort rounds."""
+        for _ in range(rounds):
+            tracker.score_round(
+                [client_id, 1, 2, 3, 4],
+                [-8.0 * ONES, ONES, ONES, ONES, ONES],
+            )
+
+    def test_unscored_client_has_initial_trust(self):
+        tracker = make_tracker(initial=0.9)
+        assert tracker.trust(7) == 0.9
+
+    def test_min_observations_gates_quarantine(self):
+        tracker = make_tracker()
+        self.sink(tracker, rounds=2)
+        assert tracker.trust(0) < 0.4  # already below threshold...
+        assert tracker.quarantine_candidates() == []  # ...but unripe
+        self.sink(tracker, rounds=1)
+        assert tracker.quarantine_candidates() == [0]
+
+    def test_exclude_filters_already_handled_clients(self):
+        tracker = make_tracker()
+        self.sink(tracker)
+        assert tracker.quarantine_candidates(exclude={0}) == []
+
+    def test_recovered_threshold(self):
+        tracker = make_tracker()
+        self.sink(tracker)
+        assert tracker.recovered([0]) == []
+        for _ in range(3):  # honest probation rounds climb the EWMA back
+            tracker.score_round([1, 2, 0], [ONES, ONES, ONES], num_reference=2)
+        assert tracker.recovered([0]) == [0]
+
+    def test_cohort_trust_averages_scored_clients_only(self):
+        tracker = make_tracker()
+        assert tracker.cohort_trust([0, 1]) is None
+        tracker.score_round([0, 1], [ONES, ONES])
+        assert tracker.cohort_trust([0, 1, 99]) == pytest.approx(1.0)
+
+    def test_state_dict_json_roundtrip(self):
+        tracker = make_tracker()
+        self.sink(tracker)
+        state = json.loads(json.dumps(tracker.state_dict()))
+        restored = make_tracker()
+        restored.load_state_dict(state)
+        assert restored.scores == tracker.scores
+        assert restored.observations == tracker.observations
+        assert restored.quarantine_candidates() == [0]

@@ -1,0 +1,150 @@
+"""The defense-service telemetry names are registered and validate clean.
+
+The schema registry (repro.obs.schema) is the contract between
+instrumentation and trace tooling.  These tests pin both directions for
+the streaming service: every name the service/trust layer emits is in
+the registry, and a real service run produces a stream that passes
+``validate_stream`` with ``unknown_names`` empty.
+"""
+
+import pytest
+
+from repro.fl.service import DefenseService, ServiceConfig
+from repro.obs.context import RunContext
+from repro.obs.schema import (
+    COUNTER_NAMES,
+    EVENT_NAMES,
+    GAUGE_NAMES,
+    SPAN_NAMES,
+    unknown_names,
+    validate_stream,
+)
+from repro.obs.sinks import RingBufferSink
+from repro.obs.telemetry import Telemetry
+
+from tests.fl.test_service import ScriptClient, VectorModel, trust_config, turncoat
+
+
+class TestRegisteredNames:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "service.cleanse",
+            "service.commit_latency",
+            "service.evaluation",
+            "service.round",
+            "service.run",
+        ],
+    )
+    def test_service_spans_registered(self, name):
+        assert name in SPAN_NAMES
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "service.backoff",
+            "service.cleanse_failed",
+            "service.cleanse_skipped",
+            "service.degraded",
+            "service.dispatch",
+            "service.no_response",
+            "service.quarantine_adopted",
+            "service.quorum_failed",
+            "service.recovered",
+            "service.report_invalid",
+            "service.report_late",
+            "service.report_rejected",
+            "service.report_shed",
+            "trust.quarantine",
+            "trust.restore",
+            "trust.score",
+        ],
+    )
+    def test_service_and_trust_events_registered(self, name):
+        assert name in EVENT_NAMES
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "service.cleanses",
+            "service.degraded_entries",
+            "service.reports_admitted",
+            "service.reports_invalid",
+            "service.reports_late",
+            "service.reports_no_response",
+            "service.reports_rejected",
+            "service.reports_shed",
+            "service.rounds",
+            "service.rounds_committed",
+            "service.rounds_quorum_failed",
+            "trust.quarantines",
+            "trust.restores",
+        ],
+    )
+    def test_service_and_trust_counters_registered(self, name):
+        assert name in COUNTER_NAMES
+
+    def test_pending_gauge_registered(self):
+        assert "service.pending" in GAUGE_NAMES
+
+
+class TestServiceStreamValidates:
+    """A real run's stream is structurally valid and fully registered."""
+
+    @pytest.fixture(scope="class")
+    def service_events(self):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        clients = [ScriptClient(0, turncoat)] + [
+            ScriptClient(i) for i in range(1, 5)
+        ]
+        service = DefenseService(
+            VectorModel(),
+            clients,
+            test_set=None,
+            config=ServiceConfig(
+                round_deadline=10.0,
+                quorum=1.0,  # full quorum: every report lands in the
+                eval_every=0,  # trust reference, so the turncoat scores low
+                cleanse_threshold=None,
+                trust=trust_config(),
+                probation_interval=1,
+            ),
+            context=RunContext(telemetry=hub),
+        )
+        history = service.run(5)
+        hub.close()  # flush counter/gauge snapshots into the ring
+        return history, list(ring.events)
+
+    def test_stream_is_structurally_valid(self, service_events):
+        _, events = service_events
+        assert validate_stream(events) == []
+
+    def test_every_emitted_name_is_registered(self, service_events):
+        _, events = service_events
+        assert unknown_names(events) == []
+
+    def test_trust_lifecycle_names_actually_emitted(self, service_events):
+        history, events = service_events
+        # the turncoat is quarantined and later restored, so the run
+        # exercises the full trust vocabulary, not just the happy path
+        assert history.trust_quarantine_events
+        names = {(r["kind"], r["name"]) for r in events}
+        for expected in [
+            ("span", "service.run"),
+            ("span", "service.round"),
+            ("span", "service.commit_latency"),
+            ("event", "service.dispatch"),
+            ("event", "trust.score"),
+            ("event", "trust.quarantine"),
+            ("event", "trust.restore"),
+            ("counter", "service.rounds_committed"),
+            ("counter", "trust.quarantines"),
+            ("gauge", "service.pending"),
+        ]:
+            assert expected in names, expected
+
+    def test_unregistered_name_is_flagged(self, service_events):
+        _, events = service_events
+        bogus = dict(events[0], kind="event", name="service.bogus")
+        assert unknown_names([bogus]) == ["event service.bogus"]

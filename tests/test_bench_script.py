@@ -55,3 +55,21 @@ def test_bench_script_smoke(tmp_path):
     assert "speedup[thread]" in result.stdout
     assert "utilization[serial]" in result.stdout
     assert "critical path:" in result.stdout
+
+    # the always-on defense service section rides along in the payload
+    service = payload["service"]
+    for key in (
+        "scale",
+        "rounds",
+        "committed",
+        "latency_p50",
+        "latency_p99",
+        "reports",
+    ):
+        assert key in service, key
+    assert service["rounds"] >= 1
+    assert 0 <= service["committed"] <= service["rounds"]
+    for key in ("admitted", "late", "deferred", "shed", "rejected"):
+        assert key in service["reports"], key
+    assert "service:" in result.stdout
+    assert "service reports:" in result.stdout

@@ -127,3 +127,70 @@ class TestTornTrace:
         result = run_trace("summarize", str(trace))
         assert result.returncode == 0, result.stderr
         assert "truncated" in result.stdout
+
+    def test_summarize_warns_on_stderr(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        with open(trace, "a") as handle:
+            handle.write('{"v": 1, "seq": 999, "ki')
+        result = run_trace("summarize", str(trace))
+        assert result.returncode == 0
+        assert "truncated" in result.stderr
+
+    def test_strict_makes_torn_trace_fatal(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")
+        with open(trace, "a") as handle:
+            handle.write('{"v": 1, "seq": 999, "ki')
+        result = run_trace("--strict", "summarize", str(trace))
+        assert result.returncode == 1
+        assert "error:" in result.stderr
+
+
+def write_service_trace(path):
+    """A miniature streaming-service trace (registered names only)."""
+    hub = Telemetry([JSONLSink(str(path))])
+    with hub.span("service.run", rounds=2):
+        for round_index, (latency, met) in enumerate([(2.5, True), (10.0, False)]):
+            with hub.span("service.round", round=round_index):
+                hub.event("service.dispatch", round=round_index, solicited=2)
+                hub.record_span(
+                    "service.commit_latency",
+                    latency,
+                    round=round_index,
+                    quorum_met=met,
+                )
+                hub.count("service.rounds")
+    hub.close()
+    return path
+
+
+class TestValidate:
+    def test_clean_trace_passes(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("validate", str(trace))
+        assert result.returncode == 0, result.stdout
+        assert "valid, registered, complete" in result.stdout
+
+    def test_unregistered_name_fails(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        hub = Telemetry([JSONLSink(str(trace))])  # appends a fresh stream
+        hub.event("service.bogus_event")
+        hub.close()
+        result = run_trace("validate", str(trace))
+        assert result.returncode == 1
+        assert "unregistered name: event service.bogus_event" in result.stdout
+
+    def test_torn_trace_fails(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        with open(trace, "a") as handle:
+            handle.write('{"v": 1, "seq": 999, "ki')
+        result = run_trace("validate", str(trace))
+        assert result.returncode == 1
+        assert "truncated" in result.stdout
+
+    def test_summarize_reports_service_commits(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("summarize", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "service round commits" in result.stdout
+        assert "committed=1" in result.stdout
+        assert "quorum_failed=1" in result.stdout
