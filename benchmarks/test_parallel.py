@@ -8,6 +8,9 @@ Two claims under test, on the shared 8-client workload of
   runs at least 2x faster than the serial engine.  On smaller machines
   the assertion is skipped — there is nothing to parallelize onto —
   but the identity checks below still run.
+* **Megabatch speedup** (``perf``-marked, hardware-gated): the
+  vectorized wave path runs a 64-client cohort at least 2x faster
+  than the serial engine while staying bitwise identical.
 * **Identity** (always on): whatever the hardware, every engine
   produces bitwise-identical model parameters and accuracy traces.
 
@@ -18,7 +21,7 @@ import os
 
 import pytest
 
-from repro.eval.parallel_bench import run_benchmark
+from repro.eval.parallel_bench import measure_cohort_scaling, run_benchmark
 
 WORKERS = 4
 
@@ -51,12 +54,30 @@ class TestSpeedup:
         assert payload["bitwise_identical"] is True
         assert payload["speedups"][engine] >= 2.0, payload["timings"]
 
+    def test_megabatch_at_least_twice_as_fast_at_64_clients(self):
+        # vectorization speedup comes from BLAS batching, not extra
+        # cores, so the core-count gate above does not apply; instead,
+        # gate on the serial wave being slow enough to time at all —
+        # hardware fast enough to finish it inside timer noise cannot
+        # support a hard 2x wall-clock assertion
+        curve = measure_cohort_scaling(scale="smoke")
+        point = next(p for p in curve["points"] if p["clients"] == 64)
+        assert point["bitwise_identical"] is True  # holds on any box
+        if point["serial_seconds"] < 0.02:
+            pytest.skip(
+                f"64-client serial wave took {point['serial_seconds']:.4f}s "
+                "— too close to timer noise for a 2x speedup assertion"
+            )
+        assert point["speedup"] >= 2.0, curve["points"]
+
 
 class TestEngineIdentity:
     def test_all_engines_bitwise_identical(self):
         payload = run_benchmark(scale="smoke", workers=2)
         assert payload["bitwise_identical"] is True
-        assert set(payload["timings"]) == {"serial", "thread", "process"}
+        assert set(payload["timings"]) == {
+            "serial", "thread", "process", "megabatch"
+        }
         assert payload["cpu_count"] == os.cpu_count()
         assert payload["oversubscribed"] == ((os.cpu_count() or 1) < 2)
         assert set(payload["utilization"]) == set(payload["timings"])

@@ -2,10 +2,11 @@
 """Benchmark the federated execution engine; writes ``BENCH_fl.json``.
 
 Times an 8-client training round plus an FP+AW defense pass under the
-serial, thread-pool and process-pool engines (see
+serial, thread-pool, process-pool and megabatch engines (see
 :mod:`repro.eval.parallel_bench`), verifies the bitwise-determinism
-contract across them, and records per-stage wall-clock seconds and
-speedup ratios.
+contract across them, records per-stage wall-clock seconds and speedup
+ratios, and measures the cohort-scaling curve (8 -> 4096 clients) of
+the vectorized megabatch wave path.
 
 Usage::
 
@@ -139,6 +140,22 @@ def main(argv=None) -> int:
             f"late={reports['late']} deferred={reports['deferred']} "
             f"shed={reports['shed']} rejected={reports['rejected']}"
         )
+    cohort = payload.get("cohort_scaling")
+    cohort_ok = True
+    if cohort:
+        print(f"  cohort scaling (wave_size={cohort['wave_size']}):")
+        for point in cohort["points"]:
+            estimated = " (est.)" if point["serial_estimated"] else ""
+            identical = point["bitwise_identical"]
+            bitwise = "skipped" if identical is None else str(identical)
+            if identical is False:
+                cohort_ok = False
+            print(
+                f"    {point['clients']:5d} clients: "
+                f"serial={point['serial_seconds']:.3f}s{estimated} "
+                f"megabatch={point['megabatch_seconds']:.3f}s "
+                f"speedup={point['speedup']:.2f}x bitwise={bitwise}"
+            )
     print(f"wrote {args.output}")
 
     gate_ok = True
@@ -162,7 +179,7 @@ def main(argv=None) -> int:
                     f"{reg['base_seconds']:.3f}s -> {reg['head_seconds']:.3f}s "
                     f"({reg['ratio']:.2f}x)"
                 )
-    return 0 if (payload["bitwise_identical"] and gate_ok) else 1
+    return 0 if (payload["bitwise_identical"] and cohort_ok and gate_ok) else 1
 
 
 if __name__ == "__main__":

@@ -36,3 +36,16 @@ echo "== service (deadline-scheduled rounds under bursty traffic) =="
 python -m repro.experiments.cli serve --scale smoke --schedule bursty \
     --service-rounds 6 --trace-out "$TRACE_TMP/service_trace.jsonl"
 python scripts/trace.py --strict validate "$TRACE_TMP/service_trace.jsonl"
+
+echo "== megabatch wave parity (vectorized vs serial, bitwise) =="
+python - <<'EOF'
+from repro.eval.parallel_bench import measure_cohort_scaling
+
+curve = measure_cohort_scaling(scale="smoke")
+for point in curve["points"]:
+    assert point["bitwise_identical"] is True, point
+    print(
+        f"cohort={point['clients']}: speedup={point['speedup']:.2f}x "
+        "bitwise ok"
+    )
+EOF

@@ -2,7 +2,9 @@
 
 One seeded workload — an 8-client federation training round plus a
 federated-pruning + adjust-weights defense pass — timed under each
-execution engine (serial / thread / process).  Shared by
+execution engine (serial / thread / process / megabatch), plus a
+cohort-scaling curve (8 → 4096 clients) for the vectorized megabatch
+wave path.  Shared by
 ``scripts/bench.py`` (which writes ``BENCH_fl.json``) and
 ``benchmarks/test_parallel.py`` (which asserts the speedup and the
 bitwise-identity contract), so both always measure the same thing.
@@ -25,9 +27,11 @@ from ..defense.pipeline import DefenseConfig, DefensePipeline
 from ..fl.client import Client, LocalTrainingConfig
 from ..fl.executor import (
     ClientExecutor,
+    MegabatchExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    collect_updates,
 )
 from ..fl.faults import FaultModel, wrap_clients
 from ..fl.server import FederatedServer
@@ -44,9 +48,11 @@ from .timers import StageTimer
 __all__ = [
     "BENCH_PRESETS",
     "build_bench_world",
+    "build_cohort_world",
     "make_executor",
     "run_benchmark",
     "compare_to_baseline",
+    "measure_cohort_scaling",
     "measure_telemetry_overhead",
     "measure_checkpoint_cost",
     "measure_service",
@@ -126,7 +132,142 @@ def make_executor(engine: str, workers: int) -> ClientExecutor:
         return ThreadExecutor(num_workers=workers)
     if engine == "process":
         return ProcessExecutor(num_workers=workers)
+    if engine == "megabatch":
+        return MegabatchExecutor(wave_size=MEGABATCH_WAVE_SIZE)
     raise ValueError(f"unknown engine {engine!r}")
+
+
+#: clients per vectorized wave in the megabatch engine (the bench's
+#: choice, not the executor's default: the cohort curve is most readable
+#: when every 64-client point is exactly one wave)
+MEGABATCH_WAVE_SIZE = 64
+
+#: cohort sizes the scaling curve samples per scale
+_COHORT_SIZES = {"smoke": (8, 64), "bench": (8, 64, 512, 4096)}
+
+#: largest cohort the serial baseline is *measured* at; bigger points
+#: extrapolate linearly (serial cost is one client-loop per client, so
+#: the estimate is tight and ~10x cheaper than measuring)
+_SERIAL_MEASURE_CAP = 512
+
+#: the per-client workload of the cohort curve: deliberately small so
+#: the 4096-client point stays runnable — the curve measures *wave
+#: dispatch* scaling, not model-size scaling (that is the main bench)
+_COHORT_PRESET = dict(
+    samples_per_client=16,
+    image_size=8,
+    num_classes=4,
+    conv_width=4,
+    local_epochs=1,
+    batch_size=16,
+)
+
+
+def build_cohort_world(num_clients: int, seed: int = 5):
+    """A fresh seeded (model, clients) world with ``num_clients`` clients.
+
+    Same construction recipe as :func:`build_bench_world` but with the
+    compact :data:`_COHORT_PRESET` workload and a parametric population,
+    so cohort-scaling points are directly comparable to each other.
+    """
+    preset = _COHORT_PRESET
+    size = preset["image_size"]
+    classes = preset["num_classes"]
+    total = num_clients * preset["samples_per_client"]
+
+    data_rng = np.random.default_rng(seed)
+    images = data_rng.random((total, 1, size, size))
+    labels = np.tile(np.arange(classes), total // classes + 1)[:total]
+    dataset = Dataset(images, labels)
+
+    config = LocalTrainingConfig(
+        lr=0.05,
+        momentum=0.9,
+        batch_size=preset["batch_size"],
+        local_epochs=preset["local_epochs"],
+    )
+    chunks = np.array_split(np.arange(total), num_clients)
+    clients = [
+        Client(i, dataset.subset(chunk), config, np.random.default_rng(100 + i))
+        for i, chunk in enumerate(chunks)
+    ]
+
+    width = preset["conv_width"]
+    model_rng = np.random.default_rng(seed + 1)
+    model = Sequential(
+        Conv2d(1, width, kernel_size=3, padding=1, rng=model_rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(width, 2 * width, kernel_size=3, padding=1, rng=model_rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(2 * width * (size // 4) ** 2, classes, rng=model_rng),
+    )
+    return model, clients
+
+
+def _time_cohort_wave(engine: str, num_clients: int):
+    """One ``collect_updates`` wave over a fresh world; (seconds, deltas)."""
+    model, clients = build_cohort_world(num_clients)
+    global_params = model.flat_parameters()
+    with make_executor(engine, 1) as executor:
+        start = time.perf_counter()
+        outcomes = collect_updates(
+            executor, clients, model, global_params, round_index=0
+        )
+        seconds = time.perf_counter() - start
+    return seconds, [value for _, value in outcomes]
+
+
+def measure_cohort_scaling(scale: str = "bench") -> dict:
+    """The cohort-scaling curve: serial vs megabatch wave throughput.
+
+    Times one ``collect_updates`` wave (the round's training fan-out —
+    exactly what :class:`~repro.fl.server.FederatedServer` and the
+    defense service dispatch) at each cohort size in
+    :data:`_COHORT_SIZES`, on freshly built identical worlds per engine.
+    Each measured point also checks the determinism contract: every
+    per-client delta bitwise equal across engines.  Serial is measured
+    up to :data:`_SERIAL_MEASURE_CAP` clients and extrapolated linearly
+    beyond it (flagged ``serial_estimated``; the bitwise check is
+    skipped there, reported as ``None``).
+    """
+    if scale not in _COHORT_SIZES:
+        raise ValueError(f"unknown scale {scale!r}")
+    points = []
+    serial_rate: float | None = None  # seconds per client, last measured
+    for num_clients in _COHORT_SIZES[scale]:
+        mega_seconds, mega_deltas = _time_cohort_wave("megabatch", num_clients)
+        if num_clients <= _SERIAL_MEASURE_CAP:
+            serial_seconds, serial_deltas = _time_cohort_wave(
+                "serial", num_clients
+            )
+            serial_rate = serial_seconds / num_clients
+            estimated = False
+            identical = all(
+                np.array_equal(a, b)
+                for a, b in zip(serial_deltas, mega_deltas)
+            )
+        else:
+            serial_seconds = serial_rate * num_clients
+            estimated = True
+            identical = None
+        points.append(
+            {
+                "clients": num_clients,
+                "serial_seconds": serial_seconds,
+                "serial_estimated": estimated,
+                "megabatch_seconds": mega_seconds,
+                "speedup": serial_seconds / max(mega_seconds, 1e-9),
+                "bitwise_identical": identical,
+            }
+        )
+    return {
+        "preset": dict(_COHORT_PRESET),
+        "wave_size": MEGABATCH_WAVE_SIZE,
+        "points": points,
+    }
 
 
 def _noop(_):
@@ -166,7 +307,7 @@ def _run_engine(executor: ClientExecutor, scale: str, telemetry: Telemetry | Non
 def run_benchmark(
     scale: str = "bench",
     workers: int = 4,
-    engines: tuple[str, ...] = ("serial", "thread", "process"),
+    engines: tuple[str, ...] = ("serial", "thread", "process", "megabatch"),
 ) -> dict:
     """Time every engine on the shared workload; JSON-ready payload.
 
@@ -197,7 +338,8 @@ def run_benchmark(
     utilization: dict[str, dict] = {}
     critical_path: list[dict] = []
     for engine in engines:
-        effective_workers = 1 if engine == "serial" else workers
+        # serial and megabatch are both single-threaded coordinators
+        effective_workers = 1 if engine in ("serial", "megabatch") else workers
         hub = Telemetry()
         ring = hub.add_sink(RingBufferSink())
         hub.gauge("exec.workers", effective_workers)
@@ -243,6 +385,7 @@ def run_benchmark(
         "telemetry": measure_telemetry_overhead(scale),
         "checkpoint": measure_checkpoint_cost(scale),
         "service": measure_service(scale),
+        "cohort_scaling": measure_cohort_scaling(scale),
     }
 
 
@@ -266,7 +409,8 @@ def compare_to_baseline(
     rejected report counts are deterministic for a fixed seed, so growth
     beyond the threshold is a scheduling-policy regression, not machine
     noise (the ``min_seconds`` floor applies to the latency figures the
-    same way it does to stage timings).
+    same way it does to stage timings).  The ``cohort_scaling`` curve is
+    gated on its megabatch wave times per cohort size.
 
     Returns ``{"ok": bool, "regressions": [...], "checked": int}``;
     ``scripts/bench.py --baseline`` exits non-zero when ``ok`` is False.
@@ -324,6 +468,31 @@ def compare_to_baseline(
                     "stage": metric,
                     "base_seconds": base_value,
                     "head_seconds": head_value,
+                    "ratio": ratio,
+                }
+            )
+
+    # the cohort-scaling curve gates the megabatch wave time per point
+    # (serial points are informational: half of them are extrapolated)
+    base_points = (baseline.get("cohort_scaling") or {}).get("points") or []
+    head_points = (payload.get("cohort_scaling") or {}).get("points") or []
+    head_by_cohort = {p["clients"]: p for p in head_points}
+    for base_point in base_points:
+        head_point = head_by_cohort.get(base_point["clients"])
+        if head_point is None:
+            continue
+        checked += 1
+        base_seconds = base_point["megabatch_seconds"]
+        head_seconds = head_point["megabatch_seconds"]
+        delta = head_seconds - base_seconds
+        ratio = head_seconds / max(base_seconds, 1e-9)
+        if ratio > 1.0 + threshold and delta > min_seconds:
+            regressions.append(
+                {
+                    "engine": "cohort",
+                    "stage": f"megabatch@{base_point['clients']}",
+                    "base_seconds": base_seconds,
+                    "head_seconds": head_seconds,
                     "ratio": ratio,
                 }
             )

@@ -14,6 +14,13 @@ deadline-scheduled rounds::
 
     python -m repro.experiments.cli serve --schedule bursty \\
         --service-rounds 8 --trace-out service.jsonl
+
+Serve mode can also run its training waves on any execution engine and
+simulate a large registered population behind a lazily materialized
+client pool with seeded cohort sampling::
+
+    python -m repro.experiments.cli serve --engine megabatch \\
+        --population 100000 --cohort 64
 """
 
 from __future__ import annotations
@@ -124,12 +131,97 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of solicited clients required to commit a round "
         "(default: 0.5)",
     )
+    serve.add_argument(
+        "--engine",
+        default="serial",
+        choices=["serial", "thread", "process", "megabatch"],
+        help="client-execution engine for local-training waves; "
+        "'megabatch' vectorizes homogeneous clients into single "
+        "batched tensor ops (default: serial)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        metavar="N",
+        help="pool size for the thread/process engines (default: 4)",
+    )
+    serve.add_argument(
+        "--population",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate an N-client population behind a lazily "
+        "materialized ClientPool; requires --cohort (round cost then "
+        "scales with the cohort, not N)",
+    )
+    serve.add_argument(
+        "--cohort",
+        type=int,
+        default=None,
+        metavar="K",
+        help="clients solicited per round, drawn deterministically by a "
+        "sharded ParticipationSampler from --population",
+    )
     return parser
+
+
+def _build_client_pool(args, faults):
+    """A lazy ``(pool, sampler)`` population for serve's --population mode.
+
+    Each client is materialized on first touch from a per-index seed, so
+    a million-client registry costs nothing until the sampler's cohort
+    actually lands on an index.  The per-client workload mirrors the
+    bench preset of the chosen scale.
+    """
+    import numpy as np
+
+    from ..eval.parallel_bench import BENCH_PRESETS
+    from ..fl.client import Client, LocalTrainingConfig
+    from ..fl.faults import wrap_client
+    from ..data.dataset import Dataset
+    from ..fl.sampling import ClientPool, ParticipationSampler
+
+    preset = BENCH_PRESETS[args.scale]
+    size = preset["image_size"]
+    classes = preset["num_classes"]
+    per_client = preset["samples_per_client"]
+    config = LocalTrainingConfig(
+        lr=0.05,
+        momentum=0.9,
+        batch_size=preset["batch_size"],
+        local_epochs=preset["local_epochs"],
+    )
+
+    def make_client(index: int):
+        data_rng = np.random.default_rng([args.seed, index])
+        images = data_rng.random((per_client, 1, size, size))
+        labels = np.tile(
+            np.arange(classes), per_client // classes + 1
+        )[:per_client]
+        client = Client(
+            index,
+            Dataset(images, labels),
+            config,
+            np.random.default_rng([args.seed + 1, index]),
+        )
+        return wrap_client(client, faults)
+
+    pool = ClientPool(args.population, make_client)
+    sampler = ParticipationSampler(
+        population=args.population,
+        cohort=args.cohort,
+        seed=args.seed + 4,
+        num_shards=max(1, args.population // 250_000),
+    )
+    return pool, sampler
 
 
 def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     """Boot the always-on defense service on the synthetic bench world."""
-    from ..eval.parallel_bench import build_bench_world
+    from contextlib import ExitStack
+
+    from ..eval.parallel_bench import build_bench_world, make_executor
     from ..fl.faults import FaultModel, wrap_clients
     from ..fl.service import DefenseService, ServiceConfig
     from ..fl.traffic import make_schedule
@@ -139,6 +231,19 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     if args.scale == "paper":
         parser.error("serve runs on the synthetic bench world; "
                      "use --scale smoke or bench")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    if (args.population is None) != (args.cohort is None):
+        parser.error("--population and --cohort must be given together")
+    if args.population is not None:
+        if args.population < 1:
+            parser.error("--population must be >= 1")
+        if not 1 <= args.cohort <= args.population:
+            parser.error("--cohort must be in [1, --population]")
+        if args.checkpoint_dir is not None:
+            parser.error("--checkpoint-dir is not supported with "
+                         "--population (a lazy ClientPool cannot be "
+                         "checkpointed faithfully)")
 
     model, clients, dataset = build_bench_world(args.scale, seed=args.seed)
     faults = FaultModel(
@@ -147,6 +252,11 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
         deadline_seconds=args.deadline,
         seed=args.seed + 2,
     )
+    sampler = None
+    if args.population is not None:
+        clients, sampler = _build_client_pool(args, faults)
+    else:
+        clients = wrap_clients(clients, faults)
     context_kwargs: dict = {"fault_model": faults}
     telemetry = None
     if args.trace_out is not None:
@@ -159,23 +269,29 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
             checkpoint_every=args.checkpoint_every,
             resume=args.resume,
         )
-    service = DefenseService(
-        model,
-        wrap_clients(clients, faults),
-        dataset,
-        ServiceConfig(
-            round_deadline=args.deadline,
-            quorum=args.quorum,
-            eval_every=0,
-        ),
-        traffic=make_schedule(
-            args.schedule, seed=args.seed + 3, deadline=args.deadline
-        ),
-        context=RunContext(**context_kwargs),
-    )
     start = time.perf_counter()
     try:
-        history = service.run(args.service_rounds)
+        with ExitStack() as stack:
+            if args.engine != "serial":
+                context_kwargs["executor"] = stack.enter_context(
+                    make_executor(args.engine, args.workers)
+                )
+            service = DefenseService(
+                model,
+                clients,
+                dataset,
+                ServiceConfig(
+                    round_deadline=args.deadline,
+                    quorum=args.quorum,
+                    eval_every=0,
+                ),
+                traffic=make_schedule(
+                    args.schedule, seed=args.seed + 3, deadline=args.deadline
+                ),
+                sampler=sampler,
+                context=RunContext(**context_kwargs),
+            )
+            history = service.run(args.service_rounds)
     finally:
         if telemetry is not None:
             telemetry.close()
@@ -187,6 +303,13 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     print(f"service: {committed}/{len(history)} rounds committed under "
           f"{args.schedule!r} traffic (deadline={args.deadline:g}s "
           f"quorum={args.quorum:g})")
+    if args.engine != "serial":
+        print(f"  engine: {args.engine} (workers={args.workers})")
+    if sampler is not None:
+        print(f"  population: {sampler.population} clients behind a lazy "
+              f"pool, cohort={sampler.cohort}/round across "
+              f"{sampler.num_shards} shard(s); "
+              f"{len(clients.cached())} clients ever materialized")
     print(f"  commit latency (simulated): p50={percentiles['p50']:.2f}s "
           f"p90={percentiles['p90']:.2f}s p99={percentiles['p99']:.2f}s")
     print(f"  reports: admitted={counts['admitted']} late={counts['late']} "

@@ -11,10 +11,16 @@ from .aggregation import (
     trimmed_mean,
     weighted_fedavg,
 )
-from .client import Client, LocalTrainingConfig, MaliciousClient
+from .client import (
+    Client,
+    LocalTrainingConfig,
+    MaliciousClient,
+    megabatch_eligible,
+)
 from .clipping import clip_updates, clipped_fedavg, median_norm_budget
 from .executor import (
     ClientExecutor,
+    MegabatchExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -27,8 +33,10 @@ from .faults import (
     FaultModel,
     FaultyClient,
     validate_update,
+    wrap_client,
     wrap_clients,
 )
+from .sampling import ClientPool, ParticipationSampler
 from .server import FederatedServer, RoundMetrics, TrainingHistory
 from .service import (
     DefenseService,
@@ -56,11 +64,16 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "MegabatchExecutor",
+    "ClientPool",
+    "ParticipationSampler",
+    "megabatch_eligible",
     "collect_updates",
     "collect_reports",
     "FaultModel",
     "FaultyClient",
     "validate_update",
+    "wrap_client",
     "wrap_clients",
     "finite_rows",
     "bulyan",

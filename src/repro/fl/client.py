@@ -30,7 +30,12 @@ from ..nn.layers import Conv2d, Sequential
 from ..nn.losses import CrossEntropyLoss, LayerL2Penalty
 from ..nn.optim import SGD
 
-__all__ = ["Client", "MaliciousClient", "LocalTrainingConfig"]
+__all__ = [
+    "Client",
+    "MaliciousClient",
+    "LocalTrainingConfig",
+    "megabatch_eligible",
+]
 
 
 class LocalTrainingConfig:
@@ -174,6 +179,30 @@ class Client:
             return 0.0
         logits = model(self.dataset.images)
         return float((logits.argmax(axis=1) == self.dataset.labels).mean())
+
+
+#: the hooks a subclass may override to change local-training semantics;
+#: a client is only megabatch-eligible while ALL of them are the stock
+#: ``Client`` implementations (the vectorized wave inlines them)
+_MEGABATCH_HOOKS = ("local_update", "_training_data", "_post_step", "_post_training")
+
+
+def megabatch_eligible(client) -> bool:
+    """True when ``client`` trains with the stock benign semantics.
+
+    The megabatch executor replaces :meth:`Client.local_update` with one
+    vectorized pass, so it must refuse any client whose *class* overrides
+    the training hooks (malicious clients, fault wrappers, test doubles).
+    The check is on method identity at the type level — an override that
+    merely delegates still disqualifies, which errs on the side of the
+    bitwise-faithful serial path.
+    """
+    if type(client) is not Client and not isinstance(client, Client):
+        return False
+    for name in _MEGABATCH_HOOKS:
+        if getattr(type(client), name) is not getattr(Client, name):
+            return False
+    return isinstance(getattr(client, "rng", None), np.random.Generator)
 
 
 class MaliciousClient(Client):

@@ -539,9 +539,20 @@ class FaultyClient:
         return self.finish_report(plan, report, vote=True)
 
 
+def wrap_client(client, faults: FaultModel) -> FaultyClient:
+    """Wrap one client with a fault schedule (lazy-population form).
+
+    The single-client twin of :func:`wrap_clients`, for
+    :class:`~repro.fl.sampling.ClientPool` factories that materialize
+    clients on first touch — the pool builds the inner client, this
+    attaches the (usually shared) fault schedule.
+    """
+    return FaultyClient(client, faults)
+
+
 def wrap_clients(clients, faults: FaultModel) -> list[FaultyClient]:
     """Wrap a population with one shared fault schedule."""
-    return [FaultyClient(client, faults) for client in clients]
+    return [wrap_client(client, faults) for client in clients]
 
 
 def validate_update(payload, expected_dim: int) -> str | None:

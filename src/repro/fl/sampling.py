@@ -1,0 +1,263 @@
+"""Deterministic participation sampling over simulated populations.
+
+Real federated deployments register orders of magnitude more clients
+than ever participate in one round: the paper's defense is evaluated on
+tens of clients, but stress-testing it against adaptive attackers means
+drawing rounds from populations of 10^4–10^6 registered devices.  The
+simulator cannot afford to *instantiate* such populations eagerly (a
+million datasets would exhaust memory before the first round), so this
+module splits the problem in two:
+
+* :class:`ParticipationSampler` — pure index arithmetic.  Given a
+  population size and a cohort size, it draws a deterministic, seeded,
+  shardable cohort of client ids per round.  Cost scales with the
+  cohort, never the population.
+* :class:`ClientPool` — a lazy sequence facade over the population.
+  Clients are built on first touch by a user-supplied factory and
+  cached, so only ever-sampled clients exist in memory.
+
+Sharding models the coordinator fleet of a production FL system: the id
+space is split into ``num_shards`` contiguous ranges, each shard draws
+its quota from its own :class:`numpy.random.SeedSequence`-spawned
+stream, and the cohort is the sorted union.  The draw for round *r*
+depends only on ``(seed, r, shard)`` — not on call order — so restarts,
+replays and distributed shards all agree on who participates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["ParticipationSampler", "ClientPool"]
+
+
+class ParticipationSampler:
+    """Seeded, shardable cohort draws from ``range(population)``.
+
+    Parameters
+    ----------
+    population:
+        Number of registered clients (ids ``0 .. population-1``).
+    cohort:
+        Round participants; must not exceed the population.
+    seed:
+        Root seed; two samplers with equal ``(population, cohort, seed,
+        num_shards)`` produce identical draws forever.
+    num_shards:
+        Coordinator shards.  The id space is split into ``num_shards``
+        contiguous ranges and the cohort quota is apportioned by the
+        largest-remainder rule, so every shard's draw is independent of
+        every other shard's — the distributed-coordinator story.
+    """
+
+    def __init__(
+        self,
+        population: int,
+        cohort: int,
+        seed: int = 0,
+        num_shards: int = 1,
+    ) -> None:
+        if population < 1:
+            raise ValueError(f"population must be >= 1, got {population}")
+        if not 1 <= cohort <= population:
+            raise ValueError(
+                f"cohort must be in [1, {population}], got {cohort}"
+            )
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if num_shards > population:
+            raise ValueError(
+                f"num_shards {num_shards} exceeds population {population}"
+            )
+        self.population = int(population)
+        self.cohort = int(cohort)
+        self.seed = int(seed)
+        self.num_shards = int(num_shards)
+        self._ranges = self._shard_ranges()
+        self._quotas = self._shard_quotas()
+
+    # -- partitioning ---------------------------------------------------
+
+    def _shard_ranges(self) -> list[tuple[int, int]]:
+        """Contiguous ``(start, stop)`` id ranges, one per shard."""
+        base, extra = divmod(self.population, self.num_shards)
+        ranges = []
+        start = 0
+        for shard in range(self.num_shards):
+            size = base + (1 if shard < extra else 0)
+            ranges.append((start, start + size))
+            start += size
+        return ranges
+
+    def _shard_quotas(self) -> list[int]:
+        """Per-shard cohort quotas (largest-remainder apportionment).
+
+        Quotas are proportional to shard sizes, never exceed them, and
+        sum exactly to ``cohort``; the remainder goes to the shards with
+        the largest fractional parts (stable order on ties).
+        """
+        sizes = [stop - start for start, stop in self._ranges]
+        exact = [self.cohort * size / self.population for size in sizes]
+        quotas = [int(q) for q in exact]
+        remainder = self.cohort - sum(quotas)
+        fractions = np.array([q - int(q) for q in exact])
+        # stable argsort of descending fractional part; only shards with
+        # spare capacity may take a bump
+        for shard in np.argsort(-fractions, kind="stable"):
+            if remainder == 0:
+                break
+            if quotas[shard] < sizes[shard]:
+                quotas[shard] += 1
+                remainder -= 1
+        # pathological tie layouts can leave remainder > 0 after one
+        # pass; sweep again over any shard with capacity
+        while remainder > 0:
+            for shard, size in enumerate(sizes):
+                if remainder == 0:
+                    break
+                if quotas[shard] < size:
+                    quotas[shard] += 1
+                    remainder -= 1
+        return quotas
+
+    # -- drawing --------------------------------------------------------
+
+    def draw(self, round_index: int) -> np.ndarray:
+        """The sorted cohort ids for ``round_index`` (int64 array).
+
+        Deterministic in ``(seed, round_index, shard)`` only; drawing
+        rounds out of order, twice, or across processes gives the same
+        cohorts.
+        """
+        if round_index < 0:
+            raise ValueError(f"round_index must be >= 0, got {round_index}")
+        parts = []
+        for shard, ((start, stop), quota) in enumerate(
+            zip(self._ranges, self._quotas)
+        ):
+            if quota == 0:
+                continue
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.seed, round_index, shard])
+            )
+            picks = _choice_without_replacement(rng, stop - start, quota)
+            parts.append(picks + start)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)  # shard ranges are disjoint+ordered
+
+    def __repr__(self) -> str:
+        return (
+            f"ParticipationSampler(population={self.population}, "
+            f"cohort={self.cohort}, seed={self.seed}, "
+            f"num_shards={self.num_shards})"
+        )
+
+
+def _choice_without_replacement(
+    rng: np.random.Generator, n: int, k: int
+) -> np.ndarray:
+    """``k`` distinct sorted ints from ``range(n)``, O(k) memory.
+
+    ``Generator.choice(n, k, replace=False)`` materializes a length-n
+    permutation, which defeats the whole point at ``n = 10^6`` and a
+    64-client cohort.  Small ``k`` uses chunked rejection sampling (the
+    expected number of redraws is tiny while ``k << n``); dense draws
+    fall back to the permutation, which is then the right tool.
+    """
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    if k > n // 2:
+        return np.sort(rng.permutation(n)[:k]).astype(np.int64, copy=False)
+    seen: set[int] = set()
+    picks: list[int] = []
+    while len(picks) < k:
+        draw = rng.integers(0, n, size=2 * (k - len(picks)))
+        for value in draw:
+            value = int(value)
+            if value not in seen:
+                seen.add(value)
+                picks.append(value)
+                if len(picks) == k:
+                    break
+    picks_arr = np.array(picks, dtype=np.int64)
+    picks_arr.sort()
+    return picks_arr
+
+
+class ClientPool(Sequence):
+    """Lazy, cached sequence of clients over a registered population.
+
+    ``factory(client_id)`` builds the client on first access; the result
+    is cached so a client's state (its RNG stream, strikes, datasets)
+    persists across the rounds that sample it.  The pool therefore obeys
+    the same identity contract a plain list does *as long as the cache
+    is unbounded* (the default).  A bounded cache trades that for
+    memory: an evicted client is rebuilt fresh on its next appearance,
+    losing advanced generator state — acceptable for throughput
+    benchmarks, wrong for bitwise-reproducibility studies, so bounding
+    is opt-in.
+
+    The pool deliberately supports only indexing/length/iteration — the
+    mutation surface of a list (append/remove) has no meaning for a
+    fixed registered population.
+    """
+
+    def __init__(
+        self,
+        population: int,
+        factory: Callable[[int], object],
+        cache_size: int | None = None,
+    ) -> None:
+        if population < 1:
+            raise ValueError(f"population must be >= 1, got {population}")
+        if cache_size is not None and cache_size < 1:
+            raise ValueError(
+                f"cache_size must be >= 1 or None, got {cache_size}"
+            )
+        self.population = int(population)
+        self.factory = factory
+        self.cache_size = cache_size
+        self._cache: OrderedDict[int, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return self.population
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            raise TypeError("ClientPool does not support slicing")
+        index = int(index)
+        if index < 0:
+            index += self.population
+        if not 0 <= index < self.population:
+            raise IndexError(
+                f"client id {index} out of range [0, {self.population})"
+            )
+        client = self._cache.get(index)
+        if client is None:
+            client = self.factory(index)
+            client_id = getattr(client, "client_id", index)
+            if client_id != index:
+                raise ValueError(
+                    f"factory built client_id {client_id} for index {index}"
+                )
+            self._cache[index] = client
+            if self.cache_size is not None and len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        else:
+            self._cache.move_to_end(index)
+        return client
+
+    def cached(self) -> list:
+        """The currently materialized clients (insertion order)."""
+        return list(self._cache.values())
+
+    def __repr__(self) -> str:
+        bound = self.cache_size if self.cache_size is not None else "unbounded"
+        return (
+            f"ClientPool(population={self.population}, "
+            f"cached={len(self._cache)}, cache_size={bound})"
+        )

@@ -50,6 +50,7 @@ from .aggregation import fedavg
 from .client import Client
 from .executor import ClientExecutor, collect_updates
 from .faults import validate_update
+from .sampling import ClientPool, ParticipationSampler
 
 __all__ = ["RoundMetrics", "TrainingHistory", "FederatedServer"]
 
@@ -241,6 +242,13 @@ class FederatedServer:
     clients_per_round:
         Uniform random sample size per round; ``None`` selects everyone
         (the paper's default simplification).
+    sampler:
+        A :class:`~repro.fl.sampling.ParticipationSampler` drawing the
+        round cohort from a registered population (pass ``clients`` as a
+        :class:`~repro.fl.sampling.ClientPool` to keep the population
+        lazy).  Mutually exclusive with ``clients_per_round``; the
+        sampler's population must match ``len(clients)``.  Round cost
+        then scales with the cohort, not the population.
     rng:
         Generator driving client sampling.  Defaults to
         ``np.random.default_rng(0)`` so sampling stays deterministic
@@ -295,6 +303,7 @@ class FederatedServer:
         backdoor_task: BackdoorTask | None = None,
         aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
         clients_per_round: int | None = None,
+        sampler: ParticipationSampler | None = None,
         rng: np.random.Generator | None = None,
         min_quorum: int | float = 1,
         update_retries: int = 0,
@@ -304,8 +313,22 @@ class FederatedServer:
         watchdog: DivergenceWatchdog | None = None,
         profile: bool = False,
     ) -> None:
-        if not clients:
+        if not len(clients):
             raise ValueError("need at least one client")
+        if sampler is not None and clients_per_round is not None:
+            raise ValueError(
+                "sampler and clients_per_round are mutually exclusive"
+            )
+        if sampler is not None and sampler.population != len(clients):
+            raise ValueError(
+                f"sampler population {sampler.population} does not match "
+                f"{len(clients)} clients"
+            )
+        if isinstance(clients, ClientPool) and sampler is None:
+            raise ValueError(
+                "a ClientPool population requires a ParticipationSampler "
+                "(anything else would materialize every client)"
+            )
         if clients_per_round is not None:
             if not 1 <= clients_per_round <= len(clients):
                 raise ValueError(
@@ -326,11 +349,12 @@ class FederatedServer:
                 f"max_client_strikes must be >= 1 or None, got {max_client_strikes}"
             )
         self.model = model
-        self.clients = list(clients)
+        self.clients = clients if isinstance(clients, ClientPool) else list(clients)
         self.test_set = test_set
         self.backdoor_task = backdoor_task
         self.aggregate = aggregate
         self.clients_per_round = clients_per_round
+        self.sampler = sampler
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.min_quorum = min_quorum
         self.update_retries = update_retries
@@ -342,8 +366,34 @@ class FederatedServer:
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
-    def select_clients(self) -> list[Client]:
-        """The participants of the next round (quarantined excluded)."""
+    def select_clients(self, round_index: int | None = None) -> list[Client]:
+        """The participants of the next round (quarantined excluded).
+
+        With a :class:`~repro.fl.sampling.ParticipationSampler` the
+        cohort is drawn by id from the registered population — only the
+        drawn clients are ever touched (materialized, for a
+        :class:`~repro.fl.sampling.ClientPool`), so this never scans the
+        full population.  Sampler draws are a pure function of
+        ``(seed, round_index)``, hence ``round_index`` is required on
+        that path.
+        """
+        if self.sampler is not None:
+            if round_index is None:
+                raise ValueError("sampler-based selection needs a round_index")
+            drawn = self.sampler.draw(round_index)
+            cohort = [
+                client
+                for client in (self.clients[int(i)] for i in drawn)
+                if client.client_id not in self.quarantined
+            ]
+            self.telemetry.event(
+                "fl.cohort_sampled",
+                round=round_index,
+                population=self.sampler.population,
+                drawn=int(drawn.size),
+                cohort=len(cohort),
+            )
+            return cohort
         pool = [c for c in self.clients if c.client_id not in self.quarantined]
         if self.clients_per_round is None or not pool:
             return pool
@@ -367,7 +417,7 @@ class FederatedServer:
         tel = self.telemetry
         with tel.span("fl.round", round=round_index) as round_span:
             with tel.span("fl.selection"):
-                participants = self.select_clients()
+                participants = self.select_clients(round_index)
             global_params = self.model.flat_parameters()
 
             with tel.span("fl.local_training", num_clients=len(participants)):
@@ -597,6 +647,12 @@ class FederatedServer:
         the telemetry cursor is captured, so the event sits below the
         resume boundary and appears exactly once in a stitched stream.
         """
+        if isinstance(self.clients, ClientPool):
+            raise ValueError(
+                "checkpointing a lazily materialized ClientPool is not "
+                "supported: unmaterialized clients have no state to "
+                "capture, so a restore could not be bitwise faithful"
+            )
         tel = self.telemetry
         tel.event("persist.checkpoint", round=round_cursor)
         arrays = pack_model_state(self.model)
@@ -653,4 +709,6 @@ class FederatedServer:
 
     def _shared_fault_model(self):
         """The population's shared fault schedule, if clients carry one."""
+        if isinstance(self.clients, ClientPool):
+            return shared_fault_model(self.clients.cached())
         return shared_fault_model(self.clients)

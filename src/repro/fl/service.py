@@ -70,6 +70,7 @@ from ..persist.state import (
 from .aggregation import fedavg
 from .executor import dispatch_updates
 from .faults import validate_update
+from .sampling import ClientPool, ParticipationSampler
 from .server import _resolve_quorum
 from .traffic import TrafficPattern
 from .trust import TrustConfig, TrustTracker
@@ -503,6 +504,14 @@ class DefenseService:
         A :class:`~repro.fl.traffic.TrafficPattern` adding arrival
         delays on top of fault-drawn straggler delays; ``None`` means
         instant network.
+    sampler:
+        A :class:`~repro.fl.sampling.ParticipationSampler` drawing each
+        round's solicitation cohort from a registered population (pass
+        ``clients`` as a :class:`~repro.fl.sampling.ClientPool` to keep
+        the population lazy).  Every per-round scan — selection,
+        probation, trust cohort, cleanse eligibility — is then
+        restricted to the drawn cohort, so round cost scales with the
+        cohort, not the population.
     accuracy_fn:
         Validation oracle handed to the incremental cleanse pipeline;
         defaults to test accuracy on ``test_set``.
@@ -521,13 +530,25 @@ class DefenseService:
         backdoor_task: BackdoorTask | None = None,
         aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
         traffic: TrafficPattern | None = None,
+        sampler: ParticipationSampler | None = None,
         accuracy_fn: Callable[[Sequential], float] | None = None,
         context: RunContext | None = None,
     ) -> None:
-        if not clients:
+        if not len(clients):
             raise ValueError("need at least one client")
+        if sampler is not None and sampler.population != len(clients):
+            raise ValueError(
+                f"sampler population {sampler.population} does not match "
+                f"{len(clients)} clients"
+            )
+        if isinstance(clients, ClientPool) and sampler is None:
+            raise ValueError(
+                "a ClientPool population requires a ParticipationSampler "
+                "(anything else would materialize every client)"
+            )
         self.model = model
-        self.clients = list(clients)
+        self.clients = clients if isinstance(clients, ClientPool) else list(clients)
+        self.sampler = sampler
         self.test_set = test_set
         self.config = config if config is not None else ServiceConfig()
         self.backdoor_task = backdoor_task
@@ -558,12 +579,34 @@ class DefenseService:
 
     # -- selection -----------------------------------------------------
 
+    def _candidates(self, round_index: int, announce: bool = False):
+        """The clients this round may touch, in stable id order.
+
+        The full population without a sampler; the sampler's drawn
+        cohort with one.  Draws are pure functions of ``(seed, round)``,
+        so re-deriving the cohort inside a round (trust scan, cleanse)
+        costs one cohort-sized draw, never a population scan.
+        """
+        if self.sampler is None:
+            return self.clients
+        drawn = self.sampler.draw(round_index)
+        cohort = [self.clients[int(i)] for i in drawn]
+        if announce:
+            self.telemetry.event(
+                "fl.cohort_sampled",
+                round=round_index,
+                population=self.sampler.population,
+                drawn=int(drawn.size),
+                cohort=len(cohort),
+            )
+        return cohort
+
     def _select(self, round_index: int) -> tuple[list, list]:
         """(participants, probation) for a round, in stable client order."""
         cfg = self.config
         participants: list = []
         probation: list = []
-        for client in self.clients:
+        for client in self._candidates(round_index, announce=True):
             cid = client.client_id
             if cid in self.strike_quarantined:
                 continue
@@ -859,7 +902,7 @@ class DefenseService:
                     tel.count("trust.restores")
                 active_ids = [
                     c.client_id
-                    for c in self.clients
+                    for c in self._candidates(round_index)
                     if c.client_id not in self.strike_quarantined
                     and c.client_id not in self.trust_quarantined
                 ]
@@ -1023,10 +1066,10 @@ class DefenseService:
 
     # -- incremental cleanse -------------------------------------------
 
-    def _cleanse_clients(self) -> list:
+    def _cleanse_clients(self, round_index: int) -> list:
         return [
             c
-            for c in self.clients
+            for c in self._candidates(round_index)
             if c.client_id not in self.strike_quarantined
             and c.client_id not in self.trust_quarantined
         ]
@@ -1039,7 +1082,7 @@ class DefenseService:
 
         tel = self.telemetry
         cfg = self.config
-        clients = self._cleanse_clients()
+        clients = self._cleanse_clients(round_index)
         if len(clients) < cfg.min_cleanse_clients:
             tel.event(
                 "service.cleanse_skipped",
@@ -1160,6 +1203,12 @@ class DefenseService:
         snapshot is by construction a *last-good* model — exactly what
         degraded mode re-serves.
         """
+        if isinstance(self.clients, ClientPool):
+            raise ValueError(
+                "checkpointing a lazily materialized ClientPool is not "
+                "supported: unmaterialized clients have no state to "
+                "capture, so a restore could not be bitwise faithful"
+            )
         tel = self.telemetry
         tel.event("persist.checkpoint", kind="service", round=round_cursor)
         arrays = pack_model_state(self.model)

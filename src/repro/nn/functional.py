@@ -17,10 +17,14 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from .config import get_default_dtype
+
 __all__ = [
     "im2col",
     "col2im",
     "conv_output_size",
+    "conv_plan",
+    "clear_conv_plan_cache",
     "softmax",
     "log_softmax",
     "one_hot",
@@ -49,6 +53,72 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
             f"does not tile input of size {size}"
         )
     return out + 1
+
+
+class ConvPlan:
+    """Precomputed sliding-window geometry for one (shape, window) pair.
+
+    ``out_h``/``out_w`` are the spatial output sizes; ``scatter``
+    holds, for the overlapping :func:`col2im` path only, one
+    ``(y, x, row_slice, col_slice)`` tuple per kernel position — the
+    strided destination slices of the accumulate loop, which otherwise
+    get rebuilt on every backward pass of every batch.
+    """
+
+    __slots__ = ("out_h", "out_w", "scatter")
+
+    def __init__(self, out_h: int, out_w: int, scatter: tuple) -> None:
+        self.out_h = out_h
+        self.out_w = out_w
+        self.scatter = scatter
+
+
+# plan cache keyed on (h, w, kernel_h, kernel_w, stride, padding); the
+# batch/channel dimensions do not enter the geometry, so one entry
+# serves every batch size that hits the same spatial configuration
+_PLAN_CACHE: dict[tuple, ConvPlan] = {}
+_PLAN_CACHE_MAX = 256
+
+
+def conv_plan(
+    height: int,
+    width: int,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> ConvPlan:
+    """The cached :class:`ConvPlan` for one spatial configuration.
+
+    Invalid geometries are never cached: :func:`conv_output_size`
+    raises before an entry is written, so a bad shape fails identically
+    on every call.  The cache is bounded (cleared wholesale at
+    ``_PLAN_CACHE_MAX`` entries — workloads cycle through a handful of
+    shapes, so eviction precision is not worth bookkeeping) and can be
+    emptied explicitly with :func:`clear_conv_plan_cache`.
+    """
+    key = (height, width, kernel_h, kernel_w, stride, padding)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        out_h = conv_output_size(height, kernel_h, stride, padding)
+        out_w = conv_output_size(width, kernel_w, stride, padding)
+        scatter: tuple = ()
+        if stride < kernel_h or stride < kernel_w:
+            scatter = tuple(
+                (y, x, slice(y, y + stride * out_h, stride),
+                 slice(x, x + stride * out_w, stride))
+                for y in range(kernel_h)
+                for x in range(kernel_w)
+            )
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        plan = _PLAN_CACHE[key] = ConvPlan(out_h, out_w, scatter)
+    return plan
+
+
+def clear_conv_plan_cache() -> None:
+    """Drop every cached :class:`ConvPlan` (test isolation, memory)."""
+    _PLAN_CACHE.clear()
 
 
 def im2col(
@@ -81,8 +151,8 @@ def im2col(
     operand.
     """
     n, c, h, w = images.shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
+    plan = conv_plan(h, w, kernel_h, kernel_w, stride, padding)
+    out_h, out_w = plan.out_h, plan.out_w
 
     if padding > 0:
         images = np.pad(
@@ -122,25 +192,22 @@ def col2im(
     path keeps one vectorized add per kernel position.
     """
     n, c, h, w = image_shape
-    out_h = conv_output_size(h, kernel_h, stride, padding)
-    out_w = conv_output_size(w, kernel_w, stride, padding)
+    plan = conv_plan(h, w, kernel_h, kernel_w, stride, padding)
+    out_h, out_w = plan.out_h, plan.out_w
 
     cols = cols.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
         0, 3, 1, 2, 4, 5
     )  # -> (n, c, out_h, out_w, kernel_h, kernel_w)
     padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
 
-    if stride >= kernel_h and stride >= kernel_w:
+    if not plan.scatter:
         windows = sliding_window_view(
             padded, (kernel_h, kernel_w), axis=(2, 3), writeable=True
         )[:, :, ::stride, ::stride]
         windows[...] = cols
     else:
-        for y in range(kernel_h):
-            y_max = y + stride * out_h
-            for x in range(kernel_w):
-                x_max = x + stride * out_w
-                padded[:, :, y:y_max:stride, x:x_max:stride] += cols[:, :, :, :, y, x]
+        for y, x, rows, columns in plan.scatter:
+            padded[:, :, rows, columns] += cols[:, :, :, :, y, x]
 
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]
@@ -160,8 +227,15 @@ def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
     return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """Encode integer labels ``(n,)`` as a float matrix ``(n, num_classes)``."""
+def one_hot(
+    labels: np.ndarray, num_classes: int, dtype: np.dtype | None = None
+) -> np.ndarray:
+    """Encode integer labels ``(n,)`` as a float matrix ``(n, num_classes)``.
+
+    ``dtype`` defaults to the framework's configured dtype
+    (:func:`~repro.nn.config.get_default_dtype`) so the encoding matches
+    model activations instead of silently upcasting to float64.
+    """
     labels = np.asarray(labels)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
@@ -170,7 +244,9 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
             f"labels out of range [0, {num_classes}): "
             f"min={labels.min()}, max={labels.max()}"
         )
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    if dtype is None:
+        dtype = get_default_dtype()
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 

@@ -113,8 +113,8 @@ class Conv2d(Module):
                 f"expected {self.in_channels} input channels, got {c}"
             )
         k = self.kernel_size
-        out_h = F.conv_output_size(h, k, self.stride, self.padding)
-        out_w = F.conv_output_size(w, k, self.stride, self.padding)
+        plan = F.conv_plan(h, w, k, k, self.stride, self.padding)
+        out_h, out_w = plan.out_h, plan.out_w
 
         cols = F.im2col(x, k, k, self.stride, self.padding)
         weight_2d = self._masked_weight_2d()
@@ -261,8 +261,8 @@ class MaxPool2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         k = self.kernel_size
-        out_h = F.conv_output_size(h, k, self.stride, 0)
-        out_w = F.conv_output_size(w, k, self.stride, 0)
+        plan = F.conv_plan(h, w, k, k, self.stride, 0)
+        out_h, out_w = plan.out_h, plan.out_w
 
         cols = F.im2col(x, k, k, self.stride, 0)
         cols = cols.reshape(-1, c, k * k)
@@ -301,8 +301,8 @@ class AvgPool2d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         k = self.kernel_size
-        out_h = F.conv_output_size(h, k, self.stride, 0)
-        out_w = F.conv_output_size(w, k, self.stride, 0)
+        plan = F.conv_plan(h, w, k, k, self.stride, 0)
+        out_h, out_w = plan.out_h, plan.out_w
         cols = F.im2col(x, k, k, self.stride, 0).reshape(-1, c, k * k)
         out = cols.mean(axis=2).reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
         self._input_shape = x.shape

@@ -105,6 +105,7 @@ EVENT_NAMES = frozenset(
         "fault.update",
         "fl.client_dropped",
         "fl.client_rejected",
+        "fl.cohort_sampled",
         "fl.quarantine",
         "fl.round_skipped",
         "nc.label_flagged",

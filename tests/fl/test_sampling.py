@@ -1,0 +1,271 @@
+"""Tests for deterministic participation sampling and the lazy pool.
+
+Contract (see ``src/repro/fl/sampling.py``): cohort draws are pure
+functions of ``(seed, round_index, shard)`` — identical across call
+order, process restarts and shard layouts with the same parameters —
+and a :class:`ClientPool` behind a sampler materializes only the
+clients a round actually touches, so simulated populations of 10^4–10^6
+registered devices cost memory proportional to participation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data.dataset import Dataset
+from repro.fl.client import Client, LocalTrainingConfig
+from repro.fl.sampling import ClientPool, ParticipationSampler
+from repro.fl.server import FederatedServer
+from repro.obs import RingBufferSink, Telemetry
+
+
+class TestSamplerValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="population"):
+            ParticipationSampler(population=0, cohort=1)
+        with pytest.raises(ValueError, match="cohort"):
+            ParticipationSampler(population=10, cohort=0)
+        with pytest.raises(ValueError, match="cohort"):
+            ParticipationSampler(population=10, cohort=11)
+        with pytest.raises(ValueError, match="num_shards"):
+            ParticipationSampler(population=10, cohort=2, num_shards=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            ParticipationSampler(population=10, cohort=2, num_shards=11)
+
+    def test_rejects_negative_round(self):
+        sampler = ParticipationSampler(population=10, cohort=2)
+        with pytest.raises(ValueError, match="round_index"):
+            sampler.draw(-1)
+
+
+class TestSamplerDraws:
+    def test_draws_are_pure_functions_of_seed_and_round(self):
+        a = ParticipationSampler(100, 10, seed=7, num_shards=4)
+        b = ParticipationSampler(100, 10, seed=7, num_shards=4)
+        # out of order, repeated: same answers
+        rounds = [3, 0, 3, 12, 0]
+        for r in rounds:
+            np.testing.assert_array_equal(a.draw(r), b.draw(r))
+        np.testing.assert_array_equal(a.draw(3), a.draw(3))
+
+    def test_draws_are_sorted_unique_in_range(self):
+        sampler = ParticipationSampler(1000, 64, seed=1, num_shards=8)
+        for r in range(5):
+            drawn = sampler.draw(r)
+            assert drawn.dtype == np.int64
+            assert drawn.size == 64
+            assert np.all(np.diff(drawn) > 0)  # sorted, distinct
+            assert drawn[0] >= 0 and drawn[-1] < 1000
+
+    def test_different_rounds_and_seeds_differ(self):
+        sampler = ParticipationSampler(10_000, 64, seed=1)
+        assert not np.array_equal(sampler.draw(0), sampler.draw(1))
+        other = ParticipationSampler(10_000, 64, seed=2)
+        assert not np.array_equal(sampler.draw(0), other.draw(0))
+
+    def test_shard_quotas_partition_the_cohort(self):
+        sampler = ParticipationSampler(103, 17, seed=3, num_shards=5)
+        drawn = sampler.draw(4)
+        counts = [
+            int(((drawn >= start) & (drawn < stop)).sum())
+            for start, stop in sampler._ranges
+        ]
+        assert counts == sampler._quotas
+        assert sum(counts) == 17
+        for (start, stop), quota in zip(sampler._ranges, sampler._quotas):
+            assert quota <= stop - start
+
+    def test_shard_draws_are_independent_of_other_shards(self):
+        """A shard's picks depend on (seed, round, shard) — nothing else."""
+        a = ParticipationSampler(100, 50, seed=9, num_shards=2)
+        # same first-shard geometry and quota, different second shard
+        drawn_a = a.draw(2)
+        b = ParticipationSampler(100, 50, seed=9, num_shards=2)
+        drawn_b = b.draw(2)
+        first_a = drawn_a[drawn_a < 50]
+        first_b = drawn_b[drawn_b < 50]
+        np.testing.assert_array_equal(first_a, first_b)
+
+    def test_full_participation_and_degenerate_layouts(self):
+        full = ParticipationSampler(8, 8, num_shards=3)
+        np.testing.assert_array_equal(full.draw(0), np.arange(8))
+        solo = ParticipationSampler(1, 1)
+        np.testing.assert_array_equal(solo.draw(5), [0])
+        shard_per_client = ParticipationSampler(6, 4, num_shards=6)
+        drawn = shard_per_client.draw(0)
+        assert drawn.size == 4
+
+    def test_dense_draw_uses_every_id_eventually(self):
+        sampler = ParticipationSampler(10, 8, seed=0)
+        seen = set()
+        for r in range(20):
+            seen.update(int(i) for i in sampler.draw(r))
+        assert seen == set(range(10))
+
+    def test_million_client_population_draws_cheaply(self):
+        """O(cohort) draws: a 10^6 population must not materialize 10^6."""
+        sampler = ParticipationSampler(1_000_000, 64, seed=5, num_shards=4)
+        drawn = sampler.draw(0)
+        assert drawn.size == 64
+        assert np.unique(drawn).size == 64
+        assert drawn[-1] < 1_000_000
+
+
+def _counting_factory(record):
+    def factory(index):
+        record.append(index)
+        return _FakeClient(index)
+
+    return factory
+
+
+class _FakeClient:
+    def __init__(self, client_id):
+        self.client_id = client_id
+
+
+class TestClientPool:
+    def test_lazy_materialization_and_identity(self):
+        built = []
+        pool = ClientPool(1000, _counting_factory(built))
+        assert len(pool) == 1000
+        assert built == []
+        first = pool[7]
+        again = pool[7]
+        assert first is again  # cached: state persists across rounds
+        assert built == [7]
+        assert pool.cached() == [first]
+
+    def test_negative_index_and_bounds(self):
+        pool = ClientPool(10, _FakeClient)
+        assert pool[-1].client_id == 9
+        with pytest.raises(IndexError):
+            pool[10]
+        with pytest.raises(IndexError):
+            pool[-11]
+        with pytest.raises(TypeError, match="slicing"):
+            pool[1:3]
+
+    def test_factory_identity_contract(self):
+        pool = ClientPool(10, lambda index: _FakeClient(index + 1))
+        with pytest.raises(ValueError, match="client_id"):
+            pool[0]
+
+    def test_bounded_cache_evicts_least_recently_used(self):
+        built = []
+        pool = ClientPool(10, _counting_factory(built), cache_size=2)
+        a = pool[0]
+        pool[1]
+        pool[0]  # touch 0: now 1 is the LRU entry
+        pool[2]  # evicts 1
+        assert built == [0, 1, 2]
+        assert pool[0] is a  # still cached
+        pool[1]  # rebuilt fresh
+        assert built == [0, 1, 2, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="population"):
+            ClientPool(0, _FakeClient)
+        with pytest.raises(ValueError, match="cache_size"):
+            ClientPool(10, _FakeClient, cache_size=0)
+
+
+def _build_pooled_world(population=50, seed=3):
+    """A tiny server world behind a lazy pool, for integration tests."""
+    config = LocalTrainingConfig(lr=0.05, momentum=0.9, batch_size=8)
+
+    def factory(index):
+        rng = np.random.default_rng([seed, index])
+        images = rng.random((8, 1, 8, 8))
+        labels = np.tile(np.arange(4), 2)
+        return Client(
+            index,
+            Dataset(images, labels),
+            config,
+            np.random.default_rng([seed + 1, index]),
+        )
+
+    pool = ClientPool(population, factory)
+    eval_rng = np.random.default_rng(seed + 2)
+    test_set = Dataset(
+        eval_rng.random((16, 1, 8, 8)), np.tile(np.arange(4), 4)
+    )
+    model_rng = np.random.default_rng(seed + 3)
+    model = nn.Sequential(
+        nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=model_rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 4 * 4, 4, rng=model_rng),
+    )
+    return model, pool, test_set
+
+
+class TestServerIntegration:
+    def test_round_cost_scales_with_cohort_not_population(self):
+        model, pool, test_set = _build_pooled_world(population=50)
+        sampler = ParticipationSampler(50, 6, seed=11)
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        server = FederatedServer(
+            model, pool, test_set, sampler=sampler, telemetry=hub
+        )
+        server.train(2)
+        hub.close()
+        # only sampled clients ever came into existence
+        materialized = {c.client_id for c in pool.cached()}
+        expected = {int(i) for i in sampler.draw(0)} | {
+            int(i) for i in sampler.draw(1)
+        }
+        assert materialized == expected
+        assert len(materialized) <= 12 < len(pool)
+        sampled_events = [
+            e for e in ring.events if e["name"] == "fl.cohort_sampled"
+        ]
+        assert len(sampled_events) == 2
+        assert sampled_events[0]["attrs"]["population"] == 50
+        assert sampled_events[0]["attrs"]["cohort"] == 6
+
+    def test_sampled_training_is_reproducible(self):
+        def run():
+            model, pool, test_set = _build_pooled_world()
+            sampler = ParticipationSampler(50, 6, seed=11)
+            server = FederatedServer(model, pool, test_set, sampler=sampler)
+            server.train(2)
+            return model.flat_parameters()
+
+        np.testing.assert_array_equal(run(), run())
+
+    def test_pool_without_sampler_is_rejected(self):
+        model, pool, test_set = _build_pooled_world()
+        with pytest.raises(ValueError, match="ParticipationSampler"):
+            FederatedServer(model, pool, test_set)
+
+    def test_population_mismatch_is_rejected(self):
+        model, pool, test_set = _build_pooled_world(population=50)
+        sampler = ParticipationSampler(49, 6)
+        with pytest.raises(ValueError, match="population"):
+            FederatedServer(model, pool, test_set, sampler=sampler)
+
+    def test_sampler_excludes_clients_per_round(self):
+        model, pool, test_set = _build_pooled_world()
+        sampler = ParticipationSampler(50, 6)
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            FederatedServer(
+                model,
+                pool,
+                test_set,
+                sampler=sampler,
+                clients_per_round=3,
+            )
+
+    def test_checkpointing_a_pool_is_refused(self, tmp_path):
+        from repro.persist import CheckpointManager
+
+        model, pool, test_set = _build_pooled_world()
+        sampler = ParticipationSampler(50, 6, seed=11)
+        server = FederatedServer(model, pool, test_set, sampler=sampler)
+        history = server.train(1)
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ValueError, match="ClientPool"):
+            server.save_checkpoint(manager, 1, history)

@@ -129,6 +129,82 @@ class TestOneHot:
     def test_empty(self):
         assert F.one_hot(np.zeros(0, dtype=int), 4).shape == (0, 4)
 
+    def test_defaults_to_model_dtype(self):
+        from repro.nn.config import get_default_dtype
+
+        assert F.one_hot(np.array([1]), 3).dtype == get_default_dtype()
+
+    def test_explicit_dtype_wins(self):
+        encoded = F.one_hot(np.array([0, 1]), 2, dtype=np.float64)
+        assert encoded.dtype == np.float64
+        np.testing.assert_array_equal(encoded, [[1.0, 0.0], [0.0, 1.0]])
+
+    def test_honors_configured_default_dtype(self):
+        from repro.nn.config import get_default_dtype, set_default_dtype
+
+        previous = get_default_dtype()
+        try:
+            set_default_dtype(np.float64)
+            assert F.one_hot(np.array([0]), 2).dtype == np.float64
+        finally:
+            set_default_dtype(previous)
+
+
+class TestConvPlanCache:
+    def setup_method(self):
+        F.clear_conv_plan_cache()
+
+    def teardown_method(self):
+        F.clear_conv_plan_cache()
+
+    def test_same_geometry_reuses_the_plan(self):
+        first = F.conv_plan(8, 8, 3, 3, stride=1, padding=1)
+        assert F.conv_plan(8, 8, 3, 3, stride=1, padding=1) is first
+
+    def test_distinct_geometries_get_distinct_plans(self):
+        a = F.conv_plan(8, 8, 3, 3)
+        b = F.conv_plan(8, 8, 3, 3, padding=1)
+        c = F.conv_plan(9, 9, 3, 3, stride=2)
+        assert len({id(a), id(b), id(c)}) == 3
+        assert (a.out_h, b.out_h, c.out_h) == (6, 8, 4)
+
+    def test_invalid_geometry_never_cached(self):
+        for _ in range(2):  # identical failure on every call
+            with pytest.raises(ValueError):
+                F.conv_plan(2, 2, 5, 5)
+        assert not F._PLAN_CACHE
+
+    def test_disjoint_windows_skip_scatter(self):
+        # stride >= kernel: col2im windows never overlap, no scatter loop
+        assert F.conv_plan(8, 8, 2, 2, stride=2).scatter == ()
+        assert len(F.conv_plan(8, 8, 3, 3, stride=1).scatter) == 9
+
+    def test_cache_is_bounded(self):
+        for size in range(F._PLAN_CACHE_MAX + 10):
+            F.conv_plan(size + 3, size + 3, 3, 3)
+        assert len(F._PLAN_CACHE) <= F._PLAN_CACHE_MAX
+
+    def test_clear_resets(self):
+        F.conv_plan(8, 8, 3, 3)
+        assert F._PLAN_CACHE
+        F.clear_conv_plan_cache()
+        assert not F._PLAN_CACHE
+
+    def test_cached_roundtrip_matches_fresh(self):
+        """im2col/col2im through a warm cache equals a cold cache."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 9, 9))
+        cold_cols = F.im2col(x, 3, 3, stride=2, padding=1)
+        cold_back = F.col2im(
+            cold_cols, x.shape, 3, 3, stride=2, padding=1
+        )
+        warm_cols = F.im2col(x, 3, 3, stride=2, padding=1)
+        warm_back = F.col2im(
+            warm_cols, x.shape, 3, 3, stride=2, padding=1
+        )
+        np.testing.assert_array_equal(warm_cols, cold_cols)
+        np.testing.assert_array_equal(warm_back, cold_back)
+
 
 class TestActivations:
     def test_relu(self):

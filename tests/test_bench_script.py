@@ -48,13 +48,25 @@ def test_bench_script_smoke(tmp_path):
     assert payload["scale"] == "smoke"
     assert payload["workers"] == 2
     assert payload["bitwise_identical"] is True
-    assert set(payload["timings"]) == {"serial", "thread", "process"}
-    assert set(payload["speedups"]) == {"thread", "process"}
-    assert set(payload["utilization"]) == {"serial", "thread", "process"}
+    engines = {"serial", "thread", "process", "megabatch"}
+    assert set(payload["timings"]) == engines
+    assert set(payload["speedups"]) == engines - {"serial"}
+    assert set(payload["utilization"]) == engines
     assert payload["critical_path"], "serial trace should yield a path"
     assert "speedup[thread]" in result.stdout
     assert "utilization[serial]" in result.stdout
     assert "critical path:" in result.stdout
+
+    # the megabatch cohort-scaling curve rides along too
+    cohort = payload["cohort_scaling"]
+    assert cohort["wave_size"] >= 1
+    assert [p["clients"] for p in cohort["points"]] == [8, 64]
+    for point in cohort["points"]:
+        assert point["bitwise_identical"] is True
+        assert point["serial_seconds"] > 0
+        assert point["megabatch_seconds"] > 0
+        assert point["serial_estimated"] is False
+    assert "cohort scaling" in result.stdout
 
     # the always-on defense service section rides along in the payload
     service = payload["service"]
