@@ -88,7 +88,7 @@ def main() -> None:
     manager = CheckpointManager(args.checkpoint_dir)
     model, clients, test = build_world(scale, args.seed)
     server = FederatedServer(
-        model, clients, test, aggregate=CrashingAggregate(crash_at)
+        model, clients, test, aggregator=CrashingAggregate(crash_at)
     )
     try:
         server.train(args.rounds, checkpoint=manager, checkpoint_every=2)

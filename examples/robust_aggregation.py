@@ -15,14 +15,12 @@ Usage::
 from __future__ import annotations
 
 import argparse
-import functools
 
 import numpy as np
 
 from repro.eval import percent
 from repro.experiments import get_scale
 from repro.experiments.common import _build_architecture, build_setup
-from repro.fl import aggregation
 from repro.fl.server import FederatedServer
 
 
@@ -42,17 +40,20 @@ def main() -> None:
         image_size = setup.test.image_size
         num_classes = setup.test.num_classes
 
-    rules = {
-        "fedavg": aggregation.fedavg,
-        "median": aggregation.coordinate_median,
-        "trimmed_mean": functools.partial(aggregation.trimmed_mean, trim_ratio=0.1),
-        "krum": functools.partial(aggregation.krum, num_byzantine=1),
-        "multi_krum": functools.partial(aggregation.multi_krum, num_byzantine=1),
-    }
+    # registry spec strings: name[:param=value,...]
+    rules = (
+        "fedavg",
+        "median",
+        "trimmed_mean:trim_ratio=0.1",
+        "krum:num_byzantine=1",
+        "multi_krum:num_byzantine=1",
+        "foolsgold",
+        "rfa",
+    )
 
     rounds = scale.rounds_for("mnist")
-    print(f"{'rule':14s} {'TA':>7s} {'AA':>7s}   ({rounds} rounds each)")
-    for name, rule in rules.items():
+    print(f"{'rule':30s} {'TA':>7s} {'AA':>7s}   ({rounds} rounds each)")
+    for spec in rules:
         model = _build_architecture(
             "mnist", Spec(), scale, np.random.default_rng(args.seed + 1), None
         )
@@ -61,10 +62,10 @@ def main() -> None:
             setup.clients,
             setup.test,
             backdoor_task=setup.eval_task,
-            aggregate=rule,
+            aggregator=spec,
         )
         final = server.train(rounds).final
-        print(f"{name:14s} {percent(final.test_acc):>6s}% "
+        print(f"{spec:30s} {percent(final.test_acc):>6s}% "
               f"{percent(final.attack_acc):>6s}%")
 
 

@@ -1,0 +1,62 @@
+"""Head-to-head robustness matrix: the attack zoo vs the defense zoo.
+
+Crosses every registered attack (BadNets, DBA, model replacement, LIE,
+alignment-evading stealth) with a spread of defenses — byzantine-robust
+aggregation rules from ``repro.fl.aggregation`` plus the paper's
+post-training cleansing pipeline as the ``cleanse`` column — and prints
+one TA/ASR row per cell.  This is the ``matrix`` experiment
+(DESIGN.md §14) driven as a script; the CLI equivalent is::
+
+    python -m repro.experiments.cli matrix --scale smoke \
+        --attack badnets,lie --aggregator fedavg,foolsgold,cleanse
+
+Usage::
+
+    python examples/robustness_matrix.py [--scale smoke|bench|paper]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.eval import percent
+from repro.experiments import get_scale
+from repro.experiments.matrix import CLEANSE, run
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=["smoke", "bench", "paper"])
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+    scale = get_scale(args.scale)
+
+    # a sub-grid that keeps every *kind* of column: plain averaging,
+    # a coordinate-wise robust rule, a selection rule, a history-based
+    # rule, and the paper's post-training pipeline
+    attacks = ("badnets", "replacement", "lie", "stealth")
+    defenses = (
+        "fedavg",
+        "median",
+        "multi_krum:num_byzantine=1",
+        "foolsgold",
+        CLEANSE,
+    )
+
+    result = run(
+        scale, seed=args.seed, attacks=attacks, defenses=defenses
+    )
+
+    print(f"{'attack':12s} {'defense':28s} {'TA':>7s} {'ASR':>7s}")
+    for row in result.rows:
+        print(
+            f"{row['attack']:12s} {row['defense']:28s} "
+            f"{percent(row['TA']):>6s}% {percent(row['ASR']):>6s}%"
+        )
+    print()
+    for key, value in result.summary.items():
+        print(f"  {key}: {value:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,13 @@ python -m repro.experiments.cli serve --scale smoke --schedule bursty \
     --service-rounds 6 --trace-out "$TRACE_TMP/service_trace.jsonl"
 python scripts/trace.py --strict validate "$TRACE_TMP/service_trace.jsonl"
 
+echo "== robustness matrix (attack x defense sub-grid, incl. cleanse) =="
+python -m repro.experiments.cli matrix --scale smoke --max-rounds 2 \
+    --attack badnets,lie \
+    --aggregator fedavg,foolsgold,cleanse \
+    --trace-out "$TRACE_TMP/matrix_trace.jsonl"
+python scripts/trace.py --strict validate "$TRACE_TMP/matrix_trace.jsonl"
+
 echo "== megabatch wave parity (vectorized vs serial, bitwise) =="
 python - <<'EOF'
 from repro.eval.parallel_bench import measure_cohort_scaling

@@ -11,7 +11,9 @@ from .adaptive import (
     manipulated_ranking,
     manipulated_votes,
 )
+from .lie import lie_update, lie_z_max, normal_ppf
 from .model_replacement import amplify_update, replacement_update
+from .stealth import stealth_update
 from .poison import BackdoorTask, backdoor_eval_set, poison_dataset
 from .semantic import (
     SemanticFeature,
@@ -33,6 +35,10 @@ __all__ = [
     "manipulated_votes",
     "amplify_update",
     "replacement_update",
+    "lie_update",
+    "lie_z_max",
+    "normal_ppf",
+    "stealth_update",
     "BackdoorTask",
     "SemanticFeature",
     "poison_with_feature",

@@ -1,0 +1,113 @@
+"""The "a little is enough" (LIE) attack (Baruch et al., NeurIPS 2019).
+
+LIE observes that robust aggregators tolerate deviations that stay
+inside the benign updates' natural variance: an attacker that shifts
+its update by at most ``z`` standard deviations of the benign
+distribution slips past distance- and statistics-based filters while
+still steering the aggregate.
+
+The classic formulation is omniscient (the attacker averages its
+colluders' benign gradients).  Clients in this simulator cannot see
+their peers, so the crafting here is the client-local variant: the
+attacker runs one *benign* pass to estimate the benign delta, runs its
+*poisoned* pass, and then clamps the poisoned deviation coordinate-wise
+into ``±z sigma`` of the benign delta's coordinate distribution.  The
+result carries the backdoor gradient exactly where it fits inside
+benign variance and nowhere else.
+
+Only the crafting math lives here (``repro.attacks`` stays free of
+``repro.fl`` imports); the client subclass that drives the two training
+passes is :class:`repro.fl.attack_clients.LIEClient`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normal_ppf", "lie_z_max", "lie_update"]
+
+
+def normal_ppf(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation).
+
+    Accurate to ~1e-9 over (0, 1) — plenty for picking an attack budget
+    — and dependency-free, which is the point: SciPy is not available
+    on this substrate.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    p_low = 0.02425
+    if p < p_low:
+        q = np.sqrt(-2.0 * np.log(p))
+        return (
+            (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+        )
+    if p > 1.0 - p_low:
+        q = np.sqrt(-2.0 * np.log(1.0 - p))
+        return -(
+            (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+        )
+    q = p - 0.5
+    r = q * q
+    return (
+        (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q
+        / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+    )
+
+
+def lie_z_max(num_clients: int, num_byzantine: int) -> float:
+    """The paper's largest undetectable shift ``z`` for ``(n, f)``.
+
+    With ``n`` clients and ``f`` colluders, a majority-based defense
+    needs ``s = floor(n/2 + 1) - f`` benign supporters; the attacker can
+    shift up to the ``(n - f - s)/(n - f)`` quantile of the benign
+    distribution before losing them.  Degenerate populations (too few
+    benign clients for the quantile to be meaningful) get ``z = 0``
+    (no shift — the attacker stays fully benign-looking).
+    """
+    if num_clients < 1:
+        raise ValueError(f"num_clients must be >= 1, got {num_clients}")
+    if not 0 <= num_byzantine <= num_clients:
+        raise ValueError(
+            f"num_byzantine must be in [0, {num_clients}], got {num_byzantine}"
+        )
+    benign = num_clients - num_byzantine
+    supporters = int(np.floor(num_clients / 2.0 + 1)) - num_byzantine
+    if benign <= 0 or supporters <= 0 or supporters >= benign:
+        return 0.0
+    quantile = (benign - supporters) / benign
+    return float(max(0.0, normal_ppf(quantile)))
+
+
+def lie_update(
+    benign_delta: np.ndarray, poisoned_delta: np.ndarray, z: float
+) -> np.ndarray:
+    """Clamp the poisoned deviation into ``±z sigma`` of the benign delta.
+
+    ``sigma`` is the scalar standard deviation over the benign delta's
+    coordinates — the natural per-coordinate spread a statistics-based
+    defense would estimate.  ``z = 0`` returns the benign delta
+    untouched (the attack degenerates to honesty).
+    """
+    benign_delta = np.asarray(benign_delta, dtype=np.float64)
+    poisoned_delta = np.asarray(poisoned_delta, dtype=np.float64)
+    if benign_delta.shape != poisoned_delta.shape:
+        raise ValueError(
+            f"delta shapes differ: {benign_delta.shape} vs "
+            f"{poisoned_delta.shape}"
+        )
+    if z < 0:
+        raise ValueError(f"z must be >= 0, got {z}")
+    bound = z * float(benign_delta.std())
+    deviation = np.clip(poisoned_delta - benign_delta, -bound, bound)
+    return benign_delta + deviation

@@ -1,0 +1,173 @@
+"""Named attack registry for head-to-head robustness experiments.
+
+An :class:`AttackSpec` bundles everything an experiment needs to drop
+one attack into a federation: which client class plays the attacker,
+whether the trigger is decomposed DBA-style, whether the attacker
+amplifies with model replacement, and any extra constructor parameters.
+:func:`build_attack` resolves a name or ``"name:param=value"`` spec
+string (same grammar as :func:`repro.fl.aggregation.build_aggregator`)
+into a configured spec, validating parameters eagerly so a typo fails
+at configuration time, not rounds into training.
+
+This module imports :mod:`repro.fl` client classes, so it is
+deliberately *not* re-exported from ``repro.attacks`` — the package
+``__init__`` must stay importable from ``repro.fl.client`` mid-init.
+Import it explicitly: ``from repro.attacks.registry import build_attack``.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from ..fl.attack_clients import LIEClient, StealthClient
+from ..fl.client import MaliciousClient
+from ..specs import format_spec, parse_spec
+
+__all__ = [
+    "AttackSpec",
+    "register_attack",
+    "build_attack",
+    "attack_names",
+]
+
+#: constructor parameters the experiment harness owns; a spec string may
+#: not override them
+_RESERVED = ("client_id", "dataset", "config", "rng", "task", "attack_start_round")
+
+
+class AttackSpec:
+    """One attack recipe: client class + trigger/amplification flags.
+
+    Parameters
+    ----------
+    name:
+        Registry name (also the matrix row label).
+    client_cls:
+        The :class:`~repro.fl.client.Client` subclass playing the
+        attacker.
+    dba:
+        Decompose the trigger DBA-style (4 attackers, local bar
+        patterns, global evaluation pattern).
+    amplify:
+        Scale the attacker's delta by the experiment's model-replacement
+        ``gamma``.  Stealth attacks leave this off — amplification is
+        exactly the signal they are built to avoid.
+    params:
+        Extra keyword arguments for ``client_cls``; validated against
+        its signature on construction.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        client_cls: type,
+        dba: bool = False,
+        amplify: bool = False,
+        params: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.client_cls = client_cls
+        self.dba = bool(dba)
+        self.amplify = bool(amplify)
+        self.params = dict(params or {})
+        accepted = set(inspect.signature(client_cls.__init__).parameters)
+        for key in self.params:
+            if key in _RESERVED:
+                raise ValueError(
+                    f"attack {name!r}: parameter {key!r} is reserved for "
+                    f"the experiment harness"
+                )
+            if key not in accepted:
+                raise ValueError(
+                    f"attack {name!r}: {client_cls.__name__} accepts no "
+                    f"parameter {key!r}"
+                )
+
+    def with_params(self, params: dict) -> "AttackSpec":
+        """A copy with ``params`` merged over this spec's defaults."""
+        return AttackSpec(
+            self.name,
+            self.client_cls,
+            dba=self.dba,
+            amplify=self.amplify,
+            params={**self.params, **params},
+        )
+
+    def build_client(
+        self,
+        client_id: int,
+        dataset,
+        config,
+        rng,
+        task,
+        *,
+        gamma: float = 1.0,
+        attack_start_round: int = 0,
+    ):
+        """Construct the attacker for one federation slot.
+
+        ``gamma`` only reaches the client when the attack amplifies;
+        stealth attacks always train at benign scale.
+        """
+        kwargs = dict(self.params)
+        kwargs["attack_start_round"] = attack_start_round
+        if self.amplify:
+            kwargs.setdefault("gamma", gamma)
+        return self.client_cls(client_id, dataset, config, rng, task, **kwargs)
+
+    def spec(self) -> str:
+        """The canonical spec string rebuilding this configuration."""
+        return format_spec(self.name, self.params)
+
+    def __repr__(self) -> str:
+        return f"AttackSpec({self.spec()!r})"
+
+
+_ATTACKS: dict[str, AttackSpec] = {}
+
+
+def register_attack(
+    name: str,
+    client_cls: type,
+    *,
+    dba: bool = False,
+    amplify: bool = False,
+    params: dict | None = None,
+) -> AttackSpec:
+    """Add an attack recipe to the registry (rejects duplicates)."""
+    if name in _ATTACKS:
+        raise ValueError(f"attack {name!r} is already registered")
+    spec = AttackSpec(name, client_cls, dba=dba, amplify=amplify, params=params)
+    _ATTACKS[name] = spec
+    return spec
+
+
+def attack_names() -> list[str]:
+    """Registered attack names, sorted."""
+    return sorted(_ATTACKS)
+
+
+def build_attack(spec) -> AttackSpec:
+    """Resolve an attack spec: instance, name, or ``"name:param=value"``.
+
+    Parameters in the spec string are merged over the registered
+    defaults and validated against the client class immediately.
+    """
+    if isinstance(spec, AttackSpec):
+        return spec
+    name, params = parse_spec(spec)
+    registered = _ATTACKS.get(name)
+    if registered is None:
+        raise ValueError(
+            f"unknown attack {name!r}; available: {', '.join(attack_names())}"
+        )
+    if not params:
+        return registered
+    return registered.with_params(params)
+
+
+register_attack("badnets", MaliciousClient)
+register_attack("dba", MaliciousClient, dba=True, amplify=True)
+register_attack("replacement", MaliciousClient, amplify=True)
+register_attack("lie", LIEClient)
+register_attack("stealth", StealthClient)

@@ -1,0 +1,60 @@
+"""Alignment-evading stealth attack.
+
+"On the Vulnerability of Backdoor Defenses for Federated Learning"
+(Fang & Chen, AAAI 2023) shows that defenses which score clients by how
+well their update *aligns* with the benign direction (cosine to the
+aggregate, FoolsGold-style similarity, norm outliers) can be evaded by
+an attacker that (a) hides its malicious deviation in the coordinates
+the benign update barely uses, and (b) rescales the result onto the
+benign norm.  The crafted update then has near-benign direction and
+exactly benign magnitude, yet still carries the backdoor gradient in
+the low-importance coordinates the defense isn't looking at.
+
+Only the crafting math lives here (``repro.attacks`` stays free of
+``repro.fl`` imports); the client subclass that drives the two training
+passes is :class:`repro.fl.attack_clients.StealthClient`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["stealth_update"]
+
+
+def stealth_update(
+    benign_delta: np.ndarray,
+    poisoned_delta: np.ndarray,
+    fraction: float = 0.25,
+    norm_match: bool = True,
+) -> np.ndarray:
+    """Inject the poisoned deviation only where the benign delta is small.
+
+    The ``fraction`` of coordinates with the smallest benign magnitude
+    (ties broken by index, so crafting is deterministic) receive the
+    poisoned deviation; every other coordinate keeps its benign value.
+    With ``norm_match`` the crafted update is rescaled onto the benign
+    delta's L2 norm, erasing the magnitude signal norm-based defenses
+    key on.
+    """
+    benign_delta = np.asarray(benign_delta, dtype=np.float64)
+    poisoned_delta = np.asarray(poisoned_delta, dtype=np.float64)
+    if benign_delta.shape != poisoned_delta.shape:
+        raise ValueError(
+            f"delta shapes differ: {benign_delta.shape} vs "
+            f"{poisoned_delta.shape}"
+        )
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    dim = benign_delta.size
+    budget = max(1, int(round(fraction * dim)))
+    order = np.argsort(np.abs(benign_delta), kind="stable")
+    mask = np.zeros(dim)
+    mask[order[:budget]] = 1.0
+    crafted = benign_delta + mask * (poisoned_delta - benign_delta)
+    if norm_match:
+        target = float(np.linalg.norm(benign_delta))
+        actual = float(np.linalg.norm(crafted))
+        if target > 0.0 and actual > 0.0:
+            crafted = crafted * (target / actual)
+    return crafted

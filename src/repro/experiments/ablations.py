@@ -97,7 +97,7 @@ def clipping_defense(scale: ExperimentScale, seed: int = 42) -> TableResult:
         model = _build_architecture(
             "mnist", Spec(), scale, np.random.default_rng(seed + 1), None
         )
-        kwargs = {} if rule is None else {"aggregate": rule}
+        kwargs = {} if rule is None else {"aggregator": rule}
         server = FederatedServer(
             model, setup.clients, setup.test, backdoor_task=setup.eval_task, **kwargs
         )

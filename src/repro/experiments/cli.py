@@ -88,6 +88,23 @@ def build_parser() -> argparse.ArgumentParser:
         "grayscale and CIFAR budgets of the chosen scale)",
     )
     parser.add_argument(
+        "--attack",
+        default=None,
+        metavar="SPECS",
+        help="comma-separated attack specs forming the 'matrix' rows "
+        "(e.g. badnets,lie,stealth:fraction=0.1); only valid with "
+        "the matrix experiment",
+    )
+    parser.add_argument(
+        "--aggregator",
+        default=None,
+        metavar="SPECS",
+        help="aggregation rule(s): comma-separated defense columns for "
+        "'matrix' ('cleanse' runs the paper's FP+FT+AW pipeline), or "
+        "a single spec for 'serve' (e.g. foolsgold, "
+        "trimmed_mean:trim_ratio=0.2)",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -290,6 +307,7 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
                 ),
                 sampler=sampler,
                 context=RunContext(**context_kwargs),
+                aggregator=args.aggregator,
             )
             history = service.run(args.service_rounds)
     finally:
@@ -305,6 +323,8 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
           f"quorum={args.quorum:g})")
     if args.engine != "serial":
         print(f"  engine: {args.engine} (workers={args.workers})")
+    if args.aggregator is not None:
+        print(f"  aggregator: {args.aggregator}")
     if sampler is not None:
         print(f"  population: {sampler.population} clients behind a lazy "
               f"pool, cohort={sampler.cohort}/round across "
@@ -350,10 +370,26 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--max-rounds must be >= 1")
     if args.experiment == "serve":
         return _run_serve(args, parser)
+    if args.attack is not None and args.experiment != "matrix":
+        parser.error("--attack only applies to the 'matrix' experiment")
+    if args.aggregator is not None and args.experiment != "matrix":
+        parser.error("--aggregator only applies to 'matrix' and 'serve'")
     scale = get_scale(args.scale)
     if args.max_rounds is not None:
         scale = _apply_max_rounds(scale, args.max_rounds)
-    ids = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    # 'all' excludes the matrix grid: its full cross product dwarfs every
+    # paper table combined; run it explicitly
+    if args.experiment == "all":
+        ids = sorted(i for i in EXPERIMENTS if i != "matrix")
+    else:
+        ids = [args.experiment]
+    run_kwargs: dict = {}
+    if args.attack is not None:
+        run_kwargs["attacks"] = _split_specs(args.attack, "--attack", parser)
+    if args.aggregator is not None:
+        run_kwargs["defenses"] = _split_specs(
+            args.aggregator, "--aggregator", parser
+        )
 
     for experiment_id in ids:
         context_kwargs: dict = {}
@@ -376,7 +412,7 @@ def main(argv: list[str] | None = None) -> int:
         start = time.perf_counter()
         try:
             result = run_experiment(
-                experiment_id, scale, args.seed, context=context
+                experiment_id, scale, args.seed, context=context, **run_kwargs
             )
         finally:
             if telemetry is not None:
@@ -395,6 +431,27 @@ def main(argv: list[str] | None = None) -> int:
             with open(path, "w") as handle:
                 handle.write(result.to_json())
     return 0
+
+
+def _split_specs(raw: str, flag: str, parser: argparse.ArgumentParser) -> list[str]:
+    """Split a comma-separated spec list, keeping multi-parameter specs whole.
+
+    A fragment like ``noise_std=0.01`` (has ``=``, no ``:``) cannot start
+    a spec — it continues the parameter block of the one before it, so
+    ``norm_clip:budget=1.5,noise_std=0.01,fedavg`` yields two specs.
+    """
+    specs: list[str] = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" in item and ":" not in item and specs:
+            specs[-1] += "," + item
+        else:
+            specs.append(item)
+    if not specs:
+        parser.error(f"{flag} needs at least one spec")
+    return specs
 
 
 def _trace_path(base: str, experiment_id: str, ids: list[str]) -> str:

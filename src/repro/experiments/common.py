@@ -25,6 +25,7 @@ import weakref
 import numpy as np
 
 from ..attacks.poison import BackdoorTask
+from ..attacks.registry import AttackSpec, build_attack
 from ..attacks.triggers import Trigger, dba_global_trigger, dba_local_triggers, pixel_pattern
 from ..data.dataset import Dataset, train_test_split
 from ..data.partition import k_label_partition
@@ -34,6 +35,7 @@ from ..defense.fine_tune import federated_fine_tune
 from ..defense.pipeline import DefenseConfig, DefensePipeline
 from ..defense.pruning import prune_by_sequence, server_validation_accuracy
 from ..eval.metrics import attack_success_rate, test_accuracy
+from ..fl.aggregation import Aggregator, build_aggregator
 from ..fl.client import Client, LocalTrainingConfig, MaliciousClient
 from ..fl.executor import ClientExecutor
 from ..fl.faults import wrap_clients
@@ -229,6 +231,8 @@ def build_setup(
     model_name: str | None = None,
     rounds: int | None = None,
     attack_start_fraction: float = 0.5,
+    attack: str | AttackSpec | None = None,
+    aggregator: str | Aggregator | None = None,
     executor: ClientExecutor | None = None,
     context: RunContext | None = None,
 ) -> FederatedSetup:
@@ -240,6 +244,18 @@ def build_setup(
         Use the Distributed Backdoor Attack — ``num_attackers`` is
         forced to 4, each attacker trains with one *local* bar pattern,
         and evaluation uses the assembled *global* pattern.
+    attack:
+        A named attack recipe (:mod:`repro.attacks.registry`) — a name,
+        a ``"name:param=value"`` spec string, or an
+        :class:`~repro.attacks.registry.AttackSpec`.  It chooses the
+        attacker client class, may force DBA trigger decomposition, and
+        decides whether ``gamma`` amplification applies.  ``None``
+        keeps the legacy path (plain :class:`MaliciousClient` honouring
+        ``rank_attack`` / ``self_limit_delta``) bit-for-bit.
+    aggregator:
+        Server-side aggregation rule — a registry name, spec string, or
+        :class:`~repro.fl.aggregation.Aggregator` instance.  ``None``
+        keeps the default FedAvg.
     gamma:
         Override the scale preset's amplification coefficient.
     rank_attack / self_limit_delta:
@@ -280,30 +296,35 @@ def build_setup(
     ctx = context if context is not None else current_context()
     engine = ctx.executor if ctx.executor is not None else executor
     tel = ctx.telemetry
+    attack_spec = build_attack(attack) if attack is not None else None
+    if attack_spec is not None:
+        dba = dba or attack_spec.dba
+    agg = build_aggregator(aggregator) if aggregator is not None else None
     checkpoint = ctx.checkpoint
     if checkpoint is not None:
+        slug_config = dict(
+            victim_label=victim_label,
+            attack_label=attack_label,
+            pattern_pixels=pattern_pixels,
+            num_attackers=num_attackers,
+            dba=dba,
+            gamma=gamma,
+            rank_attack=rank_attack,
+            self_limit_delta=self_limit_delta,
+            clients_per_round=clients_per_round,
+            num_clients=num_clients,
+            last_conv_l2=last_conv_l2,
+            model_name=model_name,
+            rounds=rounds,
+            attack_start_fraction=attack_start_fraction,
+        )
+        # keys appear only when set so legacy slugs stay byte-identical
+        if attack_spec is not None:
+            slug_config["attack"] = attack_spec.spec()
+        if agg is not None:
+            slug_config["aggregator"] = agg.spec()
         checkpoint = checkpoint.scope(
-            _setup_slug(
-                dataset_name,
-                seed,
-                scale,
-                dict(
-                    victim_label=victim_label,
-                    attack_label=attack_label,
-                    pattern_pixels=pattern_pixels,
-                    num_attackers=num_attackers,
-                    dba=dba,
-                    gamma=gamma,
-                    rank_attack=rank_attack,
-                    self_limit_delta=self_limit_delta,
-                    clients_per_round=clients_per_round,
-                    num_clients=num_clients,
-                    last_conv_l2=last_conv_l2,
-                    model_name=model_name,
-                    rounds=rounds,
-                    attack_start_fraction=attack_start_fraction,
-                ),
-            )
+            _setup_slug(dataset_name, seed, scale, slug_config)
         )
 
     master = np.random.default_rng(seed)
@@ -332,6 +353,15 @@ def build_setup(
 
     eval_task = BackdoorTask(eval_trigger, victim_label, attack_label)
     gamma = gamma if gamma is not None else scale.gamma
+    if attack_spec is not None:
+        tel.event(
+            "attack.configured",
+            attack=attack_spec.name,
+            spec=attack_spec.spec(),
+            num_attackers=num_attackers,
+            dba=dba,
+            amplify=attack_spec.amplify,
+        )
 
     benign_config = LocalTrainingConfig(
         lr=scale.lr,
@@ -361,19 +391,32 @@ def build_setup(
             task = BackdoorTask(
                 local_triggers[i % len(local_triggers)], victim_label, attack_label
             )
-            clients.append(
-                MaliciousClient(
-                    i,
-                    local,
-                    attacker_config,
-                    client_rng,
-                    task,
-                    gamma=gamma,
-                    rank_attack=rank_attack,
-                    self_limit_delta=self_limit_delta,
-                    attack_start_round=attack_start,
+            if attack_spec is not None:
+                clients.append(
+                    attack_spec.build_client(
+                        i,
+                        local,
+                        attacker_config,
+                        client_rng,
+                        task,
+                        gamma=gamma,
+                        attack_start_round=attack_start,
+                    )
                 )
-            )
+            else:
+                clients.append(
+                    MaliciousClient(
+                        i,
+                        local,
+                        attacker_config,
+                        client_rng,
+                        task,
+                        gamma=gamma,
+                        rank_attack=rank_attack,
+                        self_limit_delta=self_limit_delta,
+                        attack_start_round=attack_start,
+                    )
+                )
         else:
             clients.append(Client(i, local, benign_config, client_rng))
 
@@ -394,6 +437,7 @@ def build_setup(
         telemetry=tel,
         watchdog=ctx.watchdog,
         profile=ctx.profile,
+        aggregator=agg,
     )
     with tel.span(
         "build_setup", dataset=dataset_name, seed=seed, num_clients=len(clients)

@@ -1,0 +1,127 @@
+"""Head-to-head robustness matrix: every attack × every defense.
+
+The paper evaluates its cleansing pipeline against one attack family at
+a time; this experiment crosses the full attack zoo
+(:mod:`repro.attacks.registry`) with the full aggregation zoo
+(:mod:`repro.fl.aggregation`) plus the paper's own post-training
+pipeline as one defense column, producing a long-format TA/ASR table
+with one row per (attack, defense) cell.
+
+Defense columns are aggregator spec strings, except the special
+``"cleanse"`` column: train under plain FedAvg, then run the paper's
+FP + FT + AW pipeline (:func:`~repro.experiments.common.evaluate_modes`
+mode ``"all"``) on the backdoored model.  Training-phase defenses and
+the post-training defense are thereby measured on an equal footing.
+
+Each cell re-trains the federation from the same master seed, so the
+grid is deterministic, cells are independent, and a run under a
+checkpointing context resumes mid-grid: every cell's training scopes
+its snapshots by its own (attack, aggregator) slug, and stateful
+aggregators (FoolsGold history, NormClip noise RNG) restore
+byte-identically.  Cells sharing a trained world — ``cleanse`` reuses
+the ``fedavg`` column's federation — train it only once.
+"""
+
+from __future__ import annotations
+
+from ..attacks.registry import build_attack
+from ..eval.tables import TableResult
+from ..fl.aggregation import build_aggregator
+from ..obs.context import current_context
+from .common import build_setup, evaluate_modes
+from .scale import ExperimentScale
+
+__all__ = ["run", "DEFAULT_ATTACKS", "DEFAULT_DEFENSES", "CLEANSE"]
+
+#: the defense column running the paper's FP + FT + AW pipeline
+CLEANSE = "cleanse"
+
+DEFAULT_ATTACKS = ("badnets", "dba", "replacement", "lie", "stealth")
+
+DEFAULT_DEFENSES = (
+    "fedavg",
+    "median",
+    "trimmed_mean",
+    "multi_krum:num_byzantine=1",
+    "foolsgold",
+    "rfa",
+    "robust_lr",
+    "norm_clip",
+    CLEANSE,
+)
+
+
+def run(
+    scale: ExperimentScale,
+    seed: int = 42,
+    attacks=None,
+    defenses=None,
+    dataset_name: str = "mnist",
+) -> TableResult:
+    """TA/ASR of every attack × defense cell, long format.
+
+    ``attacks`` / ``defenses`` override the default grid with attack
+    and aggregator spec strings (``defenses`` may include the special
+    ``"cleanse"`` column).  Invalid specs fail before any cell trains.
+    """
+    attacks = tuple(attacks) if attacks is not None else DEFAULT_ATTACKS
+    defenses = tuple(defenses) if defenses is not None else DEFAULT_DEFENSES
+    if not attacks or not defenses:
+        raise ValueError("need at least one attack and one defense")
+    # validate the whole grid eagerly: a typo in the last column must
+    # not surface hours into the first cell's training
+    attack_specs = {name: build_attack(name) for name in attacks}
+    for name in defenses:
+        if name != CLEANSE:
+            build_aggregator(name)
+
+    tel = current_context().telemetry
+    rows = []
+    for attack in attacks:
+        setups: dict[str, object] = {}
+        for defense in defenses:
+            aggregator = "fedavg" if defense == CLEANSE else defense
+            with tel.span(
+                "matrix.cell", attack=attack, defense=defense
+            ) as cell:
+                setup = setups.get(aggregator)
+                if setup is None:
+                    setup = build_setup(
+                        dataset_name,
+                        scale,
+                        seed=seed,
+                        attack=attack_specs[attack],
+                        aggregator=aggregator,
+                    )
+                    setups[aggregator] = setup
+                if defense == CLEANSE:
+                    ta, asr = evaluate_modes(setup, modes=("all",))["all"]
+                else:
+                    ta, asr = setup.metrics()
+                cell.set(test_acc=ta, attack_acc=asr)
+            rows.append(
+                {"attack": attack, "defense": defense, "TA": ta, "ASR": asr}
+            )
+
+    by_defense = {
+        defense: [r["ASR"] for r in rows if r["defense"] == defense]
+        for defense in defenses
+    }
+    mean_asr = {
+        defense: sum(values) / len(values)
+        for defense, values in by_defense.items()
+    }
+    best = min(mean_asr, key=lambda d: (mean_asr[d], d))
+    summary = {
+        "cells": float(len(rows)),
+        "mean_ta": sum(r["TA"] for r in rows) / len(rows),
+        "mean_asr": sum(r["ASR"] for r in rows) / len(rows),
+        f"best_defense[{best}]_asr": mean_asr[best],
+    }
+    return TableResult(
+        "matrix",
+        "Attack × defense robustness matrix (TA / ASR per cell)",
+        rows,
+        summary,
+        columns=["attack", "defense", "TA", "ASR"],
+    )

@@ -6,7 +6,7 @@ from typing import Callable
 
 from ..eval.tables import TableResult
 from ..obs.context import RunContext, use_context
-from . import ablations
+from . import ablations, matrix
 from . import (
     fig3_distributions,
     fig5_pruning_curves,
@@ -47,6 +47,8 @@ EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], TableResult]] = {
     "ablation_gamma": ablations.gamma_sweep,
     "ablation_clipping": ablations.clipping_defense,
     "ablation_localization": ablations.backdoor_localization,
+    # attack × defense grid (DESIGN.md §14)
+    "matrix": matrix.run,
 }
 
 
@@ -55,6 +57,7 @@ def run_experiment(
     scale: ExperimentScale | str,
     seed: int = 42,
     context: RunContext | None = None,
+    **kwargs,
 ) -> TableResult:
     """Run one registered experiment.
 
@@ -72,6 +75,9 @@ def run_experiment(
     counter snapshot (``fl.rounds_skipped``, ``fl.quarantines``,
     ``watchdog.rollbacks``, ...) so the table records how bumpy the run
     was, not just what it produced.
+
+    Extra keyword arguments are forwarded to the experiment's runner
+    (the ``matrix`` grid takes ``attacks=`` / ``defenses=`` lists).
     """
     if isinstance(scale, str):
         scale = get_scale(scale)
@@ -86,7 +92,7 @@ def run_experiment(
         with ctx.telemetry.span(
             "experiment", id=experiment_id, scale=scale.name, seed=seed
         ):
-            result = runner(scale, seed)
+            result = runner(scale, seed, **kwargs)
         counters = getattr(ctx.telemetry, "counters", None)
         if counters and not result.counters:
             result.counters = dict(counters)

@@ -1,0 +1,135 @@
+"""Stealth-attack clients: LIE and the alignment-evading attack.
+
+Both attackers run *two* local training passes per round — one benign
+(clean data) and one poisoned — and craft their reported delta from the
+pair: LIE clamps the poisoned deviation into the benign delta's
+variance envelope, the stealth attack hides it in the benign delta's
+low-magnitude coordinates and norm-matches the result.  Neither
+amplifies (model replacement would blow the very cover they are built
+to keep), so ``gamma`` stays at its benign default.
+
+The crafting math lives in :mod:`repro.attacks.lie` and
+:mod:`repro.attacks.stealth`; these classes only drive the dual pass
+through the stock :class:`~repro.fl.client.Client` training loop, so
+their per-pass SGD is bit-identical to what a benign client would do on
+the same data and RNG stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..attacks.lie import lie_update
+from ..attacks.poison import BackdoorTask
+from ..attacks.stealth import stealth_update
+from ..data.dataset import Dataset
+from ..nn.layers import Sequential
+from .client import Client, LocalTrainingConfig, MaliciousClient
+
+__all__ = ["LIEClient", "StealthClient"]
+
+
+class _DualPassClient(MaliciousClient):
+    """Shared two-pass machinery: benign delta, poisoned delta, craft."""
+
+    def local_update(
+        self,
+        model: Sequential,
+        global_params: np.ndarray,
+        round_index: int | None = None,
+    ) -> np.ndarray:
+        attacking = (
+            round_index is None or round_index >= self.attack_start_round
+        )
+        self._attacking_now = False
+        benign = Client.local_update(self, model, global_params, round_index)
+        if not attacking:
+            return benign
+        self._attacking_now = True
+        poisoned = Client.local_update(self, model, global_params, round_index)
+        return self._craft(benign, poisoned)
+
+    def _craft(
+        self, benign: np.ndarray, poisoned: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class LIEClient(_DualPassClient):
+    """"A little is enough" attacker (Baruch et al.).
+
+    Reports the benign delta shifted toward the poisoned one by at most
+    ``z`` standard deviations of the benign delta's coordinates — small
+    enough to survive statistics-based robust aggregation, persistent
+    enough to implant the backdoor over many rounds.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+        task: BackdoorTask,
+        z: float = 1.5,
+        poison_fraction: float = 1.0,
+        attack_start_round: int = 0,
+    ) -> None:
+        if z < 0:
+            raise ValueError(f"z must be >= 0, got {z}")
+        super().__init__(
+            client_id,
+            dataset,
+            config,
+            rng,
+            task,
+            gamma=1.0,
+            poison_fraction=poison_fraction,
+            attack_start_round=attack_start_round,
+        )
+        self.z = float(z)
+
+    def _craft(self, benign: np.ndarray, poisoned: np.ndarray) -> np.ndarray:
+        return lie_update(benign, poisoned, self.z)
+
+
+class StealthClient(_DualPassClient):
+    """Alignment-evading attacker (Fang & Chen).
+
+    Injects the poisoned deviation only into the ``fraction`` of
+    coordinates where the benign delta is smallest, then (optionally)
+    rescales onto the benign norm — defeating cosine-alignment and
+    norm-outlier defenses simultaneously.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        dataset: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+        task: BackdoorTask,
+        fraction: float = 0.25,
+        norm_match: bool = True,
+        poison_fraction: float = 1.0,
+        attack_start_round: int = 0,
+    ) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        super().__init__(
+            client_id,
+            dataset,
+            config,
+            rng,
+            task,
+            gamma=1.0,
+            poison_fraction=poison_fraction,
+            attack_start_round=attack_start_round,
+        )
+        self.fraction = float(fraction)
+        self.norm_match = bool(norm_match)
+
+    def _craft(self, benign: np.ndarray, poisoned: np.ndarray) -> np.ndarray:
+        return stealth_update(
+            benign, poisoned, fraction=self.fraction, norm_match=self.norm_match
+        )

@@ -20,27 +20,9 @@ from typing import Callable
 
 import numpy as np
 
-from .aggregation import fedavg
+from .aggregation import clip_updates, fedavg, median_norm_budget
 
 __all__ = ["clip_updates", "clipped_fedavg", "median_norm_budget"]
-
-
-def median_norm_budget(updates: np.ndarray) -> float:
-    """A robust clipping budget: the median client-update L2 norm."""
-    updates = np.asarray(updates, dtype=np.float64)
-    if updates.ndim != 2 or updates.shape[0] == 0:
-        raise ValueError(f"updates must be a nonempty matrix, got {updates.shape}")
-    return float(np.median(np.linalg.norm(updates, axis=1)))
-
-
-def clip_updates(updates: np.ndarray, budget: float) -> np.ndarray:
-    """Scale every row with L2 norm above ``budget`` down onto the ball."""
-    updates = np.asarray(updates, dtype=np.float64)
-    if budget <= 0:
-        raise ValueError(f"budget must be positive, got {budget}")
-    norms = np.linalg.norm(updates, axis=1, keepdims=True)
-    scales = np.minimum(1.0, budget / np.maximum(norms, 1e-12))
-    return updates * scales
 
 
 def clipped_fedavg(

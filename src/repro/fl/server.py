@@ -38,15 +38,18 @@ from ..obs.profile import maybe_profile
 from ..obs.telemetry import Telemetry, ensure_telemetry
 from ..persist.checkpoint import CheckpointManager, Snapshot
 from ..persist.state import (
+    AGGREGATOR_PREFIX,
     DELTA_PREFIX,
     capture_client_states,
+    pack_state_arrays,
     restore_client_states,
     rng_state_from_jsonable,
     rng_state_to_jsonable,
     shared_fault_model,
+    unpack_state_arrays,
 )
 from ..persist.watchdog import DivergenceWatchdog
-from .aggregation import fedavg
+from .aggregation import Aggregator, resolve_aggregator
 from .client import Client
 from .executor import ClientExecutor, collect_updates
 from .faults import validate_update
@@ -236,9 +239,18 @@ class FederatedServer:
         When provided, the server also logs ASR each round (evaluation
         uses this task's trigger — for DBA pass the task built from the
         *global* pattern).
+    aggregator:
+        The aggregation rule — a registry name (``"median"``), a
+        ``"name:param=value"`` spec string
+        (``"trimmed_mean:trim_ratio=0.2"``), an
+        :class:`~repro.fl.aggregation.Aggregator` instance, or any bare
+        callable over the ``(clients, dim)`` delta matrix.  Defaults to
+        the paper's unweighted FedAvg mean.  Stateful rules
+        (``"foolsgold"``, noised ``"norm_clip"``) have their cross-round
+        state captured in checkpoints and restored on resume.
     aggregate:
-        Aggregation rule over the ``(clients, dim)`` delta matrix;
-        defaults to the paper's unweighted FedAvg mean.
+        Deprecated spelling of ``aggregator`` (bare callable only);
+        emits a :class:`DeprecationWarning`.
     clients_per_round:
         Uniform random sample size per round; ``None`` selects everyone
         (the paper's default simplification).
@@ -301,7 +313,7 @@ class FederatedServer:
         clients: Sequence[Client],
         test_set: Dataset,
         backdoor_task: BackdoorTask | None = None,
-        aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
+        aggregate: Callable[[np.ndarray], np.ndarray] | None = None,
         clients_per_round: int | None = None,
         sampler: ParticipationSampler | None = None,
         rng: np.random.Generator | None = None,
@@ -312,6 +324,7 @@ class FederatedServer:
         telemetry: Telemetry | None = None,
         watchdog: DivergenceWatchdog | None = None,
         profile: bool = False,
+        aggregator: str | Aggregator | Callable | None = None,
     ) -> None:
         if not len(clients):
             raise ValueError("need at least one client")
@@ -352,7 +365,9 @@ class FederatedServer:
         self.clients = clients if isinstance(clients, ClientPool) else list(clients)
         self.test_set = test_set
         self.backdoor_task = backdoor_task
-        self.aggregate = aggregate
+        self.aggregator = resolve_aggregator(
+            "FederatedServer", aggregate, aggregator
+        )
         self.clients_per_round = clients_per_round
         self.sampler = sampler
         self.rng = rng if rng is not None else np.random.default_rng(0)
@@ -365,6 +380,11 @@ class FederatedServer:
         self.profile = bool(profile)
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
+
+    @property
+    def aggregate(self):
+        """Deprecated alias: the aggregator in its bare-callable form."""
+        return self.aggregator
 
     def select_clients(self, round_index: int | None = None) -> list[Client]:
         """The participants of the next round (quarantined excluded).
@@ -432,6 +452,7 @@ class FederatedServer:
                 )
 
             accepted: list[np.ndarray] = []
+            accepted_ids: list[int] = []
             dropped: list[tuple[int, str]] = []
             rejected: list[tuple[int, str]] = []
             quarantined_now: list[int] = []
@@ -447,6 +468,7 @@ class FederatedServer:
                 problem = validate_update(value, global_params.size)
                 if problem is None:
                     accepted.append(value)
+                    accepted_ids.append(client.client_id)
                 else:
                     rejected.append((client.client_id, problem))
                     tel.event(
@@ -476,7 +498,12 @@ class FederatedServer:
                 )
             else:
                 with tel.span("fl.aggregation", num_accepted=len(accepted)):
-                    update = self.aggregate(np.stack(accepted))
+                    update = self.aggregator.aggregate(
+                        np.stack(accepted),
+                        client_ids=accepted_ids,
+                        round_index=round_index,
+                        telemetry=tel,
+                    )
                     if self.watchdog is not None:
                         divergence_reason = self.watchdog.check_aggregate(update)
                     if divergence_reason is not None:
@@ -658,8 +685,13 @@ class FederatedServer:
         arrays = pack_model_state(self.model)
         client_meta, client_arrays = capture_client_states(self.clients)
         arrays.update(client_arrays)
+        aggregator_meta, aggregator_arrays = pack_state_arrays(
+            self.aggregator.state_dict(), AGGREGATOR_PREFIX
+        )
+        arrays.update(aggregator_arrays)
         meta = {
             "round_cursor": int(round_cursor),
+            "aggregator": aggregator_meta,
             "server_rng": rng_state_to_jsonable(self.rng),
             "quarantined": sorted(int(c) for c in self.quarantined),
             "strikes": {str(k): int(v) for k, v in self._strikes.items()},
@@ -691,9 +723,13 @@ class FederatedServer:
         model_arrays = {
             name: value
             for name, value in snapshot.arrays.items()
-            if not name.startswith(DELTA_PREFIX)
+            if not name.startswith((DELTA_PREFIX, AGGREGATOR_PREFIX))
         }
         apply_model_state(self.model, model_arrays)
+        if "aggregator" in meta:
+            self.aggregator.load_state_dict(
+                unpack_state_arrays(meta["aggregator"], snapshot.arrays)
+            )
         rng_state_from_jsonable(self.rng, meta["server_rng"])
         self.quarantined = {int(c) for c in meta["quarantined"]}
         self._strikes = {int(k): int(v) for k, v in meta["strikes"].items()}

@@ -62,12 +62,15 @@ from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.context import RunContext, current_context
 from ..persist.checkpoint import CheckpointManager, Snapshot
 from ..persist.state import (
+    AGGREGATOR_PREFIX,
     DELTA_PREFIX,
     capture_client_states,
+    pack_state_arrays,
     restore_client_states,
     shared_fault_model,
+    unpack_state_arrays,
 )
-from .aggregation import fedavg
+from .aggregation import Aggregator, resolve_aggregator
 from .executor import dispatch_updates
 from .faults import validate_update
 from .sampling import ClientPool, ParticipationSampler
@@ -498,8 +501,15 @@ class DefenseService:
         The :class:`ServiceConfig` policy bundle.
     backdoor_task:
         When given, evaluations also log attack success rate.
+    aggregator:
+        The aggregation rule — a registry name, a ``"name:param=value"``
+        spec string, an :class:`~repro.fl.aggregation.Aggregator`
+        instance, or a bare callable over the accepted delta matrix
+        (default FedAvg).  Stateful rules have their cross-round state
+        checkpointed alongside the service state.
     aggregate:
-        Aggregation rule over the accepted delta matrix (default FedAvg).
+        Deprecated spelling of ``aggregator`` (bare callable only);
+        emits a :class:`DeprecationWarning`.
     traffic:
         A :class:`~repro.fl.traffic.TrafficPattern` adding arrival
         delays on top of fault-drawn straggler delays; ``None`` means
@@ -528,11 +538,12 @@ class DefenseService:
         test_set: Dataset,
         config: ServiceConfig | None = None,
         backdoor_task: BackdoorTask | None = None,
-        aggregate: Callable[[np.ndarray], np.ndarray] = fedavg,
+        aggregate: Callable[[np.ndarray], np.ndarray] | None = None,
         traffic: TrafficPattern | None = None,
         sampler: ParticipationSampler | None = None,
         accuracy_fn: Callable[[Sequential], float] | None = None,
         context: RunContext | None = None,
+        aggregator: str | Aggregator | Callable | None = None,
     ) -> None:
         if not len(clients):
             raise ValueError("need at least one client")
@@ -552,7 +563,9 @@ class DefenseService:
         self.test_set = test_set
         self.config = config if config is not None else ServiceConfig()
         self.backdoor_task = backdoor_task
-        self.aggregate = aggregate
+        self.aggregator = resolve_aggregator(
+            "DefenseService", aggregate, aggregator
+        )
         self.traffic = traffic
         self.accuracy_fn = (
             accuracy_fn
@@ -576,6 +589,11 @@ class DefenseService:
         self.degraded = False
         self._last_cleanse_round: int | None = None
         self._committed_rounds = 0
+
+    @property
+    def aggregate(self):
+        """Deprecated alias: the aggregator in its bare-callable form."""
+        return self.aggregator
 
     # -- selection -----------------------------------------------------
 
@@ -829,8 +847,11 @@ class DefenseService:
                         failures=self._consecutive_failures,
                     )
                 self._consecutive_failures = 0
-                update = self.aggregate(
-                    np.stack([env.payload for env in accepted_env])
+                update = self.aggregator.aggregate(
+                    np.stack([env.payload for env in accepted_env]),
+                    client_ids=[env.client_id for env in accepted_env],
+                    round_index=round_index,
+                    telemetry=tel,
                 )
                 self.model.load_flat_parameters(global_params + update)
                 self._committed_rounds += 1
@@ -1059,8 +1080,9 @@ class DefenseService:
         model_arrays = {
             name: value
             for name, value in snapshot.arrays.items()
-            if not name.startswith(DELTA_PREFIX)
-            and not name.startswith(PENDING_PREFIX)
+            if not name.startswith(
+                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX)
+            )
         }
         apply_model_state(self.model, model_arrays)
 
@@ -1227,8 +1249,13 @@ class DefenseService:
                     "key": key,
                 }
             )
+        aggregator_meta, aggregator_arrays = pack_state_arrays(
+            self.aggregator.state_dict(), AGGREGATOR_PREFIX
+        )
+        arrays.update(aggregator_arrays)
         meta = {
             "round_cursor": int(round_cursor),
+            "aggregator": aggregator_meta,
             "strikes": {str(k): int(v) for k, v in self._strikes.items()},
             "strike_quarantined": sorted(int(c) for c in self.strike_quarantined),
             "trust_quarantined": {
@@ -1262,10 +1289,15 @@ class DefenseService:
         model_arrays = {
             name: value
             for name, value in snapshot.arrays.items()
-            if not name.startswith(DELTA_PREFIX)
-            and not name.startswith(PENDING_PREFIX)
+            if not name.startswith(
+                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX)
+            )
         }
         apply_model_state(self.model, model_arrays)
+        if "aggregator" in meta:
+            self.aggregator.load_state_dict(
+                unpack_state_arrays(meta["aggregator"], snapshot.arrays)
+            )
         restore_client_states(self.clients, meta["clients"], snapshot.arrays)
         fault_model = shared_fault_model(self.clients)
         if fault_model is not None and "fault_model" in meta:

@@ -78,6 +78,7 @@ SPAN_NAMES = frozenset(
         "fl.round",
         "fl.selection",
         "fl.train",
+        "matrix.cell",
         "nc.label",
         "nc.reconstruct_all",
         "nc.unlearn",
@@ -96,6 +97,12 @@ SPAN_NAMES = frozenset(
 #: inserted by the trace loader when a JSONL file ends in a torn line)
 EVENT_NAMES = frozenset(
     {
+        # aggregator-internal decisions (repro.fl.aggregation)
+        "agg.clip",
+        "agg.lr_flips",
+        "agg.selection",
+        "agg.weights",
+        "attack.configured",
         "defense.fine_tune_skipped",
         "defense.malformed_report",
         "defense.quarantine",

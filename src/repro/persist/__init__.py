@@ -32,13 +32,16 @@ from .atomic import (
 )
 from .checkpoint import CheckpointManager, Snapshot
 from .state import (
+    AGGREGATOR_PREFIX,
     DELTA_PREFIX,
     capture_client_states,
+    pack_state_arrays,
     restore_client_states,
     rng_state_from_jsonable,
     rng_state_to_jsonable,
     shared_fault_model,
     stitch_streams,
+    unpack_state_arrays,
 )
 from .watchdog import DivergenceWatchdog
 
@@ -50,8 +53,11 @@ __all__ = [
     "sha256_bytes",
     "CheckpointManager",
     "Snapshot",
+    "AGGREGATOR_PREFIX",
     "DELTA_PREFIX",
     "capture_client_states",
+    "pack_state_arrays",
+    "unpack_state_arrays",
     "restore_client_states",
     "rng_state_from_jsonable",
     "rng_state_to_jsonable",

@@ -17,8 +17,11 @@ import numpy as np
 
 __all__ = [
     "DELTA_PREFIX",
+    "AGGREGATOR_PREFIX",
     "rng_state_to_jsonable",
     "rng_state_from_jsonable",
+    "pack_state_arrays",
+    "unpack_state_arrays",
     "capture_client_states",
     "restore_client_states",
     "shared_fault_model",
@@ -29,6 +32,11 @@ __all__ = [
 # consumers filter on it to separate client arrays from model arrays
 DELTA_PREFIX = "client_delta."
 _DELTA_PREFIX = DELTA_PREFIX
+
+# array names carrying an Aggregator's state_dict arrays in a snapshot
+AGGREGATOR_PREFIX = "aggregator_state."
+
+_ARRAY_MARKER = "__array__"
 
 
 def rng_state_to_jsonable(rng: np.random.Generator | None):
@@ -61,6 +69,56 @@ def _jsonable(value):
     if isinstance(value, np.floating):
         return float(value)
     return value
+
+
+def pack_state_arrays(
+    state: dict, prefix: str
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Split a nested ``state_dict`` into JSON metadata plus named arrays.
+
+    Snapshots keep arrays in the ``.npz`` payload (byte-exact float64
+    round-trip) and everything else in JSON metadata.  This walks an
+    arbitrary nesting of dicts/lists, hoists every ``np.ndarray`` leaf
+    into the returned array mapping under ``prefix``-namespaced keys,
+    and leaves an ``{"__array__": key}`` marker in its place for
+    :func:`unpack_state_arrays` to resolve.
+    """
+    arrays: dict[str, np.ndarray] = {}
+
+    def walk(value, path):
+        if isinstance(value, np.ndarray):
+            key = prefix + ".".join(path)
+            arrays[key] = value
+            return {_ARRAY_MARKER: key}
+        if isinstance(value, dict):
+            return {
+                str(k): walk(v, path + (str(k),)) for k, v in value.items()
+            }
+        if isinstance(value, (list, tuple)):
+            return [walk(v, path + (str(i),)) for i, v in enumerate(value)]
+        return _jsonable(value)
+
+    return walk(state, ()), arrays
+
+
+def unpack_state_arrays(meta: dict, arrays: Mapping[str, np.ndarray]) -> dict:
+    """Rebuild a :func:`pack_state_arrays` state dict from a snapshot."""
+
+    def walk(value):
+        if isinstance(value, dict):
+            if set(value) == {_ARRAY_MARKER}:
+                key = value[_ARRAY_MARKER]
+                if key not in arrays:
+                    raise ValueError(
+                        f"checkpoint meta references missing array {key!r}"
+                    )
+                return np.array(arrays[key], copy=True)
+            return {k: walk(v) for k, v in value.items()}
+        if isinstance(value, list):
+            return [walk(v) for v in value]
+        return value
+
+    return walk(meta)
 
 
 def capture_client_states(clients: Iterable) -> tuple[list[dict], dict[str, np.ndarray]]:

@@ -1,0 +1,79 @@
+"""Shared ``name:param=value`` spec-string parsing.
+
+Both registries that build configurable objects from the command line —
+aggregation rules (:mod:`repro.fl.aggregation`) and attack menus
+(:mod:`repro.attacks.registry`) — accept the same compact spec grammar::
+
+    fedavg
+    trimmed_mean:trim_ratio=0.2
+    norm_clip:budget=1.5,noise_std=0.01
+
+Values are coerced to the narrowest matching Python type (bool, None,
+int, float, then str), so registry constructors receive natural types
+without per-parameter parsing code.
+"""
+
+from __future__ import annotations
+
+__all__ = ["parse_spec", "coerce_value", "format_spec"]
+
+
+def coerce_value(text: str):
+    """The narrowest Python value a spec-string token denotes."""
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_spec(spec: str) -> tuple[str, dict]:
+    """Split ``"name:k1=v1,k2=v2"`` into ``(name, params)``.
+
+    The parameter block is optional (``"fedavg"`` parses to
+    ``("fedavg", {})``).  Malformed specs — empty name, a bare ``:``,
+    a parameter without ``=``, a duplicated key — raise ``ValueError``
+    naming the offending fragment.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"spec must be a string, got {type(spec).__name__}")
+    name, sep, rest = spec.partition(":")
+    name = name.strip()
+    if not name:
+        raise ValueError(f"spec {spec!r} has no name")
+    params: dict = {}
+    if sep:
+        rest = rest.strip()
+        if not rest:
+            raise ValueError(f"spec {spec!r} has ':' but no parameters")
+        for item in rest.split(","):
+            key, eq, value = item.partition("=")
+            key = key.strip()
+            if not eq or not key:
+                raise ValueError(
+                    f"expected 'param=value' in spec {spec!r}, "
+                    f"got {item.strip()!r}"
+                )
+            if key in params:
+                raise ValueError(f"duplicate parameter {key!r} in spec {spec!r}")
+            params[key] = coerce_value(value.strip())
+    return name, params
+
+
+def format_spec(name: str, params: dict) -> str:
+    """The canonical spec string for ``(name, params)`` (sorted keys)."""
+    if not params:
+        return name
+    body = ",".join(f"{key}={params[key]}" for key in sorted(params))
+    return f"{name}:{body}"

@@ -1,0 +1,276 @@
+"""The LIE and alignment-evading stealth attacks, math and clients."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.lie import lie_update, lie_z_max, normal_ppf
+from repro.attacks.poison import BackdoorTask
+from repro.attacks.registry import (
+    AttackSpec,
+    attack_names,
+    build_attack,
+)
+from repro.attacks.stealth import stealth_update
+from repro.attacks.triggers import pixel_pattern
+from repro.data.dataset import Dataset
+from repro.fl.attack_clients import LIEClient, StealthClient
+from repro.fl.client import (
+    Client,
+    LocalTrainingConfig,
+    MaliciousClient,
+    megabatch_eligible,
+)
+
+
+class TestNormalPpf:
+    @pytest.mark.parametrize(
+        "p,expected",
+        [
+            (0.5, 0.0),
+            (0.8413447460685429, 1.0),  # Phi(1)
+            (0.9772498680518208, 2.0),  # Phi(2)
+            (0.15865525393145707, -1.0),  # Phi(-1)
+            (0.001, -3.0902323061678132),
+            (0.999, 3.0902323061678132),
+        ],
+    )
+    def test_known_quantiles(self, p, expected):
+        assert normal_ppf(p) == pytest.approx(expected, abs=1e-6)
+
+    def test_monotone(self):
+        grid = np.linspace(0.01, 0.99, 50)
+        values = [normal_ppf(p) for p in grid]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.1])
+    def test_domain(self, p):
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            normal_ppf(p)
+
+
+class TestLieZMax:
+    def test_paper_regime_positive(self):
+        # 50 clients, 12 colluders: the classic LIE setting has z > 0
+        assert lie_z_max(50, 12) > 0.0
+
+    def test_degenerate_populations_zero(self):
+        assert lie_z_max(4, 2) == 0.0  # supporters >= benign
+        assert lie_z_max(3, 3) == 0.0  # no benign clients
+
+    def test_more_colluders_allow_larger_z(self):
+        assert lie_z_max(50, 20) > lie_z_max(50, 5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_clients"):
+            lie_z_max(0, 0)
+        with pytest.raises(ValueError, match="num_byzantine"):
+            lie_z_max(10, 11)
+
+
+class TestLieUpdate:
+    def test_deviation_bounded_by_z_sigma(self, rng):
+        benign = rng.normal(0, 1.0, 100)
+        poisoned = benign + rng.normal(0, 10.0, 100)
+        crafted = lie_update(benign, poisoned, z=1.5)
+        bound = 1.5 * benign.std()
+        assert np.abs(crafted - benign).max() <= bound + 1e-12
+
+    def test_moves_toward_poisoned(self, rng):
+        benign = rng.normal(0, 1.0, 50)
+        poisoned = benign + 0.1
+        crafted = lie_update(benign, poisoned, z=3.0)
+        # small deviations fit inside the envelope untouched
+        np.testing.assert_allclose(crafted, poisoned)
+
+    def test_z_zero_is_honest(self, rng):
+        benign = rng.normal(0, 1.0, 20)
+        crafted = lie_update(benign, benign + 100.0, z=0.0)
+        np.testing.assert_array_equal(crafted, benign)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="shapes"):
+            lie_update(np.zeros(3), np.zeros(4), 1.0)
+        with pytest.raises(ValueError, match="z must be"):
+            lie_update(np.zeros(3), np.zeros(3), -1.0)
+
+
+class TestStealthUpdate:
+    def test_only_small_coordinates_change(self):
+        benign = np.array([10.0, 0.1, 20.0, 0.2, 30.0, 0.3, 40.0, 0.4])
+        poisoned = benign + 5.0
+        crafted = stealth_update(benign, poisoned, fraction=0.5, norm_match=False)
+        # the four large-magnitude coordinates stay benign
+        np.testing.assert_array_equal(crafted[[0, 2, 4, 6]], benign[[0, 2, 4, 6]])
+        # the four small ones carry the poisoned values
+        np.testing.assert_array_equal(crafted[[1, 3, 5, 7]], poisoned[[1, 3, 5, 7]])
+
+    def test_norm_matched(self, rng):
+        benign = rng.normal(0, 1.0, 200)
+        poisoned = benign + rng.normal(0, 5.0, 200)
+        crafted = stealth_update(benign, poisoned, fraction=0.25)
+        assert np.linalg.norm(crafted) == pytest.approx(np.linalg.norm(benign))
+
+    def test_deterministic_tie_break(self):
+        benign = np.zeros(6)
+        poisoned = np.arange(6.0)
+        a = stealth_update(benign, poisoned, fraction=0.5, norm_match=False)
+        b = stealth_update(benign, poisoned, fraction=0.5, norm_match=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_full_fraction_is_poisoned(self, rng):
+        benign = rng.normal(0, 1.0, 30)
+        poisoned = rng.normal(0, 1.0, 30)
+        crafted = stealth_update(benign, poisoned, fraction=1.0, norm_match=False)
+        np.testing.assert_allclose(crafted, poisoned)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            stealth_update(np.zeros(4), np.zeros(4), fraction=0.0)
+        with pytest.raises(ValueError, match="shapes"):
+            stealth_update(np.zeros(3), np.zeros(4))
+
+
+def make_attacker(cls, **kwargs):
+    rng = np.random.default_rng(7)
+    size, classes, total = 8, 4, 40
+    images = rng.random((total, 1, size, size))
+    labels = np.tile(np.arange(classes), total // classes)
+    dataset = Dataset(images, labels)
+    task = BackdoorTask(pixel_pattern(3, size), victim_label=3, attack_label=1)
+    config = LocalTrainingConfig(lr=0.05, batch_size=8, local_epochs=1)
+    client = cls(
+        0, dataset, config, np.random.default_rng(13), task, **kwargs
+    )
+    return client
+
+
+def tiny_model():
+    from repro import nn
+
+    rng = np.random.default_rng(5)
+    return nn.Sequential(
+        nn.Conv2d(1, 4, kernel_size=3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Flatten(),
+        nn.Linear(4 * 16, 4, rng=rng),
+    )
+
+
+class TestAttackClients:
+    @pytest.mark.parametrize("cls", [LIEClient, StealthClient])
+    def test_not_megabatch_eligible(self, cls):
+        assert not megabatch_eligible(make_attacker(cls))
+
+    def test_lie_delta_stays_in_envelope(self):
+        model = tiny_model()
+        params = model.flat_parameters()
+        attacker = make_attacker(LIEClient, z=1.0)
+        benign_twin = make_attacker(LIEClient, z=1.0)
+        benign_twin._attacking_now = False
+        benign = Client.local_update(benign_twin, tiny_model(), params)
+        delta = attacker.local_update(model, params)
+        # float32 params: the clip boundary is only exact to eps
+        bound = 1.0 * np.float64(benign.std())
+        assert np.abs(delta - benign).max() <= bound * (1 + 1e-6)
+
+    def test_stealth_delta_norm_matches_benign(self):
+        model = tiny_model()
+        params = model.flat_parameters()
+        attacker = make_attacker(StealthClient)
+        benign_twin = make_attacker(StealthClient)
+        benign_twin._attacking_now = False
+        benign = Client.local_update(benign_twin, tiny_model(), params)
+        delta = attacker.local_update(model, params)
+        assert np.linalg.norm(delta) == pytest.approx(
+            np.linalg.norm(benign), rel=1e-5
+        )
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [(LIEClient, {"z": 1.0}), (StealthClient, {"fraction": 0.25})],
+    )
+    def test_benign_before_attack_start(self, cls, kwargs):
+        attacker = make_attacker(cls, attack_start_round=5, **kwargs)
+        twin = make_attacker(cls, attack_start_round=5, **kwargs)
+        twin._attacking_now = False
+        params = tiny_model().flat_parameters()
+        early = attacker.local_update(tiny_model(), params, round_index=0)
+        benign = Client.local_update(twin, tiny_model(), params, round_index=0)
+        assert early.tobytes() == benign.tobytes()
+
+    @pytest.mark.parametrize(
+        "cls,kwargs",
+        [(LIEClient, {"z": 1.5}), (StealthClient, {"fraction": 0.25})],
+    )
+    def test_deterministic_crafting(self, cls, kwargs):
+        params = tiny_model().flat_parameters()
+        a = make_attacker(cls, **kwargs).local_update(tiny_model(), params, 0)
+        b = make_attacker(cls, **kwargs).local_update(tiny_model(), params, 0)
+        assert a.tobytes() == b.tobytes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="z must be"):
+            make_attacker(LIEClient, z=-1.0)
+        with pytest.raises(ValueError, match="fraction"):
+            make_attacker(StealthClient, fraction=2.0)
+
+
+class TestAttackRegistry:
+    def test_expected_names(self):
+        assert attack_names() == [
+            "badnets", "dba", "lie", "replacement", "stealth",
+        ]
+
+    def test_build_by_name(self):
+        spec = build_attack("lie")
+        assert isinstance(spec, AttackSpec)
+        assert spec.client_cls is LIEClient
+        assert not spec.amplify
+
+    def test_spec_string_merges_params(self):
+        spec = build_attack("stealth:fraction=0.1")
+        assert spec.params == {"fraction": 0.1}
+        assert spec.spec() == "stealth:fraction=0.1"
+        # the registered default is untouched
+        assert build_attack("stealth").params == {}
+
+    def test_flags(self):
+        assert build_attack("dba").dba and build_attack("dba").amplify
+        assert build_attack("replacement").amplify
+        assert not build_attack("badnets").amplify
+
+    def test_unknown_attack(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            build_attack("bogus")
+
+    def test_unknown_parameter_fails_eagerly(self):
+        with pytest.raises(ValueError, match="no parameter"):
+            build_attack("lie:gamma=5")
+
+    def test_reserved_parameter_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            build_attack("badnets:rng=1")
+
+    def test_build_client_routes_gamma_only_when_amplifying(self):
+        kwargs = dict(
+            client_id=0,
+            dataset=Dataset(
+                np.random.default_rng(0).random((8, 1, 8, 8)),
+                np.tile(np.arange(4), 2),
+            ),
+            config=LocalTrainingConfig(batch_size=4),
+            rng=np.random.default_rng(1),
+            task=BackdoorTask(pixel_pattern(3, 8), 3, 1),
+        )
+        amplified = build_attack("replacement").build_client(
+            *kwargs.values(), gamma=5.0, attack_start_round=2
+        )
+        assert isinstance(amplified, MaliciousClient)
+        assert amplified.gamma == 5.0
+        assert amplified.attack_start_round == 2
+        stealthy = build_attack("lie").build_client(
+            *kwargs.values(), gamma=5.0
+        )
+        assert isinstance(stealthy, LIEClient)
+        assert stealthy.gamma == 1.0

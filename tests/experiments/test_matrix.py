@@ -1,0 +1,123 @@
+"""The attack × defense robustness matrix experiment."""
+
+import pytest
+
+from repro.experiments.cli import _apply_max_rounds, main
+from repro.experiments.matrix import CLEANSE, DEFAULT_DEFENSES, run
+from repro.experiments.registry import run_experiment
+from repro.experiments.scale import SMOKE
+from repro.obs import RingBufferSink, RunContext, Telemetry
+from repro.obs.schema import unknown_names
+
+TINY = _apply_max_rounds(SMOKE, 2)
+
+
+class TestGrid:
+    def test_long_format_rows_cover_the_grid(self):
+        attacks = ("badnets", "lie")
+        defenses = ("fedavg", "robust_lr", CLEANSE)
+        result = run(TINY, seed=13, attacks=attacks, defenses=defenses)
+        assert result.experiment_id == "matrix"
+        assert result.columns == ["attack", "defense", "TA", "ASR"]
+        assert [(r["attack"], r["defense"]) for r in result.rows] == [
+            (a, d) for a in attacks for d in defenses
+        ]
+        for row in result.rows:
+            assert 0.0 <= row["TA"] <= 1.0
+            assert 0.0 <= row["ASR"] <= 1.0
+        assert result.summary["cells"] == 6.0
+        assert any(k.startswith("best_defense[") for k in result.summary)
+
+    def test_deterministic(self):
+        kwargs = dict(
+            seed=13, attacks=("badnets",), defenses=("fedavg", CLEANSE)
+        )
+        assert run(TINY, **kwargs).rows == run(TINY, **kwargs).rows
+
+    def test_default_defense_grid_includes_cleanse(self):
+        assert CLEANSE in DEFAULT_DEFENSES
+        assert len(DEFAULT_DEFENSES) >= 7
+
+    def test_registry_forwards_grid_kwargs(self):
+        result = run_experiment(
+            "matrix", TINY, seed=13,
+            attacks=("badnets",), defenses=("fedavg",),
+        )
+        assert len(result.rows) == 1
+
+
+class TestEagerValidation:
+    def test_unknown_attack_fails_before_training(self):
+        with pytest.raises(ValueError, match="unknown attack"):
+            run(TINY, attacks=("badnets", "bogus"), defenses=("fedavg",))
+
+    def test_unknown_defense_fails_before_training(self):
+        with pytest.raises(ValueError, match="unknown aggregator"):
+            run(TINY, attacks=("badnets",), defenses=("fedavg", "bogus"))
+
+    def test_bad_aggregator_param_fails_before_training(self):
+        with pytest.raises(ValueError):
+            run(TINY, attacks=("badnets",), defenses=("krum:bogus=1",))
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run(TINY, attacks=(), defenses=("fedavg",))
+
+
+class TestTelemetry:
+    def test_cells_and_attack_config_land_in_known_names(self):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        run_experiment(
+            "matrix", TINY, seed=13,
+            context=RunContext(telemetry=hub),
+            attacks=("lie",), defenses=("robust_lr",),
+        )
+        hub.close()
+        assert unknown_names(ring.events) == []
+        cells = [e for e in ring.events if e["name"] == "matrix.cell"]
+        assert len(cells) == 1
+        assert cells[0]["attrs"]["attack"] == "lie"
+        assert cells[0]["attrs"]["defense"] == "robust_lr"
+        assert 0.0 <= cells[0]["attrs"]["test_acc"] <= 1.0
+        configured = [
+            e for e in ring.events if e["name"] == "attack.configured"
+        ]
+        assert configured and configured[0]["attrs"]["attack"] == "lie"
+
+
+class TestCLI:
+    def test_matrix_runs_end_to_end(self, capsys):
+        assert main(
+            [
+                "matrix", "--scale", "smoke", "--seed", "13",
+                "--max-rounds", "2",
+                "--attack", "badnets",
+                "--aggregator", "fedavg,cleanse",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "matrix" in output
+        assert "cleanse" in output
+
+    def test_multi_param_aggregator_spec_survives_comma_split(self, capsys):
+        assert main(
+            [
+                "matrix", "--scale", "smoke", "--seed", "13",
+                "--max-rounds", "1",
+                "--attack", "badnets",
+                "--aggregator", "norm_clip:budget=1.5,noise_std=0.001,fedavg",
+            ]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "norm_clip:budget=1.5,noise_std=0.001" in output
+
+    def test_attack_flag_is_matrix_only(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--attack", "badnets"])
+        assert "--attack" in capsys.readouterr().err
+
+    def test_aggregator_flag_guard(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--aggregator", "median"])
+        assert "--aggregator" in capsys.readouterr().err

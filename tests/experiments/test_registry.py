@@ -10,7 +10,7 @@ EXPECTED_IDS = {
     "fig3", "table1", "table2", "table3", "table4", "table5",
     "fig5", "table6", "fig6", "table7", "fig7", "fig8", "fig9", "fig10",
     "ablation_prune_rate", "ablation_gamma", "ablation_clipping",
-    "ablation_localization",
+    "ablation_localization", "matrix",
 }
 
 

@@ -122,7 +122,7 @@ class TestKillAndResume:
                 model,
                 clients,
                 dataset,
-                aggregate=CrashingAggregate(CRASH_AT_AGGREGATION),
+                aggregator=CrashingAggregate(CRASH_AT_AGGREGATION),
                 executor=executor,
                 telemetry=hub1,
             )

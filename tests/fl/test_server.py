@@ -92,7 +92,7 @@ class TestFederatedServer:
 
         clients = make_clients(tiny_dataset, 3, rng)
         server = FederatedServer(
-            tiny_cnn, clients, tiny_dataset, aggregate=coordinate_median
+            tiny_cnn, clients, tiny_dataset, aggregator=coordinate_median
         )
         history = server.train(1)
         assert len(history) == 1

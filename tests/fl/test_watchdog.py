@@ -44,7 +44,7 @@ class TestAggregateVeto:
             model,
             clients,
             dataset,
-            aggregate=PoisonAggregate(2, inject_nan),
+            aggregator=PoisonAggregate(2, inject_nan),
             telemetry=hub,
             watchdog=watchdog,
         )
@@ -69,7 +69,7 @@ class TestAggregateVeto:
             model,
             clients,
             dataset,
-            aggregate=PoisonAggregate(2, inject_nan),
+            aggregator=PoisonAggregate(2, inject_nan),
             watchdog=watchdog,
         )
         server.train(1)
@@ -84,7 +84,7 @@ class TestAggregateVeto:
             model,
             clients,
             dataset,
-            aggregate=PoisonAggregate(1, amplify),
+            aggregator=PoisonAggregate(1, amplify),
             watchdog=DivergenceWatchdog(max_update_norm=100.0),
         )
         history = server.train(1)

@@ -361,7 +361,7 @@ class TestChaosDurability:
                 model,
                 clients,
                 dataset,
-                aggregate=CrashingAggregate(3),
+                aggregator=CrashingAggregate(3),
                 executor=executor,
             )
             with pytest.raises(SimulatedCrash):
@@ -392,7 +392,7 @@ class TestChaosDurability:
         model, clients, dataset = durable_world()
         with pytest.raises(SimulatedCrash):
             FederatedServer(
-                model, clients, dataset, aggregate=CrashingAggregate(4)
+                model, clients, dataset, aggregator=CrashingAggregate(4)
             ).train(num_rounds, checkpoint=manager)
         newest = manager.load_latest("train")
         assert newest.step == 3

@@ -18,6 +18,7 @@ EXPECTED_EXAMPLES = {
     "dba_cifar_defense.py",
     "adaptive_attackers.py",
     "robust_aggregation.py",
+    "robustness_matrix.py",
     "backdoor_localization.py",
     "unreliable_clients.py",
     "traced_run.py",
