@@ -19,7 +19,9 @@ Usage::
 With ``--baseline`` the fresh payload is regression-gated against a
 previously saved one (same machine assumed): any engine stage more than
 ``--threshold`` slower exits non-zero, so CI can catch perf regressions
-the way it catches correctness ones.
+the way it catches correctness ones.  The gate also enforces the
+simulated transport's transparency contract in absolute terms — a
+lossless network slower than 2% over the direct path fails the run.
 """
 
 import argparse
@@ -140,6 +142,26 @@ def main(argv=None) -> int:
             f"late={reports['late']} deferred={reports['deferred']} "
             f"shed={reports['shed']} rejected={reports['rejected']}"
         )
+    network = payload.get("network")
+    network_ok = True
+    if network:
+        if network["lossless_identical"] is False:
+            network_ok = False
+        lossy = network["lossy"]
+        print(
+            f"  network: lossless overhead="
+            f"{network['overhead_fraction'] * 100:.1f}% "
+            f"(direct={network['direct_seconds']:.3f}s "
+            f"lossless={network['lossless_seconds']:.3f}s) "
+            f"identical={network['lossless_identical']}"
+        )
+        print(
+            f"  network lossy: delivery_rate={lossy['delivery_rate']:.3f} "
+            f"latency p50={lossy['latency_p50']:.2f}s "
+            f"p99={lossy['latency_p99']:.2f}s "
+            f"dedup_hits={lossy['dedup_hits']} fenced={lossy['fenced']} "
+            f"committed={lossy['committed']}/{network['rounds']}"
+        )
     cohort = payload.get("cohort_scaling")
     cohort_ok = True
     if cohort:
@@ -179,7 +201,16 @@ def main(argv=None) -> int:
                     f"{reg['base_seconds']:.3f}s -> {reg['head_seconds']:.3f}s "
                     f"({reg['ratio']:.2f}x)"
                 )
-    return 0 if (payload["bitwise_identical"] and cohort_ok and gate_ok) else 1
+    return (
+        0
+        if (
+            payload["bitwise_identical"]
+            and cohort_ok
+            and network_ok
+            and gate_ok
+        )
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -37,6 +37,7 @@ from ..fl.faults import FaultModel, wrap_clients
 from ..fl.server import FederatedServer
 from ..fl.service import DefenseService, ServiceConfig
 from ..fl.traffic import make_schedule
+from ..fl.transport import make_network
 from ..nn.layers import Conv2d, Flatten, Linear, MaxPool2d, ReLU, Sequential
 from ..obs.analysis import TraceAnalysis
 from ..obs.context import RunContext
@@ -55,8 +56,10 @@ __all__ = [
     "measure_cohort_scaling",
     "measure_telemetry_overhead",
     "measure_checkpoint_cost",
+    "measure_network",
     "measure_service",
     "trace_run",
+    "LOSSLESS_OVERHEAD_CEILING",
 ]
 
 # the 8-client population is the benchmark's defining constant: small
@@ -385,6 +388,7 @@ def run_benchmark(
         "telemetry": measure_telemetry_overhead(scale),
         "checkpoint": measure_checkpoint_cost(scale),
         "service": measure_service(scale),
+        "network": measure_network(scale),
         "cohort_scaling": measure_cohort_scaling(scale),
     }
 
@@ -410,7 +414,12 @@ def compare_to_baseline(
     beyond the threshold is a scheduling-policy regression, not machine
     noise (the ``min_seconds`` floor applies to the latency figures the
     same way it does to stage timings).  The ``cohort_scaling`` curve is
-    gated on its megabatch wave times per cohort size.
+    gated on its megabatch wave times per cohort size.  The ``network``
+    section carries one *absolute* gate: the lossless transport's
+    ``overhead_fraction`` must not exceed
+    :data:`LOSSLESS_OVERHEAD_CEILING` (the transparency contract makes
+    the lossless path a pass-through, so its time cost is bounded by
+    construction, not by machine shape).
 
     Returns ``{"ok": bool, "regressions": [...], "checked": int}``;
     ``scripts/bench.py --baseline`` exits non-zero when ``ok`` is False.
@@ -469,6 +478,24 @@ def compare_to_baseline(
                     "base_seconds": base_value,
                     "head_seconds": head_value,
                     "ratio": ratio,
+                }
+            )
+
+    # the transport gate is absolute, not relative-to-baseline: a
+    # lossless network must stay within LOSSLESS_OVERHEAD_CEILING of the
+    # direct path regardless of what the baseline machine measured
+    head_network = payload.get("network") or {}
+    overhead = head_network.get("overhead_fraction")
+    if overhead is not None:
+        checked += 1
+        if overhead > LOSSLESS_OVERHEAD_CEILING:
+            regressions.append(
+                {
+                    "engine": "network",
+                    "stage": "lossless_overhead_fraction",
+                    "base_seconds": LOSSLESS_OVERHEAD_CEILING,
+                    "head_seconds": overhead,
+                    "ratio": overhead / LOSSLESS_OVERHEAD_CEILING,
                 }
             )
 
@@ -624,6 +651,115 @@ def measure_service(scale: str = "smoke", seed: int = 5) -> dict:
         "latency_p99": percentiles["p99"],
         "reports": counts,
         "num_events": ring.num_emitted,
+    }
+
+
+#: absolute ceiling on the lossless transport's wall-clock overhead.
+#: The transparency contract says a lossless, partition-free
+#: :class:`~repro.fl.transport.SimulatedNetwork` is a pure pass-through
+#: — same bytes, same history, same telemetry as no network at all — so
+#: its *time* cost must stay in the envelope-bookkeeping noise floor.
+#: ``scripts/bench.py --baseline`` fails when the measured fraction
+#: exceeds this.
+LOSSLESS_OVERHEAD_CEILING = 0.02
+
+
+def _run_service_once(scale: str, seed: int, network=None):
+    """(seconds, final flat params, history) for one seeded service run.
+
+    Identical construction to :func:`measure_service` minus telemetry,
+    so the direct / lossless / lossy variants differ *only* in the
+    ``network`` argument.
+    """
+    model, clients, dataset = build_bench_world(scale, seed=seed)
+    faults = FaultModel(
+        straggler_prob=0.3,
+        straggler_delay=(1.0, 20.0),
+        deadline_seconds=10.0,
+        seed=seed + 2,
+    )
+    service = DefenseService(
+        model,
+        wrap_clients(clients, faults),
+        dataset,
+        ServiceConfig(round_deadline=10.0, quorum=0.5, eval_every=0),
+        traffic=make_schedule("bursty", seed=seed + 3),
+        network=network,
+        context=RunContext(fault_model=faults),
+    )
+    start = time.perf_counter()
+    history = service.run(_SERVICE_ROUNDS[scale])
+    seconds = time.perf_counter() - start
+    return seconds, model.flat_parameters(), history
+
+
+def measure_network(scale: str = "smoke", seed: int = 5, repeats: int = 3) -> dict:
+    """Transport-layer bench: lossless overhead + lossy delivery stats.
+
+    Three seeded service runs share one world recipe and differ only in
+    the message layer:
+
+    * **direct** — ``network=None``, the pre-transport fast path;
+    * **lossless** — a transparent :class:`SimulatedNetwork`, which the
+      transparency contract requires to be byte-identical to direct
+      (``lossless_identical`` checks final parameters and the canonical
+      history) and nearly free (``overhead_fraction`` over min-of-
+      ``repeats`` wall clocks, gated at
+      :data:`LOSSLESS_OVERHEAD_CEILING` by ``--baseline``);
+    * **lossy** — the ``lossy`` preset, reported informationally:
+      delivery rate, one-way simulated latency percentiles, and how
+      much work the idempotent ingest gate did (dedup / fence hits).
+    """
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    direct_times = []
+    direct_params = direct_history = None
+    for i in range(repeats):
+        seconds, params, history = _run_service_once(scale, seed)
+        direct_times.append(seconds)
+        if i == 0:
+            direct_params, direct_history = params, history
+    lossless_times = []
+    lossless_identical = True
+    for i in range(repeats):
+        seconds, params, history = _run_service_once(
+            scale, seed, network=make_network("lossless", seed=seed + 6)
+        )
+        lossless_times.append(seconds)
+        if i == 0:
+            lossless_identical = bool(
+                np.array_equal(params, direct_params)
+                and history.to_jsonable() == direct_history.to_jsonable()
+            )
+    direct_seconds = min(direct_times)
+    lossless_seconds = min(lossless_times)
+
+    lossy_net = make_network("lossy", seed=seed + 7)
+    _, _, lossy_history = _run_service_once(scale, seed, network=lossy_net)
+    summary = lossy_net.summary()
+    net_counts = lossy_history.network_counts()
+    return {
+        "scale": scale,
+        "rounds": _SERVICE_ROUNDS[scale],
+        "direct_seconds": direct_seconds,
+        "lossless_seconds": lossless_seconds,
+        "overhead_fraction": (lossless_seconds - direct_seconds)
+        / max(direct_seconds, 1e-9),
+        "lossless_identical": lossless_identical,
+        "lossy": {
+            "delivery_rate": summary["delivery_rate"],
+            "latency_p50": summary["latency_p50"],
+            "latency_p99": summary["latency_p99"],
+            "sent": summary["sent"],
+            "lost": summary["lost"],
+            "duplicates": summary["duplicates"],
+            "corrupted": summary["corrupted"],
+            "dedup_hits": net_counts["dedup"],
+            "fenced": net_counts["fenced"],
+            "committed": len(lossy_history.committed_rounds),
+        },
     }
 
 

@@ -126,6 +126,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="traffic schedule the service streams under (default: bursty)",
     )
     serve.add_argument(
+        "--network",
+        default=None,
+        metavar="SPEC",
+        help="simulated transport spec for the service's message layer "
+        "(e.g. lossless, lossy, dupstorm, "
+        "partition:start=12,heal=35, chaos); omitted = direct delivery",
+    )
+    serve.add_argument(
         "--service-rounds",
         type=int,
         default=8,
@@ -242,6 +250,7 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     from ..fl.faults import FaultModel, wrap_clients
     from ..fl.service import DefenseService, ServiceConfig
     from ..fl.traffic import make_schedule
+    from ..fl.transport import make_network
 
     if args.service_rounds < 1:
         parser.error("--service-rounds must be >= 1")
@@ -261,6 +270,13 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
             parser.error("--checkpoint-dir is not supported with "
                          "--population (a lazy ClientPool cannot be "
                          "checkpointed faithfully)")
+
+    network = None
+    if args.network is not None:
+        try:
+            network = make_network(args.network, seed=args.seed + 5)
+        except ValueError as exc:
+            parser.error(str(exc))
 
     model, clients, dataset = build_bench_world(args.scale, seed=args.seed)
     faults = FaultModel(
@@ -305,6 +321,7 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
                 traffic=make_schedule(
                     args.schedule, seed=args.seed + 3, deadline=args.deadline
                 ),
+                network=network,
                 sampler=sampler,
                 context=RunContext(**context_kwargs),
                 aggregator=args.aggregator,
@@ -336,6 +353,23 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
           f"deferred={counts['deferred']} shed={counts['shed']} "
           f"rejected={counts['rejected']} invalid={counts['invalid']} "
           f"no_response={counts['no_response']}")
+    if network is not None:
+        summary = network.summary()
+        print(f"  network: {summary['name']} "
+              f"delivery_rate={summary['delivery_rate']:.3f} "
+              f"(sent={summary['sent']} lost={summary['lost']} "
+              f"dup={summary['duplicates']} corrupt={summary['corrupted']} "
+              f"held={summary['held']})")
+        if summary["latency_p50"] is not None:
+            print(f"  one-way latency (simulated): "
+                  f"p50={summary['latency_p50']:.2f}s "
+                  f"p99={summary['latency_p99']:.2f}s")
+        net_counts = history.network_counts()
+        if any(net_counts.values()):
+            print(f"  transport ledger: lost={net_counts['lost']} "
+                  f"dedup={net_counts['dedup']} "
+                  f"fenced={net_counts['fenced']} "
+                  f"held={net_counts['held']}")
     if history.quorum_failed_rounds:
         print(f"  quorum failed in rounds {history.quorum_failed_rounds}")
     if history.degraded_rounds:

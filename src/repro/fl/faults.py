@@ -92,10 +92,22 @@ class UpdatePlan:
     responders; for ``"timeout"`` plans it is the elapsed time that
     blew the budget) and ``deadline`` the budget a timeout was judged
     against — arrival-scheduling callers (the streaming service) read
-    both instead of re-drawing.
+    both instead of re-drawing.  ``duplicate``/``duplicate_lag`` record
+    whether the client retransmits the same message a second time (same
+    sequence number — the receive side's dedup is what keeps it from
+    counting twice) and how much later the retransmit lands.
     """
 
-    __slots__ = ("action", "error", "corruption", "where", "delay", "deadline")
+    __slots__ = (
+        "action",
+        "error",
+        "corruption",
+        "where",
+        "delay",
+        "deadline",
+        "duplicate",
+        "duplicate_lag",
+    )
 
     def __init__(
         self,
@@ -105,6 +117,8 @@ class UpdatePlan:
         where: np.ndarray | None = None,
         delay: float = 0.0,
         deadline: float | None = None,
+        duplicate: bool = False,
+        duplicate_lag: float = 0.0,
     ) -> None:
         self.action = action
         self.error = error
@@ -112,6 +126,8 @@ class UpdatePlan:
         self.where = where
         self.delay = delay
         self.deadline = deadline
+        self.duplicate = duplicate
+        self.duplicate_lag = duplicate_lag
 
     def raise_if_failed(self) -> None:
         """Raise the planned :class:`ClientDropout`/:class:`ClientTimeout`."""
@@ -179,6 +195,13 @@ class FaultModel:
     stale_prob:
         Per-update probability of replaying the client's previous delta
         instead of training (a stale/duplicated message).
+    duplicate_prob, duplicate_lag:
+        With probability ``duplicate_prob`` a responding client
+        retransmits its report a second time — same payload, same
+        sequence number — arriving a ``duplicate_lag``-uniform interval
+        after the first copy.  The server's idempotent ingest
+        (:class:`repro.fl.transport.DeliveryGate`) is what keeps the
+        retransmit from being counted twice.
     report_fault_prob:
         Per-report probability that a ranking/vote report is faulty;
         the kind is drawn uniformly from ``report_kinds`` (a subset of
@@ -202,6 +225,8 @@ class FaultModel:
         corrupt_prob: float = 0.0,
         corrupt_kinds: tuple[str, ...] = UPDATE_CORRUPTIONS,
         stale_prob: float = 0.0,
+        duplicate_prob: float = 0.0,
+        duplicate_lag: tuple[float, float] = (0.5, 5.0),
         report_fault_prob: float = 0.0,
         report_kinds: tuple[str, ...] = REPORT_FAULTS,
         seed: int = 0,
@@ -212,12 +237,15 @@ class FaultModel:
             ("straggler_prob", straggler_prob),
             ("corrupt_prob", corrupt_prob),
             ("stale_prob", stale_prob),
+            ("duplicate_prob", duplicate_prob),
             ("report_fault_prob", report_fault_prob),
         ):
             if not 0.0 <= prob <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {prob}")
         if straggler_delay[0] > straggler_delay[1]:
             raise ValueError(f"bad straggler_delay interval {straggler_delay}")
+        if duplicate_lag[0] > duplicate_lag[1] or duplicate_lag[0] < 0:
+            raise ValueError(f"bad duplicate_lag interval {duplicate_lag}")
         if deadline_seconds <= 0:
             raise ValueError(f"deadline_seconds must be > 0, got {deadline_seconds}")
         unknown = set(corrupt_kinds) - set(UPDATE_CORRUPTIONS)
@@ -235,6 +263,8 @@ class FaultModel:
         self.corrupt_prob = corrupt_prob
         self.corrupt_kinds = tuple(corrupt_kinds)
         self.stale_prob = stale_prob
+        self.duplicate_prob = duplicate_prob
+        self.duplicate_lag = duplicate_lag
         self.report_fault_prob = report_fault_prob
         self.report_kinds = tuple(report_kinds)
         self.seed = seed
@@ -262,6 +292,19 @@ class FaultModel:
     def draw_stale(self) -> bool:
         self._count("stale")
         return self.stale_prob > 0 and self._rng.random() < self.stale_prob
+
+    def draw_duplicate(self) -> bool:
+        self._count("duplicate")
+        return (
+            self.duplicate_prob > 0
+            and self._rng.random() < self.duplicate_prob
+        )
+
+    def draw_duplicate_lag(self) -> float:
+        """Retransmit lag in simulated seconds (drawn only on duplicates)."""
+        self._count("duplicate_lag")
+        lo, hi = self.duplicate_lag
+        return float(self._rng.uniform(lo, hi))
 
     def draw_corruption(self) -> str | None:
         self._count("corruption")
@@ -441,6 +484,7 @@ class FaultyClient:
                 client=self.inner.client_id,
                 action=plan.action,
                 corruption=plan.corruption,
+                duplicate=plan.duplicate,
                 elapsed=plan.delay,
                 deadline=plan.deadline,
             )
@@ -450,6 +494,7 @@ class FaultyClient:
                 client=self.inner.client_id,
                 action=plan.action,
                 corruption=plan.corruption,
+                duplicate=plan.duplicate,
             )
         return plan
 
@@ -469,10 +514,27 @@ class FaultyClient:
                 delay=delay,
                 deadline=faults.deadline_seconds,
             )
+        # the duplicate draw sits between delay and stale: a disabled
+        # kind consumes no generator state (same guard as every other
+        # draw), so pre-duplicate fault schedules replay bit-for-bit
+        duplicate = faults.draw_duplicate()
+        duplicate_lag = faults.draw_duplicate_lag() if duplicate else 0.0
         if faults.draw_stale() and self._last_delta is not None:
-            return UpdatePlan("stale", delay=delay)
+            return UpdatePlan(
+                "stale",
+                delay=delay,
+                duplicate=duplicate,
+                duplicate_lag=duplicate_lag,
+            )
         kind, where = faults.plan_update_corruption(param_dim)
-        return UpdatePlan("train", corruption=kind, where=where, delay=delay)
+        return UpdatePlan(
+            "train",
+            corruption=kind,
+            where=where,
+            delay=delay,
+            duplicate=duplicate,
+            duplicate_lag=duplicate_lag,
+        )
 
     def finish_local_update(self, plan: UpdatePlan, delta: np.ndarray) -> np.ndarray:
         """Coordinator-side completion once the trained delta is back."""

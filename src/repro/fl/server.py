@@ -53,6 +53,7 @@ from .aggregation import Aggregator, resolve_aggregator
 from .client import Client
 from .executor import ClientExecutor, collect_updates
 from .faults import validate_update
+from .transport import DeliveryGate, Envelope, SimulatedNetwork, payload_checksum
 from .sampling import ClientPool, ParticipationSampler
 
 __all__ = ["RoundMetrics", "TrainingHistory", "FederatedServer"]
@@ -305,6 +306,16 @@ class FederatedServer:
         bitwise identical either way.  For full client coverage profile
         under the serial executor; process workers never see the
         coordinator's hook.
+    network:
+        A :class:`~repro.fl.transport.SimulatedNetwork` the uplink
+        updates travel through.  The blocking loop has no simulated
+        clock, so only message *fates* apply here: a lost or
+        partitioned update is a drop, in-flight corruption fails the
+        checksum (rejected + strike), and duplicated copies die at the
+        idempotent gate — latency, arrival scheduling and partition
+        hold/heal semantics live in
+        :class:`~repro.fl.service.DefenseService`.  A transparent
+        network is byte-identical to ``None``.
     """
 
     def __init__(
@@ -325,6 +336,7 @@ class FederatedServer:
         watchdog: DivergenceWatchdog | None = None,
         profile: bool = False,
         aggregator: str | Aggregator | Callable | None = None,
+        network: "SimulatedNetwork | None" = None,
     ) -> None:
         if not len(clients):
             raise ValueError("need at least one client")
@@ -378,6 +390,9 @@ class FederatedServer:
         self.telemetry = ensure_telemetry(telemetry)
         self.watchdog = watchdog
         self.profile = bool(profile)
+        self.network = network
+        self.gate = DeliveryGate()
+        self._seq: dict[str, int] = {}  # "update:client_id" -> next seq
         self.quarantined: set[int] = set()
         self._strikes: dict[int, int] = {}
 
@@ -432,6 +447,63 @@ class FederatedServer:
             return True
         return False
 
+    def _ship_update(
+        self, client_id: int, payload: np.ndarray, round_index: int
+    ) -> tuple[np.ndarray | None, str | None]:
+        """One uplink update through the network: (payload, problem).
+
+        Returns ``(None, None)`` when no copy survived the wire (loss or
+        partition — the blocking loop never holds messages).  Surviving
+        copies run the idempotent gate; the kept copy's checksum verdict
+        comes back as ``problem`` so the caller's rejected/strike path
+        handles in-flight corruption like any other invalid payload.
+        """
+        tel = self.telemetry
+        env = Envelope(
+            client_id,
+            round_index,
+            float(round_index),
+            payload,
+            seq=self._take_seq(client_id),
+            checksum=payload_checksum(payload),
+        )
+        transit = self.network.transmit(
+            env,
+            round_index=round_index,
+            sent_at=float(round_index),
+            telemetry=tel,
+            hold_partitioned=False,
+        )
+        kept: Envelope | None = None
+        for delivery in transit.deliveries:
+            verdict = self.gate.check(delivery)
+            if verdict != "fresh" or kept is not None:
+                tel.event(
+                    "net.dedup" if verdict != "stale" else "net.fenced",
+                    client=client_id,
+                    round=round_index,
+                    solicited_round=delivery.solicited_round,
+                    seq=delivery.seq,
+                )
+                continue
+            kept = delivery
+        if kept is None:
+            return None, None
+        self.gate.mark_processed(kept)
+        problem = None
+        if (
+            kept.checksum is not None
+            and payload_checksum(kept.payload) != kept.checksum
+        ):
+            problem = "checksum mismatch (corrupted in transit)"
+        return kept.payload, problem
+
+    def _take_seq(self, client_id: int) -> int:
+        key = f"update:{int(client_id)}"
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
+
     def run_round(self, round_index: int) -> RoundMetrics:
         """One full round: select, train locally, validate, aggregate, evaluate."""
         tel = self.telemetry
@@ -465,7 +537,24 @@ class FederatedServer:
                         "fl.client_dropped", client=client.client_id, reason=value
                     )
                     continue
-                problem = validate_update(value, global_params.size)
+                problem = None
+                if self.network is not None and not self.network.transparent:
+                    delivered, problem = self._ship_update(
+                        client.client_id, value, round_index
+                    )
+                    if delivered is None:
+                        dropped.append(
+                            (client.client_id, "update lost in transit")
+                        )
+                        tel.event(
+                            "fl.client_dropped",
+                            client=client.client_id,
+                            reason="update lost in transit",
+                        )
+                        continue
+                    value = delivered
+                if problem is None:
+                    problem = validate_update(value, global_params.size)
                 if problem is None:
                     accepted.append(value)
                     accepted_ids.append(client.client_id)
@@ -521,6 +610,10 @@ class FederatedServer:
                         tel.count("watchdog.rollbacks")
                     else:
                         self.model.load_flat_parameters(global_params + update)
+                        # epoch fence: replays of these updates can
+                        # never be aggregated a second time
+                        for cid in accepted_ids:
+                            self.gate.mark_aggregated(cid, round_index)
 
             with tel.span("fl.evaluation"):
                 test_acc = test_accuracy(self.model, self.test_set)
@@ -692,6 +785,10 @@ class FederatedServer:
         meta = {
             "round_cursor": int(round_cursor),
             "aggregator": aggregator_meta,
+            "transport": {
+                "gate": self.gate.state_dict(),
+                "seq": {str(k): int(v) for k, v in self._seq.items()},
+            },
             "server_rng": rng_state_to_jsonable(self.rng),
             "quarantined": sorted(int(c) for c in self.quarantined),
             "strikes": {str(k): int(v) for k, v in self._strikes.items()},
@@ -731,6 +828,12 @@ class FederatedServer:
                 unpack_state_arrays(meta["aggregator"], snapshot.arrays)
             )
         rng_state_from_jsonable(self.rng, meta["server_rng"])
+        transport_meta = meta.get("transport")
+        if transport_meta is not None:
+            self.gate.load_state_dict(transport_meta["gate"])
+            self._seq = {
+                str(k): int(v) for k, v in transport_meta["seq"].items()
+            }
         self.quarantined = {int(c) for c in meta["quarantined"]}
         self._strikes = {int(k): int(v) for k, v in meta["strikes"].items()}
         restore_client_states(self.clients, meta["clients"], snapshot.arrays)

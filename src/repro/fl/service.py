@@ -41,6 +41,18 @@ deterministic across executor engines):
   failures freeze aggregation and reload the last-good ``"service"``
   snapshot from the :class:`~repro.persist.checkpoint.CheckpointManager`;
   the first quorum-met round recovers and aggregation resumes.
+* **Lossy transport** (:mod:`repro.fl.transport`) — with a
+  :class:`~repro.fl.transport.SimulatedNetwork`, every solicitation and
+  update travels as a sequenced, checksummed
+  :class:`~repro.fl.transport.Envelope` that can be delayed, lost,
+  duplicated, reordered, corrupted, or held behind a scheduled
+  partition.  Ingest is idempotent: a
+  :class:`~repro.fl.transport.DeliveryGate` dedups retransmitted
+  message ids and epoch-fences stale-round replays (an already
+  aggregated update is never aggregated twice), checksum mismatches
+  feed the invalid/strike path, and clients whose messages never land
+  re-enter via the existing backoff re-solicitation.  A transparent
+  (lossless) network leaves the run byte-identical to ``network=None``.
 
 Every transition lands on the telemetry stream (names registered in
 :mod:`repro.obs.schema`), and the full service state — clock cursor,
@@ -76,6 +88,14 @@ from .faults import validate_update
 from .sampling import ClientPool, ParticipationSampler
 from .server import _resolve_quorum
 from .traffic import TrafficPattern
+from .transport import (
+    HELD_PREFIX,
+    DeliveryGate,
+    Envelope,
+    RoundLedger,
+    SimulatedNetwork,
+    payload_checksum,
+)
 from .trust import TrustConfig, TrustTracker
 
 __all__ = [
@@ -240,31 +260,12 @@ class ServiceConfig:
         )
 
 
-class ReportEnvelope:
-    """One client report on the simulated wire."""
-
-    __slots__ = ("client_id", "solicited_round", "arrival", "payload", "probation")
-
-    def __init__(
-        self,
-        client_id: int,
-        solicited_round: int,
-        arrival: float,
-        payload,
-        probation: bool = False,
-    ) -> None:
-        self.client_id = int(client_id)
-        self.solicited_round = int(solicited_round)
-        self.arrival = float(arrival)
-        self.payload = payload
-        self.probation = bool(probation)
-
-    def __repr__(self) -> str:
-        tag = ", probation" if self.probation else ""
-        return (
-            f"ReportEnvelope(client={self.client_id}, "
-            f"round={self.solicited_round}, arrival={self.arrival:.2f}{tag})"
-        )
+# One client report on the simulated wire.  Since the transport layer,
+# this IS the wire message type: the historic positional constructor
+# (client_id, solicited_round, arrival, payload, probation) is
+# unchanged, with the message identity (seq, checksum, kind) as
+# keyword-only additions.
+ReportEnvelope = Envelope
 
 
 class RoundOutcome:
@@ -287,6 +288,11 @@ class RoundOutcome:
         deferred: Sequence[int] = (),
         shed: Sequence[int] = (),
         rejected: Sequence[int] = (),
+        lost: Sequence[tuple[int, str]] = (),
+        dedup: Sequence[int] = (),
+        fenced: Sequence[int] = (),
+        held: Sequence[int] = (),
+        accepted_origins: Sequence[tuple[int, int]] = (),
         strike_quarantined: Sequence[int] = (),
         trust_quarantined: Sequence[int] = (),
         trust_restored: Sequence[int] = (),
@@ -312,6 +318,16 @@ class RoundOutcome:
         self.deferred = list(deferred)
         self.shed = list(shed)
         self.rejected = list(rejected)
+        self.lost = list(lost)
+        self.dedup = list(dedup)
+        self.fenced = list(fenced)
+        self.held = list(held)
+        # (client_id, solicited_round) identity of every aggregated
+        # update — the drill suites assert these are globally unique
+        # (no update is ever aggregated twice)
+        self.accepted_origins = [
+            (int(c), int(r)) for c, r in accepted_origins
+        ]
         self.strike_quarantined = list(strike_quarantined)
         self.trust_quarantined = list(trust_quarantined)
         self.trust_restored = list(trust_restored)
@@ -344,6 +360,13 @@ class RoundOutcome:
             "deferred": [int(c) for c in self.deferred],
             "shed": [int(c) for c in self.shed],
             "rejected": [int(c) for c in self.rejected],
+            "lost": [[int(c), str(r)] for c, r in self.lost],
+            "dedup": [int(c) for c in self.dedup],
+            "fenced": [int(c) for c in self.fenced],
+            "held": [int(c) for c in self.held],
+            "accepted_origins": [
+                [int(c), int(r)] for c, r in self.accepted_origins
+            ],
             "strike_quarantined": [int(c) for c in self.strike_quarantined],
             "trust_quarantined": [int(c) for c in self.trust_quarantined],
             "trust_restored": [int(c) for c in self.trust_restored],
@@ -373,6 +396,12 @@ class RoundOutcome:
             deferred=record["deferred"],
             shed=record["shed"],
             rejected=record["rejected"],
+            # .get: histories checkpointed before the transport layer
+            lost=[(int(c), str(r)) for c, r in record.get("lost", [])],
+            dedup=record.get("dedup", []),
+            fenced=record.get("fenced", []),
+            held=record.get("held", []),
+            accepted_origins=record.get("accepted_origins", []),
             strike_quarantined=record["strike_quarantined"],
             trust_quarantined=record["trust_quarantined"],
             trust_restored=record["trust_restored"],
@@ -454,6 +483,26 @@ class ServiceHistory:
             "no_response": sum(len(r.no_response) for r in self.rounds),
         }
 
+    def network_counts(self) -> dict[str, int]:
+        """Transport accounting over the whole run (zeros when direct)."""
+        return {
+            "lost": sum(len(r.lost) for r in self.rounds),
+            "dedup": sum(len(r.dedup) for r in self.rounds),
+            "fenced": sum(len(r.fenced) for r in self.rounds),
+            "held": sum(len(r.held) for r in self.rounds),
+        }
+
+    @property
+    def aggregated_origins(self) -> list[tuple[int, int]]:
+        """(client_id, solicited_round) of every update ever aggregated.
+
+        The no-double-aggregation invariant is ``len(set(...)) ==
+        len(...)`` on this list — the drill suites assert exactly that.
+        """
+        return [
+            origin for r in self.rounds for origin in r.accepted_origins
+        ]
+
     @property
     def trust_quarantine_events(self) -> list[tuple[int, int]]:
         """(round_index, client_id) pairs for trust quarantines."""
@@ -514,6 +563,14 @@ class DefenseService:
         A :class:`~repro.fl.traffic.TrafficPattern` adding arrival
         delays on top of fault-drawn straggler delays; ``None`` means
         instant network.
+    network:
+        A :class:`~repro.fl.transport.SimulatedNetwork` the
+        solicitations and updates travel through (build one with
+        :func:`~repro.fl.transport.make_network`).  ``None`` is the
+        direct path; a transparent (lossless, partition-free) network
+        is byte-identical to it.  Either way every report is sequenced
+        and checksummed, and ingest runs through the idempotent
+        :class:`~repro.fl.transport.DeliveryGate`.
     sampler:
         A :class:`~repro.fl.sampling.ParticipationSampler` drawing each
         round's solicitation cohort from a registered population (pass
@@ -540,6 +597,7 @@ class DefenseService:
         backdoor_task: BackdoorTask | None = None,
         aggregate: Callable[[np.ndarray], np.ndarray] | None = None,
         traffic: TrafficPattern | None = None,
+        network: SimulatedNetwork | None = None,
         sampler: ParticipationSampler | None = None,
         accuracy_fn: Callable[[Sequential], float] | None = None,
         context: RunContext | None = None,
@@ -567,6 +625,7 @@ class DefenseService:
             "DefenseService", aggregate, aggregator
         )
         self.traffic = traffic
+        self.network = network
         self.accuracy_fn = (
             accuracy_fn
             if accuracy_fn is not None
@@ -579,6 +638,8 @@ class DefenseService:
 
         self.trust = TrustTracker(self.config.trust)
         self.history = ServiceHistory()
+        self.gate = DeliveryGate()
+        self._seq: dict[str, int] = {}  # "kind:client_id" -> next seq
         self.pending: list[ReportEnvelope] = []
         self.strike_quarantined: set[int] = set()
         self.trust_quarantined: dict[int, int] = {}  # id -> round entered
@@ -677,6 +738,77 @@ class DefenseService:
         self._misses.pop(client_id, None)
         self._backoff_until.pop(client_id, None)
 
+    # -- transport -----------------------------------------------------
+
+    def _take_seq(self, kind: str, client_id: int) -> int:
+        """Next per-sender sequence number for one wire message."""
+        key = f"{kind}:{int(client_id)}"
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
+
+    def _post_update(
+        self,
+        env: Envelope,
+        *,
+        round_index: int,
+        sent_at: float,
+        ledger: RoundLedger,
+        duplicate_lag: float | None = None,
+    ) -> tuple[list[Envelope], list[str]]:
+        """Send one update (plus its planned retransmit) onto the wire.
+
+        Returns the delivery copies and the per-attempt transit fates.
+        ``duplicate_lag`` is the client-level ``duplicate`` fault: the
+        same message (same seq) is transmitted a second time that much
+        later — the delivery gate, not the sender, keeps it from
+        counting twice.
+        """
+        sends = [(float(sent_at), 0)]
+        if duplicate_lag is not None:
+            sends.append((float(sent_at) + float(duplicate_lag), 1))
+        copies: list[Envelope] = []
+        fates: list[str] = []
+        for at, attempt in sends:
+            message = env if attempt == 0 else env.clone(arrival=at)
+            if self.network is None:
+                message.arrival = at
+                copies.append(message)
+                fates.append("delivered")
+                continue
+            transit = self.network.transmit(
+                message,
+                round_index=round_index,
+                sent_at=at,
+                telemetry=self.telemetry,
+                ledger=ledger,
+                attempt=attempt,
+            )
+            copies.extend(transit.deliveries)
+            fates.append(transit.fate)
+        return copies, fates
+
+    def _report_undelivered(
+        self,
+        client_id: int,
+        round_index: int,
+        fates: Sequence[str],
+        no_response: list[tuple[int, str]],
+    ) -> None:
+        """No copy of a client's update landed — to the server, silence."""
+        reason = (
+            "update held behind partition"
+            if "held" in fates
+            else "update lost in transit"
+        )
+        no_response.append((client_id, reason))
+        self.telemetry.event(
+            "service.no_response",
+            client=client_id,
+            round=round_index,
+            reason=reason,
+        )
+
     # -- one round -----------------------------------------------------
 
     def run_round(self, round_index: int) -> RoundOutcome:
@@ -686,6 +818,17 @@ class DefenseService:
         deadline_at = start + cfg.round_deadline
 
         with tel.span("service.round", round=round_index) as round_span:
+            # one ledger holds the round's admission AND network
+            # accounting; both sets of counters are emitted from it
+            ledger = RoundLedger()
+            # partition transitions announce at round start; messages
+            # held behind a healed partition flood into this admission
+            # pass (re-timed to arrive no earlier than round start)
+            released = (
+                self.network.begin_round(round_index, start, tel)
+                if self.network is not None
+                else []
+            )
             participants, probation = self._select(round_index)
             solicited = [(c, False) for c in participants] + [
                 (c, True) for c in probation
@@ -708,14 +851,60 @@ class DefenseService:
                 else {}
             )
 
+            no_response = ledger.no_response
+
+            # downlink: solicitations travel the wire too.  A client
+            # whose solicitation is lost (or who is partitioned) never
+            # hears about the round — the miss/backoff ledger is the
+            # at-least-once re-solicitation path.  Solicits are never
+            # held: re-soliciting later is the retry.
+            solicit_arrival: dict[int, float] = {}
+            unreachable: dict[int, str] = {}
+            if self.network is not None and not self.network.transparent:
+                for client, is_probation in solicited:
+                    cid = client.client_id
+                    solicit = Envelope(
+                        cid,
+                        round_index,
+                        start,
+                        None,
+                        is_probation,
+                        seq=self._take_seq("solicit", cid),
+                        kind="solicit",
+                    )
+                    transit = self.network.transmit(
+                        solicit,
+                        round_index=round_index,
+                        sent_at=start,
+                        telemetry=tel,
+                        ledger=ledger,
+                        hold_partitioned=False,
+                    )
+                    if transit.fate == "delivered":
+                        solicit_arrival[cid] = min(
+                            d.arrival for d in transit.deliveries
+                        )
+                    elif transit.fate == "lost":
+                        unreachable[cid] = "solicitation lost in transit"
+                    else:
+                        unreachable[cid] = "client unreachable (partitioned)"
+
             # fault plans resolve coordinator-side in stable client order;
-            # the drawn delay plus the traffic delay *places* the arrival
-            # instead of erasing the response
-            to_train: list[tuple] = []  # (client, plan, arrival, probation)
+            # the drawn delay plus the traffic delay *places* the send
+            # time instead of erasing the response
+            to_train: list[tuple] = []  # (client, plan, sent_at, probation)
             fresh: list[ReportEnvelope] = []
-            no_response: list[tuple[int, str]] = []
             for client, is_probation in solicited:
                 cid = client.client_id
+                if cid in unreachable:
+                    no_response.append((cid, unreachable[cid]))
+                    tel.event(
+                        "service.no_response",
+                        client=cid,
+                        round=round_index,
+                        reason=unreachable[cid],
+                    )
+                    continue
                 planner = getattr(client, "plan_local_update", None)
                 plan = planner(param_dim) if planner is not None else None
                 if plan is not None and plan.action == "dropout":
@@ -728,16 +917,34 @@ class DefenseService:
                     )
                     continue
                 delay = plan.delay if plan is not None else 0.0
-                arrival = start + delay + traffic_delays.get(cid, 0.0)
+                sent_at = (
+                    solicit_arrival.get(cid, start)
+                    + delay
+                    + traffic_delays.get(cid, 0.0)
+                )
                 if plan is not None and plan.action == "stale":
-                    fresh.append(
-                        ReportEnvelope(
-                            cid, round_index, arrival,
-                            client._last_delta.copy(), is_probation,
-                        )
+                    payload = client._last_delta.copy()
+                    env = Envelope(
+                        cid, round_index, sent_at, payload, is_probation,
+                        seq=self._take_seq("update", cid),
+                        checksum=payload_checksum(payload),
                     )
+                    copies, fates = self._post_update(
+                        env,
+                        round_index=round_index,
+                        sent_at=sent_at,
+                        ledger=ledger,
+                        duplicate_lag=(
+                            plan.duplicate_lag if plan.duplicate else None
+                        ),
+                    )
+                    fresh.extend(copies)
+                    if not copies:
+                        self._report_undelivered(
+                            cid, round_index, fates, no_response
+                        )
                 else:
-                    to_train.append((client, plan, arrival, is_probation))
+                    to_train.append((client, plan, sent_at, is_probation))
 
             results = dispatch_updates(
                 self.executor,
@@ -747,7 +954,7 @@ class DefenseService:
                 round_index=round_index,
                 telemetry=tel,
             )
-            for (client, plan, arrival, is_probation), (status, value) in zip(
+            for (client, plan, sent_at, is_probation), (status, value) in zip(
                 to_train, results
             ):
                 cid = client.client_id
@@ -763,39 +970,99 @@ class DefenseService:
                 delta = value
                 if plan is not None:
                     delta = client.finish_local_update(plan, delta)
-                fresh.append(
-                    ReportEnvelope(cid, round_index, arrival, delta, is_probation)
+                env = Envelope(
+                    cid, round_index, sent_at, delta, is_probation,
+                    seq=self._take_seq("update", cid),
+                    checksum=payload_checksum(delta),
                 )
+                copies, fates = self._post_update(
+                    env,
+                    round_index=round_index,
+                    sent_at=sent_at,
+                    ledger=ledger,
+                    duplicate_lag=(
+                        plan.duplicate_lag
+                        if plan is not None and plan.duplicate
+                        else None
+                    ),
+                )
+                fresh.extend(copies)
+                if not copies:
+                    self._report_undelivered(
+                        cid, round_index, fates, no_response
+                    )
 
-            # deferred reports join the admission pass at round start
+            # deferred reports (and partition-released ones) join the
+            # admission pass at round start
             carried = [
-                ReportEnvelope(
-                    env.client_id,
-                    env.solicited_round,
-                    max(env.arrival, start),
-                    env.payload,
-                    env.probation,
-                )
+                env.clone(arrival=max(env.arrival, start))
                 for env in self.pending
             ]
             self.pending = []
             candidates = sorted(
-                carried + fresh,
-                key=lambda e: (e.arrival, e.client_id, e.solicited_round),
+                released + carried + fresh,
+                key=lambda e: (
+                    e.arrival,
+                    e.client_id,
+                    e.solicited_round,
+                    -1 if e.seq is None else e.seq,
+                ),
             )
-            seen_ids: set[int] = set()
+            # idempotent ingest: the delivery gate drops retransmits of
+            # already-processed message ids and epoch-fences stale-round
+            # replays, then at most one envelope per client survives
+            # (an in-round copy of the *same* message is a dedup hit;
+            # a different message superseded by an earlier arrival is
+            # the historic silent collapse)
+            kept: dict[int, ReportEnvelope] = {}
             unique: list[ReportEnvelope] = []
             for env in candidates:
-                if env.client_id in seen_ids:
+                verdict = self.gate.check(env)
+                if verdict == "duplicate":
+                    ledger.dedup.append(env.client_id)
+                    tel.event(
+                        "net.dedup",
+                        client=env.client_id,
+                        round=round_index,
+                        solicited_round=env.solicited_round,
+                        seq=env.seq,
+                    )
                     continue
-                seen_ids.add(env.client_id)
+                if verdict == "stale":
+                    ledger.fenced.append(env.client_id)
+                    tel.event(
+                        "net.fenced",
+                        client=env.client_id,
+                        round=round_index,
+                        solicited_round=env.solicited_round,
+                        seq=env.seq,
+                        fence=self.gate.fence_round(env.client_id),
+                    )
+                    continue
+                first = kept.get(env.client_id)
+                if first is not None:
+                    if env.seq is not None and env.seq == first.seq:
+                        ledger.dedup.append(env.client_id)
+                        tel.event(
+                            "net.dedup",
+                            client=env.client_id,
+                            round=round_index,
+                            solicited_round=env.solicited_round,
+                            seq=env.seq,
+                        )
+                    continue
+                kept[env.client_id] = env
                 unique.append(env)
 
-            # admission in arrival order; commit on quorum-or-deadline
+            # admission in arrival order; commit on quorum-or-deadline.
+            # A message id is marked processed only on terminal
+            # consumption (admitted / probation-scored / struck
+            # invalid); deferred, shed or rejected copies stay unmarked
+            # so an at-least-once retransmit gets its second chance.
             quorum = _resolve_quorum(cfg.quorum, len(participants))
-            accepted_env: list[ReportEnvelope] = []
-            probation_env: list[ReportEnvelope] = []
-            invalid: list[tuple[int, str]] = []
+            accepted_env = ledger.accepted
+            probation_env = ledger.probation
+            invalid = ledger.invalid
             strike_quarantined_now: list[int] = []
             overflow: list[ReportEnvelope] = []
             commit_time: float | None = None
@@ -803,8 +1070,16 @@ class DefenseService:
                 if env.arrival > deadline_at or commit_time is not None:
                     overflow.append(env)
                     continue
-                problem = validate_update(env.payload, param_dim)
+                problem = None
+                if (
+                    env.checksum is not None
+                    and payload_checksum(env.payload) != env.checksum
+                ):
+                    problem = "checksum mismatch (corrupted in transit)"
+                if problem is None:
+                    problem = validate_update(env.payload, param_dim)
                 if problem is not None:
+                    self.gate.mark_processed(env)
                     invalid.append((env.client_id, problem))
                     tel.event(
                         "service.report_invalid",
@@ -823,6 +1098,7 @@ class DefenseService:
                         tel.count("fl.quarantines")
                     continue
                 self._clear_miss(env.client_id)
+                self.gate.mark_processed(env)
                 if env.probation:
                     probation_env.append(env)
                 else:
@@ -855,6 +1131,11 @@ class DefenseService:
                 )
                 self.model.load_flat_parameters(global_params + update)
                 self._committed_rounds += 1
+                # epoch fence: these (client, round) updates are now in
+                # the aggregate — any replayed copy claiming this round
+                # or an earlier one is stale and can never land again
+                for env in accepted_env:
+                    self.gate.mark_aggregated(env.client_id, env.solicited_round)
             else:
                 self._consecutive_failures += 1
                 tel.event(
@@ -944,10 +1225,10 @@ class DefenseService:
                 cleansed = self._run_cleanse(round_index, cohort_trust)
 
             # late handling: policy + bounded queue, stable client order
-            late: list[int] = []
-            deferred: list[int] = []
-            shed: list[int] = []
-            rejected: list[int] = []
+            late = ledger.late
+            deferred = ledger.deferred
+            shed = ledger.shed
+            rejected = ledger.rejected
             for env in sorted(overflow, key=lambda e: (e.client_id, e.solicited_round)):
                 cid = env.client_id
                 late.append(cid)
@@ -1016,10 +1297,7 @@ class DefenseService:
             tel.count("service.rounds")
             if quorum_met:
                 tel.count("service.rounds_committed")
-            tel.count("service.reports_admitted", len(accepted_env))
-            tel.count("service.reports_invalid", len(invalid))
-            tel.count("service.reports_late", len(late))
-            tel.count("service.reports_no_response", len(no_response))
+            ledger.emit_round_counters(tel)
             tel.gauge("service.pending", len(self.pending))
             round_span.set(
                 quorum_met=quorum_met,
@@ -1043,6 +1321,17 @@ class DefenseService:
             deferred=deferred,
             shed=shed,
             rejected=rejected,
+            lost=ledger.lost,
+            dedup=ledger.dedup,
+            fenced=ledger.fenced,
+            held=ledger.held,
+            # only what actually reached the aggregate: a quorum-failed
+            # round's accepted reports are discarded, not aggregated
+            accepted_origins=(
+                [(env.client_id, env.solicited_round) for env in accepted_env]
+                if quorum_met
+                else []
+            ),
             strike_quarantined=strike_quarantined_now,
             trust_quarantined=trust_quarantined_now,
             trust_restored=trust_restored_now,
@@ -1081,7 +1370,7 @@ class DefenseService:
             name: value
             for name, value in snapshot.arrays.items()
             if not name.startswith(
-                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX)
+                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX, HELD_PREFIX)
             )
         }
         apply_model_state(self.model, model_arrays)
@@ -1240,21 +1529,22 @@ class DefenseService:
         for i, env in enumerate(self.pending):
             key = f"{PENDING_PREFIX}{i}"
             arrays[key] = np.asarray(env.payload)
-            pending_meta.append(
-                {
-                    "client_id": env.client_id,
-                    "solicited_round": env.solicited_round,
-                    "arrival": env.arrival,
-                    "probation": env.probation,
-                    "key": key,
-                }
-            )
+            pending_meta.append(env.to_meta(key))
         aggregator_meta, aggregator_arrays = pack_state_arrays(
             self.aggregator.state_dict(), AGGREGATOR_PREFIX
         )
         arrays.update(aggregator_arrays)
+        transport_meta = {
+            "gate": self.gate.state_dict(),
+            "seq": {str(k): int(v) for k, v in self._seq.items()},
+        }
+        if self.network is not None:
+            network_meta, network_arrays = self.network.pack_state()
+            arrays.update(network_arrays)
+            transport_meta["network"] = network_meta
         meta = {
             "round_cursor": int(round_cursor),
+            "transport": transport_meta,
             "aggregator": aggregator_meta,
             "strikes": {str(k): int(v) for k, v in self._strikes.items()},
             "strike_quarantined": sorted(int(c) for c in self.strike_quarantined),
@@ -1290,7 +1580,7 @@ class DefenseService:
             name: value
             for name, value in snapshot.arrays.items()
             if not name.startswith(
-                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX)
+                (DELTA_PREFIX, PENDING_PREFIX, AGGREGATOR_PREFIX, HELD_PREFIX)
             )
         }
         apply_model_state(self.model, model_arrays)
@@ -1317,15 +1607,21 @@ class DefenseService:
         self._committed_rounds = int(meta["committed_rounds"])
         self.trust.load_state_dict(meta["trust"])
         self.pending = [
-            ReportEnvelope(
-                record["client_id"],
-                record["solicited_round"],
-                record["arrival"],
-                snapshot.arrays[record["key"]],
-                record["probation"],
-            )
+            Envelope.from_meta(record, snapshot.arrays[record["key"]])
             for record in meta["pending"]
         ]
+        # .get: snapshots written before the transport layer have no
+        # gate/seq cursors — start those ledgers empty
+        transport_meta = meta.get("transport")
+        if transport_meta is not None:
+            self.gate.load_state_dict(transport_meta["gate"])
+            self._seq = {
+                str(k): int(v) for k, v in transport_meta["seq"].items()
+            }
+            if self.network is not None and "network" in transport_meta:
+                self.network.load_state(
+                    transport_meta["network"], snapshot.arrays
+                )
         self.history = ServiceHistory.from_jsonable(meta["history"])
         self.telemetry.load_state_dict(meta.get("telemetry"))
 

@@ -34,6 +34,8 @@ __all__ = [
     "AdversarialTraffic",
     "ComposedTraffic",
     "make_schedule",
+    "DRILL_PRESETS",
+    "make_drill",
 ]
 
 
@@ -273,3 +275,33 @@ def make_schedule(
         f"unknown schedule {kind!r}; expected steady/bursty/flash/"
         f"adversarial/chaos"
     )
+
+
+#: drill presets pairing a traffic schedule with a network spec
+#: (consumed by :func:`repro.fl.transport.make_network` — the spec is a
+#: string, not a built network, so this module stays import-cycle-free).
+#: ``partition_heal`` is the acceptance drill: a scheduled cut mid-run,
+#: updates held in flight, then the heal-time flood through the late /
+#: defer / backpressure admission machinery.  ``duplicate_storm`` sprays
+#: retransmits with cross-round lags, exercising the dedup gate.
+DRILL_PRESETS: dict[str, tuple[str, str]] = {
+    "partition_heal": ("steady", "partition:start=12,heal=35"),
+    "duplicate_storm": ("bursty", "dupstorm"),
+    "lossy_chaos": ("chaos", "chaos"),
+}
+
+
+def make_drill(
+    name: str, seed: int = 0, *, deadline: float = 10.0
+) -> tuple[TrafficPattern, str]:
+    """(traffic pattern, network spec) for a named transport drill.
+
+    Build the network side with
+    ``make_network(spec, seed=...)`` from :mod:`repro.fl.transport`.
+    """
+    if name not in DRILL_PRESETS:
+        raise ValueError(
+            f"unknown drill {name!r}; expected one of {sorted(DRILL_PRESETS)}"
+        )
+    schedule, network_spec = DRILL_PRESETS[name]
+    return make_schedule(schedule, seed, deadline=deadline), network_spec

@@ -116,6 +116,16 @@ EVENT_NAMES = frozenset(
         "fl.quarantine",
         "fl.round_skipped",
         "nc.label_flagged",
+        # simulated transport (repro.fl.transport)
+        "net.corrupt",
+        "net.dedup",
+        "net.dropped",
+        "net.duplicate",
+        "net.fenced",
+        "net.healed",
+        "net.partition",
+        "net.reordered",
+        "net.sent",
         "persist.checkpoint",
         "persist.resume",
         # streaming defense service (repro.fl.service)
@@ -152,6 +162,15 @@ COUNTER_NAMES = frozenset(
         "fl.updates_accepted",
         "fl.updates_dropped",
         "fl.updates_rejected",
+        # simulated transport (repro.fl.transport); emitted only when
+        # non-zero, so a transparent network adds nothing to the stream
+        "net.dedup_hits",
+        "net.messages_corrupted",
+        "net.messages_duplicated",
+        "net.messages_fenced",
+        "net.messages_held",
+        "net.messages_lost",
+        "net.messages_reordered",
         "service.cleanses",
         "service.degraded_entries",
         "service.reports_admitted",

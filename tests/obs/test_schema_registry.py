@@ -87,6 +87,38 @@ class TestRegisteredNames:
     def test_pending_gauge_registered(self):
         assert "service.pending" in GAUGE_NAMES
 
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "net.corrupt",
+            "net.dedup",
+            "net.dropped",
+            "net.duplicate",
+            "net.fenced",
+            "net.healed",
+            "net.partition",
+            "net.reordered",
+            "net.sent",
+        ],
+    )
+    def test_transport_events_registered(self, name):
+        assert name in EVENT_NAMES
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "net.dedup_hits",
+            "net.messages_corrupted",
+            "net.messages_duplicated",
+            "net.messages_fenced",
+            "net.messages_held",
+            "net.messages_lost",
+            "net.messages_reordered",
+        ],
+    )
+    def test_transport_counters_registered(self, name):
+        assert name in COUNTER_NAMES
+
     def test_matrix_cell_span_registered(self):
         assert "matrix.cell" in SPAN_NAMES
 
@@ -202,3 +234,61 @@ class TestServiceStreamValidates:
         _, events = service_events
         bogus = dict(events[0], kind="event", name="service.bogus")
         assert unknown_names([bogus]) == ["event service.bogus"]
+
+
+class TestTransportStreamValidates:
+    """A lossy-network run emits only registered net.* names, and the
+    vocabulary is genuinely exercised (the reverse pin of
+    TestRegisteredNames.test_transport_events_registered)."""
+
+    @pytest.fixture(scope="class")
+    def transport_events(self):
+        from repro.fl.transport import make_network
+
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        clients = [ScriptClient(i) for i in range(4)]
+        service = DefenseService(
+            VectorModel(),
+            clients,
+            test_set=None,
+            config=ServiceConfig(
+                round_deadline=10.0,
+                quorum=0.5,
+                eval_every=0,
+                cleanse_threshold=None,
+                trust_enabled=False,
+            ),
+            # the partition opens just after round 1's solicitations
+            # land, so that round's updates are caught in flight and
+            # held (solicits sent *into* the cut are dropped instead)
+            network=make_network(
+                "chaos:start=10.5,heal=25,duplicate=0.5,loss=0.2", seed=7
+            ),
+            context=RunContext(telemetry=hub),
+        )
+        service.run(6)
+        hub.close()
+        return list(ring.events)
+
+    def test_stream_is_structurally_valid(self, transport_events):
+        assert validate_stream(transport_events) == []
+
+    def test_every_emitted_name_is_registered(self, transport_events):
+        assert unknown_names(transport_events) == []
+
+    def test_transport_names_actually_emitted(self, transport_events):
+        names = {(r["kind"], r["name"]) for r in transport_events}
+        for expected in [
+            ("event", "net.sent"),
+            ("event", "net.dropped"),
+            ("event", "net.duplicate"),
+            ("event", "net.dedup"),
+            ("event", "net.partition"),
+            ("event", "net.healed"),
+            ("counter", "net.messages_lost"),
+            ("counter", "net.messages_duplicated"),
+            ("counter", "net.dedup_hits"),
+            ("counter", "net.messages_held"),
+        ]:
+            assert expected in names, expected

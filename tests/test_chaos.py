@@ -42,7 +42,12 @@ from repro.nn.zoo import mnist_cnn
 from repro.obs import RingBufferSink, Telemetry
 from repro.persist import CheckpointManager
 
+from repro.fl.service import DefenseService
+from repro.fl.transport import LinkModel, Partition, SimulatedNetwork
+from repro.obs.context import RunContext
+
 from .fl.test_resume import CrashingAggregate, SimulatedCrash
+from .fl.test_service import FixedTraffic, stub_config
 
 pytestmark = pytest.mark.chaos
 
@@ -379,6 +384,97 @@ class TestChaosDurability:
 
         assert model2.flat_parameters().tobytes() == ref_params.tobytes()
         assert history.to_jsonable() == ref_history.to_jsonable()
+
+    @pytest.mark.slow
+    def test_network_partition_survives_worker_and_coordinator_death(
+        self, tmp_path
+    ):
+        """Satellite drill: SIGKILL a pool worker, then kill the
+        coordinator mid-partition — while a slow client's updates sit
+        held behind the cut — and resume to a byte-identical run with
+        no double aggregation.
+
+        The cut is scoped to client 3, whose reports are pushed past
+        the 10.5s partition start every round: the fast majority keeps
+        committing (so checkpoints are cut), and each snapshot carries
+        the in-flight held queue plus the delivery gate's dedup/fence
+        state.  CrashingAggregate fires on the third commit, i.e. mid
+        round 2 with two held messages outstanding.
+        """
+        num_rounds = 6
+
+        def run_service(world, manager, aggregate, executor, resume=False):
+            model, clients, dataset = world
+            service = DefenseService(
+                model,
+                clients,
+                dataset,
+                stub_config(quorum=2),
+                aggregator=aggregate,
+                traffic=FixedTraffic(
+                    {
+                        r: {0: 1.0, 1: 1.0, 2: 1.0, 3: 11.0}
+                        for r in range(num_rounds)
+                    }
+                ),
+                network=SimulatedNetwork(
+                    link=LinkModel(seed=23),
+                    partitions=[Partition(10.5, 25.0, clients=[3])],
+                    name="cut3",
+                ),
+                context=RunContext(
+                    telemetry=Telemetry(),
+                    executor=executor,
+                    checkpoint=manager,
+                    resume=resume,
+                ),
+            )
+            history = service.run(num_rounds)
+            return service, history
+
+        ref_manager = CheckpointManager(tmp_path / "ref", keep=10)
+        with ProcessExecutor(num_workers=2) as executor:
+            reference, ref_history = run_service(
+                durable_world(), ref_manager, CrashingAggregate(999), executor
+            )
+        assert ref_history.network_counts()["held"] > 0
+        ref_params = reference.model.flat_parameters()
+
+        # attempt 1: the kamikaze worker dies in round 0 (re-dispatched),
+        # then the coordinator dies aggregating round 2
+        flag = str(tmp_path / "kamikaze.flag")
+        manager = CheckpointManager(tmp_path / "ckpt", keep=10)
+        with ProcessExecutor(num_workers=2) as executor:
+            with pytest.raises(SimulatedCrash):
+                run_service(
+                    durable_world(flag), manager, CrashingAggregate(3), executor
+                )
+            assert executor.redispatches >= 1
+        assert os.path.exists(flag)  # the kamikaze really fired
+
+        snapshot = manager.load_latest("service")
+        assert snapshot.step == 2
+        # the snapshot carries the partition-held in-flight queue
+        held = snapshot.meta["transport"]["network"]["held"]
+        assert held and all(r["client_id"] == 3 for r in held)
+
+        # attempt 2: a rebuilt (kamikaze-free) world resumes and finishes
+        with ProcessExecutor(num_workers=2) as executor:
+            resumed, history = run_service(
+                durable_world(),
+                manager,
+                CrashingAggregate(999),
+                executor,
+                resume=True,
+            )
+
+        assert resumed.model.flat_parameters().tobytes() == ref_params.tobytes()
+        assert history.to_jsonable() == ref_history.to_jsonable()
+        assert resumed.gate.state_dict() == reference.gate.state_dict()
+        assert resumed.network.stats == reference.network.stats
+        assert resumed.network.in_flight() == 0
+        origins = history.aggregated_origins
+        assert len(origins) == len(set(origins)), "double aggregation"
 
     def test_torn_snapshot_rejected_by_checksum(self, tmp_path):
         """Truncation is detected, reported, and survived via fallback."""
