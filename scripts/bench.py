@@ -21,7 +21,9 @@ previously saved one (same machine assumed): any engine stage more than
 ``--threshold`` slower exits non-zero, so CI can catch perf regressions
 the way it catches correctness ones.  The gate also enforces the
 simulated transport's transparency contract in absolute terms — a
-lossless network slower than 2% over the direct path fails the run.
+lossless network slower than 2% over the direct path fails the run —
+and caps the online metrics layer's overhead at 2% absolute over a
+metrics-off service run.
 """
 
 import argparse
@@ -161,6 +163,17 @@ def main(argv=None) -> int:
             f"p99={lossy['latency_p99']:.2f}s "
             f"dedup_hits={lossy['dedup_hits']} fenced={lossy['fenced']} "
             f"committed={lossy['committed']}/{network['rounds']}"
+        )
+    metrics = payload.get("metrics")
+    if metrics:
+        print(
+            f"  metrics: overhead="
+            f"{metrics['overhead_fraction'] * 100:.1f}% "
+            f"(off={metrics['off_seconds']:.3f}s "
+            f"on={metrics['on_seconds']:.3f}s) "
+            f"windows={metrics['windows']} "
+            f"alerts fired={metrics['alerts_fired']} "
+            f"resolved={metrics['alerts_resolved']}"
         )
     cohort = payload.get("cohort_scaling")
     cohort_ok = True

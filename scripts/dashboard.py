@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Render a service-health dashboard from metrics windows.
+
+Terminal (default) or self-contained HTML (``--html``) views of the
+windowed SLI time-series the live metrics layer produces: one sparkline
+per service-level indicator, plus the SLO alert timeline when rules are
+given.  Reads either
+
+* a telemetry trace JSONL (``serve --trace-out``), folded through the
+  same deterministic rules the online aggregator applies, or
+* a metrics series JSONL written by ``serve --metrics-out`` /
+  ``trace.py metrics --out`` (pass ``--series``).
+
+Usage::
+
+    PYTHONPATH=src python scripts/dashboard.py trace.jsonl --rules default
+    PYTHONPATH=src python scripts/dashboard.py --series metrics.jsonl
+    PYTHONPATH=src python scripts/dashboard.py trace.jsonl --html dash.html
+
+Both views are deterministic: the same windows and rules always render
+the same bytes.
+"""
+
+import argparse
+import html
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if os.path.isdir(os.path.join(_REPO_ROOT, "src", "repro")):
+    sys.path.insert(0, os.path.join(_REPO_ROOT, "src"))
+
+from repro.obs.alerts import AlertEngine, default_rules, load_rules  # noqa: E402
+from repro.obs.analysis import load_trace  # noqa: E402
+from repro.obs.metrics import SLI_NAMES, fold_records, read_series  # noqa: E402
+
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values) -> str:
+    """Unicode block sparkline, scaled to the series' own max."""
+    top = max(values) if values else 0.0
+    if top <= 0:
+        return SPARK_BLOCKS[0] * len(values)
+    out = []
+    for value in values:
+        index = round(value / top * (len(SPARK_BLOCKS) - 1))
+        out.append(SPARK_BLOCKS[max(0, min(index, len(SPARK_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def _sli_rows(series):
+    """(name, values) for every SLI that moved, in catalog order."""
+    rows = []
+    for name in SLI_NAMES:
+        values = [w["slis"].get(name, 0.0) for w in series]
+        if any(values):
+            rows.append((name, values))
+    return rows
+
+
+def render_terminal(series, timeline) -> str:
+    """The terminal dashboard: one sparkline row per active SLI."""
+    lines = [
+        f"== service dashboard: {len(series)} window(s), rounds "
+        f"{series[0]['start_round']}-{series[-1]['end_round']} =="
+    ]
+    rows = _sli_rows(series)
+    width = max(len(name) for name, _ in rows) if rows else 1
+    for name, values in rows:
+        lines.append(
+            f"  {name:<{width}}  {sparkline(values)}  "
+            f"last={values[-1]:g} max={max(values):g}"
+        )
+    lines.append("")
+    if timeline is not None:
+        lines.append(f"== alert timeline ({len(timeline)} transition(s)) ==")
+        if not timeline:
+            lines.append("  (no firings: every SLO held)")
+        for t in timeline:
+            marker = "▲" if t["action"] == "fired" else "▽"
+            lines.append(
+                f"  {marker} window {t['window']:>3}  {t['action']:<8} "
+                f"{t['alert']}  ({t['sli']}={t['value']:g} "
+                f"vs {t['threshold']:g})"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _svg_sparkline(values, width=240, height=28) -> str:
+    """An inline-SVG polyline of one SLI series."""
+    top = max(values) or 1.0
+    step = width / max(len(values) - 1, 1)
+    points = " ".join(
+        f"{i * step:.1f},{height - (v / top) * (height - 2) - 1:.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" class="spark">'
+        f'<polyline points="{points}" fill="none" '
+        f'stroke="#2a6" stroke-width="1.5"/></svg>'
+    )
+
+
+def render_html(series, timeline) -> str:
+    """A dependency-free single-file HTML dashboard."""
+    rows = []
+    for name, values in _sli_rows(series):
+        rows.append(
+            f"<tr><td><code>{html.escape(name)}</code></td>"
+            f"<td>{_svg_sparkline(values)}</td>"
+            f"<td>{values[-1]:g}</td><td>{max(values):g}</td></tr>"
+        )
+    alert_rows = []
+    if timeline is not None:
+        for t in timeline:
+            color = "#c33" if t["action"] == "fired" else "#2a6"
+            alert_rows.append(
+                f'<tr><td>{t["window"]}</td>'
+                f'<td style="color:{color}">{t["action"]}</td>'
+                f'<td><code>{html.escape(t["alert"])}</code></td>'
+                f'<td><code>{html.escape(t["sli"])}</code> = '
+                f'{t["value"]:g} vs {t["threshold"]:g}</td></tr>'
+            )
+    alert_section = ""
+    if timeline is not None:
+        body = (
+            "".join(alert_rows)
+            or '<tr><td colspan="4">(no firings: every SLO held)</td></tr>'
+        )
+        alert_section = (
+            "<h2>Alert timeline</h2><table>"
+            "<tr><th>window</th><th>action</th><th>alert</th>"
+            "<th>detail</th></tr>" + body + "</table>"
+        )
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>service dashboard</title>
+<style>
+body {{ font-family: system-ui, sans-serif; margin: 2em; }}
+table {{ border-collapse: collapse; }}
+td, th {{ padding: 4px 12px; border-bottom: 1px solid #ddd;
+          text-align: left; }}
+.spark {{ vertical-align: middle; }}
+</style></head><body>
+<h1>Service dashboard</h1>
+<p>{len(series)} window(s), rounds {series[0]["start_round"]}&ndash;{
+        series[-1]["end_round"]}</p>
+<table><tr><th>SLI</th><th>trend</th><th>last</th><th>max</th></tr>
+{"".join(rows)}
+</table>
+{alert_section}
+</body></html>
+"""
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="telemetry trace JSONL to fold into windows (read "
+        "tolerantly; mutually exclusive with --series)",
+    )
+    parser.add_argument(
+        "--series",
+        default=None,
+        metavar="PATH",
+        help="pre-folded metrics series JSONL (serve --metrics-out)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="N",
+        help="rounds per window when folding a trace (default: 1)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="simulated round interval when folding a trace "
+        "(default: 10.0)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="overlay the SLO alert timeline: 'default' or a JSON "
+        "rules file",
+    )
+    parser.add_argument(
+        "--html",
+        default=None,
+        metavar="PATH",
+        help="write a self-contained HTML dashboard instead of the "
+        "terminal view",
+    )
+    args = parser.parse_args(argv)
+    if (args.trace is None) == (args.series is None):
+        parser.error("give exactly one of a trace file or --series")
+
+    try:
+        if args.series is not None:
+            series = read_series(args.series)
+        else:
+            analysis = load_trace(args.trace, strict=False)
+            series = fold_records(
+                analysis.records,
+                window_rounds=args.window,
+                round_interval=args.interval,
+            ).series
+        if not series:
+            print("no metric windows to render", file=sys.stderr)
+            return 1
+
+        timeline = None
+        if args.rules is not None:
+            rules = (
+                default_rules()
+                if args.rules == "default"
+                else load_rules(args.rules)
+            )
+            engine = AlertEngine(rules)
+            for window in series:
+                engine.evaluate(window)
+            timeline = engine.timeline
+
+        if args.html is not None:
+            with open(args.html, "w", encoding="utf-8") as handle:
+                handle.write(render_html(series, timeline))
+            print(f"dashboard written to {args.html}")
+        else:
+            print(render_terminal(series, timeline), end="")
+        return 0
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

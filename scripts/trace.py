@@ -4,9 +4,11 @@
 Subcommands::
 
     PYTHONPATH=src python scripts/trace.py summarize run.jsonl
+    PYTHONPATH=src python scripts/trace.py summarize run.jsonl --format json
     PYTHONPATH=src python scripts/trace.py tree run.jsonl --max-depth 4
     PYTHONPATH=src python scripts/trace.py diff base.jsonl head.jsonl
     PYTHONPATH=src python scripts/trace.py profile run.jsonl
+    PYTHONPATH=src python scripts/trace.py metrics run.jsonl --rules default
     PYTHONPATH=src python scripts/trace.py validate run.jsonl
 
 ``summarize`` prints the run report: per-phase totals, the spans-by-time
@@ -14,19 +16,25 @@ table, executor wave utilization, service round-commit latency
 percentiles (when the trace holds ``service.commit_latency`` spans),
 the critical path, and final counter/gauge values; a truncated trace is
 flagged at the top and its synthetic ``trace.truncated`` marker shows
-in the events table.  ``tree`` renders the span tree as indented text.
+in the events table (``--format json`` emits the same report as plain
+data for dashboards).  ``tree`` renders the span tree as indented text.
 ``diff`` compares two traces per span name and exits non-zero when any
 span regressed beyond ``--threshold`` — the trace-level perf gate.
 ``profile`` tabulates the per-layer ``profile.*`` records a
-``--profile`` run leaves in the stream.  ``validate`` checks the stream
-against schema v1 plus the span/event name registry and exits non-zero
-on any problem (including truncation) — the CI gate ``verify.sh`` runs
-on the service trace.
+``--profile`` run leaves in the stream.  ``metrics`` folds the stream
+into windowed SLI time-series (the same deterministic folding rules the
+live :class:`~repro.obs.metrics.MetricsAggregator` applies online) and
+optionally replays SLO alert rules over them.  ``validate`` checks the
+stream against schema v1 plus the span/event name registry and exits
+non-zero on any problem (including truncation) — the CI gate
+``verify.sh`` runs on the service trace.
 
 Every subcommand reads traces tolerantly (``strict=False``: a torn
 trailing line is skipped and flagged, never fatal); pass ``--strict``
 to make a torn trace an immediate error instead.
 """
+
+import json
 
 import argparse
 import os
@@ -41,6 +49,19 @@ from repro.obs.profile import render_profile  # noqa: E402
 from repro.obs.schema import unknown_names, validate_stream  # noqa: E402
 
 
+#: the one description of how traces are read, shared by every
+#: subcommand's positional instead of each re-documenting it
+_TRACE_HELP = (
+    "JSONL trace file (read tolerantly: a torn trailing line is "
+    "skipped and flagged; --strict makes it an error)"
+)
+
+
+def _add_trace_arg(parser, name="trace", help=None):
+    """Attach the standard trace positional with the shared loader help."""
+    parser.add_argument(name, help=_TRACE_HELP if help is None else help)
+
+
 def _load(path, args):
     """One loader for every subcommand: strict only when asked."""
     return load_trace(path, strict=getattr(args, "strict", False))
@@ -48,6 +69,15 @@ def _load(path, args):
 
 def _cmd_summarize(args) -> int:
     analysis = _load(args.trace, args)
+    if args.format == "json":
+        print(
+            json.dumps(
+                analysis.summary_dict(workers=args.workers, top=args.top),
+                sort_keys=True,
+                indent=2,
+            )
+        )
+        return 0
     print(analysis.summarize(workers=args.workers, top=args.top), end="")
     if analysis.truncated:
         # the report already leads with the flag; repeat it on stderr so
@@ -158,6 +188,72 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    """Fold the trace into SLI windows; optionally replay alert rules."""
+    from repro.obs.alerts import AlertEngine, default_rules, load_rules
+    from repro.obs.metrics import (
+        SLI_NAMES,
+        fold_records,
+        render_prometheus,
+        write_series,
+    )
+
+    analysis = _load(args.trace, args)
+    aggregator = fold_records(
+        analysis.records,
+        window_rounds=args.window,
+        round_interval=args.interval,
+    )
+    series = aggregator.series
+    if not series:
+        print("no service rounds in this trace (nothing to fold)")
+        return 1
+
+    engine = None
+    if args.rules is not None:
+        rules = (
+            default_rules() if args.rules == "default" else load_rules(args.rules)
+        )
+        engine = AlertEngine(rules)
+        for window in series:
+            engine.evaluate(window)
+
+    if args.out is not None:
+        write_series(series, args.out, round_interval=args.interval)
+
+    if args.format == "prom":
+        print(render_prometheus(series), end="")
+        return 0
+    if args.format == "json":
+        payload = {"windows": series}
+        if engine is not None:
+            payload["alerts"] = engine.timeline
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+
+    shown = [s for s in SLI_NAMES if any(w["slis"][s] for w in series)]
+    width = max(len(s) for s in shown) if shown else 1
+    print(f"== {len(series)} metric window(s) of {args.window} round(s) ==")
+    for window in series:
+        print(
+            f"window {window['window']} "
+            f"(rounds {window['start_round']}-{window['end_round']}):"
+        )
+        for sli in shown:
+            print(f"  {sli:<{width}}  {window['slis'][sli]:g}")
+    if engine is not None:
+        print(f"\n== alert timeline ({len(engine.timeline)} transition(s)) ==")
+        for t in engine.timeline:
+            print(
+                f"  window {t['window']}: {t['action']} {t['alert']} "
+                f"({t['sli']}={t['value']:g} vs {t['threshold']:g})"
+            )
+        firing = engine.firing()
+        if firing:
+            print(f"  still firing at end of trace: {firing}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -169,7 +265,7 @@ def main(argv=None) -> int:
 
     p = sub.add_parser("summarize", help="per-phase totals, utilization, "
                        "critical path, counters")
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.add_argument(
         "--workers",
         type=int,
@@ -180,10 +276,17 @@ def main(argv=None) -> int:
     p.add_argument(
         "--top", type=int, default=5, help="rows in the top-spans table"
     )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="'json' emits the report as machine-readable data "
+        "(default: text)",
+    )
     p.set_defaults(func=_cmd_summarize)
 
     p = sub.add_parser("tree", help="render the span tree as indented text")
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.add_argument(
         "--max-depth", type=int, default=None, help="truncate below this depth"
     )
@@ -198,8 +301,8 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "diff", help="compare two traces per span name; exits 1 on regression"
     )
-    p.add_argument("base", help="baseline JSONL trace")
-    p.add_argument("head", help="candidate JSONL trace")
+    _add_trace_arg(p, "base", help="baseline " + _TRACE_HELP)
+    _add_trace_arg(p, "head", help="candidate " + _TRACE_HELP)
     p.add_argument(
         "--threshold",
         type=float,
@@ -217,22 +320,67 @@ def main(argv=None) -> int:
     p = sub.add_parser(
         "profile", help="tabulate per-layer profile.* records from the trace"
     )
-    p.add_argument("trace", help="JSONL trace file (from a --profile run)")
+    _add_trace_arg(p, help=_TRACE_HELP + "; from a --profile run")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "metrics",
+        help="fold the trace into windowed SLI time-series; optionally "
+        "replay SLO alert rules over them",
+    )
+    _add_trace_arg(p)
+    p.add_argument(
+        "--window",
+        type=int,
+        default=1,
+        metavar="N",
+        help="service rounds per sealed window (default: 1)",
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="simulated round interval, for window timestamps and the "
+        "latency histogram boundaries (default: 10.0)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="replay SLO alert rules over the folded windows: 'default' "
+        "for the built-in catalog, or a JSON rules file",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the windows as a JSONL time-series to PATH",
+    )
+    p.add_argument(
+        "--format",
+        choices=["table", "json", "prom"],
+        default="table",
+        help="'json' emits windows (+ alert timeline) as data, 'prom' "
+        "Prometheus text exposition of the latest window "
+        "(default: table)",
+    )
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser(
         "validate",
         help="check schema v1 + the span/event name registry + "
         "completeness; exits 1 on any problem",
     )
-    p.add_argument("trace", help="JSONL trace file")
+    _add_trace_arg(p)
     p.set_defaults(func=_cmd_validate)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
-    except ValueError as exc:
-        # --strict turns a torn/corrupt trace into a clean failure
+    except (ValueError, OSError) as exc:
+        # --strict turns a torn/corrupt trace into a clean failure, and
+        # a missing/unreadable rules file reports the same way
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

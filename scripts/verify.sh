@@ -106,6 +106,50 @@ python -m repro.experiments.cli serve --scale smoke --schedule steady \
     --trace-out "$TRACE_TMP/network_trace.jsonl"
 python scripts/trace.py --strict validate "$TRACE_TMP/network_trace.jsonl"
 
+echo "== live metrics + SLO alerting (chaos serve fires and resolves) =="
+python -m repro.experiments.cli serve --scale smoke --network chaos \
+    --service-rounds 10 --rules default \
+    --metrics-out "$TRACE_TMP/metrics.jsonl" \
+    --trace-out "$TRACE_TMP/metrics_trace.jsonl"
+python scripts/trace.py --strict validate "$TRACE_TMP/metrics_trace.jsonl"
+python - "$TRACE_TMP/metrics_trace.jsonl" "$TRACE_TMP/metrics.jsonl" <<'EOF'
+import io
+import sys
+
+from repro.obs.analysis import load_trace
+from repro.obs.metrics import fold_records, read_series, write_series
+
+trace_path, series_path = sys.argv[1], sys.argv[2]
+records = load_trace(trace_path, strict=True).records
+by_name = {}
+for record in records:
+    if record.get("kind") == "event":
+        by_name.setdefault(record["name"], []).append(record)
+
+# the chaos network breaks the net-loss SLO: the alert must fire in the
+# trace, and the heal must resolve it again
+fired = by_name.get("alert.fired", [])
+resolved = by_name.get("alert.resolved", [])
+assert fired, "no alert.fired events in the chaos trace"
+assert resolved, "no alert.resolved events in the chaos trace"
+assert any(e["attrs"]["alert"] == "net-loss-rate" for e in fired), fired
+assert by_name.get("metrics.window"), "no metrics.window events"
+
+# the exported series must equal an offline fold of the same trace,
+# byte for byte (online/offline determinism contract)
+exported = read_series(series_path)
+buffer = io.StringIO()
+write_series(fold_records(records).series, buffer)
+with open(series_path, encoding="utf-8") as handle:
+    assert handle.read() == buffer.getvalue(), "exported series != offline fold"
+print(
+    f"metrics ok: {len(exported)} windows, "
+    f"{len(fired)} firing(s) / {len(resolved)} resolution(s), "
+    "offline fold identical"
+)
+EOF
+python scripts/dashboard.py --series "$TRACE_TMP/metrics.jsonl"
+
 echo "== megabatch wave parity (vectorized vs serial, bitwise) =="
 python - <<'EOF'
 from repro.eval.parallel_bench import measure_cohort_scaling

@@ -56,10 +56,12 @@ __all__ = [
     "measure_cohort_scaling",
     "measure_telemetry_overhead",
     "measure_checkpoint_cost",
+    "measure_metrics_overhead",
     "measure_network",
     "measure_service",
     "trace_run",
     "LOSSLESS_OVERHEAD_CEILING",
+    "METRICS_OVERHEAD_CEILING",
 ]
 
 # the 8-client population is the benchmark's defining constant: small
@@ -389,6 +391,7 @@ def run_benchmark(
         "checkpoint": measure_checkpoint_cost(scale),
         "service": measure_service(scale),
         "network": measure_network(scale),
+        "metrics": measure_metrics_overhead(scale),
         "cohort_scaling": measure_cohort_scaling(scale),
     }
 
@@ -419,7 +422,9 @@ def compare_to_baseline(
     ``overhead_fraction`` must not exceed
     :data:`LOSSLESS_OVERHEAD_CEILING` (the transparency contract makes
     the lossless path a pass-through, so its time cost is bounded by
-    construction, not by machine shape).
+    construction, not by machine shape).  The ``metrics`` section is
+    gated the same absolute way: online window folding + SLO evaluation
+    must stay within :data:`METRICS_OVERHEAD_CEILING` of metrics-off.
 
     Returns ``{"ok": bool, "regressions": [...], "checked": int}``;
     ``scripts/bench.py --baseline`` exits non-zero when ``ok`` is False.
@@ -496,6 +501,23 @@ def compare_to_baseline(
                     "base_seconds": LOSSLESS_OVERHEAD_CEILING,
                     "head_seconds": overhead,
                     "ratio": overhead / LOSSLESS_OVERHEAD_CEILING,
+                }
+            )
+
+    # the live-metrics gate is absolute for the same reason: folding the
+    # stream into windows must stay in the bookkeeping noise floor
+    head_metrics = payload.get("metrics") or {}
+    overhead = head_metrics.get("overhead_fraction")
+    if overhead is not None:
+        checked += 1
+        if overhead > METRICS_OVERHEAD_CEILING:
+            regressions.append(
+                {
+                    "engine": "metrics",
+                    "stage": "overhead_fraction",
+                    "base_seconds": METRICS_OVERHEAD_CEILING,
+                    "head_seconds": overhead,
+                    "ratio": overhead / METRICS_OVERHEAD_CEILING,
                 }
             )
 
@@ -760,6 +782,84 @@ def measure_network(scale: str = "smoke", seed: int = 5, repeats: int = 3) -> di
             "fenced": net_counts["fenced"],
             "committed": len(lossy_history.committed_rounds),
         },
+    }
+
+
+#: absolute ceiling on the live-metrics layer's wall-clock overhead.
+#: Folding the stream into windows is integer bucket arithmetic per
+#: record, so metrics-on must stay within a couple percent of a bare
+#: telemetry hub — same contract shape as the lossless transport gate.
+#: ``scripts/bench.py --baseline`` fails when the fraction exceeds this.
+METRICS_OVERHEAD_CEILING = 0.02
+
+
+def measure_metrics_overhead(scale: str = "smoke", seed: int = 5, repeats: int = 3) -> dict:
+    """Wall-clock cost of online metrics + alerting vs. metrics-off.
+
+    Two seeded service runs share one world recipe and a live telemetry
+    hub, differing only in whether a
+    :class:`~repro.obs.alerts.ServiceMetrics` bundle (window aggregator
+    + default SLO rules) is attached.  Reports min-of-``repeats`` wall
+    clocks, the overhead fraction (gated at
+    :data:`METRICS_OVERHEAD_CEILING` by ``--baseline``), and the run's
+    window/alert counts so baseline diffs catch rule-behavior drift
+    too.
+    """
+    from ..obs.alerts import ServiceMetrics
+
+    if scale not in BENCH_PRESETS:
+        raise ValueError(f"unknown scale {scale!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+
+    def run_once(with_metrics: bool):
+        model, clients, dataset = build_bench_world(scale, seed=seed)
+        faults = FaultModel(
+            straggler_prob=0.3,
+            straggler_delay=(1.0, 20.0),
+            deadline_seconds=10.0,
+            seed=seed + 2,
+        )
+        hub = Telemetry()
+        metrics = ServiceMetrics(round_interval=10.0) if with_metrics else None
+        service = DefenseService(
+            model,
+            wrap_clients(clients, faults),
+            dataset,
+            ServiceConfig(round_deadline=10.0, quorum=0.5, eval_every=0),
+            traffic=make_schedule("bursty", seed=seed + 3),
+            context=RunContext(telemetry=hub, fault_model=faults),
+            metrics=metrics,
+        )
+        start = time.perf_counter()
+        service.run(_SERVICE_ROUNDS[scale])
+        seconds = time.perf_counter() - start
+        hub.close()
+        return seconds, metrics
+
+    off_seconds = min(run_once(False)[0] for _ in range(repeats))
+    on_times = []
+    metrics = None
+    for i in range(repeats):
+        seconds, bundle = run_once(True)
+        on_times.append(seconds)
+        if i == 0:
+            metrics = bundle
+    on_seconds = min(on_times)
+    return {
+        "scale": scale,
+        "rounds": _SERVICE_ROUNDS[scale],
+        "off_seconds": off_seconds,
+        "on_seconds": on_seconds,
+        "overhead_fraction": (on_seconds - off_seconds)
+        / max(off_seconds, 1e-9),
+        "windows": len(metrics.series),
+        "alerts_fired": sum(
+            1 for t in metrics.timeline if t["action"] == "fired"
+        ),
+        "alerts_resolved": sum(
+            1 for t in metrics.timeline if t["action"] == "resolved"
+        ),
     }
 
 

@@ -188,6 +188,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="clients solicited per round, drawn deterministically by a "
         "sharded ParticipationSampler from --population",
     )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="fold the run's telemetry into windowed SLI time-series "
+        "and write them as JSONL to PATH (render with "
+        "scripts/dashboard.py); enables live metrics",
+    )
+    serve.add_argument(
+        "--rules",
+        default=None,
+        metavar="PATH",
+        help="SLO alert rules to evaluate online: 'default' for the "
+        "built-in catalog, or a JSON rules file "
+        "(see repro.obs.alerts.load_rules); enables live metrics",
+    )
+    serve.add_argument(
+        "--metrics-window",
+        type=int,
+        default=1,
+        metavar="N",
+        help="service rounds per sealed metrics window (default: 1)",
+    )
     return parser
 
 
@@ -254,6 +277,8 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
 
     if args.service_rounds < 1:
         parser.error("--service-rounds must be >= 1")
+    if args.metrics_window < 1:
+        parser.error("--metrics-window must be >= 1")
     if args.scale == "paper":
         parser.error("serve runs on the synthetic bench world; "
                      "use --scale smoke or bench")
@@ -290,10 +315,30 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
         clients, sampler = _build_client_pool(args, faults)
     else:
         clients = wrap_clients(clients, faults)
+    metrics = None
+    if args.metrics_out is not None or args.rules is not None:
+        from ..obs.alerts import ServiceMetrics, load_rules
+
+        rules = None  # ServiceMetrics falls back to the default catalog
+        if args.rules is not None and args.rules != "default":
+            try:
+                rules = load_rules(args.rules)
+            except (OSError, ValueError) as exc:
+                parser.error(f"--rules: {exc}")
+        metrics = ServiceMetrics(
+            rules=rules,
+            window_rounds=args.metrics_window,
+            round_interval=args.deadline,
+        )
     context_kwargs: dict = {"fault_model": faults}
     telemetry = None
     if args.trace_out is not None:
         telemetry = Telemetry([JSONLSink(args.trace_out)])
+        context_kwargs["telemetry"] = telemetry
+    elif metrics is not None:
+        # metrics fold the telemetry stream, so a hub must exist even
+        # when no trace file was requested
+        telemetry = Telemetry()
         context_kwargs["telemetry"] = telemetry
     if args.checkpoint_dir is not None:
         manager = CheckpointManager(args.checkpoint_dir)
@@ -325,6 +370,7 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
                 sampler=sampler,
                 context=RunContext(**context_kwargs),
                 aggregator=args.aggregator,
+                metrics=metrics,
             )
             history = service.run(args.service_rounds)
     finally:
@@ -379,9 +425,27 @@ def _run_serve(args, parser: argparse.ArgumentParser) -> int:
     if history.trust_quarantine_events:
         quarantined = sorted({c for _, c in history.trust_quarantine_events})
         print(f"  trust-quarantined clients: {quarantined}")
+    if metrics is not None:
+        print(f"  metrics: {len(metrics.series)} sealed window(s) of "
+              f"{args.metrics_window} round(s)")
+        for transition in metrics.timeline:
+            print(f"  alert {transition['action']}: {transition['alert']} "
+                  f"({transition['sli']}={transition['value']:g} vs "
+                  f"{transition['threshold']:g}) at window "
+                  f"{transition['window']}")
+        firing = metrics.engine.firing()
+        if firing:
+            print(f"  still firing at shutdown: {firing}")
     print(f"\n[serve finished in {elapsed:.1f}s at scale {args.scale!r}]")
     if args.trace_out is not None:
         print(f"[trace written to {args.trace_out}]")
+    if args.metrics_out is not None:
+        from ..obs.metrics import write_series
+
+        written = write_series(
+            metrics.series, args.metrics_out, round_interval=args.deadline
+        )
+        print(f"[{written} metric window(s) written to {args.metrics_out}]")
     return 0
 
 

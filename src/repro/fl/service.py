@@ -72,6 +72,7 @@ from ..eval.metrics import attack_success_rate, test_accuracy
 from ..nn.layers import Sequential
 from ..nn.serialization import apply_model_state, pack_model_state
 from ..obs.context import RunContext, current_context
+from ..obs.metrics import percentile_summary
 from ..persist.checkpoint import CheckpointManager, Snapshot
 from ..persist.state import (
     AGGREGATOR_PREFIX,
@@ -125,6 +126,13 @@ class ServiceConfig:
         float in (0, 1] a fraction of the round's solicited cohort.
     degraded_after:
         Consecutive quorum failures that trip degraded mode.
+    degraded_alert:
+        Gate degraded-mode entry on a named alert rule instead of the
+        bare ``degraded_after`` counter: the service enters degraded
+        mode on a quorum-failed round only while that alert is firing
+        in the attached :class:`~repro.obs.alerts.ServiceMetrics`
+        engine (which then must be passed to the service).  ``None``
+        keeps the counter gate.
     late_policy:
         ``"defer"`` queues a late report for the next round's admission
         pass; ``"drop"`` discards it.
@@ -171,6 +179,7 @@ class ServiceConfig:
         round_interval: float | None = None,
         quorum: int | float = 0.5,
         degraded_after: int = 3,
+        degraded_alert: str | None = None,
         late_policy: str = "defer",
         backpressure: str = "shed_oldest",
         max_pending: int = 64,
@@ -236,6 +245,7 @@ class ServiceConfig:
         )
         self.quorum = quorum
         self.degraded_after = int(degraded_after)
+        self.degraded_alert = degraded_alert
         self.late_policy = late_policy
         self.backpressure = backpressure
         self.max_pending = int(max_pending)
@@ -425,14 +435,6 @@ class RoundOutcome:
         )
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
-    if not sorted_values:
-        return 0.0
-    rank = int(np.ceil(q / 100.0 * len(sorted_values)))
-    return float(sorted_values[max(0, min(rank - 1, len(sorted_values) - 1))])
-
-
 class ServiceHistory:
     """Round outcomes plus the aggregate views bench/CI read off them."""
 
@@ -448,12 +450,7 @@ class ServiceHistory:
 
     def latency_percentiles(self) -> dict[str, float]:
         """p50/p90/p99 commit latency over all rounds (nearest-rank)."""
-        ordered = sorted(self.commit_latencies)
-        return {
-            "p50": _percentile(ordered, 50),
-            "p90": _percentile(ordered, 90),
-            "p99": _percentile(ordered, 99),
-        }
+        return percentile_summary(self.commit_latencies)
 
     @property
     def committed_rounds(self) -> list[int]:
@@ -602,6 +599,7 @@ class DefenseService:
         accuracy_fn: Callable[[Sequential], float] | None = None,
         context: RunContext | None = None,
         aggregator: str | Aggregator | Callable | None = None,
+        metrics=None,
     ) -> None:
         if not len(clients):
             raise ValueError("need at least one client")
@@ -635,6 +633,19 @@ class DefenseService:
         self.context = ctx
         self.telemetry = ctx.telemetry
         self.executor = ctx.executor
+        self.metrics = metrics
+        if metrics is not None:
+            # the aggregator folds the stream online, as an ordinary
+            # sink; the service (not the sink) emits the derived
+            # metrics.window / alert.* events — see _pump_metrics
+            self.telemetry.add_sink(metrics.aggregator)
+        if self.config.degraded_alert is not None:
+            if metrics is None:
+                raise ValueError(
+                    "degraded_alert requires a ServiceMetrics bundle "
+                    "(pass metrics=...)"
+                )
+            metrics.engine.is_firing(self.config.degraded_alert)  # validate name
 
         self.trust = TrustTracker(self.config.trust)
         self.history = ServiceHistory()
@@ -1146,10 +1157,7 @@ class DefenseService:
                     consecutive=self._consecutive_failures,
                 )
                 tel.count("service.rounds_quorum_failed")
-                if (
-                    not self.degraded
-                    and self._consecutive_failures >= cfg.degraded_after
-                ):
+                if not self.degraded and self._should_degrade():
                     self.degraded = True
                     entered_degraded = True
                     self._enter_degraded(round_index)
@@ -1304,7 +1312,13 @@ class DefenseService:
                 accepted=len(accepted_env),
                 latency=latency,
                 degraded=self.degraded,
+                pending=len(self.pending),
             )
+
+        # outside the round span: the span record (emitted at exit, with
+        # every child already folded) is what seals a metrics window, so
+        # the derived metrics.window / alert.* events are its siblings
+        self._pump_metrics(round_index)
 
         return RoundOutcome(
             round_index,
@@ -1344,7 +1358,60 @@ class DefenseService:
             attack_acc=attack_acc,
         )
 
+    # -- live metrics & alerting ---------------------------------------
+
+    def _pump_metrics(self, round_index: int) -> None:
+        """Drain sealed windows, evaluate SLO rules, emit the results.
+
+        Runs after each round's span closes: the aggregator (a plain
+        sink) has already folded the round, so any window it sealed is
+        final.  Each sealed window becomes one ``metrics.window`` event
+        and feeds the alert engine, whose transitions become
+        ``alert.fired`` / ``alert.resolved`` events.  Emission happens
+        here — never inside the sink — so downstream sinks see the
+        derived records in clean ``seq`` order, and everything is in
+        the stream before the round's checkpoint is cut.
+        """
+        if self.metrics is None:
+            return
+        tel = self.telemetry
+        for window in self.metrics.aggregator.take_sealed():
+            tel.event(
+                "metrics.window",
+                round=round_index,
+                window=window["window"],
+                start_round=window["start_round"],
+                end_round=window["end_round"],
+                slis=window["slis"],
+            )
+            for transition in self.metrics.engine.evaluate(window):
+                fired = transition["action"] == "fired"
+                tel.event(
+                    "alert.fired" if fired else "alert.resolved",
+                    round=round_index,
+                    alert=transition["alert"],
+                    sli=transition["sli"],
+                    value=transition["value"],
+                    threshold=transition["threshold"],
+                    window=transition["window"],
+                )
+                tel.count("alert.firings" if fired else "alert.resolutions")
+
     # -- degraded mode -------------------------------------------------
+
+    def _should_degrade(self) -> bool:
+        """The degraded-mode entry gate for a quorum-failed round.
+
+        Default: the bare consecutive-failure counter.  With
+        ``degraded_alert`` set, entry follows the monitor instead: the
+        service degrades only while the named alert is firing — i.e.
+        after the SLO's ``for``-windows held — and the counter (still
+        maintained) becomes advisory.
+        """
+        cfg = self.config
+        if cfg.degraded_alert is not None:
+            return self.metrics.engine.is_firing(cfg.degraded_alert)
+        return self._consecutive_failures >= cfg.degraded_after
 
     def _enter_degraded(self, round_index: int) -> None:
         """Freeze aggregation and reload the last-good snapshot params."""
@@ -1563,6 +1630,9 @@ class DefenseService:
             "pending": pending_meta,
             "clients": client_meta,
             "history": self.history.to_jsonable(),
+            "metrics": (
+                None if self.metrics is None else self.metrics.state_dict()
+            ),
             "telemetry": tel.state_dict(),
             "service_span_id": (
                 tel.current_span.span_id if tel.current_span is not None else None
@@ -1623,6 +1693,9 @@ class DefenseService:
                     transport_meta["network"], snapshot.arrays
                 )
         self.history = ServiceHistory.from_jsonable(meta["history"])
+        if self.metrics is not None:
+            # .get: pre-metrics snapshots restore with empty window state
+            self.metrics.load_state_dict(meta.get("metrics"))
         self.telemetry.load_state_dict(meta.get("telemetry"))
 
     def __repr__(self) -> str:

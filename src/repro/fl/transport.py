@@ -48,6 +48,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from ..obs.metrics import percentile_summary
 from ..specs import format_spec, parse_spec
 
 __all__ = [
@@ -872,15 +873,7 @@ class SimulatedNetwork:
 
     def latency_percentiles(self) -> dict[str, float]:
         """p50/p99 one-way delivery latency (simulated seconds)."""
-        ordered = sorted(self.latencies)
-
-        def pick(q: float) -> float:
-            if not ordered:
-                return 0.0
-            rank = int(np.ceil(q / 100.0 * len(ordered)))
-            return float(ordered[max(0, min(rank - 1, len(ordered) - 1))])
-
-        return {"p50": pick(50), "p99": pick(99)}
+        return percentile_summary(self.latencies, qs=(50, 99))
 
     def summary(self) -> dict:
         """Delivery accounting for bench payloads and CLI summaries."""

@@ -6,7 +6,10 @@ event stream; pluggable sinks (in-memory ring buffer, JSONL file,
 console summary); a :class:`NullTelemetry` no-op default that keeps the
 hot path free when tracing is off; and :class:`RunContext`, the single
 bundle (telemetry + rng + executor + fault model) the experiment entry
-points accept.
+points accept.  On top of the raw stream sit deterministic live
+metrics (:class:`MetricsAggregator`, windowed SLIs with mergeable
+histogram sketches) and declarative SLO alerting (:class:`AlertEngine`,
+threshold + for-duration + hysteresis) — see DESIGN.md §16.
 
 Quickstart::
 
@@ -21,8 +24,26 @@ Quickstart::
 See DESIGN.md §8 for the event schema.
 """
 
+from .alerts import (
+    AlertEngine,
+    AlertRule,
+    ServiceMetrics,
+    default_rules,
+    load_rules,
+    parse_rules,
+)
 from .analysis import SpanNode, TraceAnalysis, TraceDiff, diff, load_trace
 from .context import RunContext, current_context, use_context
+from .metrics import (
+    HistogramSketch,
+    MetricsAggregator,
+    fold_records,
+    nearest_rank,
+    percentile_summary,
+    read_series,
+    render_prometheus,
+    write_series,
+)
 from .profile import LayerProfiler, maybe_profile, render_profile
 from .schema import (
     COUNTER_NAMES,
@@ -48,6 +69,20 @@ from .telemetry import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "ServiceMetrics",
+    "default_rules",
+    "load_rules",
+    "parse_rules",
+    "HistogramSketch",
+    "MetricsAggregator",
+    "fold_records",
+    "nearest_rank",
+    "percentile_summary",
+    "read_series",
+    "render_prometheus",
+    "write_series",
     "SpanNode",
     "TraceAnalysis",
     "TraceDiff",

@@ -1,0 +1,396 @@
+"""Declarative SLOs: threshold + ``for``-duration + hysteresis alerting.
+
+:class:`AlertEngine` watches the sealed windows of a
+:class:`~repro.obs.metrics.MetricsAggregator` and turns SLI drift into
+discrete, reproducible *firings* and *resolutions* — the signals an
+operator (or the service's own degraded-mode gate) acts on.  The rule
+model is Prometheus's, specialized to the simulated clock:
+
+* **threshold** — an SLI compared against a bound (``quorum_failure_rate
+  > 0.5``);
+* **``for``-duration** — the comparison must hold for ``for_windows``
+  *consecutive sealed windows* before the alert fires, so a one-window
+  blip never pages;
+* **hysteresis** — once firing, the alert resolves only after the SLI
+  has been back on the good side of ``resolve_threshold`` (default: the
+  firing threshold) for ``resolve_windows`` consecutive windows, so an
+  SLI oscillating around the bound doesn't flap.
+
+Everything is integer window counting on deterministic SLI values, so a
+rule's firing/resolution timeline is bitwise identical across executor
+engines and crash/resume — the engine's streak counters are part of the
+service checkpoint.  Transitions are returned to the caller (the
+service emits them as ``alert.fired`` / ``alert.resolved`` telemetry
+events); the engine itself never touches the hub, keeping sink fan-out
+free of re-entrancy.
+
+Rules load from JSON (:func:`load_rules`) or come from
+:func:`default_rules`, a starter SLO catalog for the defense service.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Sequence
+
+from .metrics import SLI_NAMES, MetricsAggregator
+
+__all__ = [
+    "AlertRule",
+    "AlertState",
+    "AlertEngine",
+    "ServiceMetrics",
+    "parse_rule",
+    "parse_rules",
+    "load_rules",
+    "default_rules",
+]
+
+_OPS = {
+    ">": lambda value, bound: value > bound,
+    ">=": lambda value, bound: value >= bound,
+    "<": lambda value, bound: value < bound,
+    "<=": lambda value, bound: value <= bound,
+}
+
+
+class AlertRule:
+    """One SLO: *fire when ``sli op threshold`` holds long enough*."""
+
+    def __init__(
+        self,
+        name: str,
+        sli: str,
+        op: str,
+        threshold: float,
+        for_windows: int = 1,
+        resolve_threshold: float | None = None,
+        resolve_windows: int = 1,
+    ) -> None:
+        if not name:
+            raise ValueError("alert rule needs a name")
+        if sli not in SLI_NAMES:
+            raise ValueError(
+                f"rule {name!r} references unknown SLI {sli!r}; "
+                f"known: {', '.join(SLI_NAMES)}"
+            )
+        if op not in _OPS:
+            raise ValueError(
+                f"rule {name!r} has unknown op {op!r}; known: > >= < <="
+            )
+        if for_windows < 1:
+            raise ValueError(f"rule {name!r}: for_windows must be >= 1")
+        if resolve_windows < 1:
+            raise ValueError(f"rule {name!r}: resolve_windows must be >= 1")
+        self.name = name
+        self.sli = sli
+        self.op = op
+        self.threshold = float(threshold)
+        self.for_windows = int(for_windows)
+        # hysteresis: the bound the SLI must be back inside to resolve.
+        # Defaults to the firing threshold (no gap).
+        self.resolve_threshold = float(
+            threshold if resolve_threshold is None else resolve_threshold
+        )
+        self.resolve_windows = int(resolve_windows)
+
+    def breached(self, slis: dict[str, float]) -> bool:
+        return _OPS[self.op](slis[self.sli], self.threshold)
+
+    def cleared(self, slis: dict[str, float]) -> bool:
+        """On the good side of the *resolve* bound (hysteresis edge)."""
+        return not _OPS[self.op](slis[self.sli], self.resolve_threshold)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "name": self.name,
+            "sli": self.sli,
+            "op": self.op,
+            "threshold": self.threshold,
+            "for_windows": self.for_windows,
+            "resolve_threshold": self.resolve_threshold,
+            "resolve_windows": self.resolve_windows,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AlertRule({self.name}: {self.sli} {self.op} {self.threshold} "
+            f"for {self.for_windows}w)"
+        )
+
+
+class AlertState:
+    """Per-rule streak counters — the whole of an alert's memory."""
+
+    def __init__(self) -> None:
+        self.firing = False
+        self.breach_streak = 0
+        self.clear_streak = 0
+        self.fired_window: int | None = None  # window index of last firing
+
+    def state_dict(self) -> dict:
+        return {
+            "firing": self.firing,
+            "breach_streak": self.breach_streak,
+            "clear_streak": self.clear_streak,
+            "fired_window": self.fired_window,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.firing = bool(state["firing"])
+        self.breach_streak = int(state["breach_streak"])
+        self.clear_streak = int(state["clear_streak"])
+        self.fired_window = (
+            None if state["fired_window"] is None else int(state["fired_window"])
+        )
+
+
+class AlertEngine:
+    """Evaluate every rule against each sealed window, in rule order."""
+
+    def __init__(self, rules: Sequence[AlertRule]) -> None:
+        names = [rule.name for rule in rules]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(f"duplicate alert rule names: {dupes}")
+        self.rules = list(rules)
+        self.states = {rule.name: AlertState() for rule in self.rules}
+        #: every transition ever made, in order: dicts with alert/sli/
+        #: value/threshold/window plus ``action`` of "fired"/"resolved"
+        self.timeline: list[dict] = []
+
+    def evaluate(self, window: dict) -> list[dict]:
+        """Fold one sealed window; return the transitions it caused.
+
+        ``window`` is a sealed-window record
+        (:meth:`~repro.obs.metrics.MetricsWindow.sealed`).  Transitions
+        carry everything a telemetry event needs; the caller owns
+        emission.
+        """
+        slis = window["slis"]
+        transitions: list[dict] = []
+        for rule in self.rules:
+            state = self.states[rule.name]
+            breached = rule.breached(slis)
+            if not state.firing:
+                state.breach_streak = state.breach_streak + 1 if breached else 0
+                if state.breach_streak >= rule.for_windows:
+                    state.firing = True
+                    state.fired_window = window["window"]
+                    state.breach_streak = 0
+                    state.clear_streak = 0
+                    transitions.append(
+                        self._transition("fired", rule, slis, window)
+                    )
+            else:
+                state.clear_streak = (
+                    state.clear_streak + 1 if rule.cleared(slis) else 0
+                )
+                if state.clear_streak >= rule.resolve_windows:
+                    state.firing = False
+                    state.clear_streak = 0
+                    state.breach_streak = 0
+                    transitions.append(
+                        self._transition("resolved", rule, slis, window)
+                    )
+        self.timeline.extend(transitions)
+        return transitions
+
+    def _transition(
+        self, action: str, rule: AlertRule, slis: dict, window: dict
+    ) -> dict:
+        return {
+            "action": action,
+            "alert": rule.name,
+            "sli": rule.sli,
+            "value": slis[rule.sli],
+            "threshold": (
+                rule.threshold if action == "fired" else rule.resolve_threshold
+            ),
+            "window": window["window"],
+            "end_round": window["end_round"],
+        }
+
+    def is_firing(self, name: str) -> bool:
+        state = self.states.get(name)
+        if state is None:
+            raise KeyError(f"no alert rule named {name!r}")
+        return state.firing
+
+    def firing(self) -> list[str]:
+        return [r.name for r in self.rules if self.states[r.name].firing]
+
+    def state_dict(self) -> dict:
+        return {
+            "states": {
+                name: state.state_dict() for name, state in self.states.items()
+            },
+            "timeline": [dict(t) for t in self.timeline],
+        }
+
+    def load_state_dict(self, state: dict | None) -> None:
+        if state is None:
+            return
+        for name, entry in state["states"].items():
+            if name in self.states:  # rules may change between runs
+                self.states[name].load_state_dict(entry)
+        self.timeline = [dict(t) for t in state["timeline"]]
+
+    def __repr__(self) -> str:
+        return f"AlertEngine(rules={len(self.rules)}, firing={self.firing()})"
+
+
+class ServiceMetrics:
+    """The aggregator + engine bundle the service plugs in.
+
+    ``DefenseService(..., metrics=ServiceMetrics(...))`` attaches the
+    aggregator as a telemetry sink and, after every round, drains the
+    sealed windows, evaluates the rules, and emits ``metrics.window`` /
+    ``alert.*`` events.  Both halves checkpoint as one blob.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule] | None = None,
+        window_rounds: int = 1,
+        latency_boundaries: Sequence[float] | None = None,
+        round_interval: float = 10.0,
+    ) -> None:
+        self.aggregator = MetricsAggregator(
+            window_rounds=window_rounds,
+            latency_boundaries=latency_boundaries,
+            round_interval=round_interval,
+        )
+        self.engine = AlertEngine(default_rules() if rules is None else rules)
+
+    @property
+    def series(self) -> list[dict]:
+        return self.aggregator.series
+
+    @property
+    def timeline(self) -> list[dict]:
+        return self.engine.timeline
+
+    def state_dict(self) -> dict:
+        return {
+            "aggregator": self.aggregator.state_dict(),
+            "engine": self.engine.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict | None) -> None:
+        if state is None:
+            return
+        self.aggregator.load_state_dict(state["aggregator"])
+        self.engine.load_state_dict(state["engine"])
+
+    def __repr__(self) -> str:
+        return f"ServiceMetrics({self.aggregator!r}, {self.engine!r})"
+
+
+# -- rule loading ------------------------------------------------------
+
+
+def parse_rule(spec: dict) -> AlertRule:
+    """Build one rule from its JSON dict (unknown keys rejected)."""
+    known = {
+        "name", "sli", "op", "threshold",
+        "for_windows", "resolve_threshold", "resolve_windows",
+    }
+    extra = sorted(set(spec) - known)
+    if extra:
+        raise ValueError(
+            f"alert rule {spec.get('name', '?')!r} has unknown keys: {extra}"
+        )
+    missing = sorted({"name", "sli", "op", "threshold"} - set(spec))
+    if missing:
+        raise ValueError(f"alert rule is missing required keys: {missing}")
+    return AlertRule(
+        name=spec["name"],
+        sli=spec["sli"],
+        op=spec["op"],
+        threshold=spec["threshold"],
+        for_windows=spec.get("for_windows", 1),
+        resolve_threshold=spec.get("resolve_threshold"),
+        resolve_windows=spec.get("resolve_windows", 1),
+    )
+
+
+def parse_rules(specs: Iterable[dict]) -> list[AlertRule]:
+    return [parse_rule(spec) for spec in specs]
+
+
+def load_rules(source: str | IO[str]) -> list[AlertRule]:
+    """Load rules from a JSON file: a list of rule dicts, or an object
+    with a ``"rules"`` list (room for future top-level settings)."""
+    if isinstance(source, (str, bytes)):
+        with open(source, encoding="utf-8") as handle:
+            return load_rules(handle)
+    payload = json.load(source)
+    if isinstance(payload, dict):
+        payload = payload.get("rules", [])
+    if not isinstance(payload, list):
+        raise ValueError("rules file must be a JSON list or {'rules': [...]}")
+    return parse_rules(payload)
+
+
+def default_rules() -> list[AlertRule]:
+    """The starter SLO catalog for the defense service.
+
+    Thresholds assume the default smoke-scale service (deadline 10s,
+    per-round windows): a healthy lossless run fires nothing, a chaos
+    partition fires ``quorum-failure-rate`` within two windows and
+    resolves after the heal.
+    """
+    return [
+        AlertRule(
+            "quorum-failure-rate",
+            sli="quorum_failure_rate",
+            op=">=",
+            threshold=1.0,  # every round in the window failed quorum
+            for_windows=2,
+            resolve_threshold=0.5,
+            resolve_windows=1,
+        ),
+        AlertRule(
+            "commit-latency-p99",
+            sli="commit_latency_p99",
+            op=">",
+            threshold=9.5,  # within 5% of the 10s round deadline
+            for_windows=2,
+            resolve_threshold=9.0,
+            resolve_windows=2,
+        ),
+        AlertRule(
+            "shed-rate",
+            sli="shed_rate",
+            op=">",
+            threshold=1.0,  # shedding more than one report per round
+            for_windows=2,
+            resolve_windows=2,
+        ),
+        AlertRule(
+            "net-loss-rate",
+            sli="net_loss_rate",
+            op=">",
+            threshold=0.5,  # over half of sent messages never arrive
+            for_windows=2,
+            resolve_threshold=0.25,
+            resolve_windows=1,
+        ),
+        AlertRule(
+            "trust-churn",
+            sli="trust_churn",
+            op=">",
+            threshold=1.0,  # more than one quarantine/restore per round
+            for_windows=2,
+            resolve_windows=2,
+        ),
+        AlertRule(
+            "watchdog-rollbacks",
+            sli="watchdog_rollbacks",
+            op=">",
+            threshold=0.0,  # any rollback is alarming
+            for_windows=1,
+            resolve_windows=1,
+        ),
+    ]

@@ -33,9 +33,9 @@ synthetic ``trace.truncated`` event (see :func:`load_trace`).
 from __future__ import annotations
 
 import io
-import math
 from typing import IO, Iterable, Sequence
 
+from .metrics import percentile_summary
 from .sinks import read_events
 
 __all__ = [
@@ -368,13 +368,6 @@ class TraceAnalysis:
         if not latencies:
             return None
         ordered = sorted(latencies)
-
-        def rank(q: float) -> float:
-            position = min(
-                len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1)
-            )
-            return float(ordered[position])
-
         committed = sum(
             1
             for span in self.spans
@@ -384,9 +377,7 @@ class TraceAnalysis:
         return {
             "rounds": len(ordered),
             "committed": committed,
-            "p50": rank(50),
-            "p90": rank(90),
-            "p99": rank(99),
+            **percentile_summary(ordered),
             "mean": float(sum(ordered) / len(ordered)),
             "max": float(ordered[-1]),
         }
@@ -466,6 +457,29 @@ class TraceAnalysis:
         virtual.children = self.roots
         render(virtual, "", 0)
         return out.getvalue()
+
+    def summary_dict(self, workers: int | None = None, top: int = 5) -> dict:
+        """The run report as plain data — what ``summarize --format json``
+        emits and dashboards consume.  Mirrors :meth:`summarize` section
+        for section."""
+        event_counts: dict[str, int] = {}
+        for event in self.events:
+            event_counts[event["name"]] = event_counts.get(event["name"], 0) + 1
+        return {
+            "truncated": self.truncated,
+            "total_seconds": self.total_seconds,
+            "phases": [
+                {"name": name, "seconds": seconds, "count": count}
+                for name, seconds, count in self.phase_totals()
+            ],
+            "spans": self.by_name(),
+            "waves": self.wave_utilization(workers=workers),
+            "service": self.commit_latency_stats(),
+            "critical_path": self.critical_path()[:top],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "events": event_counts,
+        }
 
     def summarize(self, workers: int | None = None, top: int = 5) -> str:
         """The human-readable run report ``scripts/trace.py summarize`` prints."""

@@ -102,6 +102,10 @@ EVENT_NAMES = frozenset(
         "agg.lr_flips",
         "agg.selection",
         "agg.weights",
+        # SLO alerting (repro.obs.alerts): rule transitions the service
+        # emits after evaluating each sealed metrics window
+        "alert.fired",
+        "alert.resolved",
         "attack.configured",
         "defense.fine_tune_skipped",
         "defense.malformed_report",
@@ -115,6 +119,8 @@ EVENT_NAMES = frozenset(
         "fl.cohort_sampled",
         "fl.quarantine",
         "fl.round_skipped",
+        # live metrics (repro.obs.metrics): one per sealed SLI window
+        "metrics.window",
         "nc.label_flagged",
         # simulated transport (repro.fl.transport)
         "net.corrupt",
@@ -152,6 +158,9 @@ EVENT_NAMES = frozenset(
 
 COUNTER_NAMES = frozenset(
     {
+        # SLO alerting (repro.obs.alerts)
+        "alert.firings",
+        "alert.resolutions",
         "defense.channels_pruned",
         "defense.quarantines",
         "defense.weights_zeroed",

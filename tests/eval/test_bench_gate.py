@@ -2,7 +2,10 @@
 
 import pytest
 
-from repro.eval.parallel_bench import compare_to_baseline
+from repro.eval.parallel_bench import (
+    METRICS_OVERHEAD_CEILING,
+    compare_to_baseline,
+)
 
 
 def payload(training=1.0, defense=0.5, engines=("serial", "thread")):
@@ -56,3 +59,40 @@ class TestCompareToBaseline:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ValueError, match="threshold"):
             compare_to_baseline(payload(), payload(), threshold=0.0)
+
+
+class TestMetricsOverheadGate:
+    """The online-metrics overhead cap is absolute, not baseline-relative."""
+
+    def with_metrics(self, overhead):
+        head = payload()
+        head["metrics"] = {"overhead_fraction": overhead}
+        return head
+
+    def test_overhead_within_ceiling_passes(self):
+        verdict = compare_to_baseline(
+            self.with_metrics(METRICS_OVERHEAD_CEILING / 2), payload()
+        )
+        assert verdict["ok"] is True
+        assert verdict["checked"] == 5  # 4 stage timings + the metrics gate
+
+    def test_negative_overhead_is_fine(self):
+        verdict = compare_to_baseline(self.with_metrics(-0.01), payload())
+        assert verdict["ok"] is True
+
+    def test_overhead_above_ceiling_fails_regardless_of_baseline(self):
+        # even a baseline that itself blew the ceiling does not excuse it
+        base = self.with_metrics(0.5)
+        verdict = compare_to_baseline(self.with_metrics(0.1), base)
+        assert verdict["ok"] is False
+        [reg] = [
+            r for r in verdict["regressions"] if r["engine"] == "metrics"
+        ]
+        assert reg["stage"] == "overhead_fraction"
+        assert reg["head_seconds"] == pytest.approx(0.1)
+        assert reg["base_seconds"] == pytest.approx(METRICS_OVERHEAD_CEILING)
+
+    def test_payload_without_metrics_section_is_skipped(self):
+        verdict = compare_to_baseline(payload(), self.with_metrics(0.0))
+        assert verdict["ok"] is True
+        assert verdict["checked"] == 4

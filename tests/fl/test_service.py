@@ -23,7 +23,6 @@ from repro.fl.service import (
     RoundOutcome,
     ServiceConfig,
     ServiceHistory,
-    _percentile,
 )
 from repro.fl.traffic import BurstyTraffic, ComposedTraffic, FlashCrowdTraffic, TrafficPattern
 from repro.fl.trust import TrustConfig
@@ -164,10 +163,15 @@ class TestServiceConfig:
 
 class TestHistory:
     def test_percentile_nearest_rank(self):
-        assert _percentile([], 50) == 0.0
-        assert _percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
-        assert _percentile([1.0, 2.0, 3.0, 4.0], 99) == 4.0
-        assert _percentile(list(range(1, 101)), 99) == 99
+        # the shared quantile helper (repro.obs.metrics) now backs
+        # latency_percentiles; same nearest-rank semantics as the old
+        # service-local _percentile
+        from repro.obs.metrics import nearest_rank
+
+        assert nearest_rank([], 50) == 0.0
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 99) == 4.0
+        assert nearest_rank(list(range(1, 101)), 99) == 99
 
     def test_outcome_json_roundtrip(self):
         outcome = RoundOutcome(

@@ -1,0 +1,317 @@
+"""Tests for the SLO alert rules and engine (repro.obs.alerts).
+
+Covers rule validation, ``for``-duration counting, hysteresis
+(resolve threshold + resolve windows, anti-flap), the transition
+timeline, engine state round-trips mid-streak, rule loading from JSON,
+and the default catalog's internal consistency.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    ServiceMetrics,
+    default_rules,
+    load_rules,
+    parse_rule,
+)
+from repro.obs.metrics import SLI_NAMES
+
+
+def window(index, **slis):
+    """A sealed-window record with every SLI defaulted to 0."""
+    values = {name: 0.0 for name in SLI_NAMES}
+    values.update({k: float(v) for k, v in slis.items()})
+    return {
+        "window": index,
+        "start_round": index,
+        "end_round": index,
+        "slis": values,
+        "counts": {},
+        "solicited": 0,
+        "latency": {},
+    }
+
+
+def feed(engine, values, sli="shed_rate"):
+    """Evaluate one window per value; return the flat transition list."""
+    out = []
+    for i, value in enumerate(values):
+        out.extend(engine.evaluate(window(i, **{sli: value})))
+    return out
+
+
+class TestAlertRule:
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(name=""), "needs a name"),
+            (dict(sli="nope"), "unknown SLI"),
+            (dict(op="=="), "unknown op"),
+            (dict(for_windows=0), "for_windows"),
+            (dict(resolve_windows=0), "resolve_windows"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        base = dict(name="r", sli="shed_rate", op=">", threshold=1.0)
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=match):
+            AlertRule(**base)
+
+    def test_resolve_threshold_defaults_to_firing_threshold(self):
+        rule = AlertRule("r", sli="shed_rate", op=">", threshold=2.0)
+        assert rule.resolve_threshold == 2.0
+
+    @pytest.mark.parametrize(
+        "op, value, breached",
+        [(">", 1.1, True), (">", 1.0, False), (">=", 1.0, True),
+         ("<", 0.9, True), ("<", 1.0, False), ("<=", 1.0, True)],
+    )
+    def test_operators(self, op, value, breached):
+        rule = AlertRule("r", sli="shed_rate", op=op, threshold=1.0)
+        assert rule.breached(window(0, shed_rate=value)["slis"]) is breached
+
+    def test_jsonable_round_trips_through_parse(self):
+        rule = AlertRule(
+            "r", sli="net_loss_rate", op=">", threshold=0.5,
+            for_windows=2, resolve_threshold=0.25, resolve_windows=3,
+        )
+        clone = parse_rule(rule.to_jsonable())
+        assert clone.to_jsonable() == rule.to_jsonable()
+
+
+class TestForDuration:
+    def make(self, for_windows=2):
+        rule = AlertRule(
+            "shed", sli="shed_rate", op=">", threshold=1.0,
+            for_windows=for_windows,
+        )
+        return AlertEngine([rule])
+
+    def test_single_window_blip_never_fires(self):
+        engine = self.make(for_windows=2)
+        assert feed(engine, [2.0, 0.0, 2.0, 0.0]) == []
+        assert engine.is_firing("shed") is False
+
+    def test_fires_after_consecutive_breaches(self):
+        engine = self.make(for_windows=2)
+        transitions = feed(engine, [2.0, 2.0])
+        [fired] = transitions
+        assert fired["action"] == "fired"
+        assert fired["alert"] == "shed"
+        assert fired["window"] == 1  # the window that completed the streak
+        assert fired["value"] == 2.0
+        assert fired["threshold"] == 1.0
+        assert engine.is_firing("shed") is True
+
+    def test_interrupted_streak_resets(self):
+        engine = self.make(for_windows=3)
+        assert feed(engine, [2.0, 2.0, 0.0, 2.0, 2.0]) == []
+
+    def test_already_firing_does_not_refire(self):
+        engine = self.make(for_windows=1)
+        transitions = feed(engine, [2.0, 2.0, 2.0])
+        assert [t["action"] for t in transitions] == ["fired"]
+
+
+class TestHysteresis:
+    def make(self):
+        rule = AlertRule(
+            "loss", sli="net_loss_rate", op=">", threshold=0.5,
+            for_windows=1, resolve_threshold=0.25, resolve_windows=2,
+        )
+        return AlertEngine([rule])
+
+    def test_between_bounds_neither_resolves_nor_refires(self):
+        engine = self.make()
+        # fire, then hover in the hysteresis band (0.25, 0.5]: the SLI is
+        # below the firing bound but not under the resolve bound
+        transitions = feed(
+            engine, [0.9, 0.4, 0.3, 0.4, 0.3], sli="net_loss_rate"
+        )
+        assert [t["action"] for t in transitions] == ["fired"]
+        assert engine.is_firing("loss") is True
+
+    def test_resolves_after_consecutive_clear_windows(self):
+        engine = self.make()
+        transitions = feed(
+            engine, [0.9, 0.1, 0.1], sli="net_loss_rate"
+        )
+        assert [t["action"] for t in transitions] == ["fired", "resolved"]
+        resolved = transitions[-1]
+        assert resolved["window"] == 2
+        assert resolved["threshold"] == 0.25  # the resolve bound, not 0.5
+        assert engine.is_firing("loss") is False
+
+    def test_flap_inside_clear_streak_resets_it(self):
+        engine = self.make()
+        transitions = feed(
+            engine, [0.9, 0.1, 0.6, 0.1, 0.1], sli="net_loss_rate"
+        )
+        assert [t["action"] for t in transitions] == ["fired", "resolved"]
+        assert transitions[-1]["window"] == 4  # streak restarted at 3
+
+    def test_can_refire_after_resolving(self):
+        engine = self.make()
+        transitions = feed(
+            engine, [0.9, 0.1, 0.1, 0.9], sli="net_loss_rate"
+        )
+        assert [t["action"] for t in transitions] == [
+            "fired", "resolved", "fired",
+        ]
+
+
+class TestAlertEngine:
+    def test_rejects_duplicate_names(self):
+        rule = AlertRule("r", sli="shed_rate", op=">", threshold=1.0)
+        twin = AlertRule("r", sli="late_rate", op=">", threshold=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            AlertEngine([rule, twin])
+
+    def test_is_firing_unknown_name_raises(self):
+        engine = AlertEngine(default_rules())
+        with pytest.raises(KeyError, match="no alert rule"):
+            engine.is_firing("nope")
+
+    def test_timeline_accumulates_in_evaluation_order(self):
+        engine = AlertEngine(
+            [
+                AlertRule("a", sli="shed_rate", op=">", threshold=1.0),
+                AlertRule("b", sli="shed_rate", op=">", threshold=0.5),
+            ]
+        )
+        engine.evaluate(window(0, shed_rate=2.0))
+        assert [t["alert"] for t in engine.timeline] == ["a", "b"]
+        assert engine.firing() == ["a", "b"]
+
+    def test_state_round_trip_mid_streak(self):
+        def build():
+            return AlertEngine(
+                [
+                    AlertRule(
+                        "shed", sli="shed_rate", op=">", threshold=1.0,
+                        for_windows=3,
+                    )
+                ]
+            )
+
+        reference = build()
+        feed(reference, [2.0, 2.0, 2.0])
+
+        crashed = build()
+        feed(crashed, [2.0, 2.0])  # two windows into the streak
+        state = json.loads(json.dumps(crashed.state_dict()))
+
+        resumed = build()
+        resumed.load_state_dict(state)
+        transitions = resumed.evaluate(window(2, shed_rate=2.0))
+        assert [t["action"] for t in transitions] == ["fired"]
+        assert resumed.timeline == reference.timeline
+        assert resumed.state_dict() == reference.state_dict()
+
+    def test_load_state_ignores_rules_removed_since_checkpoint(self):
+        old = AlertEngine(
+            [AlertRule("gone", sli="shed_rate", op=">", threshold=1.0)]
+        )
+        feed(old, [2.0])
+        new = AlertEngine(
+            [AlertRule("kept", sli="late_rate", op=">", threshold=1.0)]
+        )
+        new.load_state_dict(old.state_dict())  # must not raise
+        assert new.is_firing("kept") is False
+
+
+class TestRuleLoading:
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            parse_rule(
+                {"name": "r", "sli": "shed_rate", "op": ">",
+                 "threshold": 1.0, "severity": "page"}
+            )
+
+    def test_parse_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing required"):
+            parse_rule({"name": "r", "sli": "shed_rate"})
+
+    def test_load_rules_list_form(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            json.dumps(
+                [{"name": "r", "sli": "shed_rate", "op": ">",
+                  "threshold": 1.0}]
+            )
+        )
+        [rule] = load_rules(str(path))
+        assert rule.name == "r"
+        assert rule.for_windows == 1
+
+    def test_load_rules_object_form(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(
+            json.dumps(
+                {"rules": [{"name": "r", "sli": "late_rate", "op": ">=",
+                            "threshold": 2.0, "for_windows": 3}]}
+            )
+        )
+        [rule] = load_rules(str(path))
+        assert (rule.sli, rule.for_windows) == ("late_rate", 3)
+
+    def test_load_rules_rejects_scalar_payload(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text('"not rules"')
+        with pytest.raises(ValueError, match="JSON list"):
+            load_rules(str(path))
+
+
+class TestDefaultRules:
+    def test_names_unique_and_slis_known(self):
+        rules = default_rules()
+        names = [r.name for r in rules]
+        assert len(names) == len(set(names))
+        assert all(r.sli in SLI_NAMES for r in rules)
+        AlertEngine(rules)  # constructs cleanly
+
+    def test_survive_a_json_round_trip(self):
+        for rule in default_rules():
+            assert parse_rule(
+                json.loads(json.dumps(rule.to_jsonable()))
+            ).to_jsonable() == rule.to_jsonable()
+
+    def test_healthy_window_fires_nothing(self):
+        engine = AlertEngine(default_rules())
+        healthy = window(
+            0, rounds=1, committed=1, commit_latency_p50=0.5,
+            commit_latency_p90=0.5, commit_latency_p99=0.5,
+        )
+        for i in range(5):
+            assert engine.evaluate(dict(healthy, window=i)) == []
+
+
+class TestServiceMetrics:
+    def test_bundle_defaults_to_the_catalog(self):
+        metrics = ServiceMetrics()
+        assert [r.name for r in metrics.engine.rules] == [
+            r.name for r in default_rules()
+        ]
+        assert metrics.series == []
+        assert metrics.timeline == []
+
+    def test_state_round_trip(self):
+        metrics = ServiceMetrics()
+        metrics.engine.evaluate(window(0, watchdog_rollbacks=1.0))
+        assert metrics.timeline  # watchdog rule fires immediately
+        clone = ServiceMetrics()
+        clone.load_state_dict(
+            json.loads(json.dumps(metrics.state_dict()))
+        )
+        assert clone.timeline == metrics.timeline
+        assert clone.engine.is_firing("watchdog-rollbacks") is True
+        assert clone.state_dict() == metrics.state_dict()
+
+    def test_load_none_is_a_noop(self):
+        metrics = ServiceMetrics()
+        metrics.load_state_dict(None)
+        assert metrics.timeline == []

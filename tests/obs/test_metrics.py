@@ -1,0 +1,395 @@
+"""Tests for the deterministic online metrics layer (repro.obs.metrics).
+
+Covers the shared nearest-rank quantile rule, the fixed-boundary
+histogram sketch (bucketing, merging, overflow, state round-trip), the
+window fold (event map, span handling, ignored prefixes, round-less
+events), online/offline parity, the service-facing drain, checkpoint
+state round-trips mid-window, and the JSONL/Prometheus exporters.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    EVENT_COUNTS,
+    SLI_NAMES,
+    HistogramSketch,
+    MetricsAggregator,
+    MetricsWindow,
+    default_latency_boundaries,
+    fold_records,
+    nearest_rank,
+    percentile_summary,
+    read_series,
+    render_prometheus,
+    write_series,
+)
+
+
+class TestNearestRank:
+    def test_empty_is_zero(self):
+        assert nearest_rank([], 99) == 0.0
+
+    def test_single_value_every_quantile(self):
+        for q in (0, 1, 50, 99, 100):
+            assert nearest_rank([7.0], q) == 7.0
+
+    def test_nearest_rank_semantics(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert nearest_rank(values, 50) == 2.0  # ceil(0.5*4) = rank 2
+        assert nearest_rank(values, 75) == 3.0
+        assert nearest_rank(values, 99) == 4.0
+
+    def test_summary_sorts_its_input(self):
+        summary = percentile_summary([3.0, 1.0, 2.0])
+        assert summary == {"p50": 2.0, "p90": 3.0, "p99": 3.0}
+
+    def test_summary_custom_quantiles(self):
+        assert percentile_summary([5.0], qs=(50, 99)) == {
+            "p50": 5.0,
+            "p99": 5.0,
+        }
+
+
+class TestDefaultBoundaries:
+    def test_covers_zero_to_deadline(self):
+        bounds = default_latency_boundaries(10.0, buckets=20)
+        assert len(bounds) == 20
+        assert bounds[0] == 0.5
+        assert bounds[-1] == 10.0
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(deadline=0.0), "deadline"),
+            (dict(deadline=-1.0), "deadline"),
+            (dict(deadline=10.0, buckets=0), "buckets"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            default_latency_boundaries(**kwargs)
+
+
+class TestHistogramSketch:
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            HistogramSketch([])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            HistogramSketch([1.0, 1.0, 2.0])
+
+    def test_value_lands_on_its_boundary_bucket(self):
+        sketch = HistogramSketch([1.0, 2.0, 3.0])
+        sketch.add(1.0)  # exactly on a boundary: that bucket
+        sketch.add(1.5)
+        sketch.add(9.0)  # overflow
+        assert sketch.counts == [1, 1, 0, 1]
+        assert sketch.total == 3
+        assert sketch.max_value == 9.0
+
+    def test_quantile_returns_bucket_boundary(self):
+        sketch = HistogramSketch([1.0, 2.0, 4.0])
+        for value in (0.2, 1.5, 1.6, 3.0):
+            sketch.add(value)
+        assert sketch.quantile(25) == 1.0
+        assert sketch.quantile(50) == 2.0
+        assert sketch.quantile(75) == 2.0
+        assert sketch.quantile(100) == 4.0
+
+    def test_overflow_quantile_is_exact_max(self):
+        sketch = HistogramSketch([1.0])
+        sketch.add(42.0)
+        sketch.add(17.0)
+        assert sketch.quantile(99) == 42.0
+
+    def test_empty_quantile_and_mean_are_zero(self):
+        sketch = HistogramSketch([1.0])
+        assert sketch.quantile(99) == 0.0
+        assert sketch.mean == 0.0
+
+    def test_merge_is_addition(self):
+        a, b = HistogramSketch([1.0, 2.0]), HistogramSketch([1.0, 2.0])
+        a.add(0.5)
+        b.add(1.5)
+        b.add(50.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.total == 3
+        assert a.max_value == 50.0
+        assert a.sum == pytest.approx(52.0)
+
+    def test_merge_order_does_not_change_quantiles(self):
+        values = [0.3, 1.2, 2.7, 0.9, 1.9, 3.5]
+        whole = HistogramSketch([1.0, 2.0, 3.0])
+        for v in values:
+            whole.add(v)
+        left, right = HistogramSketch([1.0, 2.0, 3.0]), HistogramSketch([1.0, 2.0, 3.0])
+        for v in values[:3]:
+            left.add(v)
+        for v in values[3:]:
+            right.add(v)
+        right.merge(left)  # reverse order vs the serial fold
+        for q in (1, 25, 50, 75, 99):
+            assert whole.quantile(q) == right.quantile(q)
+
+    def test_merge_rejects_different_boundaries(self):
+        with pytest.raises(ValueError, match="different boundaries"):
+            HistogramSketch([1.0]).merge(HistogramSketch([2.0]))
+
+    def test_state_round_trip(self):
+        sketch = HistogramSketch([1.0, 2.0])
+        sketch.add(0.5)
+        sketch.add(99.0)
+        clone = HistogramSketch.from_state(sketch.state_dict())
+        assert clone.state_dict() == sketch.state_dict()
+        assert clone.quantile(99) == sketch.quantile(99)
+
+    def test_from_state_rejects_wrong_bucket_count(self):
+        state = HistogramSketch([1.0, 2.0]).state_dict()
+        state["counts"] = [0, 0]
+        with pytest.raises(ValueError, match="buckets"):
+            HistogramSketch.from_state(state)
+
+
+def round_records(round_index, latency=2.5, quorum_met=True, events=(),
+                  pending=0, solicited=2):
+    """A minimal well-formed service round as a record list."""
+    records = [
+        {
+            "kind": "event",
+            "name": "service.dispatch",
+            "attrs": {"round": round_index, "solicited": solicited},
+        }
+    ]
+    for name in events:
+        records.append(
+            {"kind": "event", "name": name, "attrs": {"round": round_index}}
+        )
+    records.append(
+        {
+            "kind": "span",
+            "name": "service.commit_latency",
+            "dur": latency,
+            "attrs": {"round": round_index, "quorum_met": quorum_met},
+        }
+    )
+    records.append(
+        {
+            "kind": "span",
+            "name": "service.round",
+            "dur": 0.01,  # wall-clock: must never be folded
+            "attrs": {"round": round_index, "pending": pending},
+        }
+    )
+    return records
+
+
+def feed(aggregator, records):
+    for record in records:
+        aggregator.emit(record)
+
+
+class TestMetricsAggregator:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="window_rounds"):
+            MetricsAggregator(window_rounds=0)
+        with pytest.raises(ValueError, match="round_interval"):
+            MetricsAggregator(round_interval=0.0)
+
+    def test_window_seals_on_round_span(self):
+        agg = MetricsAggregator()
+        feed(agg, round_records(0, latency=2.5, pending=3))
+        [window] = agg.series
+        assert window["window"] == 0
+        assert window["start_round"] == 0
+        assert window["end_round"] == 0
+        assert window["solicited"] == 2
+        slis = window["slis"]
+        assert slis["rounds"] == 1.0
+        assert slis["committed"] == 1.0
+        assert slis["pending"] == 3.0
+        # 2.5 lands in the (2.0, 2.5] bucket of the default 10s ladder
+        assert slis["commit_latency_p50"] == 2.5
+
+    def test_multi_round_window_seals_at_boundary(self):
+        agg = MetricsAggregator(window_rounds=3)
+        feed(agg, round_records(0))
+        feed(agg, round_records(1))
+        assert agg.series == []  # not yet sealed
+        feed(agg, round_records(2))
+        [window] = agg.series
+        assert (window["start_round"], window["end_round"]) == (0, 2)
+        assert window["slis"]["rounds"] == 3.0
+
+    def test_event_fold_map(self):
+        events = [
+            "service.quorum_failed",
+            "service.report_shed",
+            "service.report_late",
+            "net.sent",
+            "net.sent",
+            "net.dropped",
+            "trust.quarantine",
+        ]
+        agg = MetricsAggregator()
+        feed(agg, round_records(0, quorum_met=False, events=events))
+        [window] = agg.series
+        counts = window["counts"]
+        assert counts["quorum_failed"] == 1
+        assert counts["shed"] == 1
+        assert counts["late"] == 1
+        assert counts["net_sent"] == 2
+        assert counts["net_lost"] == 1
+        slis = window["slis"]
+        assert slis["quorum_failure_rate"] == 1.0
+        assert slis["net_loss_rate"] == 0.5  # 1 lost / 2 sent
+        assert slis["trust_churn"] == 1.0
+
+    def test_own_output_is_ignored(self):
+        agg = MetricsAggregator()
+        agg.emit(
+            {"kind": "event", "name": "metrics.window", "attrs": {"round": 0}}
+        )
+        agg.emit(
+            {"kind": "event", "name": "alert.fired", "attrs": {"round": 0}}
+        )
+        feed(agg, round_records(0))
+        [window] = agg.series
+        assert window["slis"]["rounds"] == 1.0  # nothing double-counted
+
+    def test_counter_and_gauge_snapshots_not_folded(self):
+        agg = MetricsAggregator()
+        agg.emit({"kind": "counter", "name": "service.rounds", "value": 99})
+        agg.emit({"kind": "gauge", "name": "exec.workers", "value": 4})
+        feed(agg, round_records(0))
+        assert agg.series[0]["slis"]["rounds"] == 1.0
+
+    def test_roundless_event_folds_into_open_window(self):
+        agg = MetricsAggregator(window_rounds=2)
+        feed(agg, round_records(0, events=["net.sent"]))
+        # a round-less shed (e.g. service.backoff-adjacent) mid-window
+        agg.emit({"kind": "event", "name": "service.report_shed", "attrs": {}})
+        feed(agg, round_records(1))
+        assert agg.series[0]["counts"]["shed"] == 1
+
+    def test_roundless_event_with_no_open_window_is_dropped(self):
+        agg = MetricsAggregator()
+        agg.emit({"kind": "event", "name": "service.report_shed", "attrs": {}})
+        assert agg.series == []
+        assert agg._open is None
+
+    def test_wall_clock_round_dur_never_enters_latency(self):
+        agg = MetricsAggregator()
+        records = round_records(0)
+        records[-1]["dur"] = 5000.0  # absurd wall-clock round duration
+        feed(agg, records)
+        [window] = agg.series
+        assert window["slis"]["commit_latency_p99"] == 2.5
+
+    def test_take_sealed_drains_once(self):
+        agg = MetricsAggregator()
+        feed(agg, round_records(0))
+        assert [w["window"] for w in agg.take_sealed()] == [0]
+        assert agg.take_sealed() == []
+        feed(agg, round_records(1))
+        assert [w["window"] for w in agg.take_sealed()] == [1]
+
+    def test_state_round_trip_mid_window(self):
+        # crash between round 1 and 2 of a 3-round window: the resumed
+        # aggregator must seal the identical window
+        reference = MetricsAggregator(window_rounds=3)
+        for r in range(3):
+            feed(reference, round_records(r, latency=1.0 + r))
+
+        crashed = MetricsAggregator(window_rounds=3)
+        for r in range(2):
+            feed(crashed, round_records(r, latency=1.0 + r))
+        state = json.loads(json.dumps(crashed.state_dict()))  # via JSON
+
+        resumed = MetricsAggregator(window_rounds=3)
+        resumed.load_state_dict(state)
+        feed(resumed, round_records(2, latency=3.0))
+        assert resumed.series == reference.series
+        assert resumed.take_sealed() == reference.take_sealed()
+
+    def test_sli_catalog_is_exactly_what_windows_carry(self):
+        agg = MetricsAggregator()
+        feed(agg, round_records(0))
+        assert tuple(agg.series[0]["slis"]) == SLI_NAMES
+
+    def test_every_fold_key_is_a_window_count(self):
+        window = MetricsWindow(0, 0, [1.0])
+        assert set(EVENT_COUNTS.values()) <= set(window.counts)
+
+
+class TestFoldRecords:
+    def test_sorts_by_seq_before_folding(self):
+        records = []
+        for seq, record in enumerate(
+            round_records(0) + round_records(1, latency=7.5)
+        ):
+            records.append(dict(record, seq=seq))
+        shuffled = list(reversed(records))
+        assert (
+            fold_records(shuffled).series == fold_records(records).series
+        )
+
+    def test_offline_matches_online(self):
+        online = MetricsAggregator(window_rounds=2)
+        records = []
+        for r in range(4):
+            for record in round_records(r, latency=0.5 * (r + 1)):
+                records.append(dict(record, seq=len(records)))
+        feed(online, records)
+        offline = fold_records(records, window_rounds=2)
+        assert json.dumps(online.series, sort_keys=True) == json.dumps(
+            offline.series, sort_keys=True
+        )
+
+
+class TestExporters:
+    def make_series(self):
+        agg = MetricsAggregator()
+        feed(agg, round_records(0, events=["net.sent", "net.dropped"]))
+        feed(agg, round_records(1, latency=9.0))
+        return agg.series
+
+    def test_series_round_trip(self, tmp_path):
+        series = self.make_series()
+        path = tmp_path / "series.jsonl"
+        assert write_series(series, str(path)) == 2
+        loaded = read_series(str(path))
+        assert [w["window"] for w in loaded] == [0, 1]
+        assert loaded[0]["t"] == 0.0
+        assert loaded[1]["t"] == 10.0
+        assert loaded[0]["slis"] == series[0]["slis"]
+
+    def test_write_is_deterministic_bytes(self):
+        series = self.make_series()
+        first, second = io.StringIO(), io.StringIO()
+        write_series(series, first)
+        write_series(series, second)
+        assert first.getvalue() == second.getvalue()
+
+    def test_prometheus_rendering(self):
+        text = render_prometheus(
+            self.make_series(), counters={"alert.firings": 3}
+        )
+        assert "repro_window 1\n" in text
+        assert "repro_commit_latency_p50_sli" in text
+        # cumulative across windows: 1 sent + 1 dropped in round 0
+        assert "repro_net_sent_total 1\n" in text
+        assert "repro_net_lost_total 1\n" in text
+        assert "repro_alert_firings 3\n" in text
+        assert "# TYPE repro_alert_firings counter" in text
+
+    def test_prometheus_empty_series_renders_counters_only(self):
+        text = render_prometheus([], counters={"alert.firings": 0})
+        assert "repro_window" not in text
+        assert "repro_alert_firings 0\n" in text
+
+    def test_prometheus_integer_values_render_bare(self):
+        text = render_prometheus(self.make_series())
+        assert "repro_rounds_sli 1\n" in text

@@ -135,6 +135,16 @@ class TestRegisteredNames:
     def test_aggregation_zoo_events_registered(self, name):
         assert name in EVENT_NAMES
 
+    @pytest.mark.parametrize(
+        "name", ["alert.fired", "alert.resolved", "metrics.window"]
+    )
+    def test_metrics_and_alert_events_registered(self, name):
+        assert name in EVENT_NAMES
+
+    @pytest.mark.parametrize("name", ["alert.firings", "alert.resolutions"])
+    def test_alert_counters_registered(self, name):
+        assert name in COUNTER_NAMES
+
 
 class TestAggregationStreamValidates:
     """Aggregator-internal events validate clean on a real run.
@@ -292,3 +302,68 @@ class TestTransportStreamValidates:
             ("counter", "net.messages_held"),
         ]:
             assert expected in names, expected
+
+
+class TestMetricsStreamValidates:
+    """A metrics-on chaos run emits only registered metrics.*/alert.*
+    names, and the alert vocabulary is genuinely exercised — the chaos
+    partition fires the net-loss SLO and the heal resolves it."""
+
+    @pytest.fixture(scope="class")
+    def metrics_events(self):
+        from repro.fl.transport import make_network
+        from repro.obs.alerts import ServiceMetrics
+
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        clients = [ScriptClient(i) for i in range(4)]
+        metrics = ServiceMetrics()
+        service = DefenseService(
+            VectorModel(),
+            clients,
+            test_set=None,
+            config=ServiceConfig(
+                round_deadline=10.0,
+                quorum=0.5,
+                eval_every=0,
+                cleanse_threshold=None,
+                trust_enabled=False,
+            ),
+            network=make_network("chaos", seed=7),
+            context=RunContext(telemetry=hub),
+            metrics=metrics,
+        )
+        service.run(10)
+        hub.close()
+        return metrics, list(ring.events)
+
+    def test_stream_is_structurally_valid(self, metrics_events):
+        _, events = metrics_events
+        assert validate_stream(events) == []
+
+    def test_every_emitted_name_is_registered(self, metrics_events):
+        _, events = metrics_events
+        assert unknown_names(events) == []
+
+    def test_metrics_and_alert_names_actually_emitted(self, metrics_events):
+        metrics, events = metrics_events
+        assert any(t["action"] == "fired" for t in metrics.timeline)
+        assert any(t["action"] == "resolved" for t in metrics.timeline)
+        names = {(r["kind"], r["name"]) for r in events}
+        for expected in [
+            ("event", "metrics.window"),
+            ("event", "alert.fired"),
+            ("event", "alert.resolved"),
+            ("counter", "alert.firings"),
+            ("counter", "alert.resolutions"),
+        ]:
+            assert expected in names, expected
+
+    def test_window_events_carry_the_sli_payload(self, metrics_events):
+        metrics, events = metrics_events
+        windows = [
+            r for r in events
+            if r["kind"] == "event" and r["name"] == "metrics.window"
+        ]
+        assert len(windows) == len(metrics.series)
+        assert windows[0]["attrs"]["slis"] == metrics.series[0]["slis"]

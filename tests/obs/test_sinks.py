@@ -1,0 +1,121 @@
+"""Unit tests for the telemetry sinks (repro.obs.sinks).
+
+ConsoleSummarySink — the human-facing run summary — had only
+integration coverage; these pin its aggregation rules, rendering and
+close semantics directly.  The MetricsAggregator's sink behavior
+(folding live off a hub, coexisting with other sinks) is pinned here
+too: it is the one sink whose output feeds back into the stream.
+"""
+
+import io
+
+from repro.obs.metrics import MetricsAggregator
+from repro.obs.sinks import ConsoleSummarySink, RingBufferSink
+from repro.obs.telemetry import Telemetry
+
+
+class TestConsoleSummarySink:
+    def make(self, records=()):
+        sink = ConsoleSummarySink()
+        for record in records:
+            sink.emit(record)
+        return sink
+
+    def test_spans_accumulate_seconds_and_calls(self):
+        sink = self.make(
+            [
+                {"kind": "span", "name": "fl.round", "dur": 1.5},
+                {"kind": "span", "name": "fl.round", "dur": 0.5},
+                {"kind": "span", "name": "fl.train", "dur": 4.0},
+            ]
+        )
+        assert sink.span_seconds == {"fl.round": 2.0, "fl.train": 4.0}
+        assert sink.span_counts == {"fl.round": 2, "fl.train": 1}
+
+    def test_render_orders_spans_by_total_time(self):
+        sink = self.make(
+            [
+                {"kind": "span", "name": "small", "dur": 0.5},
+                {"kind": "span", "name": "big", "dur": 9.0},
+            ]
+        )
+        text = sink.render()
+        assert text.index("big") < text.index("small")
+        assert "x1" in text
+
+    def test_events_count_and_counters_keep_latest_value(self):
+        sink = self.make(
+            [
+                {"kind": "event", "name": "service.report_late"},
+                {"kind": "event", "name": "service.report_late"},
+                {"kind": "counter", "name": "service.rounds", "value": 3},
+                {"kind": "counter", "name": "service.rounds", "value": 7},
+                {"kind": "gauge", "name": "exec.workers", "value": 4.0},
+            ]
+        )
+        assert sink.event_counts == {"service.report_late": 2}
+        assert sink.counters == {"service.rounds": 7}  # snapshot, not sum
+        text = sink.render()
+        assert "service.report_late" in text
+        assert "x2" in text
+        assert "service.rounds" in text
+        assert "exec.workers" in text
+
+    def test_unknown_kinds_are_ignored(self):
+        sink = self.make([{"kind": "mystery", "name": "x"}, {"no": "kind"}])
+        assert sink.render() == "== telemetry summary ==\n"
+
+    def test_empty_stream_renders_header_only(self):
+        assert self.make().render() == "== telemetry summary ==\n"
+
+    def test_close_writes_to_configured_stream_once(self):
+        stream = io.StringIO()
+        sink = ConsoleSummarySink(stream=stream)
+        sink.emit({"kind": "span", "name": "fl.round", "dur": 1.0})
+        sink.close()
+        sink.close()  # idempotent: hub close + explicit close double-call
+        assert stream.getvalue().count("== telemetry summary ==") == 1
+        assert "fl.round" in stream.getvalue()
+
+    def test_repr_summarizes_volume(self):
+        sink = self.make(
+            [
+                {"kind": "span", "name": "fl.round", "dur": 1.0},
+                {"kind": "event", "name": "a"},
+                {"kind": "event", "name": "b"},
+            ]
+        )
+        assert repr(sink) == "ConsoleSummarySink(spans=1, events=2)"
+
+    def test_live_on_a_hub(self):
+        stream = io.StringIO()
+        hub = Telemetry()
+        hub.add_sink(ConsoleSummarySink(stream=stream))
+        with hub.span("fl.train"):
+            hub.event("service.report_late")
+        hub.close()
+        assert "fl.train" in stream.getvalue()
+
+
+class TestMetricsAggregatorAsSink:
+    def test_folds_live_alongside_other_sinks(self):
+        hub = Telemetry()
+        ring = hub.add_sink(RingBufferSink())
+        agg = hub.add_sink(MetricsAggregator())
+        with hub.span("service.round", round=0) as span:
+            hub.event("service.dispatch", round=0, solicited=3)
+            hub.record_span(
+                "service.commit_latency", 2.5, round=0, quorum_met=True
+            )
+            span.set(pending=1)
+        hub.close()
+        [window] = agg.series
+        assert window["slis"]["committed"] == 1.0
+        assert window["solicited"] == 3
+        # the ring saw everything the aggregator folded
+        assert any(r["name"] == "service.round" for r in ring.events)
+
+    def test_close_is_harmless(self):
+        hub = Telemetry()
+        hub.add_sink(MetricsAggregator())
+        hub.close()  # Sink.close default must not raise

@@ -1,0 +1,100 @@
+"""Subprocess tests for scripts/dashboard.py (terminal + HTML views)."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.obs.metrics import MetricsAggregator, write_series
+
+from tests.test_trace_script import write_service_trace
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_dashboard(*args):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(REPO_ROOT / "scripts" / "dashboard.py"), *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def write_series_file(path):
+    agg = MetricsAggregator()
+    for r, (latency, met) in enumerate([(2.5, True), (10.0, False)]):
+        agg.emit(
+            {
+                "kind": "span",
+                "name": "service.commit_latency",
+                "dur": latency,
+                "attrs": {"round": r, "quorum_met": met},
+            }
+        )
+        agg.emit(
+            {
+                "kind": "span",
+                "name": "service.round",
+                "dur": 0.01,
+                "attrs": {"round": r, "pending": 0},
+            }
+        )
+    write_series(agg.series, str(path))
+    return path
+
+
+class TestDashboard:
+    def test_renders_sparklines_from_a_trace(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_dashboard(str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "2 window(s)" in result.stdout
+        assert "commit_latency_p99" in result.stdout
+
+    def test_renders_from_a_series_file(self, tmp_path):
+        series = write_series_file(tmp_path / "series.jsonl")
+        result = run_dashboard("--series", str(series))
+        assert result.returncode == 0, result.stderr
+        assert "rounds 0-1" in result.stdout
+
+    def test_rules_overlay_shows_the_timeline(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_dashboard(str(trace), "--rules", "default")
+        assert result.returncode == 0, result.stderr
+        assert "alert timeline" in result.stdout
+        assert "every SLO held" in result.stdout  # 2 quiet windows
+
+    def test_html_output_is_self_contained(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        out = tmp_path / "dash.html"
+        result = run_dashboard(str(trace), "--html", str(out))
+        assert result.returncode == 0, result.stderr
+        html = out.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        assert "commit_latency_p99" in html
+
+    def test_trace_and_series_are_mutually_exclusive(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        series = write_series_file(tmp_path / "series.jsonl")
+        result = run_dashboard(str(trace), "--series", str(series))
+        assert result.returncode == 2  # argparse error
+        assert "exactly one" in result.stderr
+
+    def test_empty_series_is_a_clean_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        result = run_dashboard("--series", str(empty))
+        assert result.returncode == 1
+        assert "no metric windows" in result.stderr
+        assert "Traceback" not in result.stderr
+
+    def test_deterministic_bytes(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        first = run_dashboard(str(trace), "--rules", "default")
+        second = run_dashboard(str(trace), "--rules", "default")
+        assert first.stdout == second.stdout

@@ -24,6 +24,7 @@ EXPECTED_EXAMPLES = {
     "traced_run.py",
     "resume_run.py",
     "analyze_trace.py",
+    "monitored_serve.py",
 }
 
 

@@ -194,3 +194,76 @@ class TestValidate:
         assert "service round commits" in result.stdout
         assert "committed=1" in result.stdout
         assert "quorum_failed=1" in result.stdout
+
+
+class TestSummarizeJson:
+    def test_json_format_is_machine_readable(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("summarize", str(trace), "--format", "json")
+        assert result.returncode == 0, result.stderr
+        payload = json.loads(result.stdout)
+        assert payload["service"]["committed"] == 1
+        assert payload["counters"]["service.rounds"] == 2
+        assert {"phases", "spans", "critical_path", "events"} <= set(payload)
+
+    def test_text_remains_the_default(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("summarize", str(trace))
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(result.stdout)
+
+
+class TestMetrics:
+    def test_table_shows_windows_and_active_slis(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("metrics", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "2 metric window(s)" in result.stdout
+        assert "commit_latency_p99" in result.stdout
+        # SLIs that never moved stay out of the table
+        assert "watchdog_rollbacks" not in result.stdout
+
+    def test_json_format_round_trips_the_series(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("metrics", str(trace), "--format", "json")
+        assert result.returncode == 0, result.stderr
+        series = json.loads(result.stdout)["windows"]
+        assert [w["window"] for w in series] == [0, 1]
+        assert series[0]["slis"]["committed"] == 1.0
+
+    def test_prom_format_renders_exposition_text(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("metrics", str(trace), "--format", "prom")
+        assert result.returncode == 0, result.stderr
+        assert "# TYPE repro_window gauge" in result.stdout
+        assert "repro_commit_latency_p99_sli" in result.stdout
+
+    def test_rules_overlay_prints_the_alert_timeline(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("metrics", str(trace), "--rules", "default")
+        assert result.returncode == 0, result.stderr
+        assert "alert timeline" in result.stdout
+
+    def test_out_writes_a_series_file(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        series = tmp_path / "series.jsonl"
+        result = run_trace("metrics", str(trace), "--out", str(series))
+        assert result.returncode == 0, result.stderr
+        lines = [
+            json.loads(line)
+            for line in series.read_text().splitlines()
+            if line
+        ]
+        assert [row["window"] for row in lines] == [0, 1]
+
+    def test_trace_without_service_rounds_exits_nonzero(self, tmp_path):
+        trace = write_trace(tmp_path / "run.jsonl")  # training-only trace
+        result = run_trace("metrics", str(trace))
+        assert result.returncode == 1
+        assert "no service rounds" in result.stderr + result.stdout
+
+    def test_missing_rules_file_is_a_clean_error(self, tmp_path):
+        trace = write_service_trace(tmp_path / "service.jsonl")
+        result = run_trace("metrics", str(trace), "--rules", "/nonexistent")
+        assert result.returncode == 1
+        assert "Traceback" not in result.stderr
